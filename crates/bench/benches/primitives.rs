@@ -1,0 +1,87 @@
+//! Criterion benchmarks for the cryptographic substrate.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use fair_crypto::{authshare, commit, hmac, mac, share, sha256, sign};
+use fair_field::Fp;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_sha256(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sha256");
+    for size in [64usize, 1024, 16 * 1024] {
+        let data = vec![0xabu8; size];
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_function(format!("{size}B"), |b| b.iter(|| sha256::sha256(&data)));
+    }
+    g.finish();
+}
+
+fn bench_hmac(c: &mut Criterion) {
+    let data = vec![0x5au8; 1024];
+    c.bench_function("hmac_sha256/1KiB", |b| b.iter(|| hmac::hmac_sha256(b"key", &data)));
+}
+
+fn bench_commit(c: &mut Criterion) {
+    c.bench_function("commit/32B", |b| {
+        b.iter_batched(
+            || StdRng::seed_from_u64(7),
+            |mut rng| commit::commit(b"a thirty-two byte long messagee!", &mut rng),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_lamport(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let (sk, vk) = sign::keygen(&mut rng);
+    let sig = sign::sign(&sk, b"message");
+    c.bench_function("lamport/keygen", |b| {
+        b.iter_batched(
+            || StdRng::seed_from_u64(2),
+            |mut rng| sign::keygen(&mut rng),
+            BatchSize::SmallInput,
+        )
+    });
+    c.bench_function("lamport/sign", |b| b.iter(|| sign::sign(&sk, b"message")));
+    c.bench_function("lamport/verify", |b| b.iter(|| sign::verify(&vk, b"message", &sig)));
+}
+
+fn bench_mac(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let key = mac::MacKey::random(&mut rng);
+    let msg: Vec<Fp> = (0..32u64).map(Fp::new).collect();
+    c.bench_function("poly_mac/tag_32_elems", |b| b.iter(|| key.tag_elems(&msg)));
+}
+
+fn bench_sharing(c: &mut Criterion) {
+    c.bench_function("shamir/share_3_of_5", |b| {
+        b.iter_batched(
+            || StdRng::seed_from_u64(4),
+            |mut rng| share::shamir_share(Fp::new(42), 3, 5, &mut rng),
+            BatchSize::SmallInput,
+        )
+    });
+    let mut rng = StdRng::seed_from_u64(5);
+    let shares = share::shamir_share(Fp::new(42), 3, 5, &mut rng);
+    c.bench_function("shamir/reconstruct_3_of_5", |b| {
+        b.iter(|| share::shamir_reconstruct(&shares[..3], 3))
+    });
+    c.bench_function("authshare/deal_8_elems", |b| {
+        b.iter_batched(
+            || (StdRng::seed_from_u64(6), (0..8u64).map(Fp::new).collect::<Vec<_>>()),
+            |(mut rng, secret)| authshare::deal(&secret, &mut rng),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_sha256,
+    bench_hmac,
+    bench_commit,
+    bench_lamport,
+    bench_mac,
+    bench_sharing
+);
+criterion_main!(benches);

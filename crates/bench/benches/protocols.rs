@@ -1,0 +1,67 @@
+//! Criterion benchmarks for protocol executions: GMW gate throughput,
+//! engine round throughput, and full fairness-experiment executions.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use fair_circuits::functions;
+use fair_core::{run_once, Payoff};
+use fair_protocols::scenarios::{Opt2Scenario, OptnScenario, Strategy};
+use fair_core::strategy::CorruptionPlan;
+use fair_runtime::{execute, Passive};
+use fair_sfe::gmw::{gmw_instance, GmwConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_gmw(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gmw");
+    for bits in [4usize, 8, 16] {
+        let cfg = GmwConfig::new(functions::millionaires(bits), vec![bits, bits]);
+        let ands = cfg.circuit().and_count() as u64;
+        g.throughput(Throughput::Elements(ands));
+        g.bench_function(format!("millionaires_{bits}b"), |b| {
+            b.iter_batched(
+                || StdRng::seed_from_u64(1),
+                |mut rng| {
+                    let inst = gmw_instance(&cfg, &[5, 9], &mut rng);
+                    execute(inst, &mut Passive, &mut rng, cfg.rounds() + 4)
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_opt2_trial(c: &mut Criterion) {
+    let payoff = Payoff::standard();
+    c.bench_function("opt2/lock_abort_trial", |b| {
+        let scenario =
+            Opt2Scenario { strategy: Strategy::LockAbort(CorruptionPlan::RandomSingleton) };
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            run_once(&scenario, &payoff, seed)
+        })
+    });
+}
+
+fn bench_optn_trial(c: &mut Criterion) {
+    let payoff = Payoff::standard();
+    let mut g = c.benchmark_group("optn_trial");
+    for n in [3usize, 5, 8] {
+        g.bench_function(format!("n{n}"), |b| {
+            let scenario = OptnScenario {
+                n,
+                strategy: Strategy::LockAbort(CorruptionPlan::RandomSubset(n - 1)),
+            };
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                run_once(&scenario, &payoff, seed)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_gmw, bench_opt2_trial, bench_optn_trial);
+criterion_main!(benches);

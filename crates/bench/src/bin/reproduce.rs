@@ -1,0 +1,40 @@
+//! Reproduces the paper's quantitative claims: runs the requested
+//! experiments (default: all) and prints paper-vs-measured tables.
+//!
+//! Usage: `cargo run --release -p fair-bench --bin reproduce [-- e1 e5 …]`
+//! Trials per estimate default to 1000; override with `FAIR_TRIALS`.
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let markdown = args.iter().any(|a| a == "--markdown");
+    args.retain(|a| a != "--markdown");
+    let ids: Vec<&str> = if args.is_empty() {
+        fair_bench::ALL_EXPERIMENTS.to_vec()
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+    let trials = fair_bench::default_trials();
+    let mut all_pass = true;
+    for id in ids {
+        match fair_bench::run_experiment(id, trials, 0xfa1e) {
+            Some(reports) => {
+                for r in reports {
+                    if markdown {
+                        println!("{}", r.render_markdown());
+                    } else {
+                        println!("{}", r.render());
+                    }
+                    all_pass &= r.pass();
+                }
+            }
+            None => {
+                eprintln!("unknown experiment id: {id}");
+                std::process::exit(2);
+            }
+        }
+    }
+    println!("overall: {}", if all_pass { "ALL CLAIMS REPRODUCED ✓" } else { "SOME CLAIMS FAILED ✗" });
+    if !all_pass {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,47 @@
+#![warn(missing_docs)]
+//! Experiment harness for the `fair-protocols` workspace: every table the
+//! reproduction generates (experiments E1–E13 from DESIGN.md) plus the
+//! report rendering used by the `exp_*` binaries and `reproduce`.
+
+pub mod experiments;
+pub mod partial_exp;
+pub mod table;
+
+pub use table::{Report, Row};
+
+/// Number of Monte-Carlo trials used by the experiment binaries (override
+/// with the `FAIR_TRIALS` environment variable).
+pub fn default_trials() -> usize {
+    std::env::var("FAIR_TRIALS").ok().and_then(|s| s.parse().ok()).unwrap_or(1000)
+}
+
+/// Runs an experiment by id; `None` for an unknown id.
+pub fn run_experiment(id: &str, trials: usize, seed: u64) -> Option<Vec<Report>> {
+    let reports = match id {
+        "e1" => vec![experiments::e1(trials, seed)],
+        "e2" => vec![experiments::e2(trials, seed)],
+        "e3" => vec![experiments::e3(trials, seed)],
+        "e4" => vec![experiments::e4(trials, seed)],
+        "e5" => vec![experiments::e5(trials, seed, &[3, 4, 5])],
+        "e6" => vec![experiments::e6(trials, seed, 4)],
+        "e7" => vec![experiments::e7(trials, seed, 4)],
+        "e8" => vec![experiments::e8(trials, seed, &[4, 5])],
+        "e9" => vec![experiments::e9(trials, seed, 4)],
+        "e10" => vec![experiments::e10(trials, seed, 4)],
+        "e11" => vec![experiments::e11(trials, seed)],
+        "e12" => vec![partial_exp::e12(trials, seed)],
+        "e13" => vec![experiments::e13(trials, seed)],
+        "e14" => vec![experiments::e14(trials, seed)],
+        "e15" => vec![experiments::e15(trials, seed)],
+        "e16" => vec![experiments::e16(trials, seed)],
+        "e17" => vec![partial_exp::e17(trials, seed)],
+        _ => return None,
+    };
+    Some(reports)
+}
+
+/// All experiment ids in order.
+pub const ALL_EXPERIMENTS: [&str; 17] = [
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14",
+    "e15", "e16", "e17",
+];

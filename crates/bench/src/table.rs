@@ -1,0 +1,154 @@
+//! Experiment report tables: paper value vs. measured value.
+
+/// One row of an experiment table.
+#[derive(Clone, Debug)]
+pub struct Row {
+    /// What the row measures.
+    pub label: String,
+    /// The paper's closed-form value (`None` for qualitative rows).
+    pub paper: Option<f64>,
+    /// The measured value.
+    pub measured: f64,
+    /// 95% confidence half-width of the measurement.
+    pub ci: f64,
+    /// Whether the row reproduces the paper's claim.
+    pub pass: bool,
+}
+
+impl Row {
+    /// A row compared against a paper value within `tol + ci`.
+    pub fn vs_paper(label: impl Into<String>, paper: f64, measured: f64, ci: f64, tol: f64) -> Row {
+        Row {
+            label: label.into(),
+            paper: Some(paper),
+            measured,
+            ci,
+            pass: (measured - paper).abs() <= ci + tol,
+        }
+    }
+
+    /// A row that must only stay below a paper upper bound.
+    pub fn upper_bound(
+        label: impl Into<String>,
+        bound: f64,
+        measured: f64,
+        ci: f64,
+        tol: f64,
+    ) -> Row {
+        Row {
+            label: label.into(),
+            paper: Some(bound),
+            measured,
+            ci,
+            pass: measured <= bound + ci + tol,
+        }
+    }
+
+    /// A qualitative row with an explicit verdict.
+    pub fn check(label: impl Into<String>, measured: f64, pass: bool) -> Row {
+        Row { label: label.into(), paper: None, measured, ci: 0.0, pass }
+    }
+}
+
+/// A complete experiment report.
+#[derive(Clone, Debug)]
+pub struct Report {
+    /// Experiment id (e.g. "E2").
+    pub id: String,
+    /// The paper claim being reproduced.
+    pub title: String,
+    /// The measurement rows.
+    pub rows: Vec<Row>,
+}
+
+impl Report {
+    /// Creates a report.
+    pub fn new(id: &str, title: &str, rows: Vec<Row>) -> Report {
+        Report { id: id.to_string(), title: title.to_string(), rows }
+    }
+
+    /// Whether every row reproduced its claim.
+    pub fn pass(&self) -> bool {
+        self.rows.iter().all(|r| r.pass)
+    }
+
+    /// Renders the report as a GitHub-flavored markdown table.
+    pub fn render_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("### {}: {}\n\n", self.id, self.title));
+        out.push_str("| quantity | paper | measured | ±95% | ok |\n");
+        out.push_str("|---|---|---|---|---|\n");
+        for r in &self.rows {
+            let paper = r.paper.map(|p| format!("{p:.4}")).unwrap_or_else(|| "—".to_string());
+            out.push_str(&format!(
+                "| {} | {} | {:.4} | {:.4} | {} |\n",
+                r.label.replace('|', "\\|"),
+                paper,
+                r.measured,
+                r.ci,
+                if r.pass { "✓" } else { "✗" }
+            ));
+        }
+        out.push('\n');
+        out
+    }
+
+    /// Renders the report as an aligned text table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("== {}: {} ==\n", self.id, self.title));
+        let w = self.rows.iter().map(|r| r.label.len()).max().unwrap_or(10).max(10);
+        out.push_str(&format!(
+            "{:<w$}  {:>10}  {:>10}  {:>8}  {}\n",
+            "quantity", "paper", "measured", "±95%", "ok",
+            w = w
+        ));
+        for r in &self.rows {
+            let paper = r.paper.map(|p| format!("{p:.4}")).unwrap_or_else(|| "—".to_string());
+            out.push_str(&format!(
+                "{:<w$}  {:>10}  {:>10.4}  {:>8.4}  {}\n",
+                r.label,
+                paper,
+                r.measured,
+                r.ci,
+                if r.pass { "✓" } else { "✗ FAIL" },
+                w = w
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vs_paper_passes_within_tolerance() {
+        assert!(Row::vs_paper("x", 0.75, 0.751, 0.002, 0.0).pass);
+        assert!(!Row::vs_paper("x", 0.75, 0.80, 0.002, 0.0).pass);
+        assert!(Row::vs_paper("x", 0.75, 0.80, 0.002, 0.06).pass);
+    }
+
+    #[test]
+    fn upper_bound_only_fails_upward() {
+        assert!(Row::upper_bound("x", 0.5, 0.1, 0.0, 0.0).pass);
+        assert!(Row::upper_bound("x", 0.5, 0.5, 0.0, 0.0).pass);
+        assert!(!Row::upper_bound("x", 0.5, 0.6, 0.0, 0.01).pass);
+    }
+
+    #[test]
+    fn report_renders_all_rows() {
+        let rep = Report::new(
+            "E0",
+            "smoke",
+            vec![Row::vs_paper("a", 1.0, 1.0, 0.0, 0.0), Row::check("b", 0.5, true)],
+        );
+        let s = rep.render();
+        assert!(s.contains("E0"));
+        assert!(s.contains('a'));
+        assert!(s.contains('b'));
+        assert!(s.contains('✓'));
+        assert!(rep.pass());
+    }
+}

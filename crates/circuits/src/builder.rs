@@ -1,0 +1,277 @@
+//! A circuit builder with the standard gadget library.
+
+use crate::circuit::{Circuit, Gate, Wire};
+
+/// Incrementally builds a [`Circuit`].
+///
+/// Wires are allocated in topological order, so circuits produced by the
+/// builder always validate.
+#[derive(Clone, Debug, Default)]
+pub struct Builder {
+    num_inputs: usize,
+    gates: Vec<Gate>,
+    inputs_frozen: bool,
+}
+
+impl Builder {
+    /// Creates an empty builder.
+    pub fn new() -> Builder {
+        Builder::default()
+    }
+
+    /// Allocates `n` fresh input wires.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called after the first gate has been added (inputs come
+    /// first in the wire numbering).
+    pub fn inputs(&mut self, n: usize) -> Vec<Wire> {
+        assert!(!self.inputs_frozen, "inputs must be allocated before gates");
+        let start = self.num_inputs;
+        self.num_inputs += n;
+        (start..start + n).map(Wire).collect()
+    }
+
+    fn push(&mut self, gate: Gate) -> Wire {
+        self.inputs_frozen = true;
+        let w = Wire(self.num_inputs + self.gates.len());
+        self.gates.push(gate);
+        w
+    }
+
+    /// A constant bit.
+    pub fn constant(&mut self, b: bool) -> Wire {
+        self.push(Gate::Const(b))
+    }
+
+    /// XOR gate.
+    pub fn xor(&mut self, a: Wire, b: Wire) -> Wire {
+        self.push(Gate::Xor(a, b))
+    }
+
+    /// AND gate.
+    pub fn and(&mut self, a: Wire, b: Wire) -> Wire {
+        self.push(Gate::And(a, b))
+    }
+
+    /// NOT gate.
+    pub fn not(&mut self, a: Wire) -> Wire {
+        self.push(Gate::Not(a))
+    }
+
+    /// OR via De Morgan.
+    pub fn or(&mut self, a: Wire, b: Wire) -> Wire {
+        let na = self.not(a);
+        let nb = self.not(b);
+        let n = self.and(na, nb);
+        self.not(n)
+    }
+
+    /// `if sel { a } else { b }` — one AND: b ⊕ sel·(a ⊕ b).
+    pub fn mux(&mut self, sel: Wire, a: Wire, b: Wire) -> Wire {
+        let d = self.xor(a, b);
+        let sd = self.and(sel, d);
+        self.xor(b, sd)
+    }
+
+    /// Bitwise XOR of equal-length vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch.
+    pub fn xor_vec(&mut self, a: &[Wire], b: &[Wire]) -> Vec<Wire> {
+        assert_eq!(a.len(), b.len(), "xor_vec length mismatch");
+        a.iter().zip(b).map(|(&x, &y)| self.xor(x, y)).collect()
+    }
+
+    /// Bitwise mux of equal-length vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch.
+    pub fn mux_vec(&mut self, sel: Wire, a: &[Wire], b: &[Wire]) -> Vec<Wire> {
+        assert_eq!(a.len(), b.len(), "mux_vec length mismatch");
+        a.iter().zip(b).map(|(&x, &y)| self.mux(sel, x, y)).collect()
+    }
+
+    /// AND of all wires in `ws` (`true` for empty input).
+    pub fn and_all(&mut self, ws: &[Wire]) -> Wire {
+        match ws.split_first() {
+            None => self.constant(true),
+            Some((&first, rest)) => rest.iter().fold(first, |acc, &w| self.and(acc, w)),
+        }
+    }
+
+    /// OR of all wires in `ws` (`false` for empty input).
+    pub fn or_all(&mut self, ws: &[Wire]) -> Wire {
+        match ws.split_first() {
+            None => self.constant(false),
+            Some((&first, rest)) => rest.iter().fold(first, |acc, &w| self.or(acc, w)),
+        }
+    }
+
+    /// Equality of two bit vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch.
+    pub fn eq(&mut self, a: &[Wire], b: &[Wire]) -> Wire {
+        assert_eq!(a.len(), b.len(), "eq length mismatch");
+        let diffs: Vec<Wire> = self.xor_vec(a, b);
+        let nz = self.or_all(&diffs);
+        self.not(nz)
+    }
+
+    /// Ripple-carry adder over little-endian vectors; returns
+    /// `a.len() + 1` bits (sum plus final carry).
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch.
+    pub fn add(&mut self, a: &[Wire], b: &[Wire]) -> Vec<Wire> {
+        assert_eq!(a.len(), b.len(), "add length mismatch");
+        let mut out = Vec::with_capacity(a.len() + 1);
+        let mut carry = self.constant(false);
+        for (&x, &y) in a.iter().zip(b) {
+            // sum = x ^ y ^ c; carry' = (x & y) | (c & (x ^ y))
+            let xy = self.xor(x, y);
+            let s = self.xor(xy, carry);
+            let t1 = self.and(x, y);
+            let t2 = self.and(carry, xy);
+            carry = self.or(t1, t2);
+            out.push(s);
+        }
+        out.push(carry);
+        out
+    }
+
+    /// Unsigned `a > b` over little-endian vectors (the "millionaires"
+    /// comparator).
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch.
+    pub fn gt(&mut self, a: &[Wire], b: &[Wire]) -> Wire {
+        assert_eq!(a.len(), b.len(), "gt length mismatch");
+        // Scan from LSB: gt = a_i & !b_i  |  (a_i == b_i) & gt_prev.
+        let mut gt = self.constant(false);
+        for (&x, &y) in a.iter().zip(b) {
+            let ny = self.not(y);
+            let win = self.and(x, ny);
+            let same = {
+                let d = self.xor(x, y);
+                self.not(d)
+            };
+            let keep = self.and(same, gt);
+            gt = self.or(win, keep);
+        }
+        gt
+    }
+
+    /// Finalizes the circuit with the given output wires.
+    pub fn finish(self, outputs: Vec<Wire>) -> Circuit {
+        let c = Circuit { num_inputs: self.num_inputs, gates: self.gates, outputs };
+        debug_assert!(c.validate().is_ok());
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::{bits_to_u64, u64_to_bits};
+    use proptest::prelude::*;
+
+    #[test]
+    fn or_truth_table() {
+        let mut b = Builder::new();
+        let ins = b.inputs(2);
+        let o = b.or(ins[0], ins[1]);
+        let c = b.finish(vec![o]);
+        assert_eq!(c.eval(&[false, false]), vec![false]);
+        assert_eq!(c.eval(&[true, false]), vec![true]);
+        assert_eq!(c.eval(&[false, true]), vec![true]);
+        assert_eq!(c.eval(&[true, true]), vec![true]);
+    }
+
+    #[test]
+    fn mux_selects() {
+        let mut b = Builder::new();
+        let ins = b.inputs(3); // sel, a, b
+        let o = b.mux(ins[0], ins[1], ins[2]);
+        let c = b.finish(vec![o]);
+        assert_eq!(c.eval(&[true, true, false]), vec![true]); // sel -> a
+        assert_eq!(c.eval(&[false, true, false]), vec![false]); // !sel -> b
+    }
+
+    #[test]
+    fn eq_detects_equality() {
+        let mut b = Builder::new();
+        let x = b.inputs(4);
+        let y = b.inputs(4);
+        let o = b.eq(&x, &y);
+        let c = b.finish(vec![o]);
+        for (u, v) in [(3u64, 3u64), (3, 5), (0, 0), (15, 14)] {
+            let mut input = u64_to_bits(u, 4);
+            input.extend(u64_to_bits(v, 4));
+            assert_eq!(c.eval(&input), vec![u == v], "{u} == {v}");
+        }
+    }
+
+    #[test]
+    fn and_all_or_all_handle_empty() {
+        let mut b = Builder::new();
+        let t = b.and_all(&[]);
+        let f = b.or_all(&[]);
+        let c = b.finish(vec![t, f]);
+        assert_eq!(c.eval(&[]), vec![true, false]);
+    }
+
+    #[test]
+    #[should_panic(expected = "inputs must be allocated before gates")]
+    fn inputs_after_gates_panic() {
+        let mut b = Builder::new();
+        let _ = b.constant(true);
+        let _ = b.inputs(1);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_adder_matches_u64(a in 0u64..(1 << 16), b in 0u64..(1 << 16)) {
+            let mut bld = Builder::new();
+            let x = bld.inputs(16);
+            let y = bld.inputs(16);
+            let s = bld.add(&x, &y);
+            let c = bld.finish(s);
+            let mut input = u64_to_bits(a, 16);
+            input.extend(u64_to_bits(b, 16));
+            prop_assert_eq!(bits_to_u64(&c.eval(&input)), a + b);
+        }
+
+        #[test]
+        fn prop_gt_matches_u64(a in 0u64..(1 << 12), b in 0u64..(1 << 12)) {
+            let mut bld = Builder::new();
+            let x = bld.inputs(12);
+            let y = bld.inputs(12);
+            let g = bld.gt(&x, &y);
+            let c = bld.finish(vec![g]);
+            let mut input = u64_to_bits(a, 12);
+            input.extend(u64_to_bits(b, 12));
+            prop_assert_eq!(c.eval(&input), vec![a > b]);
+        }
+
+        #[test]
+        fn prop_mux_vec(sel: bool, a in 0u64..256, b in 0u64..256) {
+            let mut bld = Builder::new();
+            let s = bld.inputs(1);
+            let x = bld.inputs(8);
+            let y = bld.inputs(8);
+            let m = bld.mux_vec(s[0], &x, &y);
+            let c = bld.finish(m);
+            let mut input = vec![sel];
+            input.extend(u64_to_bits(a, 8));
+            input.extend(u64_to_bits(b, 8));
+            prop_assert_eq!(bits_to_u64(&c.eval(&input)), if sel { a } else { b });
+        }
+    }
+}

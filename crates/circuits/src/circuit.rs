@@ -1,0 +1,360 @@
+//! The circuit representation and plain evaluator.
+
+use core::fmt;
+
+/// A wire index. Wires `0..num_inputs` are the circuit inputs; each gate
+/// adds one wire.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Wire(pub usize);
+
+/// A gate. Operand wires must have smaller indices than the gate's own
+/// output wire (circuits are topologically ordered by construction).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Gate {
+    /// XOR of two wires.
+    Xor(Wire, Wire),
+    /// AND of two wires (the only gate with a cost in GMW).
+    And(Wire, Wire),
+    /// Negation of a wire.
+    Not(Wire),
+    /// A constant bit.
+    Const(bool),
+}
+
+/// Errors from circuit validation or evaluation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CircuitError {
+    /// A gate or output references a wire that does not exist yet at that
+    /// position.
+    ForwardReference {
+        /// The offending wire.
+        wire: usize,
+        /// Number of wires available at that point.
+        available: usize,
+    },
+    /// `eval` was called with the wrong number of input bits.
+    InputLength {
+        /// Bits provided.
+        got: usize,
+        /// Bits expected.
+        expected: usize,
+    },
+}
+
+impl fmt::Display for CircuitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CircuitError::ForwardReference { wire, available } => {
+                write!(f, "wire {wire} referenced before defined ({available} available)")
+            }
+            CircuitError::InputLength { got, expected } => {
+                write!(f, "wrong input length: got {got}, expected {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CircuitError {}
+
+/// A boolean circuit: `num_inputs` input wires, a gate list, and the output
+/// wires.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Circuit {
+    /// Number of input wires.
+    pub num_inputs: usize,
+    /// Gates in topological order; gate `g` defines wire `num_inputs + g`.
+    pub gates: Vec<Gate>,
+    /// Output wires, in output order.
+    pub outputs: Vec<Wire>,
+}
+
+impl Circuit {
+    /// Total number of wires (inputs + gates).
+    pub fn num_wires(&self) -> usize {
+        self.num_inputs + self.gates.len()
+    }
+
+    /// Number of AND gates (the GMW communication cost).
+    pub fn and_count(&self) -> usize {
+        self.gates.iter().filter(|g| matches!(g, Gate::And(_, _))).count()
+    }
+
+    /// Validates the topological ordering of gate operands and outputs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::ForwardReference`] for the first violation.
+    pub fn validate(&self) -> Result<(), CircuitError> {
+        let check = |w: Wire, available: usize| {
+            if w.0 < available {
+                Ok(())
+            } else {
+                Err(CircuitError::ForwardReference { wire: w.0, available })
+            }
+        };
+        for (g, gate) in self.gates.iter().enumerate() {
+            let available = self.num_inputs + g;
+            match *gate {
+                Gate::Xor(a, b) | Gate::And(a, b) => {
+                    check(a, available)?;
+                    check(b, available)?;
+                }
+                Gate::Not(a) => check(a, available)?,
+                Gate::Const(_) => {}
+            }
+        }
+        for &o in &self.outputs {
+            check(o, self.num_wires())?;
+        }
+        Ok(())
+    }
+
+    /// Evaluates the circuit in the clear.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::InputLength`] on an input-size mismatch.
+    pub fn try_eval(&self, inputs: &[bool]) -> Result<Vec<bool>, CircuitError> {
+        if inputs.len() != self.num_inputs {
+            return Err(CircuitError::InputLength { got: inputs.len(), expected: self.num_inputs });
+        }
+        let mut wires = Vec::with_capacity(self.num_wires());
+        wires.extend_from_slice(inputs);
+        for gate in &self.gates {
+            let v = match *gate {
+                Gate::Xor(a, b) => wires[a.0] ^ wires[b.0],
+                Gate::And(a, b) => wires[a.0] & wires[b.0],
+                Gate::Not(a) => !wires[a.0],
+                Gate::Const(c) => c,
+            };
+            wires.push(v);
+        }
+        Ok(self.outputs.iter().map(|o| wires[o.0]).collect())
+    }
+
+    /// Evaluates the circuit in the clear.
+    ///
+    /// # Panics
+    ///
+    /// Panics on input-size mismatch; use [`Circuit::try_eval`] for a
+    /// fallible variant.
+    pub fn eval(&self, inputs: &[bool]) -> Vec<bool> {
+        self.try_eval(inputs).expect("input length matches circuit")
+    }
+}
+
+/// Aggregate statistics of a circuit.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct CircuitStats {
+    /// Input wires.
+    pub inputs: usize,
+    /// Total gates.
+    pub gates: usize,
+    /// AND gates (the cost unit of GMW and Yao).
+    pub and_gates: usize,
+    /// XOR gates (free in both substrates).
+    pub xor_gates: usize,
+    /// NOT gates.
+    pub not_gates: usize,
+    /// Constant gates.
+    pub const_gates: usize,
+    /// Output wires.
+    pub outputs: usize,
+    /// AND-depth: the number of sequential AND layers — GMW's online round
+    /// count and the latency driver of any secret-shared evaluation.
+    pub and_depth: usize,
+}
+
+impl Circuit {
+    /// Computes the circuit's aggregate statistics.
+    pub fn stats(&self) -> CircuitStats {
+        let mut wire_depth = vec![0usize; self.num_wires()];
+        let mut s = CircuitStats {
+            inputs: self.num_inputs,
+            gates: self.gates.len(),
+            and_gates: 0,
+            xor_gates: 0,
+            not_gates: 0,
+            const_gates: 0,
+            outputs: self.outputs.len(),
+            and_depth: 0,
+        };
+        for (g, gate) in self.gates.iter().enumerate() {
+            let w = self.num_inputs + g;
+            wire_depth[w] = match *gate {
+                Gate::Xor(a, b) => {
+                    s.xor_gates += 1;
+                    wire_depth[a.0].max(wire_depth[b.0])
+                }
+                Gate::Not(a) => {
+                    s.not_gates += 1;
+                    wire_depth[a.0]
+                }
+                Gate::Const(_) => {
+                    s.const_gates += 1;
+                    0
+                }
+                Gate::And(a, b) => {
+                    s.and_gates += 1;
+                    let d = wire_depth[a.0].max(wire_depth[b.0]) + 1;
+                    s.and_depth = s.and_depth.max(d);
+                    d
+                }
+            };
+        }
+        s
+    }
+}
+
+/// Packs a little-endian bit slice into a `u64`.
+///
+/// # Panics
+///
+/// Panics if more than 64 bits are given.
+pub fn bits_to_u64(bits: &[bool]) -> u64 {
+    assert!(bits.len() <= 64, "too many bits for u64");
+    bits.iter().rev().fold(0u64, |acc, &b| (acc << 1) | b as u64)
+}
+
+/// Unpacks the low `n` bits of `x`, little-endian.
+///
+/// # Panics
+///
+/// Panics if `n > 64`.
+pub fn u64_to_bits(x: u64, n: usize) -> Vec<bool> {
+    assert!(n <= 64, "too many bits for u64");
+    (0..n).map(|i| (x >> i) & 1 == 1).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xor_circuit() -> Circuit {
+        Circuit {
+            num_inputs: 2,
+            gates: vec![Gate::Xor(Wire(0), Wire(1))],
+            outputs: vec![Wire(2)],
+        }
+    }
+
+    #[test]
+    fn eval_primitive_gates() {
+        let c = xor_circuit();
+        assert_eq!(c.eval(&[false, false]), vec![false]);
+        assert_eq!(c.eval(&[true, false]), vec![true]);
+        assert_eq!(c.eval(&[true, true]), vec![false]);
+
+        let and = Circuit {
+            num_inputs: 2,
+            gates: vec![Gate::And(Wire(0), Wire(1))],
+            outputs: vec![Wire(2)],
+        };
+        assert_eq!(and.eval(&[true, true]), vec![true]);
+        assert_eq!(and.eval(&[true, false]), vec![false]);
+
+        let not = Circuit { num_inputs: 1, gates: vec![Gate::Not(Wire(0))], outputs: vec![Wire(1)] };
+        assert_eq!(not.eval(&[false]), vec![true]);
+
+        let k = Circuit { num_inputs: 0, gates: vec![Gate::Const(true)], outputs: vec![Wire(0)] };
+        assert_eq!(k.eval(&[]), vec![true]);
+    }
+
+    #[test]
+    fn validate_catches_forward_reference() {
+        let bad = Circuit {
+            num_inputs: 1,
+            gates: vec![Gate::Xor(Wire(0), Wire(5))],
+            outputs: vec![Wire(1)],
+        };
+        assert_eq!(
+            bad.validate(),
+            Err(CircuitError::ForwardReference { wire: 5, available: 1 })
+        );
+        assert!(xor_circuit().validate().is_ok());
+    }
+
+    #[test]
+    fn validate_catches_bad_output() {
+        let bad = Circuit { num_inputs: 1, gates: vec![], outputs: vec![Wire(3)] };
+        assert!(matches!(bad.validate(), Err(CircuitError::ForwardReference { wire: 3, .. })));
+    }
+
+    #[test]
+    fn try_eval_rejects_wrong_arity() {
+        let c = xor_circuit();
+        assert_eq!(
+            c.try_eval(&[true]),
+            Err(CircuitError::InputLength { got: 1, expected: 2 })
+        );
+    }
+
+    #[test]
+    fn and_count_counts_only_ands() {
+        let c = Circuit {
+            num_inputs: 2,
+            gates: vec![
+                Gate::And(Wire(0), Wire(1)),
+                Gate::Xor(Wire(0), Wire(2)),
+                Gate::And(Wire(2), Wire(3)),
+                Gate::Not(Wire(0)),
+            ],
+            outputs: vec![Wire(4)],
+        };
+        assert_eq!(c.and_count(), 2);
+    }
+
+    #[test]
+    fn stats_count_gates_and_depth() {
+        // x&y feeding into (x&y)&z: two ANDs in sequence, one XOR.
+        let c = Circuit {
+            num_inputs: 3,
+            gates: vec![
+                Gate::And(Wire(0), Wire(1)),
+                Gate::Xor(Wire(0), Wire(2)),
+                Gate::And(Wire(3), Wire(4)),
+                Gate::Not(Wire(5)),
+                Gate::Const(true),
+            ],
+            outputs: vec![Wire(6)],
+        };
+        let s = c.stats();
+        assert_eq!(s.inputs, 3);
+        assert_eq!(s.gates, 5);
+        assert_eq!(s.and_gates, 2);
+        assert_eq!(s.xor_gates, 1);
+        assert_eq!(s.not_gates, 1);
+        assert_eq!(s.const_gates, 1);
+        assert_eq!(s.outputs, 1);
+        assert_eq!(s.and_depth, 2);
+    }
+
+    #[test]
+    fn stats_of_and_free_circuit() {
+        let c = Circuit {
+            num_inputs: 2,
+            gates: vec![Gate::Xor(Wire(0), Wire(1))],
+            outputs: vec![Wire(2)],
+        };
+        assert_eq!(c.stats().and_depth, 0);
+        assert_eq!(c.stats().and_gates, 0);
+    }
+
+    #[test]
+    fn bit_packing_roundtrips() {
+        for x in [0u64, 1, 2, 5, 255, 256, u64::MAX] {
+            assert_eq!(bits_to_u64(&u64_to_bits(x, 64)), x);
+        }
+        assert_eq!(u64_to_bits(5, 4), vec![true, false, true, false]);
+        assert_eq!(bits_to_u64(&[true, true]), 3);
+        assert_eq!(bits_to_u64(&[]), 0);
+    }
+
+    #[test]
+    fn error_display() {
+        assert_eq!(
+            CircuitError::InputLength { got: 1, expected: 2 }.to_string(),
+            "wrong input length: got 1, expected 2"
+        );
+    }
+}

@@ -1,0 +1,29 @@
+#![warn(missing_docs)]
+//! Boolean circuit IR, builder and gadget library.
+//!
+//! The GMW-style unfair-SFE substrate in `fair-sfe` evaluates functions
+//! given as boolean circuits over XOR/AND/NOT/CONST gates (XOR and NOT are
+//! free in the GMW sharing; AND consumes a Beaver triple). This crate
+//! provides the circuit representation, a builder with the standard
+//! gadgets, and a plain evaluator used as the correctness reference.
+//!
+//! # Examples
+//!
+//! ```
+//! use fair_circuits::Builder;
+//!
+//! // A 2-bit adder: inputs a0 a1 b0 b1 (little-endian), output 3 bits.
+//! let mut b = Builder::new();
+//! let a = b.inputs(2);
+//! let c = b.inputs(2);
+//! let sum = b.add(&a, &c);
+//! let circuit = b.finish(sum);
+//! assert_eq!(circuit.eval(&[true, false, true, false]), vec![false, true, false]); // 1+1=2
+//! ```
+
+mod builder;
+mod circuit;
+pub mod functions;
+
+pub use builder::Builder;
+pub use circuit::{bits_to_u64, u64_to_bits, Circuit, CircuitError, CircuitStats, Gate, Wire};

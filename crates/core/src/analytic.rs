@@ -1,0 +1,177 @@
+//! Closed-form utilities from the paper's theorems — the "paper" column of
+//! every experiment table.
+
+use crate::payoff::Payoff;
+
+/// Theorem 3 / Theorem 4: the optimal two-party utility
+/// (γ₁₀ + γ₁₁) / 2.
+pub fn opt2(p: &Payoff) -> f64 {
+    (p.g10 + p.g11) / 2.0
+}
+
+/// Lemma 11: the utility bound for a t-adversary against Π^Opt_nSFE,
+/// (t·γ₁₀ + (n−t)·γ₁₁) / n.
+///
+/// # Panics
+///
+/// Panics unless `t < n`.
+pub fn optn_t(p: &Payoff, n: usize, t: usize) -> f64 {
+    assert!(t < n, "t-adversary must leave an honest party");
+    (t as f64 * p.g10 + (n - t) as f64 * p.g11) / n as f64
+}
+
+/// Lemma 13: the best adversary against Π^Opt_nSFE corrupts n−1 parties,
+/// achieving ((n−1)·γ₁₀ + γ₁₁) / n.
+pub fn optn_best(p: &Payoff, n: usize) -> f64 {
+    optn_t(p, n, n - 1)
+}
+
+/// Lemmas 14/16: the utility-balanced sum Σ_{t=1}^{n−1} u(A_t) =
+/// (n−1)(γ₁₀ + γ₁₁)/2.
+pub fn balance_sum(p: &Payoff, n: usize) -> f64 {
+    (n as f64 - 1.0) * (p.g10 + p.g11) / 2.0
+}
+
+/// Lemma 17: the best t-adversary utility against the honest-majority GMW
+/// protocol Π^{1/2}_GMW — full fairness below n/2, total unfairness at or
+/// above it.
+///
+/// # Panics
+///
+/// Panics unless `1 <= t < n`.
+pub fn gmw_half_t(p: &Payoff, n: usize, t: usize) -> f64 {
+    assert!(t >= 1 && t < n, "need 1 <= t < n");
+    if t > (n - 1) / 2 {
+        // t >= ceil(n/2): the coalition can reconstruct alone and block.
+        p.g10
+    } else {
+        p.g11
+    }
+}
+
+/// Lemma 17: Σ_t of the above.
+pub fn gmw_half_sum(p: &Payoff, n: usize) -> f64 {
+    (1..n).map(|t| gmw_half_t(p, n, t)).sum()
+}
+
+/// Lemma 18: the 1-adversary utility against the artificial
+/// optimal-but-not-balanced protocol:
+/// γ₁₀/n + (n−1)/n · (γ₁₀ + γ₁₁)/2.
+pub fn artificial_t1(p: &Payoff, n: usize) -> f64 {
+    p.g10 / n as f64 + (n as f64 - 1.0) / n as f64 * (p.g10 + p.g11) / 2.0
+}
+
+/// Introduction: the best attacker against the naive contract-signing
+/// protocol Π1 always gets γ₁₀.
+pub fn pi1(p: &Payoff) -> f64 {
+    p.g10
+}
+
+/// Introduction: Π2 (coin-toss ordering) halves the attacker's edge:
+/// (γ₁₀ + γ₁₁)/2.
+pub fn pi2(p: &Payoff) -> f64 {
+    (p.g10 + p.g11) / 2.0
+}
+
+/// The ideal benchmark s(t): the best t-adversary utility against the
+/// dummy protocol around the *fair* F_sfe. With γ ∈ Γ⁺_fair the adversary's
+/// best move is to complete the evaluation: γ₁₁ for 1 ≤ t ≤ n−1 (γ₀₁ for
+/// t = 0, γ₁₁ for t = n).
+pub fn ideal_fair_t(p: &Payoff, n: usize, t: usize) -> f64 {
+    assert!(t <= n, "t at most n");
+    if t == 0 {
+        p.g01
+    } else {
+        p.g00.max(p.g11)
+    }
+}
+
+/// Theorems 23/24: the Gordon–Katz payoff bound 1/p for γ = (0, 0, 1, 0).
+pub fn gk_bound(p_param: u64) -> f64 {
+    1.0 / p_param as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn g() -> Payoff {
+        Payoff::standard() // (0.25, 0, 1, 0.5)
+    }
+
+    #[test]
+    fn two_party_bounds() {
+        assert_eq!(opt2(&g()), 0.75);
+        assert_eq!(pi1(&g()), 1.0);
+        assert_eq!(pi2(&g()), 0.75);
+    }
+
+    #[test]
+    fn multi_party_bounds() {
+        // n=3: t=1 -> (1 + 2*0.5)/3 = 2/3; t=2 -> (2 + 0.5)/3 = 5/6.
+        assert!((optn_t(&g(), 3, 1) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((optn_t(&g(), 3, 2) - 2.5 / 3.0).abs() < 1e-12);
+        assert_eq!(optn_best(&g(), 3), optn_t(&g(), 3, 2));
+        // The t-utility increases with t (more corruptions help).
+        for n in 2..8 {
+            for t in 1..n - 1 {
+                assert!(optn_t(&g(), n, t) < optn_t(&g(), n, t + 1));
+            }
+        }
+    }
+
+    #[test]
+    fn balance_bound_matches_sum_of_optn() {
+        for n in 2..8 {
+            let sum: f64 = (1..n).map(|t| optn_t(&g(), n, t)).sum();
+            assert!((sum - balance_sum(&g(), n)).abs() < 1e-9, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn gmw_half_is_fair_below_half_unfair_above() {
+        // n = 4: t=1 fair (γ11), t=2,3 unfair (γ10).
+        assert_eq!(gmw_half_t(&g(), 4, 1), 0.5);
+        assert_eq!(gmw_half_t(&g(), 4, 2), 1.0);
+        assert_eq!(gmw_half_t(&g(), 4, 3), 1.0);
+        // n = 5: t=1,2 fair; t=3,4 unfair.
+        assert_eq!(gmw_half_t(&g(), 5, 2), 0.5);
+        assert_eq!(gmw_half_t(&g(), 5, 3), 1.0);
+    }
+
+    #[test]
+    fn gmw_half_violates_balance_exactly_for_even_n() {
+        for n in 3..9 {
+            let excess = gmw_half_sum(&g(), n) - balance_sum(&g(), n);
+            if n % 2 == 0 {
+                // Lemma 17: for even n the sum exceeds the balance bound by
+                // (γ10 − γ11)/2 > 0 (the extra coalition at t = n/2 that
+                // flips from fully-fair to fully-unfair).
+                assert!((excess - (g().g10 - g().g11) / 2.0).abs() < 1e-9, "n = {n}");
+            } else {
+                assert!(excess.abs() < 1e-9, "n = {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn artificial_t1_exceeds_optn_t1() {
+        // Lemma 18: the artificial protocol's 1-adversary beats Π^Opt_nSFE's.
+        for n in 3..8 {
+            assert!(artificial_t1(&g(), n) > optn_t(&g(), n, 1), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn ideal_fair_benchmark() {
+        assert_eq!(ideal_fair_t(&g(), 4, 0), 0.0);
+        assert_eq!(ideal_fair_t(&g(), 4, 1), 0.5);
+        assert_eq!(ideal_fair_t(&g(), 4, 4), 0.5);
+    }
+
+    #[test]
+    fn gk_bound_is_one_over_p() {
+        assert_eq!(gk_bound(2), 0.5);
+        assert_eq!(gk_bound(10), 0.1);
+    }
+}

@@ -1,0 +1,125 @@
+//! Utility-balanced fairness (Definition 5) and φ-fairness (Definition 21).
+//!
+//! A protocol is utility-balanced γ-fair when the *sum* over t of the best
+//! t-adversary utilities is minimal; Lemma 14 pins that minimum at
+//! (n−1)(γ₁₀+γ₁₁)/2 for the functions of Lemma 16. This module assembles
+//! per-t assessments into a balance report and checks the bound.
+
+use crate::analytic;
+use crate::fairness::Assessment;
+use crate::payoff::Payoff;
+
+/// Per-corruption-budget assessment of a protocol.
+#[derive(Clone, Debug)]
+pub struct BalanceReport {
+    /// Protocol name.
+    pub protocol: String,
+    /// `per_t[t-1]` is the best t-adversary assessment, t = 1..n−1.
+    pub per_t: Vec<Assessment>,
+    /// Number of parties.
+    pub n: usize,
+}
+
+impl BalanceReport {
+    /// Builds a report from per-t assessments (index 0 ↔ t = 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless exactly n−1 assessments are given.
+    pub fn new(protocol: &str, n: usize, per_t: Vec<Assessment>) -> BalanceReport {
+        assert_eq!(per_t.len(), n - 1, "need one assessment per t in 1..n");
+        BalanceReport { protocol: protocol.to_string(), per_t, n }
+    }
+
+    /// The measured sum Σ_t u_A(Π, A_t).
+    pub fn sum(&self) -> f64 {
+        self.per_t.iter().map(|a| a.sup_utility()).sum()
+    }
+
+    /// Aggregate CI half-width of the sum.
+    pub fn sum_ci(&self) -> f64 {
+        self.per_t.iter().map(|a| a.best.ci).sum()
+    }
+
+    /// The best t-adversary utility, the φ(t) of Definition 21.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= t <= n−1`.
+    pub fn phi(&self, t: usize) -> f64 {
+        assert!(t >= 1 && t < self.n, "t in 1..n");
+        self.per_t[t - 1].sup_utility()
+    }
+
+    /// Whether the measured sum meets the utility-balanced bound
+    /// (n−1)(γ₁₀+γ₁₁)/2 within tolerance (Lemma 14 direction).
+    pub fn is_balanced(&self, payoff: &Payoff, tol: f64) -> bool {
+        self.sum() <= analytic::balance_sum(payoff, self.n) + self.sum_ci() + tol
+    }
+
+    /// The measured excess over the balance bound (positive = violation,
+    /// the criterion after Lemma 14: "if the sum non-negligibly exceeds
+    /// this bound, the protocol is not utility-balanced").
+    pub fn excess(&self, payoff: &Payoff) -> f64 {
+        self.sum() - analytic::balance_sum(payoff, self.n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::utility::UtilityEstimate;
+
+    fn assessment(mean: f64) -> Assessment {
+        Assessment::from_estimates(
+            "p",
+            vec![UtilityEstimate {
+                name: "s".into(),
+                mean,
+                ci: 0.005,
+                trials: 1000,
+                event_counts: [0; 4],
+            }],
+        )
+    }
+
+    #[test]
+    fn balanced_protocol_meets_bound() {
+        let p = Payoff::standard();
+        let n = 4;
+        // Π^Opt_nSFE per-t utilities (Lemma 11) sum exactly to the bound.
+        let per_t: Vec<Assessment> =
+            (1..n).map(|t| assessment(analytic::optn_t(&p, n, t))).collect();
+        let report = BalanceReport::new("optn", n, per_t);
+        assert!(report.is_balanced(&p, 1e-9));
+        assert!(report.excess(&p).abs() < 1e-9);
+        assert_eq!(report.phi(1), analytic::optn_t(&p, 4, 1));
+    }
+
+    #[test]
+    fn gmw_half_even_n_violates_bound() {
+        let p = Payoff::standard();
+        let n = 4;
+        let per_t: Vec<Assessment> =
+            (1..n).map(|t| assessment(analytic::gmw_half_t(&p, n, t))).collect();
+        let report = BalanceReport::new("gmw-1/2", n, per_t);
+        assert!(!report.is_balanced(&p, 0.01));
+        assert!((report.excess(&p) - (p.g10 - p.g11) / 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gmw_half_odd_n_meets_bound() {
+        let p = Payoff::standard();
+        let n = 5;
+        let per_t: Vec<Assessment> =
+            (1..n).map(|t| assessment(analytic::gmw_half_t(&p, n, t))).collect();
+        let report = BalanceReport::new("gmw-1/2", n, per_t);
+        assert!(report.is_balanced(&p, 0.05));
+    }
+
+    #[test]
+    #[should_panic(expected = "one assessment per t")]
+    fn wrong_arity_panics() {
+        let _ = BalanceReport::new("x", 4, vec![assessment(0.1)]);
+    }
+}

@@ -1,0 +1,150 @@
+//! Corruption costs: ideal γ^C-fairness (Definition 19), cost-function
+//! dominance (Definition 20), φ-fairness ⇔ cost duality (Lemma 22), and
+//! the Theorem 6 checks.
+//!
+//! When corrupting parties carries a cost, the attacker's payoff becomes
+//! `Σ γ_ij Pr[E_ij] − C(I)` (Eq. 5). For symmetric protocols the cost
+//! depends only on t = |I|; a [`CostFn`] is that function `c(t)`.
+
+use crate::analytic;
+use crate::payoff::Payoff;
+
+/// A symmetric corruption-cost function: `c[t]` is the cost of corrupting
+/// `t` parties, `t = 0..=n` (with `c[0] = 0`).
+///
+/// # Examples
+///
+/// ```
+/// use fair_core::cost::CostFn;
+///
+/// let steep = CostFn::new(vec![0.0, 0.4, 0.8]);
+/// let gentle = CostFn::new(vec![0.0, 0.2, 0.4]);
+/// assert!(steep.strictly_dominates(&gentle, 0.0));
+/// ```
+#[derive(Clone, PartialEq, Debug)]
+pub struct CostFn {
+    costs: Vec<f64>,
+}
+
+impl CostFn {
+    /// Creates a cost function from per-t costs (index = t).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `costs` is empty or `costs[0] != 0`.
+    pub fn new(costs: Vec<f64>) -> CostFn {
+        assert!(!costs.is_empty(), "cost function needs at least t = 0");
+        assert_eq!(costs[0], 0.0, "corrupting nobody is free");
+        CostFn { costs }
+    }
+
+    /// The zero cost function for n parties.
+    pub fn free(n: usize) -> CostFn {
+        CostFn { costs: vec![0.0; n + 1] }
+    }
+
+    /// c(t).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` exceeds the defined range.
+    pub fn cost(&self, t: usize) -> f64 {
+        self.costs[t]
+    }
+
+    /// Largest t defined.
+    pub fn max_t(&self) -> usize {
+        self.costs.len() - 1
+    }
+
+    /// Definition 20: `self` weakly dominates `other` when c(t) ≥ c′(t)
+    /// for every t (within tolerance, on the common range).
+    pub fn weakly_dominates(&self, other: &CostFn, tol: f64) -> bool {
+        let range = self.max_t().min(other.max_t());
+        (1..=range).all(|t| self.cost(t) >= other.cost(t) - tol)
+    }
+
+    /// Definition 20: strict dominance — c(t) > c′(t) for every t.
+    pub fn strictly_dominates(&self, other: &CostFn, tol: f64) -> bool {
+        let range = self.max_t().min(other.max_t());
+        (1..=range).all(|t| self.cost(t) > other.cost(t) + tol)
+    }
+}
+
+/// Lemma 22: converts a measured φ(t) (best t-adversary utility, Definition
+/// 21) into the corruption-cost function C with c(t) = φ(t) − s(t), where
+/// s(t) is the ideal benchmark utility (best t-adversary against the dummy
+/// fair protocol) — the unique cost making the protocol ideally γ^C-fair.
+///
+/// `phi[t-1]` holds φ(t) for t = 1..n−1.
+pub fn cost_from_phi(phi: &[f64], payoff: &Payoff, n: usize) -> CostFn {
+    let mut costs = vec![0.0];
+    for (i, &p) in phi.iter().enumerate() {
+        let t = i + 1;
+        costs.push(p - analytic::ideal_fair_t(payoff, n, t));
+    }
+    CostFn::new(costs)
+}
+
+/// Checks ideal γ^C-fairness (Definition 19) for measured per-t utilities:
+/// u(t) − c(t) ≤ s(t) + tol for every t.
+pub fn is_ideally_fair(utilities: &[f64], cost: &CostFn, payoff: &Payoff, n: usize, tol: f64) -> bool {
+    utilities.iter().enumerate().all(|(i, &u)| {
+        let t = i + 1;
+        u - cost.cost(t) <= analytic::ideal_fair_t(payoff, n, t) + tol
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dominance_relations() {
+        let a = CostFn::new(vec![0.0, 0.3, 0.6]);
+        let b = CostFn::new(vec![0.0, 0.2, 0.5]);
+        let c = CostFn::new(vec![0.0, 0.3, 0.4]);
+        assert!(a.strictly_dominates(&b, 0.0));
+        assert!(a.weakly_dominates(&b, 0.0));
+        assert!(a.weakly_dominates(&c, 0.0));
+        assert!(!a.strictly_dominates(&c, 0.0));
+        assert!(!b.weakly_dominates(&a, 0.0));
+    }
+
+    #[test]
+    fn free_costs_nothing() {
+        let f = CostFn::free(5);
+        assert_eq!(f.max_t(), 5);
+        for t in 0..=5 {
+            assert_eq!(f.cost(t), 0.0);
+        }
+    }
+
+    #[test]
+    fn cost_from_phi_matches_lemma_22() {
+        let p = Payoff::standard();
+        let n = 4;
+        // φ(t) for Π^Opt_nSFE is the Lemma 11 bound.
+        let phi: Vec<f64> = (1..n).map(|t| analytic::optn_t(&p, n, t)).collect();
+        let cost = cost_from_phi(&phi, &p, n);
+        // c(t) = φ(t) − γ11.
+        for t in 1..n {
+            let expect = analytic::optn_t(&p, n, t) - p.g11;
+            assert!((cost.cost(t) - expect).abs() < 1e-12, "t = {t}");
+        }
+        // With that cost the measured utilities are ideally fair…
+        assert!(is_ideally_fair(&phi, &cost, &p, n, 1e-9));
+        // …and any strictly-dominated (cheaper) cost fails.
+        let cheaper = CostFn::new(
+            (0..n).map(|t| if t == 0 { 0.0 } else { cost.cost(t) - 0.05 }).collect(),
+        );
+        assert!(cost.strictly_dominates(&cheaper, 0.0));
+        assert!(!is_ideally_fair(&phi, &cheaper, &p, n, 1e-9));
+    }
+
+    #[test]
+    #[should_panic(expected = "corrupting nobody is free")]
+    fn nonzero_base_cost_panics() {
+        let _ = CostFn::new(vec![1.0]);
+    }
+}

@@ -1,0 +1,196 @@
+//! The paper's fairness events E₀₀, E₀₁, E₁₀, E₁₁ and the classification of
+//! protocol executions into them.
+//!
+//! Step 2 of the paper's utility definition (Section 3) indexes events by a
+//! string `ij ∈ {0,1}²`: `i = 1` iff the simulator asks the functionality
+//! F^⊥_sfe for a corrupted party's output (the adversary *learns* the
+//! output), `j = 1` iff the honest parties receive their output. The
+//! paper's upper-bound proofs construct, for each protocol, the explicit
+//! payoff-minimizing simulator and show which event it provokes as a
+//! function of the real execution; [`classify`] implements exactly that
+//! decision function:
+//!
+//! * the adversary "learned the output" iff its claimed value equals the
+//!   ground-truth output `y` of this execution (over-claiming is impossible
+//!   because the claim is validated against the ledger);
+//! * the honest parties "received their output" according to an explicit
+//!   [`HonestCriterion`] — by default any non-⊥ output counts (the
+//!   F^⊥-style guarantee where a locally computed default evaluation is a
+//!   legitimate output); the stricter `Equals` criterion is used for the
+//!   F^$ analyses of Section 5 where early aborts replace outputs by random
+//!   values.
+
+use fair_runtime::{ExecutionResult, Value};
+
+/// A fairness event E_ij (paper, Section 3, Step 2).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Event {
+    /// Neither the adversary nor the honest parties get the output.
+    E00,
+    /// Only the honest parties get the output (also: no corruptions).
+    E01,
+    /// Only the adversary gets the output — the fairness breach.
+    E10,
+    /// Both get the output (also: all parties corrupted).
+    E11,
+}
+
+impl core::fmt::Display for Event {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let s = match self {
+            Event::E00 => "E00",
+            Event::E01 => "E01",
+            Event::E10 => "E10",
+            Event::E11 => "E11",
+        };
+        write!(f, "{s}")
+    }
+}
+
+impl Event {
+    /// All four events, in index order.
+    pub const ALL: [Event; 4] = [Event::E00, Event::E01, Event::E10, Event::E11];
+}
+
+/// When do the honest parties count as having "received their output"?
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum HonestCriterion {
+    /// Any non-⊥ output counts (the F^⊥_sfe semantics: a default-input
+    /// local evaluation after an abort is still an output).
+    NonBot,
+    /// Only the true output `y` counts (the strict criterion used when
+    /// analyzing F^$-style protocols whose aborts yield random outputs).
+    EqualsTruth,
+}
+
+/// Classifies an execution into its fairness event.
+///
+/// `truth` is the ground-truth output `y` of this execution (normally the
+/// ledger fact `"y"`; see [`truth_from_ledger`]).
+///
+/// Edge cases follow the paper: with no corruptions the event is E₀₁ ("this
+/// event also accounts for cases where the adversary does not corrupt any
+/// party"); with all parties corrupted it is E₁₁.
+pub fn classify(
+    res: &ExecutionResult,
+    n: usize,
+    truth: &Value,
+    criterion: &HonestCriterion,
+) -> Event {
+    if res.corrupted.len() == n {
+        return Event::E11;
+    }
+    let adversary_learned =
+        !res.corrupted.is_empty() && res.learned.as_ref() == Some(truth) && !truth.is_bot();
+    let honest_got = match criterion {
+        HonestCriterion::NonBot => res.all_honest_got_output(),
+        HonestCriterion::EqualsTruth => res.all_honest_output(truth),
+    };
+    match (adversary_learned, honest_got) {
+        (false, false) => Event::E00,
+        (false, true) => Event::E01,
+        (true, false) => Event::E10,
+        (true, true) => Event::E11,
+    }
+}
+
+/// Extracts the ground-truth output from the ledger fact `"y"`.
+///
+/// Returns [`Value::Bot`] if the fact was never recorded (e.g. the
+/// evaluation aborted before completing) — in that case no claim can match
+/// it, correctly yielding `adversary_learned = false`.
+pub fn truth_from_ledger(res: &ExecutionResult) -> Value {
+    res.ledger.get("y").cloned().unwrap_or(Value::Bot)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fair_runtime::{Ledger, PartyId};
+    use std::collections::{BTreeMap, BTreeSet};
+
+    fn result(
+        honest: &[(usize, Value)],
+        corrupted: &[usize],
+        learned: Option<Value>,
+    ) -> ExecutionResult {
+        ExecutionResult {
+            outputs: honest
+                .iter()
+                .map(|(i, v)| (PartyId(*i), v.clone()))
+                .collect::<BTreeMap<_, _>>(),
+            corrupted: corrupted.iter().map(|&i| PartyId(i)).collect::<BTreeSet<_>>(),
+            learned,
+            ledger: Ledger::new(),
+            rounds: 1,
+        }
+    }
+
+    const N: usize = 2;
+
+    fn y() -> Value {
+        Value::Scalar(42)
+    }
+
+    #[test]
+    fn no_corruption_is_e01() {
+        let res = result(&[(0, y()), (1, y())], &[], None);
+        assert_eq!(classify(&res, N, &y(), &HonestCriterion::NonBot), Event::E01);
+    }
+
+    #[test]
+    fn all_corrupted_is_e11() {
+        let res = result(&[], &[0, 1], None);
+        assert_eq!(classify(&res, N, &y(), &HonestCriterion::NonBot), Event::E11);
+    }
+
+    #[test]
+    fn learn_and_deny_is_e10() {
+        let res = result(&[(1, Value::Bot)], &[0], Some(y()));
+        assert_eq!(classify(&res, N, &y(), &HonestCriterion::NonBot), Event::E10);
+    }
+
+    #[test]
+    fn both_get_output_is_e11() {
+        let res = result(&[(1, y())], &[0], Some(y()));
+        assert_eq!(classify(&res, N, &y(), &HonestCriterion::NonBot), Event::E11);
+    }
+
+    #[test]
+    fn nobody_learns_is_e00() {
+        let res = result(&[(1, Value::Bot)], &[0], None);
+        assert_eq!(classify(&res, N, &y(), &HonestCriterion::NonBot), Event::E00);
+    }
+
+    #[test]
+    fn wrong_claim_does_not_count_as_learning() {
+        let res = result(&[(1, y())], &[0], Some(Value::Scalar(13)));
+        assert_eq!(classify(&res, N, &y(), &HonestCriterion::NonBot), Event::E01);
+    }
+
+    #[test]
+    fn bot_truth_never_counts_as_learned() {
+        let res = result(&[(1, Value::Bot)], &[0], Some(Value::Bot));
+        assert_eq!(classify(&res, N, &Value::Bot, &HonestCriterion::NonBot), Event::E00);
+    }
+
+    #[test]
+    fn default_output_counts_under_nonbot_but_not_equals() {
+        // Honest party computed a default-input evaluation ≠ y.
+        let res = result(&[(1, Value::Scalar(7))], &[0], Some(y()));
+        assert_eq!(classify(&res, N, &y(), &HonestCriterion::NonBot), Event::E11);
+        assert_eq!(classify(&res, N, &y(), &HonestCriterion::EqualsTruth), Event::E10);
+    }
+
+    #[test]
+    fn truth_from_ledger_defaults_to_bot() {
+        let res = result(&[], &[], None);
+        assert_eq!(truth_from_ledger(&res), Value::Bot);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Event::E10.to_string(), "E10");
+        assert_eq!(Event::ALL.len(), 4);
+    }
+}

@@ -1,0 +1,159 @@
+//! The relative-fairness relation (Definition 1) and optimal fairness
+//! (Definition 2).
+//!
+//! A protocol Π is *at least as γ-fair* as Π′ when the best attacker
+//! utility against Π is (up to negligible terms) no larger than against
+//! Π′. Empirically, "negligible" becomes a statistical tolerance: the
+//! comparison accounts for both estimates' confidence intervals.
+
+use crate::utility::UtilityEstimate;
+
+/// The outcome of comparing two protocols' best-attacker utilities.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FairnessOrder {
+    /// Π is strictly fairer than Π′ (statistically separated).
+    StrictlyFairer,
+    /// The two are statistically indistinguishable — each is at least as
+    /// fair as the other.
+    Equivalent,
+    /// Π is strictly less fair than Π′.
+    StrictlyLessFair,
+}
+
+impl core::fmt::Display for FairnessOrder {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let s = match self {
+            FairnessOrder::StrictlyFairer => "strictly fairer",
+            FairnessOrder::Equivalent => "equally fair (within tolerance)",
+            FairnessOrder::StrictlyLessFair => "strictly less fair",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// An assessed protocol: its best attack and the full strategy sweep.
+#[derive(Clone, Debug)]
+pub struct Assessment {
+    /// Protocol name.
+    pub protocol: String,
+    /// Estimate for the best strategy in the library.
+    pub best: UtilityEstimate,
+    /// Estimates for every strategy tried.
+    pub all: Vec<UtilityEstimate>,
+}
+
+impl Assessment {
+    /// Builds an assessment from per-strategy estimates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `all` is empty.
+    pub fn from_estimates(protocol: &str, all: Vec<UtilityEstimate>) -> Assessment {
+        assert!(!all.is_empty(), "need at least one strategy estimate");
+        let best = all
+            .iter()
+            .max_by(|a, b| a.mean.partial_cmp(&b.mean).expect("finite means"))
+            .expect("nonempty")
+            .clone();
+        Assessment { protocol: protocol.to_string(), best, all }
+    }
+
+    /// The empirical sup-utility.
+    pub fn sup_utility(&self) -> f64 {
+        self.best.mean
+    }
+}
+
+/// Compares Π against Π′ per Definition 1 (is Π at least as fair as Π′?),
+/// with statistical tolerance `tol`.
+pub fn compare(pi: &Assessment, pi_prime: &Assessment, tol: f64) -> FairnessOrder {
+    let sep = pi.best.ci + pi_prime.best.ci + tol;
+    let diff = pi.sup_utility() - pi_prime.sup_utility();
+    if diff < -sep {
+        FairnessOrder::StrictlyFairer
+    } else if diff > sep {
+        FairnessOrder::StrictlyLessFair
+    } else {
+        FairnessOrder::Equivalent
+    }
+}
+
+/// Whether Π is at least as fair as Π′ (Definition 1) — i.e. not strictly
+/// less fair.
+pub fn at_least_as_fair(pi: &Assessment, pi_prime: &Assessment, tol: f64) -> bool {
+    compare(pi, pi_prime, tol) != FairnessOrder::StrictlyLessFair
+}
+
+/// Checks empirical optimality (Definition 2) of `pi` against a set of
+/// competitor protocols: `pi` must be at least as fair as every one of
+/// them.
+pub fn is_optimal_among(pi: &Assessment, others: &[Assessment], tol: f64) -> bool {
+    others.iter().all(|o| at_least_as_fair(pi, o, tol))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn est(name: &str, mean: f64, ci: f64) -> UtilityEstimate {
+        UtilityEstimate {
+            name: name.into(),
+            mean,
+            ci,
+            trials: 100,
+            event_counts: [0, 0, 0, 100],
+        }
+    }
+
+    fn assessment(name: &str, mean: f64, ci: f64) -> Assessment {
+        Assessment::from_estimates(name, vec![est("only", mean, ci)])
+    }
+
+    #[test]
+    fn best_is_the_max_strategy() {
+        let a = Assessment::from_estimates(
+            "pi",
+            vec![est("weak", 0.3, 0.01), est("strong", 0.9, 0.01), est("mid", 0.5, 0.01)],
+        );
+        assert_eq!(a.best.name, "strong");
+        assert_eq!(a.sup_utility(), 0.9);
+        assert_eq!(a.all.len(), 3);
+    }
+
+    #[test]
+    fn comparison_directions() {
+        let lo = assessment("lo", 0.5, 0.01);
+        let hi = assessment("hi", 0.9, 0.01);
+        assert_eq!(compare(&lo, &hi, 0.0), FairnessOrder::StrictlyFairer);
+        assert_eq!(compare(&hi, &lo, 0.0), FairnessOrder::StrictlyLessFair);
+        assert_eq!(compare(&lo, &lo, 0.0), FairnessOrder::Equivalent);
+    }
+
+    #[test]
+    fn tolerance_merges_close_estimates() {
+        let a = assessment("a", 0.50, 0.01);
+        let b = assessment("b", 0.52, 0.01);
+        assert_eq!(compare(&a, &b, 0.05), FairnessOrder::Equivalent);
+        assert_eq!(compare(&a, &b, 0.0), FairnessOrder::StrictlyFairer);
+    }
+
+    #[test]
+    fn optimality_requires_dominating_everyone() {
+        let opt = assessment("opt", 0.75, 0.01);
+        let worse = assessment("worse", 0.9, 0.01);
+        let equal = assessment("equal", 0.75, 0.01);
+        assert!(is_optimal_among(&opt, &[worse.clone(), equal.clone()], 0.01));
+        assert!(!is_optimal_among(&worse, &[opt, equal], 0.01));
+    }
+
+    #[test]
+    fn order_display() {
+        assert_eq!(FairnessOrder::StrictlyFairer.to_string(), "strictly fairer");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one strategy")]
+    fn empty_assessment_panics() {
+        let _ = Assessment::from_estimates("x", vec![]);
+    }
+}

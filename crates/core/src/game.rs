@@ -1,0 +1,185 @@
+//! The RPD attack game (Section 2, Remark 1, footnote 1): a zero-sum
+//! sequential game between the protocol *designer* D and the *attacker* A.
+//!
+//! The designer moves first by picking a protocol from a design space; the
+//! attacker, seeing the choice, picks an attack strategy. The attacker's
+//! payoff is u_A(Π, A); the game being zero-sum, the designer's is its
+//! negation, so the designer plays minimax: choose the protocol whose
+//! *best* attack is cheapest. A protocol is a solution of the game — and
+//! optimally fair in the sense of Definition 2 restricted to the design
+//! space — exactly when it attains the minimax value.
+//!
+//! [`Game`] holds the (measured or analytic) utility matrix and answers
+//! the standard questions: best response, minimax row, game value, saddle
+//! point. Experiment E15 instantiates it with the biased-i* family of
+//! Π^Opt_2SFE designs and confirms the paper's uniform choice is the
+//! designer's optimum.
+
+/// A finite zero-sum attack game in matrix form: `u[d][a]` is the
+/// attacker's utility when the designer plays row `d` and the attacker
+/// column `a`.
+#[derive(Clone, Debug)]
+pub struct Game {
+    designer_moves: Vec<String>,
+    attacker_moves: Vec<String>,
+    utilities: Vec<Vec<f64>>,
+}
+
+impl Game {
+    /// Creates a game from labeled moves and the utility matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix shape disagrees with the move lists, any row
+    /// is empty, or a utility is not finite.
+    pub fn new(
+        designer_moves: Vec<String>,
+        attacker_moves: Vec<String>,
+        utilities: Vec<Vec<f64>>,
+    ) -> Game {
+        assert_eq!(utilities.len(), designer_moves.len(), "one row per designer move");
+        assert!(!designer_moves.is_empty(), "designer needs at least one move");
+        assert!(!attacker_moves.is_empty(), "attacker needs at least one move");
+        for row in &utilities {
+            assert_eq!(row.len(), attacker_moves.len(), "one column per attacker move");
+            assert!(row.iter().all(|u| u.is_finite()), "finite utilities");
+        }
+        Game { designer_moves, attacker_moves, utilities }
+    }
+
+    /// The designer's move labels.
+    pub fn designer_moves(&self) -> &[String] {
+        &self.designer_moves
+    }
+
+    /// The attacker's move labels.
+    pub fn attacker_moves(&self) -> &[String] {
+        &self.attacker_moves
+    }
+
+    /// The attacker's utility for a move pair.
+    pub fn utility(&self, d: usize, a: usize) -> f64 {
+        self.utilities[d][a]
+    }
+
+    /// The attacker's best response to designer move `d`: the maximizing
+    /// column and its utility.
+    pub fn best_response(&self, d: usize) -> (usize, f64) {
+        self.utilities[d]
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+            .map(|(i, &u)| (i, u))
+            .expect("nonempty row")
+    }
+
+    /// The designer's minimax move: the row whose best response is
+    /// smallest, with that value (the game value under sequential play).
+    pub fn minimax(&self) -> (usize, f64) {
+        (0..self.utilities.len())
+            .map(|d| (d, self.best_response(d).1))
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+            .expect("nonempty matrix")
+    }
+
+    /// Whether `(d, a)` is a pure saddle point (within tolerance): `a` is a
+    /// best response to `d`, and no designer move improves on `d` given
+    /// best responses — i.e. the protocol "tames its adversary in an
+    /// optimal way" (footnote 1).
+    pub fn is_saddle_point(&self, d: usize, a: usize, tol: f64) -> bool {
+        let (_, br) = self.best_response(d);
+        if self.utility(d, a) < br - tol {
+            return false;
+        }
+        let (_, value) = self.minimax();
+        br <= value + tol
+    }
+
+    /// Renders the matrix as an aligned table (for experiment reports).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let w = self.designer_moves.iter().map(String::len).max().unwrap_or(8).max(8);
+        out.push_str(&format!("{:<w$}", "design", w = w));
+        for a in &self.attacker_moves {
+            out.push_str(&format!("  {a:>12}"));
+        }
+        out.push('\n');
+        for (d, row) in self.utilities.iter().enumerate() {
+            out.push_str(&format!("{:<w$}", self.designer_moves[d], w = w));
+            for u in row {
+                out.push_str(&format!("  {u:>12.4}"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The analytic biased-Π^Opt_2SFE game: designer picks q = Pr[i* = 1],
+    /// attacker picks which party to corrupt with lock-and-abort.
+    /// u(q, corrupt p1) = q·γ10 + (1−q)·γ11 and symmetrically.
+    fn biased_game() -> Game {
+        let (g10, g11) = (1.0, 0.5);
+        let qs = [0.1, 0.3, 0.5, 0.7, 0.9];
+        let utilities = qs
+            .iter()
+            .map(|q| {
+                vec![q * g10 + (1.0 - q) * g11, (1.0 - q) * g10 + q * g11]
+            })
+            .collect();
+        Game::new(
+            qs.iter().map(|q| format!("q={q}")).collect(),
+            vec!["corrupt p1".into(), "corrupt p2".into()],
+            utilities,
+        )
+    }
+
+    #[test]
+    fn best_response_picks_the_heavier_side() {
+        let g = biased_game();
+        // q = 0.9: corrupting p1 (row 4, col 0) is best.
+        assert_eq!(g.best_response(4).0, 0);
+        // q = 0.1: corrupting p2 is best.
+        assert_eq!(g.best_response(0).0, 1);
+    }
+
+    #[test]
+    fn minimax_is_the_uniform_design() {
+        let g = biased_game();
+        let (d, value) = g.minimax();
+        assert_eq!(g.designer_moves()[d], "q=0.5");
+        assert!((value - 0.75).abs() < 1e-12, "game value (γ10+γ11)/2");
+    }
+
+    #[test]
+    fn uniform_design_is_a_saddle_point() {
+        let g = biased_game();
+        // At q = 0.5 both attacker moves are best responses; either forms
+        // a saddle point.
+        assert!(g.is_saddle_point(2, 0, 1e-9));
+        assert!(g.is_saddle_point(2, 1, 1e-9));
+        // A biased design is not optimal.
+        assert!(!g.is_saddle_point(4, 0, 1e-9));
+    }
+
+    #[test]
+    fn render_contains_all_moves() {
+        let s = biased_game().render();
+        assert!(s.contains("q=0.5"));
+        assert!(s.contains("corrupt p1"));
+    }
+
+    #[test]
+    #[should_panic(expected = "one column per attacker move")]
+    fn shape_is_validated() {
+        let _ = Game::new(
+            vec!["d".into()],
+            vec!["a".into(), "b".into()],
+            vec![vec![1.0]],
+        );
+    }
+}

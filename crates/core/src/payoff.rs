@@ -1,0 +1,219 @@
+//! Payoff vectors ~γ and the classes Γ_fair and Γ⁺_fair.
+//!
+//! The adversary's preferences are a vector γ = (γ₀₀, γ₀₁, γ₁₀, γ₁₁)
+//! assigning a real payoff to each fairness event. The paper restricts
+//! attention to the natural class Γ_fair (Section 3):
+//!
+//! ```text
+//! 0 = γ01 ≤ min{γ00, γ11}   and   max{γ00, γ11} < γ10
+//! ```
+//!
+//! and, for the multi-party results, the subclass Γ⁺_fair with the extra
+//! assumption γ₀₀ ≤ γ₁₁ ("the attacker prefers learning the output over
+//! not learning it", Section 4.2).
+
+use crate::event::Event;
+
+/// A fairness payoff vector (γ₀₀, γ₀₁, γ₁₀, γ₁₁).
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct Payoff {
+    /// Payoff for E₀₀ (nobody gets the output).
+    pub g00: f64,
+    /// Payoff for E₀₁ (only honest parties get the output).
+    pub g01: f64,
+    /// Payoff for E₁₀ (only the adversary gets the output).
+    pub g10: f64,
+    /// Payoff for E₁₁ (everyone gets the output).
+    pub g11: f64,
+}
+
+/// Errors from payoff-vector validation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PayoffError {
+    /// γ₀₁ must equal 0 (the wlog normalization of Section 3).
+    G01NotZero,
+    /// γ₀₁ must be the minimum entry.
+    G01NotMinimum,
+    /// γ₁₀ must strictly dominate γ₀₀ and γ₁₁.
+    G10NotMaximum,
+    /// Γ⁺_fair additionally requires γ₀₀ ≤ γ₁₁.
+    G00ExceedsG11,
+    /// Payoffs must be finite.
+    NotFinite,
+}
+
+impl core::fmt::Display for PayoffError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let s = match self {
+            PayoffError::G01NotZero => "γ01 must be 0 (normalization)",
+            PayoffError::G01NotMinimum => "γ01 must be the minimum payoff",
+            PayoffError::G10NotMaximum => "γ10 must strictly exceed γ00 and γ11",
+            PayoffError::G00ExceedsG11 => "Γ+fair requires γ00 ≤ γ11",
+            PayoffError::NotFinite => "payoffs must be finite",
+        };
+        write!(f, "{s}")
+    }
+}
+
+impl std::error::Error for PayoffError {}
+
+impl Payoff {
+    /// Creates a payoff vector without validation.
+    pub fn new(g00: f64, g01: f64, g10: f64, g11: f64) -> Payoff {
+        Payoff { g00, g01, g10, g11 }
+    }
+
+    /// Creates a payoff vector, checking membership in Γ_fair.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PayoffError`] if the vector violates the class
+    /// constraints.
+    pub fn gamma_fair(g00: f64, g10: f64, g11: f64) -> Result<Payoff, PayoffError> {
+        let p = Payoff { g00, g01: 0.0, g10, g11 };
+        p.check_gamma_fair()?;
+        Ok(p)
+    }
+
+    /// Creates a payoff vector, checking membership in Γ⁺_fair.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PayoffError`] if the vector violates the class
+    /// constraints.
+    pub fn gamma_fair_plus(g00: f64, g10: f64, g11: f64) -> Result<Payoff, PayoffError> {
+        let p = Payoff::gamma_fair(g00, g10, g11)?;
+        if p.g00 > p.g11 {
+            return Err(PayoffError::G00ExceedsG11);
+        }
+        Ok(p)
+    }
+
+    /// The canonical Γ⁺_fair vector used throughout the experiments:
+    /// γ = (0.25, 0, 1, 0.5).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use fair_core::{Event, Payoff};
+    ///
+    /// let g = Payoff::standard();
+    /// assert!(g.is_gamma_fair_plus());
+    /// assert_eq!(g.value(Event::E10), 1.0); // the fairness breach pays most
+    /// ```
+    pub fn standard() -> Payoff {
+        Payoff::gamma_fair_plus(0.25, 1.0, 0.5).expect("standard vector is valid")
+    }
+
+    /// The Gordon–Katz comparison vector γ = (0, 0, 1, 0) from Section 5.
+    pub fn gk() -> Payoff {
+        Payoff { g00: 0.0, g01: 0.0, g10: 1.0, g11: 0.0 }
+    }
+
+    /// Validates membership in Γ_fair.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated constraint.
+    pub fn check_gamma_fair(&self) -> Result<(), PayoffError> {
+        if ![self.g00, self.g01, self.g10, self.g11].iter().all(|x| x.is_finite()) {
+            return Err(PayoffError::NotFinite);
+        }
+        if self.g01 != 0.0 {
+            return Err(PayoffError::G01NotZero);
+        }
+        if self.g01 > self.g00.min(self.g11) {
+            return Err(PayoffError::G01NotMinimum);
+        }
+        if self.g00.max(self.g11) >= self.g10 {
+            return Err(PayoffError::G10NotMaximum);
+        }
+        Ok(())
+    }
+
+    /// Whether the vector is in Γ⁺_fair.
+    pub fn is_gamma_fair_plus(&self) -> bool {
+        self.check_gamma_fair().is_ok() && self.g00 <= self.g11
+    }
+
+    /// The payoff of an event.
+    pub fn value(&self, e: Event) -> f64 {
+        match e {
+            Event::E00 => self.g00,
+            Event::E01 => self.g01,
+            Event::E10 => self.g10,
+            Event::E11 => self.g11,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_vector_is_valid_plus() {
+        let p = Payoff::standard();
+        assert!(p.is_gamma_fair_plus());
+        assert_eq!(p.value(Event::E10), 1.0);
+        assert_eq!(p.value(Event::E01), 0.0);
+        assert_eq!(p.value(Event::E00), 0.25);
+        assert_eq!(p.value(Event::E11), 0.5);
+    }
+
+    #[test]
+    fn gk_vector_is_gamma_fair_but_not_plus() {
+        // (0,0,1,0): γ00 = γ11 = 0 ≤ … fine for Γfair; γ00 ≤ γ11 holds too
+        // (0 ≤ 0), so it is actually in Γ+fair as well.
+        let p = Payoff::gk();
+        assert!(p.check_gamma_fair().is_ok());
+        assert!(p.is_gamma_fair_plus());
+    }
+
+    #[test]
+    fn rejects_nonzero_g01() {
+        let p = Payoff::new(0.0, 0.5, 1.0, 0.5);
+        assert_eq!(p.check_gamma_fair(), Err(PayoffError::G01NotZero));
+    }
+
+    #[test]
+    fn rejects_g10_not_strictly_max() {
+        assert_eq!(
+            Payoff::gamma_fair(0.0, 1.0, 1.0).unwrap_err(),
+            PayoffError::G10NotMaximum
+        );
+        assert_eq!(
+            Payoff::gamma_fair(2.0, 1.0, 0.0).unwrap_err(),
+            PayoffError::G10NotMaximum
+        );
+    }
+
+    #[test]
+    fn rejects_negative_entries_below_g01() {
+        assert_eq!(
+            Payoff::gamma_fair(-0.5, 1.0, 0.5).unwrap_err(),
+            PayoffError::G01NotMinimum
+        );
+    }
+
+    #[test]
+    fn plus_rejects_g00_above_g11() {
+        assert_eq!(
+            Payoff::gamma_fair_plus(0.6, 1.0, 0.5).unwrap_err(),
+            PayoffError::G00ExceedsG11
+        );
+        // …but plain Γfair accepts it.
+        assert!(Payoff::gamma_fair(0.6, 1.0, 0.5).is_ok());
+    }
+
+    #[test]
+    fn rejects_non_finite() {
+        let p = Payoff::new(f64::NAN, 0.0, 1.0, 0.5);
+        assert_eq!(p.check_gamma_fair(), Err(PayoffError::NotFinite));
+    }
+
+    #[test]
+    fn error_display_nonempty() {
+        assert!(!PayoffError::G10NotMaximum.to_string().is_empty());
+    }
+}

@@ -1,0 +1,358 @@
+//! The attack-strategy library: the paper's proof adversaries, generic over
+//! the protocol.
+//!
+//! * [`LockAndAbort`] — the strategies A₁/A₂ (Lemma 7), their mix A_gen
+//!   (Theorem 4), and the multi-party A_ī (Lemma 12): corrupt a set of
+//!   parties, run them honestly, and in every round *fork* each corrupted
+//!   party's state machine to test whether it already "holds the actual
+//!   output" (i.e. running it forward with everyone else silent yields the
+//!   real output); the moment it does, record the output and go silent —
+//!   an abort *before* sending this round's messages (the rushing attack).
+//! * [`HonestUntilRound`] — the abort-at-round-r sweep used to measure
+//!   reconstruction rounds (Definition 8) and to explore protocols without
+//!   lock structure.
+//! * [`RunHonestly`] — corrupt parties but follow the protocol (the
+//!   baseline that collects γ₁₁).
+//!
+//! All strategies take a [`CorruptionPlan`] and an `is_real` predicate the
+//! experiment supplies (e.g. "differs from the default-input evaluation",
+//! exactly the test A₁ performs in the paper's Lemma 7).
+
+use std::sync::Arc;
+
+use fair_runtime::{AdvControl, Adversary, Envelope, PartyId, RoundView, Value};
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+/// How many look-ahead rounds a fork is run for when testing whether a
+/// corrupted party holds its output.
+pub const LOOKAHEAD_ROUNDS: usize = 64;
+
+/// Which parties to corrupt at the start.
+#[derive(Clone, Debug)]
+pub enum CorruptionPlan {
+    /// No corruptions.
+    None,
+    /// A fixed set of (0-based) party indices.
+    Fixed(Vec<usize>),
+    /// One uniformly random party (the mix of Theorem 4 / Lemma 13).
+    RandomSingleton,
+    /// Every party except the given one (the A_ī strategies of Lemma 12).
+    AllBut(usize),
+    /// Every party except one chosen uniformly (the mixed A_ī).
+    RandomAllButOne,
+    /// A uniformly random subset of the given size.
+    RandomSubset(usize),
+}
+
+impl CorruptionPlan {
+    /// Draws the concrete corruption set for `n` parties.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan references parties outside `0..n` or a subset
+    /// size above `n`.
+    pub fn choose(&self, n: usize, rng: &mut StdRng) -> Vec<PartyId> {
+        match self {
+            CorruptionPlan::None => Vec::new(),
+            CorruptionPlan::Fixed(set) => {
+                assert!(set.iter().all(|&i| i < n), "fixed corruption out of range");
+                set.iter().map(|&i| PartyId(i)).collect()
+            }
+            CorruptionPlan::RandomSingleton => {
+                vec![PartyId(rng.random_range(0..n))]
+            }
+            CorruptionPlan::AllBut(i) => {
+                assert!(*i < n, "AllBut index out of range");
+                (0..n).filter(|&j| j != *i).map(PartyId).collect()
+            }
+            CorruptionPlan::RandomAllButOne => {
+                let spare = rng.random_range(0..n);
+                (0..n).filter(|&j| j != spare).map(PartyId).collect()
+            }
+            CorruptionPlan::RandomSubset(t) => {
+                assert!(*t <= n, "subset size above n");
+                // Partial Fisher–Yates over the index set.
+                let mut idx: Vec<usize> = (0..n).collect();
+                for i in 0..*t {
+                    let j = rng.random_range(i..n);
+                    idx.swap(i, j);
+                }
+                let mut out: Vec<PartyId> = idx[..*t].iter().map(|&i| PartyId(i)).collect();
+                out.sort();
+                out
+            }
+        }
+    }
+}
+
+/// Predicate deciding whether a forked party's output is the *real*
+/// protocol output (as opposed to ⊥ or a default-input evaluation).
+pub type IsReal = Arc<dyn Fn(&Value) -> bool + Send + Sync>;
+
+/// An `is_real` predicate accepting any non-⊥ value.
+pub fn any_output() -> IsReal {
+    Arc::new(|v: &Value| !v.is_bot())
+}
+
+/// An `is_real` predicate accepting any non-⊥ value different from the
+/// given default evaluation (the test from Lemma 7's A₁).
+pub fn differs_from(default: Value) -> IsReal {
+    Arc::new(move |v: &Value| !v.is_bot() && *v != default)
+}
+
+/// An `is_real` predicate accepting any non-⊥ value outside the given set
+/// of default evaluations (used when the corrupted party is chosen at
+/// random and either party's default evaluation must be excluded).
+pub fn differs_from_any(defaults: Vec<Value>) -> IsReal {
+    Arc::new(move |v: &Value| !v.is_bot() && !defaults.contains(v))
+}
+
+/// The two lookahead inboxes for a corrupted party: this round's delivered
+/// messages, and the honest messages currently in flight (visible now by
+/// rushing, arriving next round).
+fn lookahead_inboxes<M: Clone>(
+    view: &RoundView<'_, M>,
+    ctrl: &AdvControl<'_, M>,
+    pid: PartyId,
+) -> [Vec<Envelope<M>>; 2] {
+    let delivered: Vec<Envelope<M>> = ctrl.inbox_of(pid).to_vec();
+    let in_flight: Vec<Envelope<M>> = view
+        .rushing
+        .iter()
+        .filter(|e| match e.to {
+            fair_runtime::Destination::Party(q) => q == pid,
+            fair_runtime::Destination::All => true,
+            _ => false,
+        })
+        .cloned()
+        .collect();
+    [delivered, in_flight]
+}
+
+fn fork_output<M: Clone>(
+    ctrl: &mut AdvControl<'_, M>,
+    pid: PartyId,
+    inboxes: &[Vec<Envelope<M>>],
+    round: usize,
+    n: usize,
+) -> Option<Value> {
+    let mut fork = ctrl.machine(pid).clone_box();
+    let ctx = fair_runtime::RoundCtx { id: pid, n, round };
+    fair_runtime::run_isolated_seq(&mut fork, ctx, inboxes, LOOKAHEAD_ROUNDS)
+}
+
+/// The lock-and-abort strategy (A₁/A₂/A_gen/A_ī).
+pub struct LockAndAbort {
+    plan: CorruptionPlan,
+    is_real: IsReal,
+    corrupted: Vec<PartyId>,
+    learned: Option<Value>,
+    aborted: bool,
+}
+
+impl LockAndAbort {
+    /// Creates the strategy.
+    pub fn new(plan: CorruptionPlan, is_real: IsReal) -> LockAndAbort {
+        LockAndAbort { plan, is_real, corrupted: Vec::new(), learned: None, aborted: false }
+    }
+
+    /// The concrete corruption set chosen for this execution.
+    pub fn corrupted(&self) -> &[PartyId] {
+        &self.corrupted
+    }
+}
+
+impl<M: Clone + core::fmt::Debug> Adversary<M> for LockAndAbort {
+    fn initial_corruptions(&mut self, n: usize, rng: &mut StdRng) -> Vec<PartyId> {
+        self.corrupted = self.plan.choose(n, rng);
+        self.corrupted.clone()
+    }
+
+    fn on_round(&mut self, view: &RoundView<'_, M>, ctrl: &mut AdvControl<'_, M>, _rng: &mut StdRng) {
+        if self.aborted {
+            return; // silent forever
+        }
+        // Lock test for every corrupted party, under rushing visibility.
+        for &pid in &self.corrupted {
+            let inboxes = lookahead_inboxes(view, ctrl, pid);
+            if let Some(v) = fork_output(ctrl, pid, &inboxes, view.round, view.n) {
+                if (self.is_real)(&v) {
+                    self.learned = Some(v);
+                    self.aborted = true;
+                    return; // withhold this round's messages: the abort
+                }
+            }
+        }
+        // No lock: behave honestly.
+        for &pid in &self.corrupted {
+            ctrl.run_honestly(pid);
+        }
+    }
+
+    fn learned(&self) -> Option<Value> {
+        self.learned.clone()
+    }
+}
+
+/// Runs corrupted parties honestly until (not including) `abort_round`,
+/// then goes silent. At the abort round it performs one fork lookahead to
+/// record whatever output the corrupted coalition already holds.
+pub struct HonestUntilRound {
+    plan: CorruptionPlan,
+    abort_round: usize,
+    is_real: IsReal,
+    corrupted: Vec<PartyId>,
+    learned: Option<Value>,
+}
+
+impl HonestUntilRound {
+    /// Creates the strategy; `abort_round = 0` is the silent-from-the-start
+    /// adversary.
+    pub fn new(plan: CorruptionPlan, abort_round: usize, is_real: IsReal) -> HonestUntilRound {
+        HonestUntilRound { plan, abort_round, is_real, corrupted: Vec::new(), learned: None }
+    }
+}
+
+impl<M: Clone + core::fmt::Debug> Adversary<M> for HonestUntilRound {
+    fn initial_corruptions(&mut self, n: usize, rng: &mut StdRng) -> Vec<PartyId> {
+        self.corrupted = self.plan.choose(n, rng);
+        self.corrupted.clone()
+    }
+
+    fn on_round(&mut self, view: &RoundView<'_, M>, ctrl: &mut AdvControl<'_, M>, _rng: &mut StdRng) {
+        if view.round < self.abort_round {
+            for &pid in &self.corrupted {
+                ctrl.run_honestly(pid);
+            }
+            return;
+        }
+        if view.round == self.abort_round {
+            for &pid in &self.corrupted {
+                let inboxes = lookahead_inboxes(view, ctrl, pid);
+                if let Some(v) = fork_output(ctrl, pid, &inboxes, view.round, view.n) {
+                    if (self.is_real)(&v) {
+                        self.learned = Some(v);
+                        break;
+                    }
+                }
+            }
+        }
+        // Silent at and after the abort round.
+    }
+
+    fn learned(&self) -> Option<Value> {
+        self.learned.clone()
+    }
+}
+
+/// Corrupts parties but follows the protocol to the end, reporting the
+/// coalition's real output (the γ₁₁ baseline).
+pub struct RunHonestly {
+    plan: CorruptionPlan,
+    is_real: IsReal,
+    corrupted: Vec<PartyId>,
+    learned: Option<Value>,
+}
+
+impl RunHonestly {
+    /// Creates the strategy.
+    pub fn new(plan: CorruptionPlan, is_real: IsReal) -> RunHonestly {
+        RunHonestly { plan, is_real, corrupted: Vec::new(), learned: None }
+    }
+}
+
+impl<M: Clone + core::fmt::Debug> Adversary<M> for RunHonestly {
+    fn initial_corruptions(&mut self, n: usize, rng: &mut StdRng) -> Vec<PartyId> {
+        self.corrupted = self.plan.choose(n, rng);
+        self.corrupted.clone()
+    }
+
+    fn on_round(&mut self, _view: &RoundView<'_, M>, ctrl: &mut AdvControl<'_, M>, _rng: &mut StdRng) {
+        for &pid in &self.corrupted {
+            ctrl.run_honestly(pid);
+            if self.learned.is_none() {
+                if let Some(v) = ctrl.machine(pid).output() {
+                    if (self.is_real)(&v) {
+                        self.learned = Some(v);
+                    }
+                }
+            }
+        }
+    }
+
+    fn learned(&self) -> Option<Value> {
+        self.learned.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn corruption_plans_produce_expected_sets() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(CorruptionPlan::None.choose(5, &mut rng).is_empty());
+        assert_eq!(
+            CorruptionPlan::Fixed(vec![1, 3]).choose(5, &mut rng),
+            vec![PartyId(1), PartyId(3)]
+        );
+        assert_eq!(
+            CorruptionPlan::AllBut(2).choose(4, &mut rng),
+            vec![PartyId(0), PartyId(1), PartyId(3)]
+        );
+        let single = CorruptionPlan::RandomSingleton.choose(5, &mut rng);
+        assert_eq!(single.len(), 1);
+        assert!(single[0].0 < 5);
+        let almost_all = CorruptionPlan::RandomAllButOne.choose(6, &mut rng);
+        assert_eq!(almost_all.len(), 5);
+        let subset = CorruptionPlan::RandomSubset(3).choose(7, &mut rng);
+        assert_eq!(subset.len(), 3);
+        assert!(subset.windows(2).all(|w| w[0] < w[1]), "sorted, distinct");
+    }
+
+    #[test]
+    fn random_singleton_is_roughly_uniform() {
+        let mut counts = [0usize; 3];
+        for seed in 0..600 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let c = CorruptionPlan::RandomSingleton.choose(3, &mut rng);
+            counts[c[0].0] += 1;
+        }
+        for &c in &counts {
+            assert!(c > 120, "party chosen {c}/600 times");
+        }
+    }
+
+    #[test]
+    fn random_subset_covers_all_parties() {
+        let mut seen = std::collections::BTreeSet::new();
+        for seed in 0..200 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            for p in CorruptionPlan::RandomSubset(2).choose(5, &mut rng) {
+                seen.insert(p.0);
+            }
+        }
+        assert_eq!(seen.len(), 5);
+    }
+
+    #[test]
+    fn predicates_behave() {
+        let any = any_output();
+        assert!(any(&Value::Scalar(0)));
+        assert!(!any(&Value::Bot));
+        let diff = differs_from(Value::Scalar(7));
+        assert!(diff(&Value::Scalar(8)));
+        assert!(!diff(&Value::Scalar(7)));
+        assert!(!diff(&Value::Bot));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn fixed_plan_validates_range() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = CorruptionPlan::Fixed(vec![9]).choose(3, &mut rng);
+    }
+}

@@ -1,0 +1,245 @@
+//! Monte-Carlo estimation of the attacker's utility u_A(Π, A).
+//!
+//! The paper defines u_A(Π, A) as the expected payoff of the best simulator
+//! for A in the F^⊥_sfe-ideal world under the least favorable environment
+//! (Eq. 2). Our concrete analogue: a [`Scenario`] bundles a protocol, an
+//! input environment and an attack strategy; [`estimate`] executes it many
+//! times with seeded randomness, classifies each execution into its
+//! fairness event with the protocol's canonical simulator decision function
+//! (see [`crate::event`]), and averages the payoffs. The estimate comes
+//! with a 95% confidence half-width so experiment assertions can be made
+//! statistically honest.
+
+use fair_runtime::{execute, Adversary, ExecutionResult, Instance, Value};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::event::{classify, truth_from_ledger, Event, HonestCriterion};
+use crate::payoff::Payoff;
+
+/// One prepared execution: instance, attack strategy, ground truth.
+pub struct Trial<M> {
+    /// The protocol instance (parties with inputs baked in, hybrids).
+    pub instance: Instance<M>,
+    /// The attack strategy.
+    pub adversary: Box<dyn Adversary<M>>,
+    /// Ground-truth output for event classification. `None` means "read
+    /// the ledger fact `y` after execution" (hybrid-protocol case).
+    pub truth: Option<Value>,
+    /// Round budget (0 = engine default).
+    pub max_rounds: usize,
+}
+
+/// A repeatable experiment: protocol × environment × attack strategy.
+pub trait Scenario {
+    /// The protocol's wire message type.
+    type Msg: Clone + core::fmt::Debug;
+
+    /// Short name for reports.
+    fn name(&self) -> String;
+
+    /// Builds a fresh trial (drawing inputs and strategy randomness).
+    fn build(&self, rng: &mut StdRng) -> Trial<Self::Msg>;
+
+    /// Number of parties.
+    fn n(&self) -> usize;
+
+    /// The honest-output criterion for classification.
+    fn criterion(&self) -> HonestCriterion {
+        HonestCriterion::NonBot
+    }
+}
+
+/// A Monte-Carlo utility estimate.
+#[derive(Clone, Debug)]
+pub struct UtilityEstimate {
+    /// Scenario name.
+    pub name: String,
+    /// Mean payoff (the utility estimate).
+    pub mean: f64,
+    /// 95% confidence half-width (normal approximation).
+    pub ci: f64,
+    /// Trials executed.
+    pub trials: usize,
+    /// Event frequencies, in [`Event::ALL`] order.
+    pub event_counts: [usize; 4],
+}
+
+impl UtilityEstimate {
+    /// Empirical probability of an event.
+    pub fn event_rate(&self, e: Event) -> f64 {
+        let idx = Event::ALL.iter().position(|x| *x == e).expect("event in ALL");
+        self.event_counts[idx] as f64 / self.trials as f64
+    }
+
+    /// Whether the estimate is consistent with `target` (within the CI plus
+    /// an absolute tolerance).
+    pub fn consistent_with(&self, target: f64, tol: f64) -> bool {
+        (self.mean - target).abs() <= self.ci + tol
+    }
+
+    /// Whether the estimate is (statistically) at most `bound`.
+    pub fn at_most(&self, bound: f64, tol: f64) -> bool {
+        self.mean <= bound + self.ci + tol
+    }
+
+    /// Whether the estimate is (statistically) at least `bound`.
+    pub fn at_least(&self, bound: f64, tol: f64) -> bool {
+        self.mean >= bound - self.ci - tol
+    }
+}
+
+impl core::fmt::Display for UtilityEstimate {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "{}: u = {:.4} ± {:.4} ({} trials; E00/E01/E10/E11 = {}/{}/{}/{})",
+            self.name,
+            self.mean,
+            self.ci,
+            self.trials,
+            self.event_counts[0],
+            self.event_counts[1],
+            self.event_counts[2],
+            self.event_counts[3]
+        )
+    }
+}
+
+/// Runs one trial of a scenario and returns the raw execution result plus
+/// the classified event.
+pub fn run_once<S: Scenario>(scenario: &S, payoff: &Payoff, seed: u64) -> (ExecutionResult, Event, f64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut trial = scenario.build(&mut rng);
+    let res = execute(trial.instance, trial.adversary.as_mut(), &mut rng, trial.max_rounds);
+    let truth = trial.truth.unwrap_or_else(|| truth_from_ledger(&res));
+    let event = classify(&res, scenario.n(), &truth, &scenario.criterion());
+    let pay = payoff.value(event);
+    (res, event, pay)
+}
+
+/// Estimates the attacker's utility for a scenario by Monte Carlo.
+pub fn estimate<S: Scenario>(
+    scenario: &S,
+    payoff: &Payoff,
+    trials: usize,
+    seed: u64,
+) -> UtilityEstimate {
+    assert!(trials > 0, "need at least one trial");
+    let mut sum = 0.0;
+    let mut sum_sq = 0.0;
+    let mut event_counts = [0usize; 4];
+    for t in 0..trials {
+        let (_, event, pay) = run_once(scenario, payoff, seed.wrapping_add(t as u64));
+        sum += pay;
+        sum_sq += pay * pay;
+        let idx = Event::ALL.iter().position(|x| *x == event).expect("event");
+        event_counts[idx] += 1;
+    }
+    let n = trials as f64;
+    let mean = sum / n;
+    let var = (sum_sq / n - mean * mean).max(0.0);
+    let ci = 1.96 * (var / n).sqrt();
+    UtilityEstimate { name: scenario.name(), mean, ci, trials, event_counts }
+}
+
+/// Estimates the utility of the *best* strategy among several scenarios
+/// (the empirical analogue of `sup_A u_A(Π, A)` over a strategy library).
+///
+/// Returns the per-scenario estimates and the index of the maximizer.
+pub fn best_of<S: Scenario>(
+    scenarios: &[S],
+    payoff: &Payoff,
+    trials: usize,
+    seed: u64,
+) -> (Vec<UtilityEstimate>, usize) {
+    assert!(!scenarios.is_empty(), "need at least one scenario");
+    let estimates: Vec<UtilityEstimate> = scenarios
+        .iter()
+        .enumerate()
+        .map(|(i, s)| estimate(s, payoff, trials, seed.wrapping_add((i as u64) << 32)))
+        .collect();
+    let best = estimates
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.mean.partial_cmp(&b.1.mean).expect("finite means"))
+        .map(|(i, _)| i)
+        .expect("nonempty");
+    (estimates, best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fair_runtime::{Envelope, OutMsg, Party, Passive, RoundCtx};
+
+    /// A degenerate one-party protocol that outputs its input immediately.
+    #[derive(Clone, Debug)]
+    struct Echo(Value, bool);
+
+    impl Party<()> for Echo {
+        fn round(&mut self, _: &RoundCtx, _: &[Envelope<()>]) -> Vec<OutMsg<()>> {
+            self.1 = true;
+            vec![]
+        }
+        fn output(&self) -> Option<Value> {
+            self.1.then(|| self.0.clone())
+        }
+        fn clone_box(&self) -> Box<dyn Party<()>> {
+            Box::new(self.clone())
+        }
+    }
+
+    struct EchoScenario;
+
+    impl Scenario for EchoScenario {
+        type Msg = ();
+        fn name(&self) -> String {
+            "echo".into()
+        }
+        fn n(&self) -> usize {
+            1
+        }
+        fn build(&self, _rng: &mut StdRng) -> Trial<()> {
+            Trial {
+                instance: Instance {
+                    parties: vec![Box::new(Echo(Value::Scalar(3), false))],
+                    funcs: vec![],
+                },
+                adversary: Box::new(Passive),
+                truth: Some(Value::Scalar(3)),
+                max_rounds: 5,
+            }
+        }
+    }
+
+    #[test]
+    fn passive_scenario_is_always_e01() {
+        let est = estimate(&EchoScenario, &Payoff::standard(), 50, 1);
+        assert_eq!(est.mean, 0.0);
+        assert_eq!(est.ci, 0.0);
+        assert_eq!(est.event_rate(Event::E01), 1.0);
+        assert!(est.consistent_with(0.0, 1e-9));
+        assert!(est.at_most(0.0, 1e-9));
+        assert!(est.at_least(0.0, 1e-9));
+    }
+
+    #[test]
+    fn best_of_picks_the_maximum() {
+        // Two copies of the same scenario — the tie is broken by max_by
+        // (later element wins ties per max_by semantics); just check a
+        // valid index and equal means.
+        let (ests, best) = best_of(&[EchoScenario, EchoScenario], &Payoff::standard(), 10, 2);
+        assert_eq!(ests.len(), 2);
+        assert!(best < 2);
+        assert_eq!(ests[0].mean, ests[1].mean);
+    }
+
+    #[test]
+    fn display_contains_counts() {
+        let est = estimate(&EchoScenario, &Payoff::standard(), 4, 3);
+        let s = est.to_string();
+        assert!(s.contains("echo"));
+        assert!(s.contains("0/4/0/0"));
+    }
+}

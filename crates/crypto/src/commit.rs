@@ -1,0 +1,114 @@
+//! Non-interactive hash commitments.
+//!
+//! `commit(m; r) = SHA-256(tuple(r, m))` with a 32-byte random opening value
+//! `r`. Binding follows from collision resistance, hiding from modeling the
+//! tuple hash as a random oracle on the high-entropy `r`. These are the
+//! commitments used by the contract-signing protocols Π1/Π2 in the paper's
+//! introduction and by the coin-toss subprotocol.
+
+use rand::Rng;
+
+use crate::prg::random_bytes;
+use crate::sha256::{sha256_parts, Digest};
+
+/// Byte length of the commitment randomness.
+pub const OPENING_LEN: usize = 32;
+
+/// A commitment string (a SHA-256 digest).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Commitment(pub Digest);
+
+/// The opening of a commitment: the committed message and the randomness.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Opening {
+    /// The committed message.
+    pub message: Vec<u8>,
+    /// The commitment randomness.
+    pub randomness: Vec<u8>,
+}
+
+impl Opening {
+    /// Recomputes the commitment this opening corresponds to.
+    pub fn commitment(&self) -> Commitment {
+        Commitment(sha256_parts(&[&self.randomness, &self.message]))
+    }
+}
+
+/// Commits to `message` with fresh randomness from `rng`.
+///
+/// # Examples
+///
+/// ```
+/// use rand::{SeedableRng, rngs::StdRng};
+/// use fair_crypto::commit::{commit, verify};
+///
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let (c, o) = commit(b"signed contract", &mut rng);
+/// assert!(verify(&c, &o));
+/// ```
+pub fn commit<R: Rng + ?Sized>(message: &[u8], rng: &mut R) -> (Commitment, Opening) {
+    let randomness = random_bytes(rng, OPENING_LEN);
+    let opening = Opening { message: message.to_vec(), randomness };
+    (opening.commitment(), opening)
+}
+
+/// Verifies that `opening` opens `commitment`.
+pub fn verify(commitment: &Commitment, opening: &Opening) -> bool {
+    opening.commitment() == *commitment
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn commit_verify_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let (c, o) = commit(b"hello", &mut rng);
+        assert!(verify(&c, &o));
+    }
+
+    #[test]
+    fn wrong_message_rejected() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let (c, mut o) = commit(b"hello", &mut rng);
+        o.message = b"olleh".to_vec();
+        assert!(!verify(&c, &o));
+    }
+
+    #[test]
+    fn wrong_randomness_rejected() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let (c, mut o) = commit(b"hello", &mut rng);
+        o.randomness[0] ^= 1;
+        assert!(!verify(&c, &o));
+    }
+
+    #[test]
+    fn commitments_are_hiding_across_randomness() {
+        // Same message, different randomness -> different commitment strings.
+        let mut rng = StdRng::seed_from_u64(0);
+        let (c1, _) = commit(b"msg", &mut rng);
+        let (c2, _) = commit(b"msg", &mut rng);
+        assert_ne!(c1, c2);
+    }
+
+    #[test]
+    fn distinct_messages_distinct_commitments_under_same_randomness() {
+        // Binding sanity check: crafting two openings with equal randomness
+        // but different messages yields different digests.
+        let o1 = Opening { message: b"a".to_vec(), randomness: vec![7; OPENING_LEN] };
+        let o2 = Opening { message: b"b".to_vec(), randomness: vec![7; OPENING_LEN] };
+        assert_ne!(o1.commitment(), o2.commitment());
+    }
+
+    #[test]
+    fn empty_message_commits_fine() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let (c, o) = commit(b"", &mut rng);
+        assert!(verify(&c, &o));
+        assert!(o.message.is_empty());
+    }
+}

@@ -1,0 +1,112 @@
+//! HMAC-SHA256 (RFC 2104), validated against the RFC 4231 test vectors.
+//!
+//! Used as the computational MAC option for authenticated shares and as the
+//! PRF underlying the counter-mode PRG.
+
+use crate::sha256::{Digest, Sha256, DIGEST_LEN};
+
+const BLOCK_LEN: usize = 64;
+
+/// Computes `HMAC-SHA256(key, msg)`.
+pub fn hmac_sha256(key: &[u8], msg: &[u8]) -> Digest {
+    let mut k = [0u8; BLOCK_LEN];
+    if key.len() > BLOCK_LEN {
+        let d = {
+            let mut h = Sha256::new();
+            h.update(key);
+            h.finalize()
+        };
+        k[..DIGEST_LEN].copy_from_slice(&d);
+    } else {
+        k[..key.len()].copy_from_slice(key);
+    }
+    let mut ipad = [0x36u8; BLOCK_LEN];
+    let mut opad = [0x5cu8; BLOCK_LEN];
+    for i in 0..BLOCK_LEN {
+        ipad[i] ^= k[i];
+        opad[i] ^= k[i];
+    }
+    let inner = {
+        let mut h = Sha256::new();
+        h.update(&ipad);
+        h.update(msg);
+        h.finalize()
+    };
+    let mut h = Sha256::new();
+    h.update(&opad);
+    h.update(&inner);
+    h.finalize()
+}
+
+/// Constant-time-ish comparison of two digests.
+///
+/// The engine is a simulator, so side channels are out of scope, but tag
+/// comparison is still written without early exit as a matter of hygiene.
+pub fn verify_hmac_sha256(key: &[u8], msg: &[u8], tag: &Digest) -> bool {
+    let expect = hmac_sha256(key, msg);
+    let mut diff = 0u8;
+    for i in 0..DIGEST_LEN {
+        diff |= expect[i] ^ tag[i];
+    }
+    diff == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(d: &Digest) -> String {
+        d.iter().map(|b| format!("{:02x}", b)).collect()
+    }
+
+    #[test]
+    fn rfc4231_case_1() {
+        let key = [0x0b; 20];
+        let tag = hmac_sha256(&key, b"Hi There");
+        assert_eq!(
+            hex(&tag),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case_2() {
+        let tag = hmac_sha256(b"Jefe", b"what do ya want for nothing?");
+        assert_eq!(
+            hex(&tag),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case_3() {
+        let key = [0xaa; 20];
+        let msg = [0xdd; 50];
+        let tag = hmac_sha256(&key, &msg);
+        assert_eq!(
+            hex(&tag),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case_6_long_key() {
+        let key = [0xaa; 131];
+        let tag = hmac_sha256(&key, b"Test Using Larger Than Block-Size Key - Hash Key First");
+        assert_eq!(
+            hex(&tag),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+        );
+    }
+
+    #[test]
+    fn verify_accepts_and_rejects() {
+        let tag = hmac_sha256(b"k", b"m");
+        assert!(verify_hmac_sha256(b"k", b"m", &tag));
+        let mut bad = tag;
+        bad[0] ^= 1;
+        assert!(!verify_hmac_sha256(b"k", b"m", &bad));
+        assert!(!verify_hmac_sha256(b"k2", b"m", &tag));
+        assert!(!verify_hmac_sha256(b"k", b"m2", &tag));
+    }
+}

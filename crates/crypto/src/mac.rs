@@ -1,0 +1,235 @@
+//! Information-theoretic one-time MAC over GF(2^61 − 1).
+//!
+//! The authenticated secret sharing of the paper (Appendix A) needs a MAC
+//! `tag(x, k)` whose unforgeability does not rest on computational
+//! assumptions, so that the share-verification error is a crisp, analyzable
+//! quantity. We use the standard polynomial-evaluation MAC: a key is a pair
+//! `(a, b)` of field elements and the tag of a message `m = (m_1, …, m_ℓ)`
+//! (packed into field elements) is `b + Σ_i a^i · m_i`. A forger who never
+//! saw a tag under the key succeeds with probability 1/p; one who saw one
+//! tag succeeds with probability ≤ ℓ/p ≤ 2^{−50} for every message length
+//! used in this workspace.
+
+use fair_field::Fp;
+use rand::Rng;
+
+use crate::prg::random_fp;
+
+/// A one-time MAC key `(a, b)`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct MacKey {
+    a: Fp,
+    b: Fp,
+}
+
+/// A MAC tag (a single field element).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct MacTag(pub Fp);
+
+impl MacKey {
+    /// Samples a fresh key.
+    pub fn random<R: Rng + ?Sized>(rng: &mut R) -> MacKey {
+        MacKey { a: random_fp(rng), b: random_fp(rng) }
+    }
+
+    /// Tags a message given as field elements.
+    pub fn tag_elems(&self, msg: &[Fp]) -> MacTag {
+        let mut acc = self.b;
+        let mut pow = self.a;
+        for &m in msg {
+            acc += pow * m;
+            pow *= self.a;
+        }
+        MacTag(acc)
+    }
+
+    /// Verifies a tag on a field-element message.
+    pub fn verify_elems(&self, msg: &[Fp], tag: &MacTag) -> bool {
+        self.tag_elems(msg) == *tag
+    }
+
+    /// Tags an arbitrary byte string (packed 7 bytes per element, with the
+    /// length bound into the first element so no padding collisions arise).
+    pub fn tag_bytes(&self, msg: &[u8]) -> MacTag {
+        self.tag_elems(&pack_bytes(msg))
+    }
+
+    /// Verifies a tag on a byte string.
+    pub fn verify_bytes(&self, msg: &[u8], tag: &MacTag) -> bool {
+        self.verify_elems(&pack_bytes(msg), tag)
+    }
+}
+
+/// Packs a byte string into field elements: element 0 is the length, then
+/// 7 bytes per element (each < 2^56 < p).
+pub fn pack_bytes(msg: &[u8]) -> Vec<Fp> {
+    let mut out = Vec::with_capacity(1 + msg.len().div_ceil(7));
+    out.push(Fp::new(msg.len() as u64));
+    for chunk in msg.chunks(7) {
+        let mut v = 0u64;
+        for &b in chunk {
+            v = (v << 8) | b as u64;
+        }
+        out.push(Fp::new(v));
+    }
+    out
+}
+
+/// Inverse of [`pack_bytes`]; `None` if the elements are not a valid
+/// packing.
+pub fn unpack_bytes(elems: &[Fp]) -> Option<Vec<u8>> {
+    let (&len_elem, chunks) = elems.split_first()?;
+    let len = len_elem.value() as usize;
+    if chunks.len() != len.div_ceil(7) {
+        return None;
+    }
+    let mut out = Vec::with_capacity(len);
+    for (i, &c) in chunks.iter().enumerate() {
+        let chunk_len = if (i + 1) * 7 <= len { 7 } else { len - i * 7 };
+        let v = c.value();
+        if chunk_len < 7 && v >> (8 * chunk_len) != 0 {
+            return None; // non-canonical high bits
+        }
+        for j in (0..chunk_len).rev() {
+            out.push(((v >> (8 * j)) & 0xff) as u8);
+        }
+    }
+    Some(out)
+}
+
+impl MacKey {
+    /// Serializes the key (16 bytes).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16);
+        out.extend_from_slice(&self.a.value().to_be_bytes());
+        out.extend_from_slice(&self.b.value().to_be_bytes());
+        out
+    }
+
+    /// Parses a serialized key; `None` on wrong length or non-canonical
+    /// field elements.
+    pub fn from_bytes(bytes: &[u8]) -> Option<MacKey> {
+        if bytes.len() != 16 {
+            return None;
+        }
+        let a = u64::from_be_bytes(bytes[..8].try_into().ok()?);
+        let b = u64::from_be_bytes(bytes[8..].try_into().ok()?);
+        if a >= fair_field::MODULUS || b >= fair_field::MODULUS {
+            return None;
+        }
+        Some(MacKey { a: Fp::new(a), b: Fp::new(b) })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn tag_verify_roundtrip_elems() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let k = MacKey::random(&mut rng);
+        let msg = vec![Fp::new(5), Fp::new(0), Fp::new(123456)];
+        let t = k.tag_elems(&msg);
+        assert!(k.verify_elems(&msg, &t));
+    }
+
+    #[test]
+    fn modified_message_rejected() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let k = MacKey::random(&mut rng);
+        let msg = vec![Fp::new(5), Fp::new(6)];
+        let t = k.tag_elems(&msg);
+        let forged = vec![Fp::new(5), Fp::new(7)];
+        assert!(!k.verify_elems(&forged, &t));
+    }
+
+    #[test]
+    fn wrong_key_rejected() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let k1 = MacKey::random(&mut rng);
+        let k2 = MacKey::random(&mut rng);
+        let msg = vec![Fp::new(9)];
+        let t = k1.tag_elems(&msg);
+        assert!(!k2.verify_elems(&msg, &t));
+    }
+
+    #[test]
+    fn byte_packing_binds_length() {
+        // "ab" and "ab\0" must pack differently even though the trailing
+        // zero would vanish in a naive packing.
+        assert_ne!(pack_bytes(b"ab"), pack_bytes(b"ab\0"));
+        assert_ne!(pack_bytes(b""), pack_bytes(b"\0"));
+    }
+
+    #[test]
+    fn tag_bytes_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let k = MacKey::random(&mut rng);
+        let t = k.tag_bytes(b"the shared value");
+        assert!(k.verify_bytes(b"the shared value", &t));
+        assert!(!k.verify_bytes(b"the shared valuX", &t));
+    }
+
+    #[test]
+    fn empty_message_tag_is_b() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let k = MacKey::random(&mut rng);
+        let t = k.tag_elems(&[]);
+        assert_eq!(t.0, k.b);
+    }
+
+    #[test]
+    fn unpack_inverts_pack() {
+        for msg in [&b""[..], b"a", b"1234567", b"12345678", b"arbitrary longer payload!"] {
+            assert_eq!(unpack_bytes(&pack_bytes(msg)).as_deref(), Some(msg));
+        }
+    }
+
+    #[test]
+    fn unpack_rejects_malformed() {
+        assert!(unpack_bytes(&[]).is_none());
+        // Length claims 7 bytes but no chunk follows.
+        assert!(unpack_bytes(&[Fp::new(7)]).is_none());
+        // Non-canonical high bits in a short final chunk.
+        assert!(unpack_bytes(&[Fp::new(1), Fp::new(0x1_00)]).is_none());
+    }
+
+    #[test]
+    fn mac_key_serialization_roundtrips() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let k = MacKey::random(&mut rng);
+        let k2 = MacKey::from_bytes(&k.to_bytes()).expect("roundtrip");
+        assert_eq!(k, k2);
+        assert!(MacKey::from_bytes(&[0u8; 3]).is_none());
+        assert!(MacKey::from_bytes(&[0xff; 16]).is_none(), "non-canonical rejected");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_pack_unpack_roundtrip(msg in proptest::collection::vec(any::<u8>(), 0..64)) {
+            let unpacked = unpack_bytes(&pack_bytes(&msg));
+            prop_assert_eq!(unpacked, Some(msg));
+        }
+
+        #[test]
+        fn prop_roundtrip_bytes(msg in proptest::collection::vec(any::<u8>(), 0..64), seed: u64) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let k = MacKey::random(&mut rng);
+            let t = k.tag_bytes(&msg);
+            prop_assert!(k.verify_bytes(&msg, &t));
+        }
+
+        #[test]
+        fn prop_distinct_messages_distinct_packing(
+            a in proptest::collection::vec(any::<u8>(), 0..32),
+            b in proptest::collection::vec(any::<u8>(), 0..32),
+        ) {
+            prop_assume!(a != b);
+            prop_assert_ne!(pack_bytes(&a), pack_bytes(&b));
+        }
+    }
+}

@@ -1,0 +1,224 @@
+//! Lamport one-time signatures over SHA-256.
+//!
+//! The multi-party protocol Π^Opt_nSFE (paper, Appendix B) has the hybrid
+//! functionality sign the designated output `(y, σ)` so that in the
+//! broadcast phase no coalition can announce a forged output. One signature
+//! per execution is exactly the one-time setting Lamport signatures are made
+//! for, and they are existentially unforgeable assuming only the preimage
+//! resistance of SHA-256 — no number theory required.
+//!
+//! Messages of arbitrary length are first hashed to 256 bits; the signature
+//! reveals one of two 32-byte preimages per message-hash bit.
+
+use rand::Rng;
+
+use crate::prg::random_bytes;
+use crate::sha256::{sha256, sha256_parts, Digest};
+
+const BITS: usize = 256;
+
+/// A Lamport signing key: 2×256 random 32-byte preimages.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SigningKey {
+    secrets: Vec<[Digest; 2]>, // BITS entries
+}
+
+/// A Lamport verification key: the hashes of the signing-key preimages.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct VerifyingKey {
+    hashes: Vec<[Digest; 2]>, // BITS entries
+}
+
+/// A Lamport signature: one revealed preimage per message-hash bit.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Signature {
+    reveals: Vec<Digest>, // BITS entries
+}
+
+impl VerifyingKey {
+    /// Serializes the key (2 × 256 × 32 bytes).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(BITS * 64);
+        for pair in &self.hashes {
+            out.extend_from_slice(&pair[0]);
+            out.extend_from_slice(&pair[1]);
+        }
+        out
+    }
+
+    /// Parses a serialized key; `None` on wrong length.
+    pub fn from_bytes(bytes: &[u8]) -> Option<VerifyingKey> {
+        if bytes.len() != BITS * 64 {
+            return None;
+        }
+        let mut hashes = Vec::with_capacity(BITS);
+        for chunk in bytes.chunks(64) {
+            let h0: Digest = chunk[..32].try_into().ok()?;
+            let h1: Digest = chunk[32..].try_into().ok()?;
+            hashes.push([h0, h1]);
+        }
+        Some(VerifyingKey { hashes })
+    }
+}
+
+impl Signature {
+    /// Serializes the signature (256 × 32 bytes).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(BITS * 32);
+        for r in &self.reveals {
+            out.extend_from_slice(r);
+        }
+        out
+    }
+
+    /// Parses a serialized signature; `None` on wrong length.
+    pub fn from_bytes(bytes: &[u8]) -> Option<Signature> {
+        if bytes.len() != BITS * 32 {
+            return None;
+        }
+        let reveals = bytes
+            .chunks(32)
+            .map(|c| c.try_into().expect("32-byte chunk"))
+            .collect();
+        Some(Signature { reveals })
+    }
+}
+
+/// Generates a fresh one-time key pair.
+pub fn keygen<R: Rng + ?Sized>(rng: &mut R) -> (SigningKey, VerifyingKey) {
+    let mut secrets = Vec::with_capacity(BITS);
+    let mut hashes = Vec::with_capacity(BITS);
+    for _ in 0..BITS {
+        let s0: Digest = random_bytes(rng, 32).try_into().expect("32 bytes");
+        let s1: Digest = random_bytes(rng, 32).try_into().expect("32 bytes");
+        hashes.push([sha256(&s0), sha256(&s1)]);
+        secrets.push([s0, s1]);
+    }
+    (SigningKey { secrets }, VerifyingKey { hashes })
+}
+
+/// Generates `n` independent one-time key pairs (a per-party PKI setup).
+pub fn keygen_many<R: Rng + ?Sized>(n: usize, rng: &mut R) -> (Vec<SigningKey>, Vec<VerifyingKey>) {
+    let mut sks = Vec::with_capacity(n);
+    let mut vks = Vec::with_capacity(n);
+    for _ in 0..n {
+        let (sk, vk) = keygen(rng);
+        sks.push(sk);
+        vks.push(vk);
+    }
+    (sks, vks)
+}
+
+fn message_bits(message: &[u8]) -> Vec<bool> {
+    let d = sha256_parts(&[b"fair-protocols/lamport", message]);
+    let mut bits = Vec::with_capacity(BITS);
+    for byte in d {
+        for i in 0..8 {
+            bits.push((byte >> (7 - i)) & 1 == 1);
+        }
+    }
+    bits
+}
+
+/// Signs `message` with the one-time key.
+///
+/// Signing two different messages with the same key leaks it — callers in
+/// this workspace sign exactly once per generated key, as the paper's
+/// functionality does.
+pub fn sign(key: &SigningKey, message: &[u8]) -> Signature {
+    let reveals = message_bits(message)
+        .iter()
+        .enumerate()
+        .map(|(i, &b)| key.secrets[i][b as usize])
+        .collect();
+    Signature { reveals }
+}
+
+/// Verifies `signature` on `message` under `key`.
+pub fn verify(key: &VerifyingKey, message: &[u8], signature: &Signature) -> bool {
+    if signature.reveals.len() != BITS {
+        return false;
+    }
+    message_bits(message)
+        .iter()
+        .enumerate()
+        .all(|(i, &b)| sha256(&signature.reveals[i]) == key.hashes[i][b as usize])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sign_verify_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let (sk, vk) = keygen(&mut rng);
+        let sig = sign(&sk, b"the output y");
+        assert!(verify(&vk, b"the output y", &sig));
+    }
+
+    #[test]
+    fn signature_does_not_transfer_to_other_message() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let (sk, vk) = keygen(&mut rng);
+        let sig = sign(&sk, b"message one");
+        assert!(!verify(&vk, b"message two", &sig));
+    }
+
+    #[test]
+    fn signature_fails_under_other_key() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let (sk, _) = keygen(&mut rng);
+        let (_, vk2) = keygen(&mut rng);
+        let sig = sign(&sk, b"msg");
+        assert!(!verify(&vk2, b"msg", &sig));
+    }
+
+    #[test]
+    fn tampered_reveal_rejected() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let (sk, vk) = keygen(&mut rng);
+        let mut sig = sign(&sk, b"msg");
+        sig.reveals[17][0] ^= 1;
+        assert!(!verify(&vk, b"msg", &sig));
+    }
+
+    #[test]
+    fn truncated_signature_rejected() {
+        let mut rng = StdRng::seed_from_u64(14);
+        let (sk, vk) = keygen(&mut rng);
+        let mut sig = sign(&sk, b"msg");
+        sig.reveals.pop();
+        assert!(!verify(&vk, b"msg", &sig));
+    }
+
+    #[test]
+    fn serialization_roundtrips() {
+        let mut rng = StdRng::seed_from_u64(16);
+        let (sk, vk) = keygen(&mut rng);
+        let sig = sign(&sk, b"payload");
+        let vk2 = VerifyingKey::from_bytes(&vk.to_bytes()).expect("roundtrip");
+        let sig2 = Signature::from_bytes(&sig.to_bytes()).expect("roundtrip");
+        assert_eq!(vk, vk2);
+        assert_eq!(sig, sig2);
+        assert!(verify(&vk2, b"payload", &sig2));
+    }
+
+    #[test]
+    fn deserialization_rejects_bad_lengths() {
+        assert!(VerifyingKey::from_bytes(&[0u8; 10]).is_none());
+        assert!(Signature::from_bytes(&[0u8; 10]).is_none());
+        assert!(Signature::from_bytes(&[]).is_none());
+    }
+
+    #[test]
+    fn empty_message_signs_fine() {
+        let mut rng = StdRng::seed_from_u64(15);
+        let (sk, vk) = keygen(&mut rng);
+        let sig = sign(&sk, b"");
+        assert!(verify(&vk, b"", &sig));
+        assert!(!verify(&vk, b"x", &sig));
+    }
+}

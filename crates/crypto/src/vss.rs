@@ -1,0 +1,217 @@
+//! Information-theoretic verifiable secret sharing (BGW-style bivariate
+//! VSS) — the primitive behind the paper's footnote 17: "a t-out-of-n VSS
+//! ensures that the shares of any t−1 parties contain no information on
+//! the shared value, but if at least t honest parties announce their
+//! shares then the output will be reconstructed (a (t−1)-adversary cannot
+//! confuse the honest parties into accepting a wrong value)".
+//!
+//! The dealer embeds the secret in a symmetric bivariate polynomial
+//! F(x, y) of degree t−1 in each variable with F(0, 0) = s; party i
+//! receives the univariate share polynomial fᵢ(y) = F(i, y). Symmetry
+//! gives the pairwise consistency checks fᵢ(j) = fⱼ(i): parties can verify
+//! each other's announced share points against their own polynomial, so a
+//! coalition of ≤ t−1 cheaters cannot push a wrong value past t honest
+//! verifiers.
+
+use fair_field::{Fp, Poly};
+use rand::Rng;
+
+use crate::prg::random_fp;
+use crate::share::ShareError;
+
+/// Party i's VSS share: the univariate polynomial fᵢ(y) = F(i, y).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct VssShare {
+    /// The 1-based party index (the x-coordinate).
+    pub index: u64,
+    /// Coefficients of fᵢ(y), lowest degree first (length t).
+    pub poly: Vec<Fp>,
+}
+
+impl VssShare {
+    /// Evaluates the share polynomial at `y`.
+    pub fn eval(&self, y: Fp) -> Fp {
+        Poly::from_coeffs(self.poly.clone()).eval(y)
+    }
+
+    /// The share *point* this party contributes to reconstruction:
+    /// fᵢ(0) = F(i, 0).
+    pub fn point(&self) -> Fp {
+        self.poly.first().copied().unwrap_or(Fp::ZERO)
+    }
+
+    /// Pairwise consistency check: does `other`'s claimed polynomial agree
+    /// with ours at the crossover points (fᵢ(j) = fⱼ(i))?
+    pub fn consistent_with(&self, other: &VssShare) -> bool {
+        self.eval(Fp::new(other.index)) == other.eval(Fp::new(self.index))
+    }
+}
+
+/// Deals a t-out-of-n VSS of `secret`: any t share *points* reconstruct;
+/// any t−1 shares (whole polynomials) are independent of the secret.
+///
+/// # Panics
+///
+/// Panics unless `1 <= t <= n`.
+pub fn deal<R: Rng + ?Sized>(secret: Fp, t: usize, n: usize, rng: &mut R) -> Vec<VssShare> {
+    assert!(t >= 1 && t <= n, "need 1 <= t <= n");
+    // Symmetric coefficient matrix c[a][b] = c[b][a], c[0][0] = secret,
+    // degree t−1 in each variable.
+    let mut c = vec![vec![Fp::ZERO; t]; t];
+    for a in 0..t {
+        for b in a..t {
+            let v = if a == 0 && b == 0 { secret } else { random_fp(rng) };
+            c[a][b] = v;
+            c[b][a] = v;
+        }
+    }
+    (1..=n as u64)
+        .map(|i| {
+            let x = Fp::new(i);
+            // fᵢ(y) = Σ_b (Σ_a c[a][b] x^a) y^b.
+            let mut coeffs = Vec::with_capacity(t);
+            for b in 0..t {
+                let mut acc = Fp::ZERO;
+                let mut xp = Fp::ONE;
+                for a in 0..t {
+                    acc += c[a][b] * xp;
+                    xp *= x;
+                }
+                coeffs.push(acc);
+            }
+            VssShare { index: i, poly: coeffs }
+        })
+        .collect()
+}
+
+/// Verifies a batch of announced shares pairwise; returns the indices of
+/// shares that are consistent with a strict majority of the batch (the
+/// accepted core).
+pub fn consistent_core(shares: &[VssShare]) -> Vec<usize> {
+    let n = shares.len();
+    (0..n)
+        .filter(|&i| {
+            let agree = (0..n)
+                .filter(|&j| i != j && shares[i].consistent_with(&shares[j]))
+                .count();
+            agree + 1 > n / 2
+        })
+        .collect()
+}
+
+/// Reconstructs the secret from at least `t` pairwise-consistent shares.
+///
+/// # Errors
+///
+/// Returns [`ShareError::TooFewShares`] if fewer than `t` shares survive
+/// the consistency filter, or [`ShareError::DuplicateIndex`] for repeated
+/// indices.
+pub fn reconstruct(shares: &[VssShare], t: usize) -> Result<Fp, ShareError> {
+    // Filter to the mutually consistent core first.
+    let core = consistent_core(shares);
+    if core.len() < t {
+        return Err(ShareError::TooFewShares { got: core.len(), need: t });
+    }
+    let mut pts = Vec::with_capacity(t);
+    for &i in core.iter().take(t) {
+        let s = &shares[i];
+        if pts.iter().any(|(x, _)| *x == Fp::new(s.index)) {
+            return Err(ShareError::DuplicateIndex(s.index));
+        }
+        pts.push((Fp::new(s.index), s.point()));
+    }
+    Ok(Poly::interpolate_at(&pts, Fp::ZERO))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn deal_reconstruct_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let s = Fp::new(777);
+        let shares = deal(s, 3, 5, &mut rng);
+        assert_eq!(reconstruct(&shares, 3).unwrap(), s);
+        // Any 3 shares suffice.
+        assert_eq!(reconstruct(&shares[2..], 3).unwrap(), s);
+    }
+
+    #[test]
+    fn shares_are_pairwise_consistent() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let shares = deal(Fp::new(5), 4, 7, &mut rng);
+        for a in &shares {
+            for b in &shares {
+                assert!(a.consistent_with(b), "{} vs {}", a.index, b.index);
+            }
+        }
+    }
+
+    #[test]
+    fn forged_share_is_excluded_by_the_consistency_core() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let s = Fp::new(424242);
+        let mut shares = deal(s, 3, 7, &mut rng);
+        // Two cheaters (≤ t−1 = 2) replace their polynomials entirely.
+        for cheat in 0..2 {
+            shares[cheat].poly = (0..3).map(|_| random_fp(&mut rng)).collect();
+        }
+        let core = consistent_core(&shares);
+        assert!(core.iter().all(|&i| i >= 2), "cheaters excluded: {core:?}");
+        assert_eq!(reconstruct(&shares, 3).unwrap(), s, "honest majority still wins");
+    }
+
+    #[test]
+    fn too_many_cheaters_block_but_cannot_forge() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let s = Fp::new(99);
+        let mut shares = deal(s, 4, 7, &mut rng);
+        // 4 cheaters (≥ t): they can deny service…
+        for cheat in 0..4 {
+            shares[cheat].poly = (0..4).map(|_| random_fp(&mut rng)).collect();
+        }
+        match reconstruct(&shares, 4) {
+            Ok(v) => assert_eq!(v, s, "if anything reconstructs, it is the real secret"),
+            Err(ShareError::TooFewShares { .. }) => {}
+            Err(e) => panic!("unexpected error {e}"),
+        }
+    }
+
+    #[test]
+    fn t_minus_one_shares_are_secret_independent() {
+        // Re-deal the same secret; a (t−1)-view varies freely.
+        let mut seen = std::collections::HashSet::new();
+        for seed in 0..40 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let shares = deal(Fp::new(1), 3, 5, &mut rng);
+            seen.insert((shares[0].point().value(), shares[1].point().value()));
+        }
+        assert!(seen.len() > 35, "two-share views look fresh every time");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_roundtrip(v in 0u64..u64::MAX, t in 1usize..5, extra in 0usize..4, seed: u64) {
+            let n = t + extra;
+            let mut rng = StdRng::seed_from_u64(seed);
+            let s = Fp::new(v);
+            let shares = deal(s, t, n, &mut rng);
+            prop_assert_eq!(reconstruct(&shares, t).unwrap(), s);
+        }
+
+        #[test]
+        fn prop_crossover_symmetry(v in 0u64..u64::MAX, seed: u64) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let shares = deal(Fp::new(v), 3, 6, &mut rng);
+            for a in &shares {
+                for b in &shares {
+                    prop_assert_eq!(a.eval(Fp::new(b.index)), b.eval(Fp::new(a.index)));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,202 @@
+//! The byte field GF(2^8) with the AES reduction polynomial
+//! x^8 + x^4 + x^3 + x + 1 (0x11b).
+//!
+//! Used by `fair-crypto` for byte-wise secret sharing of arbitrary strings:
+//! sharing a message byte-by-byte over GF(2^8) keeps share sizes equal to the
+//! message size.
+
+use core::fmt;
+use core::iter::Sum;
+use core::ops::{Add, AddAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// An element of GF(2^8).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Gf256(u8);
+
+impl Gf256 {
+    /// The additive identity.
+    pub const ZERO: Gf256 = Gf256(0);
+    /// The multiplicative identity.
+    pub const ONE: Gf256 = Gf256(1);
+
+    /// Wraps a byte as a field element (every byte is valid).
+    pub const fn new(x: u8) -> Gf256 {
+        Gf256(x)
+    }
+
+    /// Returns the underlying byte.
+    pub const fn value(self) -> u8 {
+        self.0
+    }
+
+    /// Carry-less multiplication reduced by the AES polynomial.
+    fn mul_slow(a: u8, b: u8) -> u8 {
+        let mut a = a as u16;
+        let mut b = b;
+        let mut r: u16 = 0;
+        while b != 0 {
+            if b & 1 == 1 {
+                r ^= a;
+            }
+            a <<= 1;
+            if a & 0x100 != 0 {
+                a ^= 0x11b;
+            }
+            b >>= 1;
+        }
+        r as u8
+    }
+
+    /// Raises `self` to the power `e`.
+    pub fn pow(self, mut e: u32) -> Gf256 {
+        let mut base = self;
+        let mut acc = Gf256::ONE;
+        while e > 0 {
+            if e & 1 == 1 {
+                acc *= base;
+            }
+            base *= base;
+            e >>= 1;
+        }
+        acc
+    }
+
+    /// Multiplicative inverse via a^254; `None` for zero.
+    pub fn inverse(self) -> Option<Gf256> {
+        if self.0 == 0 {
+            None
+        } else {
+            Some(self.pow(254))
+        }
+    }
+}
+
+impl fmt::Debug for Gf256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Gf256(0x{:02x})", self.0)
+    }
+}
+
+impl fmt::Display for Gf256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "0x{:02x}", self.0)
+    }
+}
+
+impl From<u8> for Gf256 {
+    fn from(x: u8) -> Gf256 {
+        Gf256(x)
+    }
+}
+
+impl From<Gf256> for u8 {
+    fn from(x: Gf256) -> u8 {
+        x.0
+    }
+}
+
+impl Add for Gf256 {
+    type Output = Gf256;
+    fn add(self, rhs: Gf256) -> Gf256 {
+        Gf256(self.0 ^ rhs.0)
+    }
+}
+
+impl Sub for Gf256 {
+    type Output = Gf256;
+    fn sub(self, rhs: Gf256) -> Gf256 {
+        Gf256(self.0 ^ rhs.0)
+    }
+}
+
+impl Neg for Gf256 {
+    type Output = Gf256;
+    fn neg(self) -> Gf256 {
+        self // characteristic 2
+    }
+}
+
+impl Mul for Gf256 {
+    type Output = Gf256;
+    fn mul(self, rhs: Gf256) -> Gf256 {
+        Gf256(Gf256::mul_slow(self.0, rhs.0))
+    }
+}
+
+impl AddAssign for Gf256 {
+    fn add_assign(&mut self, rhs: Gf256) {
+        *self = *self + rhs;
+    }
+}
+
+impl SubAssign for Gf256 {
+    fn sub_assign(&mut self, rhs: Gf256) {
+        *self = *self - rhs;
+    }
+}
+
+impl MulAssign for Gf256 {
+    fn mul_assign(&mut self, rhs: Gf256) {
+        *self = *self * rhs;
+    }
+}
+
+impl Sum for Gf256 {
+    fn sum<I: Iterator<Item = Gf256>>(iter: I) -> Gf256 {
+        iter.fold(Gf256::ZERO, |a, b| a + b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn known_aes_products() {
+        // Classic AES MixColumns facts.
+        assert_eq!(Gf256::new(0x57) * Gf256::new(0x83), Gf256::new(0xc1));
+        assert_eq!(Gf256::new(0x57) * Gf256::new(0x13), Gf256::new(0xfe));
+        assert_eq!(Gf256::new(0x02) * Gf256::new(0x80), Gf256::new(0x1b));
+    }
+
+    #[test]
+    fn add_is_xor() {
+        assert_eq!(Gf256::new(0xf0) + Gf256::new(0x0f), Gf256::new(0xff));
+        assert_eq!(Gf256::new(0xaa) + Gf256::new(0xaa), Gf256::ZERO);
+    }
+
+    #[test]
+    fn every_nonzero_element_inverts() {
+        for x in 1..=255u8 {
+            let a = Gf256::new(x);
+            let inv = a.inverse().expect("nonzero");
+            assert_eq!(a * inv, Gf256::ONE, "x = {x}");
+        }
+        assert!(Gf256::ZERO.inverse().is_none());
+    }
+
+    #[test]
+    fn pow_zero_is_one() {
+        assert_eq!(Gf256::new(0x42).pow(0), Gf256::ONE);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_mul_commutes(a: u8, b: u8) {
+            prop_assert_eq!(Gf256(a) * Gf256(b), Gf256(b) * Gf256(a));
+        }
+
+        #[test]
+        fn prop_distributivity(a: u8, b: u8, c: u8) {
+            let (a, b, c) = (Gf256(a), Gf256(b), Gf256(c));
+            prop_assert_eq!(a * (b + c), a * b + a * c);
+        }
+
+        #[test]
+        fn prop_mul_associates(a: u8, b: u8, c: u8) {
+            let (a, b, c) = (Gf256(a), Gf256(b), Gf256(c));
+            prop_assert_eq!((a * b) * c, a * (b * c));
+        }
+    }
+}

@@ -1,0 +1,36 @@
+#![warn(missing_docs)]
+//! Every protocol from *"How Fair is Your Protocol?"*, runnable on the
+//! `fair-runtime` engine:
+//!
+//! * [`contract`] — the introduction's contract-signing protocols Π1
+//!   (fixed opening order; fully unfair) and Π2 (coin-tossed order; twice
+//!   as fair).
+//! * [`coin_toss`] — Blum's commit-then-open coin toss, Π2's subprotocol.
+//! * [`opt2`] — **Π^Opt_2SFE**, the optimally fair two-party SFE protocol
+//!   (Section 4.1, Theorems 3/4).
+//! * [`optn`] — **Π^Opt_nSFE**, its multi-party counterpart (Section 4.2 /
+//!   Appendix B, Lemmas 11–13).
+//! * [`gmw_half`] — the honest-majority fair protocol Π^{1/2}_GMW with its
+//!   threshold cliff (Lemma 17).
+//! * [`artificial`] — the optimally-fair-but-not-utility-balanced
+//!   counterexample (Lemma 18).
+//! * [`one_round`] — the single-reconstruction-round strawman refuted by
+//!   Lemma 10.
+//! * [`gordon_katz`] — the 1/p-secure protocols of Gordon and Katz
+//!   analyzed in Section 5 (Theorems 23/24), including their ShareGen
+//!   functionality.
+//! * [`leaky`] — the protocol Π̃ that separates 1/p-security from the
+//!   paper's utility-based notion (Lemmas 26/27).
+//! * [`scenarios`] — ready-made experiment scenarios binding each protocol
+//!   to the `fair-core` utility estimator.
+
+pub mod artificial;
+pub mod coin_toss;
+pub mod contract;
+pub mod gmw_half;
+pub mod gordon_katz;
+pub mod leaky;
+pub mod one_round;
+pub mod opt2;
+pub mod optn;
+pub mod scenarios;

@@ -1,0 +1,122 @@
+//! Embedding a functionality written against its own message type into a
+//! protocol with a richer message enum.
+//!
+//! Reusable functionalities (the SFE hybrids in `fair-sfe`, the triple
+//! dealer, ShareGen) each define their own message enum `MI`. A protocol
+//! whose wire type is `MO` embeds such a functionality by providing the two
+//! conversion functions — typically `MO` has a variant wrapping `MI`.
+
+use crate::func::{FuncCtx, Functionality};
+use crate::msg::{Envelope, OutMsg};
+
+/// Wraps a `Functionality<MI>` as a `Functionality<MO>`.
+pub struct Adapted<MO, MI, F> {
+    inner: F,
+    down: fn(&MO) -> Option<MI>,
+    up: fn(MI) -> MO,
+    _marker: core::marker::PhantomData<fn() -> (MO, MI)>,
+}
+
+impl<MO, MI, F> Adapted<MO, MI, F> {
+    /// Creates the adapter. `down` extracts the inner message from an outer
+    /// one (returning `None` for messages not addressed to this
+    /// functionality, which are dropped); `up` wraps replies.
+    pub fn new(inner: F, down: fn(&MO) -> Option<MI>, up: fn(MI) -> MO) -> Self {
+        Adapted { inner, down, up, _marker: core::marker::PhantomData }
+    }
+
+    /// Access to the wrapped functionality.
+    pub fn inner(&self) -> &F {
+        &self.inner
+    }
+}
+
+impl<MO, MI, F> Functionality<MO> for Adapted<MO, MI, F>
+where
+    F: Functionality<MI>,
+{
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn on_round(&mut self, ctx: &mut FuncCtx<'_>, incoming: &[Envelope<MO>]) -> Vec<OutMsg<MO>> {
+        let translated: Vec<Envelope<MI>> = incoming
+            .iter()
+            .filter_map(|e| {
+                (self.down)(&e.msg).map(|m| Envelope { from: e.from, to: e.to, msg: m })
+            })
+            .collect();
+        self.inner
+            .on_round(ctx, &translated)
+            .into_iter()
+            .map(|o| OutMsg { to: o.to, msg: (self.up)(o.msg) })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::func::Ledger;
+    use crate::msg::{Destination, Endpoint, PartyId};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::collections::BTreeSet;
+
+    /// Echoes every u64 back to its sender, doubled.
+    struct Doubler;
+
+    impl Functionality<u64> for Doubler {
+        fn name(&self) -> &str {
+            "doubler"
+        }
+
+        fn on_round(&mut self, _ctx: &mut FuncCtx<'_>, incoming: &[Envelope<u64>]) -> Vec<OutMsg<u64>> {
+            incoming
+                .iter()
+                .filter_map(|e| {
+                    e.from_party().map(|p| OutMsg::to_party(p, e.msg * 2))
+                })
+                .collect()
+        }
+    }
+
+    #[derive(Clone, PartialEq, Debug)]
+    enum Outer {
+        Num(u64),
+        Other(&'static str),
+    }
+
+    fn down(m: &Outer) -> Option<u64> {
+        match m {
+            Outer::Num(x) => Some(*x),
+            Outer::Other(_) => None,
+        }
+    }
+
+    #[test]
+    fn adapter_translates_both_ways_and_drops_foreign_messages() {
+        let mut adapted = Adapted::new(Doubler, down, Outer::Num);
+        assert_eq!(Functionality::<Outer>::name(&adapted), "doubler");
+        let mut ledger = Ledger::new();
+        let corrupted = BTreeSet::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut ctx = FuncCtx { round: 0, n: 2, corrupted: &corrupted, ledger: &mut ledger, rng: &mut rng };
+        let incoming = vec![
+            Envelope {
+                from: Endpoint::Party(PartyId(0)),
+                to: Destination::Func(crate::msg::FuncId(0)),
+                msg: Outer::Num(21),
+            },
+            Envelope {
+                from: Endpoint::Party(PartyId(1)),
+                to: Destination::Func(crate::msg::FuncId(0)),
+                msg: Outer::Other("ignored"),
+            },
+        ];
+        let out = adapted.on_round(&mut ctx, &incoming);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].to, Destination::Party(PartyId(0)));
+        assert_eq!(out[0].msg, Outer::Num(42));
+    }
+}

@@ -1,0 +1,215 @@
+//! The adversary interface: rushing scheduling, adaptive corruptions, and
+//! full control over corrupted parties.
+//!
+//! The scheduling implemented by the engine gives the adversary exactly the
+//! powers the paper's lower-bound proofs use:
+//!
+//! * **Rushing** — each round the adversary sees every message an honest
+//!   party sent to a corrupted party (and every honest broadcast) *before*
+//!   it has to send the corrupted parties' own round messages.
+//! * **Adaptive corruption** — at any round boundary the adversary may
+//!   corrupt an additional party; it receives the party's live state
+//!   machine (which it can fork for lookahead), the point-to-point
+//!   messages the party had already produced this round (retracted from
+//!   the network — broadcasts stay committed), and the party's inbox.
+//! * **Functionality access** — the adversary speaks to hybrid
+//!   functionalities both on behalf of corrupted parties and through the
+//!   dedicated simulator interface ([`Endpoint::Adversary`]).
+//!
+//! [`Endpoint::Adversary`]: crate::msg::Endpoint::Adversary
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use rand::rngs::StdRng;
+
+use crate::msg::{Destination, Endpoint, Envelope, OutMsg, PartyId};
+use crate::party::{Party, RoundCtx};
+use crate::value::Value;
+
+/// What the adversary sees in a round before sending.
+#[derive(Debug)]
+pub struct RoundView<'a, M> {
+    /// Current round (0-based).
+    pub round: usize,
+    /// Number of parties.
+    pub n: usize,
+    /// Messages delivered this round to corrupted parties, plus messages
+    /// functionalities addressed directly to the adversary.
+    pub delivered: &'a [Envelope<M>],
+    /// Rushing visibility: messages produced *this round* by honest parties
+    /// that are addressed to a corrupted party or broadcast.
+    pub rushing: &'a [Envelope<M>],
+}
+
+/// The result of corrupting a party mid-execution.
+#[derive(Debug)]
+pub struct CorruptionGrant<M> {
+    /// Point-to-point messages the party had already produced this round;
+    /// they are retracted from the network and it is the adversary's
+    /// choice whether to re-send any of them. **Broadcasts are not
+    /// retractable**: the paper's ideal broadcast channel guarantees that
+    /// once a message "is out … it will be seen by all parties" (App. B),
+    /// even if the sender is corrupted in the same round.
+    pub retracted: Vec<OutMsg<M>>,
+    /// The party's inbox for the current round.
+    pub inbox: Vec<Envelope<M>>,
+    /// Honest messages produced this round that are addressed to the newly
+    /// corrupted party (now visible by rushing).
+    pub now_visible: Vec<Envelope<M>>,
+}
+
+/// The adversary's handle on the execution during its round step.
+pub struct AdvControl<'a, M> {
+    pub(crate) round: usize,
+    pub(crate) n: usize,
+    pub(crate) corrupted: &'a mut BTreeSet<PartyId>,
+    pub(crate) honest: &'a mut Vec<Option<Box<dyn Party<M>>>>,
+    pub(crate) pool: &'a mut BTreeMap<PartyId, Box<dyn Party<M>>>,
+    pub(crate) honest_out: &'a mut Vec<(PartyId, OutMsg<M>)>,
+    pub(crate) inboxes: &'a BTreeMap<PartyId, Vec<Envelope<M>>>,
+    pub(crate) sends: Vec<(Endpoint, OutMsg<M>)>,
+}
+
+impl<'a, M: Clone> AdvControl<'a, M> {
+    /// Number of parties.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Current round.
+    pub fn round(&self) -> usize {
+        self.round
+    }
+
+    /// The set of currently corrupted parties.
+    pub fn corrupted(&self) -> &BTreeSet<PartyId> {
+        self.corrupted
+    }
+
+    /// Sends a message this round in the name of corrupted party `from`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from` is not corrupted — the adversary cannot speak for
+    /// honest parties.
+    pub fn send_as(&mut self, from: PartyId, out: OutMsg<M>) {
+        assert!(
+            self.corrupted.contains(&from),
+            "adversary cannot send as honest party {from}"
+        );
+        self.sends.push((Endpoint::Party(from), out));
+    }
+
+    /// Sends a message through the adversary's own interface (to a
+    /// functionality, e.g. an abort instruction).
+    pub fn send_adv(&mut self, out: OutMsg<M>) {
+        self.sends.push((Endpoint::Adversary, out));
+    }
+
+    /// Adaptively corrupts `pid`.
+    ///
+    /// Returns `None` if the party is already corrupted. Otherwise moves the
+    /// party under adversarial control and returns the [`CorruptionGrant`].
+    pub fn corrupt(&mut self, pid: PartyId) -> Option<CorruptionGrant<M>> {
+        if self.corrupted.contains(&pid) {
+            return None;
+        }
+        let machine = self.honest[pid.0].take().expect("honest party machine present");
+        self.pool.insert(pid, machine);
+        self.corrupted.insert(pid);
+        let mut retracted = Vec::new();
+        let mut kept = Vec::new();
+        for (p, m) in self.honest_out.drain(..) {
+            // Broadcasts are committed the moment they are produced (the
+            // ideal broadcast channel is not retractable); point-to-point
+            // messages of the newly corrupted party are handed back.
+            if p == pid && !matches!(m.to, Destination::All) {
+                retracted.push(m);
+            } else {
+                kept.push((p, m));
+            }
+        }
+        *self.honest_out = kept;
+        let now_visible = self
+            .honest_out
+            .iter()
+            .filter(|(_, m)| {
+                matches!(m.to, Destination::Party(q) if q == pid)
+                    || matches!(m.to, Destination::All)
+            })
+            .map(|(p, m)| Envelope { from: Endpoint::Party(*p), to: m.to, msg: m.msg.clone() })
+            .collect();
+        let inbox = self.inboxes.get(&pid).cloned().unwrap_or_default();
+        Some(CorruptionGrant { retracted, inbox, now_visible })
+    }
+
+    /// Mutable access to a corrupted party's live state machine (for
+    /// inspection or forking via [`Party::clone_box`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid` is not corrupted.
+    pub fn machine(&mut self, pid: PartyId) -> &mut Box<dyn Party<M>> {
+        self.pool.get_mut(&pid).expect("machine of a corrupted party")
+    }
+
+    /// The current-round inbox of a corrupted party.
+    pub fn inbox_of(&self, pid: PartyId) -> &[Envelope<M>] {
+        self.inboxes.get(&pid).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Runs corrupted party `pid` honestly for this round: feeds it its
+    /// inbox, advances its state, and queues whatever it sends.
+    ///
+    /// This is the building block for the paper's "behave honestly until
+    /// the output is locked, then abort" strategies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid` is not corrupted.
+    pub fn run_honestly(&mut self, pid: PartyId) {
+        let inbox = self.inboxes.get(&pid).cloned().unwrap_or_default();
+        let ctx = RoundCtx { id: pid, n: self.n, round: self.round };
+        let machine = self.pool.get_mut(&pid).expect("machine of a corrupted party");
+        let outs = machine.round(&ctx, &inbox);
+        for out in outs {
+            self.sends.push((Endpoint::Party(pid), out));
+        }
+    }
+}
+
+/// An attack strategy, in the sense of the RPD attack game: the move the
+/// attacker plays after seeing the protocol.
+pub trait Adversary<M> {
+    /// Parties to corrupt before the execution starts.
+    fn initial_corruptions(&mut self, n: usize, rng: &mut StdRng) -> Vec<PartyId>;
+
+    /// One adversarial scheduling step (called every round, after honest
+    /// parties produced their messages).
+    fn on_round(&mut self, view: &RoundView<'_, M>, ctrl: &mut AdvControl<'_, M>, rng: &mut StdRng);
+
+    /// The output value the adversary claims to have learned, reported when
+    /// the execution ends. The harness validates the claim against the
+    /// ledger's ground truth, so over-claiming does not help.
+    fn learned(&self) -> Option<Value> {
+        None
+    }
+}
+
+/// The trivial adversary: corrupts nobody and does nothing.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Passive;
+
+impl<M> Adversary<M> for Passive {
+    fn initial_corruptions(&mut self, _n: usize, _rng: &mut StdRng) -> Vec<PartyId> {
+        Vec::new()
+    }
+
+    fn on_round(
+        &mut self,
+        _view: &RoundView<'_, M>,
+        _ctrl: &mut AdvControl<'_, M>,
+        _rng: &mut StdRng,
+    ) {
+    }
+}

@@ -1,0 +1,103 @@
+//! Hybrid ideal functionalities ("trusted parties").
+//!
+//! Protocols in the paper are described in hybrid models: Π^Opt_2SFE runs in
+//! the F^{f′,⊥}_sfe-hybrid model, the Gordon–Katz protocols in the
+//! ShareGen-hybrid model, and so on. A [`Functionality`] is a trusted
+//! machine that consumes the messages addressed to it each round and emits
+//! messages delivered next round. The adversary interacts with it through
+//! the same message interface (as [`Endpoint::Adversary`]), which is how
+//! abort instructions, output requests and corrupted-party substitutions are
+//! modeled.
+//!
+//! [`Endpoint::Adversary`]: crate::msg::Endpoint::Adversary
+
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+
+use rand::rngs::StdRng;
+
+use crate::msg::{Envelope, PartyId};
+use crate::value::Value;
+
+/// A shared fact ledger.
+///
+/// Functionalities record ground-truth facts about the execution here —
+/// most importantly the actually-computed output `y` — which the fairness
+/// harness in `fair-core` uses to classify the execution into the paper's
+/// events E₀₀/E₀₁/E₁₀/E₁₁ (it must know what "the output" was in order to
+/// decide whether the adversary *learned* it).
+#[derive(Clone, Debug, Default)]
+pub struct Ledger {
+    facts: BTreeMap<String, Value>,
+}
+
+impl Ledger {
+    /// Creates an empty ledger.
+    pub fn new() -> Ledger {
+        Ledger::default()
+    }
+
+    /// Records a fact (overwriting any previous value under the key).
+    pub fn record(&mut self, key: &str, value: Value) {
+        self.facts.insert(key.to_string(), value);
+    }
+
+    /// Looks up a fact.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.facts.get(key)
+    }
+
+    /// All recorded facts, in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Value)> {
+        self.facts.iter().map(|(k, v)| (k.as_str(), v))
+    }
+}
+
+/// Context handed to a functionality each round.
+pub struct FuncCtx<'a> {
+    /// Current round (0-based).
+    pub round: usize,
+    /// Number of parties in the execution.
+    pub n: usize,
+    /// The currently corrupted parties. Functionalities whose behaviour
+    /// depends on corruption (e.g. F^⊥_sfe only hands *corrupted* outputs to
+    /// the adversary) consult this set.
+    pub corrupted: &'a BTreeSet<PartyId>,
+    /// The shared fact ledger.
+    pub ledger: &'a mut Ledger,
+    /// The execution's master randomness.
+    pub rng: &'a mut StdRng,
+}
+
+/// A trusted third party available to the protocol as a hybrid.
+pub trait Functionality<M> {
+    /// A short human-readable name (for transcripts and error messages).
+    fn name(&self) -> &str;
+
+    /// Consumes this round's messages addressed to the functionality and
+    /// returns messages to deliver next round. Destinations may be parties
+    /// or [`Destination::Adversary`].
+    ///
+    /// [`Destination::Adversary`]: crate::msg::Destination::Adversary
+    fn on_round(
+        &mut self,
+        ctx: &mut FuncCtx<'_>,
+        incoming: &[Envelope<M>],
+    ) -> Vec<crate::msg::OutMsg<M>>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ledger_records_and_overwrites() {
+        let mut l = Ledger::new();
+        assert!(l.get("y").is_none());
+        l.record("y", Value::Scalar(1));
+        l.record("y", Value::Scalar(2));
+        assert_eq!(l.get("y"), Some(&Value::Scalar(2)));
+        let all: Vec<_> = l.iter().collect();
+        assert_eq!(all, vec![("y", &Value::Scalar(2))]);
+    }
+}

@@ -1,0 +1,159 @@
+//! Message addressing: endpoints, destinations and envelopes.
+
+use core::fmt;
+
+/// Identifies a protocol party. Indices are 0-based internally; the paper's
+/// p₁ … pₙ correspond to `PartyId(0)` … `PartyId(n−1)`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct PartyId(pub usize);
+
+impl fmt::Display for PartyId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0 + 1)
+    }
+}
+
+/// Identifies a hybrid ideal functionality within an execution (index into
+/// the instance's functionality table).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct FuncId(pub usize);
+
+impl fmt::Display for FuncId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "F{}", self.0)
+    }
+}
+
+/// The originator of a message.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Endpoint {
+    /// A protocol party.
+    Party(PartyId),
+    /// A hybrid functionality.
+    Func(FuncId),
+    /// The adversary itself (only functionalities accept such messages; they
+    /// model the simulator-facing interface, e.g. abort instructions).
+    Adversary,
+}
+
+impl fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Endpoint::Party(p) => write!(f, "{p}"),
+            Endpoint::Func(id) => write!(f, "{id}"),
+            Endpoint::Adversary => write!(f, "A"),
+        }
+    }
+}
+
+/// Where a message is going.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Destination {
+    /// Bilateral secure channel to one party.
+    Party(PartyId),
+    /// A hybrid functionality.
+    Func(FuncId),
+    /// Broadcast: delivered identically to every party (including the
+    /// sender) next round. The channel is authenticated and consistent —
+    /// a corrupted sender cannot equivocate.
+    All,
+    /// Directly to the adversary (used by functionalities whose spec leaks
+    /// or hands values to the simulator).
+    Adversary,
+}
+
+impl fmt::Display for Destination {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Destination::Party(p) => write!(f, "{p}"),
+            Destination::Func(id) => write!(f, "{id}"),
+            Destination::All => write!(f, "*"),
+            Destination::Adversary => write!(f, "A"),
+        }
+    }
+}
+
+/// A message queued for sending.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct OutMsg<M> {
+    /// Where it goes.
+    pub to: Destination,
+    /// The payload.
+    pub msg: M,
+}
+
+impl<M> OutMsg<M> {
+    /// Convenience constructor.
+    pub fn new(to: Destination, msg: M) -> OutMsg<M> {
+        OutMsg { to, msg }
+    }
+
+    /// Message to a single party.
+    pub fn to_party(pid: PartyId, msg: M) -> OutMsg<M> {
+        OutMsg { to: Destination::Party(pid), msg }
+    }
+
+    /// Message to a functionality.
+    pub fn to_func(fid: FuncId, msg: M) -> OutMsg<M> {
+        OutMsg { to: Destination::Func(fid), msg }
+    }
+
+    /// Broadcast message.
+    pub fn broadcast(msg: M) -> OutMsg<M> {
+        OutMsg { to: Destination::All, msg }
+    }
+}
+
+/// A delivered message.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Envelope<M> {
+    /// Who sent it.
+    pub from: Endpoint,
+    /// Who it is addressed to.
+    pub to: Destination,
+    /// The payload.
+    pub msg: M,
+}
+
+impl<M> Envelope<M> {
+    /// The sending party, if the sender is a party.
+    pub fn from_party(&self) -> Option<PartyId> {
+        match self.from {
+            Endpoint::Party(p) => Some(p),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(PartyId(0).to_string(), "p1");
+        assert_eq!(FuncId(2).to_string(), "F2");
+        assert_eq!(Endpoint::Adversary.to_string(), "A");
+        assert_eq!(Destination::All.to_string(), "*");
+        assert_eq!(Endpoint::Party(PartyId(1)).to_string(), "p2");
+        assert_eq!(Destination::Func(FuncId(0)).to_string(), "F0");
+    }
+
+    #[test]
+    fn constructors_set_destination() {
+        let m = OutMsg::to_party(PartyId(3), "x");
+        assert_eq!(m.to, Destination::Party(PartyId(3)));
+        let b = OutMsg::broadcast("y");
+        assert_eq!(b.to, Destination::All);
+        let f = OutMsg::to_func(FuncId(1), "z");
+        assert_eq!(f.to, Destination::Func(FuncId(1)));
+    }
+
+    #[test]
+    fn envelope_from_party() {
+        let e = Envelope { from: Endpoint::Party(PartyId(2)), to: Destination::All, msg: () };
+        assert_eq!(e.from_party(), Some(PartyId(2)));
+        let e2 = Envelope { from: Endpoint::Adversary, to: Destination::All, msg: () };
+        assert_eq!(e2.from_party(), None);
+    }
+}

@@ -1,0 +1,161 @@
+//! The party abstraction: a cloneable synchronous state machine.
+//!
+//! Cloneability is load-bearing: the paper's proof adversaries (A₁, A_gen,
+//! A_ī) *fork* a corrupted party's honest state machine to test, round by
+//! round, whether it already "holds the actual output" — i.e. whether
+//! running it forward with everyone else silent would produce the real
+//! output. [`run_isolated`] implements exactly that lookahead.
+
+use crate::msg::{Envelope, OutMsg, PartyId};
+use crate::value::Value;
+
+/// Per-round context handed to a party.
+#[derive(Clone, Copy, Debug)]
+pub struct RoundCtx {
+    /// This party's identity.
+    pub id: PartyId,
+    /// Total number of parties.
+    pub n: usize,
+    /// Current round number (0-based).
+    pub round: usize,
+}
+
+/// A synchronous protocol party.
+///
+/// In each round the engine calls [`Party::round`] with the messages
+/// delivered this round; the party returns the messages it sends. Once the
+/// party has decided on an output, [`Party::output`] returns `Some`; a party
+/// that aborts sets its output to [`Value::Bot`].
+///
+/// Implementations must tolerate *missing* messages (an empty or partial
+/// inbox): a counterparty that sends nothing models an abort, and the
+/// fairness experiments rely on parties reacting to that exactly as the
+/// protocol prescribes.
+pub trait Party<M>: core::fmt::Debug {
+    /// Processes one synchronous round.
+    fn round(&mut self, ctx: &RoundCtx, inbox: &[Envelope<M>]) -> Vec<OutMsg<M>>;
+
+    /// The party's final output, once decided.
+    fn output(&self) -> Option<Value>;
+
+    /// Clones the party as a boxed trait object (used by forking
+    /// adversaries for lookahead).
+    fn clone_box(&self) -> Box<dyn Party<M>>;
+}
+
+impl<M> Clone for Box<dyn Party<M>> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
+}
+
+/// Runs a forked party in isolation: delivers `first_inbox` in the first
+/// simulated round, then empty inboxes (i.e. everyone else is silent), until
+/// the party outputs or `max_rounds` simulated rounds elapse.
+///
+/// Returns the party's output, or `None` if it never decided. Outgoing
+/// messages are discarded — this is a pure lookahead, not an execution.
+pub fn run_isolated<M: Clone>(
+    party: &mut Box<dyn Party<M>>,
+    ctx0: RoundCtx,
+    first_inbox: &[Envelope<M>],
+    max_rounds: usize,
+) -> Option<Value> {
+    run_isolated_seq(party, ctx0, &[first_inbox.to_vec()], max_rounds)
+}
+
+/// Like [`run_isolated`], but delivers a *sequence* of inboxes: `inboxes[k]`
+/// arrives in the k-th simulated round, then silence. Forking adversaries
+/// use this to model in-flight messages (seen by rushing this round, but
+/// delivered to the party next round).
+pub fn run_isolated_seq<M: Clone>(
+    party: &mut Box<dyn Party<M>>,
+    ctx0: RoundCtx,
+    inboxes: &[Vec<Envelope<M>>],
+    max_rounds: usize,
+) -> Option<Value> {
+    let empty: Vec<Envelope<M>> = Vec::new();
+    for r in 0..max_rounds {
+        if let Some(out) = party.output() {
+            return Some(out);
+        }
+        let inbox = inboxes.get(r).unwrap_or(&empty);
+        let ctx = RoundCtx { round: ctx0.round + r, ..ctx0 };
+        let _ = party.round(&ctx, inbox);
+    }
+    party.output()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::msg::{Destination, Endpoint};
+
+    /// A toy party: echoes for `wait` rounds, then outputs how many
+    /// messages it saw in total.
+    #[derive(Clone, Debug)]
+    struct Counter {
+        wait: usize,
+        seen: u64,
+        done: Option<Value>,
+    }
+
+    impl Party<u64> for Counter {
+        fn round(&mut self, ctx: &RoundCtx, inbox: &[Envelope<u64>]) -> Vec<OutMsg<u64>> {
+            self.seen += inbox.len() as u64;
+            if ctx.round + 1 >= self.wait {
+                self.done = Some(Value::Scalar(self.seen));
+            }
+            vec![OutMsg::broadcast(self.seen)]
+        }
+
+        fn output(&self) -> Option<Value> {
+            self.done.clone()
+        }
+
+        fn clone_box(&self) -> Box<dyn Party<u64>> {
+            Box::new(self.clone())
+        }
+    }
+
+    fn ctx() -> RoundCtx {
+        RoundCtx { id: PartyId(0), n: 2, round: 0 }
+    }
+
+    #[test]
+    fn run_isolated_delivers_first_inbox_then_silence() {
+        let mut p: Box<dyn Party<u64>> =
+            Box::new(Counter { wait: 3, seen: 0, done: None });
+        let first = vec![
+            Envelope { from: Endpoint::Party(PartyId(1)), to: Destination::Party(PartyId(0)), msg: 9 },
+            Envelope { from: Endpoint::Party(PartyId(1)), to: Destination::Party(PartyId(0)), msg: 9 },
+        ];
+        let out = run_isolated(&mut p, ctx(), &first, 10);
+        assert_eq!(out, Some(Value::Scalar(2)));
+    }
+
+    #[test]
+    fn run_isolated_respects_round_budget() {
+        let mut p: Box<dyn Party<u64>> =
+            Box::new(Counter { wait: 100, seen: 0, done: None });
+        assert_eq!(run_isolated(&mut p, ctx(), &[], 5), None);
+    }
+
+    #[test]
+    fn run_isolated_stops_at_existing_output() {
+        let mut p: Box<dyn Party<u64>> =
+            Box::new(Counter { wait: 0, seen: 7, done: Some(Value::Scalar(7)) });
+        assert_eq!(run_isolated(&mut p, ctx(), &[], 5), Some(Value::Scalar(7)));
+    }
+
+    #[test]
+    fn forked_clone_is_independent() {
+        let original: Box<dyn Party<u64>> =
+            Box::new(Counter { wait: 2, seen: 0, done: None });
+        let mut fork = original.clone();
+        let out = run_isolated(&mut fork, ctx(), &[], 10);
+        assert_eq!(out, Some(Value::Scalar(0)));
+        // The original is untouched.
+        assert_eq!(original.output(), None);
+    }
+}

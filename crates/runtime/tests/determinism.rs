@@ -1,0 +1,142 @@
+//! Engine-level invariants: executions are exactly reproducible from a
+//! seed, scheduling is order-stable, and adaptive corruption conserves
+//! party machines.
+
+use fair_runtime::{
+    execute, AdvControl, Adversary, Envelope, Instance, OutMsg, Party, PartyId, Passive, RoundCtx,
+    RoundView, Value,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// A party that mixes its input with whatever it hears and stops after a
+/// few rounds — enough structure for determinism checks.
+#[derive(Clone, Debug)]
+struct Mixer {
+    acc: u64,
+    stop_after: usize,
+    out: Option<Value>,
+}
+
+impl Party<u64> for Mixer {
+    fn round(&mut self, ctx: &RoundCtx, inbox: &[Envelope<u64>]) -> Vec<OutMsg<u64>> {
+        for e in inbox {
+            self.acc = self.acc.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(e.msg);
+        }
+        if ctx.round >= self.stop_after {
+            self.out = Some(Value::Scalar(self.acc));
+            return Vec::new();
+        }
+        vec![OutMsg::broadcast(self.acc)]
+    }
+
+    fn output(&self) -> Option<Value> {
+        self.out.clone()
+    }
+
+    fn clone_box(&self) -> Box<dyn Party<u64>> {
+        Box::new(self.clone())
+    }
+}
+
+fn instance(n: usize, rounds: usize, salt: u64) -> Instance<u64> {
+    Instance {
+        parties: (0..n)
+            .map(|i| {
+                Box::new(Mixer { acc: salt.wrapping_add(i as u64), stop_after: rounds, out: None })
+                    as Box<dyn Party<u64>>
+            })
+            .collect(),
+        funcs: vec![],
+    }
+}
+
+/// Corrupts a random party each execution and injects seeded noise.
+struct NoisyAdversary {
+    target: Option<PartyId>,
+}
+
+impl Adversary<u64> for NoisyAdversary {
+    fn initial_corruptions(&mut self, n: usize, rng: &mut StdRng) -> Vec<PartyId> {
+        let t = PartyId(rng.random_range(0..n));
+        self.target = Some(t);
+        vec![t]
+    }
+
+    fn on_round(&mut self, view: &RoundView<'_, u64>, ctrl: &mut AdvControl<'_, u64>, rng: &mut StdRng) {
+        let t = self.target.expect("chosen at start");
+        if view.round % 2 == 0 {
+            ctrl.send_as(t, OutMsg::broadcast(rng.random()));
+        } else {
+            ctrl.run_honestly(t);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn same_seed_same_outcome(n in 2usize..6, rounds in 1usize..6, salt: u64, seed: u64) {
+        let run = || {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut adv = NoisyAdversary { target: None };
+            execute(instance(n, rounds, salt), &mut adv, &mut rng, rounds + 4)
+        };
+        let a = run();
+        let b = run();
+        prop_assert_eq!(a.outputs, b.outputs);
+        prop_assert_eq!(a.corrupted, b.corrupted);
+        prop_assert_eq!(a.rounds, b.rounds);
+    }
+
+    #[test]
+    fn passive_runs_never_abort(n in 2usize..6, rounds in 1usize..6, salt: u64, seed: u64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let res = execute(instance(n, rounds, salt), &mut Passive, &mut rng, rounds + 4);
+        prop_assert!(res.all_honest_got_output());
+        prop_assert_eq!(res.outputs.len(), n);
+    }
+
+    #[test]
+    fn honest_parties_agree_under_broadcast_only_traffic(n in 2usize..6, rounds in 1usize..5, salt: u64) {
+        // All messages are broadcasts from identical starting rounds, so
+        // honest parties with the same initial state converge.
+        let inst = Instance {
+            parties: (0..n)
+                .map(|_| {
+                    Box::new(Mixer { acc: salt, stop_after: rounds, out: None })
+                        as Box<dyn Party<u64>>
+                })
+                .collect(),
+            funcs: vec![],
+        };
+        let mut rng = StdRng::seed_from_u64(salt);
+        let res = execute(inst, &mut Passive, &mut rng, rounds + 4);
+        let first = res.outputs.values().next().expect("some output").clone();
+        prop_assert!(res.outputs.values().all(|v| *v == first));
+    }
+}
+
+#[test]
+fn corruption_is_conserved() {
+    // Corrupting the same party twice is a no-op; corrupting all parties
+    // ends the run.
+    struct DoubleCorrupt;
+    impl Adversary<u64> for DoubleCorrupt {
+        fn initial_corruptions(&mut self, _n: usize, _r: &mut StdRng) -> Vec<PartyId> {
+            vec![PartyId(0), PartyId(0)]
+        }
+        fn on_round(&mut self, v: &RoundView<'_, u64>, c: &mut AdvControl<'_, u64>, _r: &mut StdRng) {
+            if v.round == 1 {
+                assert!(c.corrupt(PartyId(0)).is_none(), "already corrupted");
+                assert!(c.corrupt(PartyId(1)).is_some(), "fresh corruption succeeds");
+            }
+        }
+    }
+    let mut rng = StdRng::seed_from_u64(5);
+    let res = execute(instance(3, 4, 1), &mut DoubleCorrupt, &mut rng, 10);
+    assert_eq!(res.corrupted.len(), 2);
+    assert_eq!(res.outputs.len(), 1);
+}

@@ -1,0 +1,137 @@
+//! Dummy parties: the trivial protocol around an ideal functionality.
+//!
+//! The "dummy F-hybrid protocol" Φ^F (paper, Definition 19) has each party
+//! forward its input to the functionality and output whatever comes back.
+//! Executing dummy parties against [`FairSfe`] gives the ideal-fairness
+//! benchmark; executing them against [`RandAbortSfe`] with a simulator as
+//! the adversary is the *ideal world* of the 1/p-security comparisons in
+//! Section 5.
+//!
+//! [`FairSfe`]: crate::ideal::FairSfe
+//! [`RandAbortSfe`]: crate::ideal::RandAbortSfe
+
+use fair_runtime::{Envelope, FuncId, OutMsg, Party, RoundCtx, Value};
+
+use crate::ideal::{RandMsg, SfeMsg};
+
+/// Dummy party speaking [`SfeMsg`] to functionality 0.
+#[derive(Clone, Debug)]
+pub struct SfeDummyParty {
+    input: Value,
+    sent: bool,
+    out: Option<Value>,
+}
+
+impl SfeDummyParty {
+    /// Creates the party with its input.
+    pub fn new(input: Value) -> SfeDummyParty {
+        SfeDummyParty { input, sent: false, out: None }
+    }
+}
+
+impl Party<SfeMsg> for SfeDummyParty {
+    fn round(&mut self, _ctx: &RoundCtx, inbox: &[Envelope<SfeMsg>]) -> Vec<OutMsg<SfeMsg>> {
+        for e in inbox {
+            match &e.msg {
+                SfeMsg::Output(v) => self.out = Some(v.clone()),
+                SfeMsg::Abort => self.out = Some(Value::Bot),
+                SfeMsg::Input(_) => {}
+            }
+        }
+        if !self.sent {
+            self.sent = true;
+            return vec![OutMsg::to_func(FuncId(0), SfeMsg::Input(self.input.clone()))];
+        }
+        Vec::new()
+    }
+
+    fn output(&self) -> Option<Value> {
+        self.out.clone()
+    }
+
+    fn clone_box(&self) -> Box<dyn Party<SfeMsg>> {
+        Box::new(self.clone())
+    }
+}
+
+/// Dummy party speaking [`RandMsg`] to functionality 0.
+#[derive(Clone, Debug)]
+pub struct RandDummyParty {
+    input: Value,
+    sent: bool,
+    out: Option<Value>,
+}
+
+impl RandDummyParty {
+    /// Creates the party with its input.
+    pub fn new(input: Value) -> RandDummyParty {
+        RandDummyParty { input, sent: false, out: None }
+    }
+}
+
+impl Party<RandMsg> for RandDummyParty {
+    fn round(&mut self, _ctx: &RoundCtx, inbox: &[Envelope<RandMsg>]) -> Vec<OutMsg<RandMsg>> {
+        for e in inbox {
+            if let RandMsg::Output(v) = &e.msg {
+                self.out = Some(v.clone());
+            }
+        }
+        if !self.sent {
+            self.sent = true;
+            return vec![OutMsg::to_func(FuncId(0), RandMsg::Input(self.input.clone()))];
+        }
+        Vec::new()
+    }
+
+    fn output(&self) -> Option<Value> {
+        self.out.clone()
+    }
+
+    fn clone_box(&self) -> Box<dyn Party<RandMsg>> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ideal::FairSfe;
+    use crate::spec::concat_spec;
+    use fair_runtime::{execute, Instance, Passive, PartyId};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn dummy_protocol_realizes_the_functionality() {
+        let n = 4;
+        let inst = Instance {
+            parties: (0..n)
+                .map(|i| {
+                    Box::new(SfeDummyParty::new(Value::Scalar(i as u64 + 1)))
+                        as Box<dyn Party<SfeMsg>>
+                })
+                .collect(),
+            funcs: vec![Box::new(FairSfe::new(concat_spec(n)))],
+        };
+        let mut rng = StdRng::seed_from_u64(0);
+        let res = execute(inst, &mut Passive, &mut rng, 20);
+        let y = Value::Tuple((1..=n as u64).map(Value::Scalar).collect());
+        assert!(res.all_honest_output(&y));
+        for i in 0..n {
+            assert_eq!(res.outputs[&PartyId(i)], y);
+        }
+    }
+
+    #[test]
+    fn dummy_party_outputs_bot_on_abort_message() {
+        let mut p = SfeDummyParty::new(Value::Scalar(0));
+        let ctx = RoundCtx { id: PartyId(0), n: 2, round: 0 };
+        let env = Envelope {
+            from: fair_runtime::Endpoint::Func(FuncId(0)),
+            to: fair_runtime::Destination::Party(PartyId(0)),
+            msg: SfeMsg::Abort,
+        };
+        let _ = p.round(&ctx, &[env]);
+        assert_eq!(p.output(), Some(Value::Bot));
+    }
+}

@@ -1,0 +1,206 @@
+//! The public-output → private-output transform of Appendix B.
+//!
+//! A public-output SFE protocol can evaluate a function with *private*
+//! per-party outputs by the paper's standard trick: each party p_i inputs,
+//! besides its function input x_i, a fresh one-time key k_i; the public
+//! output is the vector (y₁ ⊕ k₁, …, yₙ ⊕ kₙ) in which every component is
+//! perfectly blinded by the key of its owner. Each party decrypts its own
+//! slot and learns nothing about the others'.
+//!
+//! Here keys are PRG seeds (the pad is the seed-expanded stream, so
+//! arbitrary-length outputs are covered) and the blinding operates on the
+//! canonical [`Value`] encoding.
+
+use std::sync::Arc;
+
+use fair_crypto::prg::Prg;
+use fair_runtime::Value;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::spec::{IdealOutput, IdealSpec};
+
+/// A function with one private output per party, at the `Value` level.
+pub type PrivateVecFn = Arc<dyn Fn(&[Value]) -> Vec<Value> + Send + Sync>;
+
+/// Byte length of the one-time keys (PRG seeds).
+pub const KEY_LEN: usize = 16;
+
+/// Samples a fresh blinding key.
+pub fn sample_key<R: Rng + ?Sized>(rng: &mut R) -> Vec<u8> {
+    fair_crypto::prg::random_bytes(rng, KEY_LEN)
+}
+
+/// Wraps a party's function input together with its blinding key, as the
+/// transformed protocol expects it: `Pair(x, Bytes(k))`.
+pub fn wrap_input(x: Value, key: &[u8]) -> Value {
+    Value::pair(x, Value::Bytes(key.to_vec()))
+}
+
+fn blind(plain: &Value, key: &[u8]) -> Value {
+    let enc = plain.encode();
+    let pad = Prg::new(key).next_bytes(enc.len());
+    Value::Bytes(enc.iter().zip(&pad).map(|(a, b)| a ^ b).collect())
+}
+
+/// Decrypts one blinded component with the owner's key. Returns `None` if
+/// the ciphertext does not decode under this key (i.e. it is not yours).
+pub fn unblind(component: &Value, key: &[u8]) -> Option<Value> {
+    let ct = component.as_bytes()?;
+    let pad = Prg::new(key).next_bytes(ct.len());
+    let enc: Vec<u8> = ct.iter().zip(&pad).map(|(a, b)| a ^ b).collect();
+    Value::decode(&enc)
+}
+
+/// Extracts party `i`'s private output from the public blinded vector.
+pub fn extract(public: &Value, i: usize, key: &[u8]) -> Option<Value> {
+    let Value::Tuple(slots) = public else { return None };
+    unblind(slots.get(i)?, key)
+}
+
+/// The transformed *public-output* specification: takes wrapped inputs
+/// `Pair(x_i, k_i)` and outputs the blinded vector to everyone. Records
+/// the fact `y` (the public blinded vector) — the private plaintexts are
+/// deliberately *not* put in the ledger, matching what any protocol
+/// participant can observe.
+pub fn blinded_spec(name: &str, n: usize, f: PrivateVecFn) -> IdealSpec {
+    IdealSpec::new(name, n, move |inputs, _rng: &mut StdRng| {
+        let mut xs = Vec::with_capacity(inputs.len());
+        let mut keys: Vec<Option<Vec<u8>>> = Vec::with_capacity(inputs.len());
+        for inp in inputs {
+            match inp {
+                Value::Pair(x, k) => {
+                    xs.push((**x).clone());
+                    keys.push(k.as_bytes().map(<[u8]>::to_vec));
+                }
+                other => {
+                    xs.push(other.clone());
+                    keys.push(None);
+                }
+            }
+        }
+        let ys = f(&xs);
+        assert_eq!(ys.len(), inputs.len(), "one private output per party");
+        let slots: Vec<Value> = ys
+            .iter()
+            .zip(&keys)
+            .map(|(y, k)| match k {
+                Some(key) => blind(y, key),
+                // A party that supplied no key gets its slot in the clear
+                // (its own choice — it forfeited the blinding).
+                None => y.clone(),
+            })
+            .collect();
+        let public = Value::Tuple(slots);
+        IdealOutput {
+            facts: vec![("y".to_string(), public.clone())],
+            per_party: vec![public; inputs.len()],
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    /// The swap function with genuinely private outputs: p1 gets x2, p2
+    /// gets x1.
+    fn swap_priv() -> PrivateVecFn {
+        Arc::new(|xs: &[Value]| vec![xs[1].clone(), xs[0].clone()])
+    }
+
+    #[test]
+    fn blinded_spec_roundtrips_each_party_slot() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let k1 = sample_key(&mut rng);
+        let k2 = sample_key(&mut rng);
+        let spec = blinded_spec("swap-priv", 2, swap_priv());
+        let out = spec.eval(
+            &[
+                wrap_input(Value::Scalar(10), &k1),
+                wrap_input(Value::Scalar(20), &k2),
+            ],
+            &mut rng,
+        );
+        let public = &out.per_party[0];
+        assert_eq!(out.per_party[1], *public, "public output is common");
+        assert_eq!(extract(public, 0, &k1), Some(Value::Scalar(20)));
+        assert_eq!(extract(public, 1, &k2), Some(Value::Scalar(10)));
+    }
+
+    #[test]
+    fn wrong_key_reveals_nothing_decodable() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let k1 = sample_key(&mut rng);
+        let k2 = sample_key(&mut rng);
+        let spec = blinded_spec("swap-priv", 2, swap_priv());
+        let out = spec.eval(
+            &[
+                wrap_input(Value::Scalar(123456), &k1),
+                wrap_input(Value::Scalar(654321), &k2),
+            ],
+            &mut rng,
+        );
+        // p1 trying to open p2's slot with its own key: the decode fails
+        // (or, with negligible probability, yields garbage ≠ plaintext).
+        let stolen = extract(&out.per_party[0], 1, &k1);
+        assert_ne!(stolen, Some(Value::Scalar(123456)));
+    }
+
+    #[test]
+    fn blinding_is_key_dependent() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let spec = blinded_spec("swap-priv", 2, swap_priv());
+        let k = sample_key(&mut rng);
+        let out1 = spec.eval(
+            &[wrap_input(Value::Scalar(5), &k), wrap_input(Value::Scalar(6), &sample_key(&mut rng))],
+            &mut rng,
+        );
+        let out2 = spec.eval(
+            &[
+                wrap_input(Value::Scalar(5), &sample_key(&mut rng)),
+                wrap_input(Value::Scalar(6), &sample_key(&mut rng)),
+            ],
+            &mut rng,
+        );
+        // Same plaintexts, fresh keys → different ciphertext slots.
+        assert_ne!(out1.per_party[0], out2.per_party[0]);
+    }
+
+    #[test]
+    fn missing_key_degrades_to_clear_slot() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let k2 = sample_key(&mut rng);
+        let spec = blinded_spec("swap-priv", 2, swap_priv());
+        let out = spec.eval(
+            &[Value::Scalar(7), wrap_input(Value::Scalar(8), &k2)],
+            &mut rng,
+        );
+        let Value::Tuple(slots) = &out.per_party[0] else { panic!("tuple") };
+        assert_eq!(slots[0], Value::Scalar(8), "keyless party's slot is clear");
+        assert_eq!(extract(&out.per_party[0], 1, &k2), Some(Value::Scalar(7)));
+    }
+
+    #[test]
+    fn works_end_to_end_through_the_fair_functionality() {
+        use crate::dummy::SfeDummyParty;
+        use crate::ideal::FairSfe;
+        use fair_runtime::{execute, Instance, Passive, PartyId};
+
+        let mut rng = StdRng::seed_from_u64(4);
+        let k1 = sample_key(&mut rng);
+        let k2 = sample_key(&mut rng);
+        let inst = Instance {
+            parties: vec![
+                Box::new(SfeDummyParty::new(wrap_input(Value::Scalar(1), &k1))),
+                Box::new(SfeDummyParty::new(wrap_input(Value::Scalar(2), &k2))),
+            ],
+            funcs: vec![Box::new(FairSfe::new(blinded_spec("swap-priv", 2, swap_priv())))],
+        };
+        let res = execute(inst, &mut Passive, &mut rng, 20);
+        let pub1 = &res.outputs[&PartyId(0)];
+        assert_eq!(extract(pub1, 0, &k1), Some(Value::Scalar(2)));
+        assert_eq!(extract(&res.outputs[&PartyId(1)], 1, &k2), Some(Value::Scalar(1)));
+    }
+}

@@ -1,0 +1,13 @@
+#![warn(missing_docs)]
+//! Umbrella crate re-exporting the whole `fair-protocols` workspace.
+//!
+//! Downstream users who want everything can depend on `fair-suite`; the
+//! individual crates remain usable on their own.
+pub use fair_bench as bench;
+pub use fair_circuits as circuits;
+pub use fair_core as core;
+pub use fair_crypto as crypto;
+pub use fair_field as field;
+pub use fair_protocols as protocols;
+pub use fair_runtime as runtime;
+pub use fair_sfe as sfe;

@@ -1,0 +1,137 @@
+//! Cross-crate integration: the GMW substrate agrees with plain circuit
+//! evaluation, protocol values survive the crypto encodings, and failure
+//! injection aborts cleanly everywhere.
+
+use fair_circuits::{bits_to_u64, functions, u64_to_bits, Builder};
+use fair_runtime::{execute, Passive, PartyId, Value};
+use fair_sfe::gmw::{gmw_instance, GmwConfig};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn run_gmw(cfg: &std::sync::Arc<GmwConfig>, inputs: &[u64], seed: u64) -> Option<u64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let inst = gmw_instance(cfg, inputs, &mut rng);
+    let res = execute(inst, &mut Passive, &mut rng, cfg.rounds() + 4);
+    res.outputs.get(&PartyId(0)).and_then(|v| v.as_scalar())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn gmw_matches_plain_eval_millionaires(a in 0u64..256, b in 0u64..256, seed: u64) {
+        let cfg = GmwConfig::new(functions::millionaires(8), vec![8, 8]);
+        let mut bits = u64_to_bits(a, 8);
+        bits.extend(u64_to_bits(b, 8));
+        let expect = bits_to_u64(&cfg.circuit().eval(&bits));
+        prop_assert_eq!(run_gmw(&cfg, &[a, b], seed), Some(expect));
+    }
+
+    #[test]
+    fn gmw_matches_plain_eval_three_party_sum(a in 0u64..16, b in 0u64..16, c in 0u64..16, seed: u64) {
+        let cfg = GmwConfig::new(functions::sum_mod(3, 4), vec![4, 4, 4]);
+        let expect = (a + b + c) % 16;
+        prop_assert_eq!(run_gmw(&cfg, &[a, b, c], seed), Some(expect));
+    }
+
+    #[test]
+    fn gmw_matches_arbitrary_built_circuit(x in 0u64..64, y in 0u64..64, seed: u64) {
+        // (x > y) XOR (x == y) over 6-bit inputs, built ad hoc.
+        let mut bld = Builder::new();
+        let xa = bld.inputs(6);
+        let ya = bld.inputs(6);
+        let gt = bld.gt(&xa, &ya);
+        let eq = bld.eq(&xa, &ya);
+        let o = bld.xor(gt, eq);
+        let circuit = bld.finish(vec![o]);
+        let cfg = GmwConfig::new(circuit, vec![6, 6]);
+        let expect = ((x > y) ^ (x == y)) as u64;
+        prop_assert_eq!(run_gmw(&cfg, &[x, y], seed), Some(expect));
+    }
+}
+
+#[test]
+fn values_survive_pack_share_reconstruct_roundtrip() {
+    // The exact pipeline Π^Opt_2SFE puts its outputs through.
+    use fair_crypto::{authshare, mac};
+    let mut rng = StdRng::seed_from_u64(9);
+    let y = Value::pair(
+        Value::Tuple(vec![Value::Scalar(7), Value::Bytes(vec![1, 2, 3])]),
+        Value::Bot,
+    );
+    let packed = mac::pack_bytes(&y.encode());
+    let (h1, h2) = authshare::deal(&packed, &mut rng);
+    let rec = authshare::reconstruct(1, &h1, &h2.share).expect("valid share");
+    let bytes = mac::unpack_bytes(&rec).expect("canonical packing");
+    assert_eq!(Value::decode(&bytes), Some(y));
+}
+
+#[test]
+fn byzantine_message_injection_never_yields_wrong_outputs() {
+    // Fuzz the Π^Opt_2SFE exchange with random garbage shares: honest
+    // parties must end with y, the default evaluation, or ⊥ — never an
+    // arbitrary attacker-chosen value.
+    use fair_crypto::authshare::AuthShare;
+    use fair_crypto::mac::MacTag;
+    use fair_field::Fp;
+    use fair_protocols::opt2::{opt2_instance, swap_fn, Opt2Msg};
+    use fair_runtime::{AdvControl, Adversary, OutMsg, RoundView};
+
+    struct Fuzzer;
+    impl Adversary<Opt2Msg> for Fuzzer {
+        fn initial_corruptions(&mut self, _n: usize, _r: &mut StdRng) -> Vec<PartyId> {
+            vec![PartyId(0)]
+        }
+        fn on_round(
+            &mut self,
+            view: &RoundView<'_, Opt2Msg>,
+            ctrl: &mut AdvControl<'_, Opt2Msg>,
+            rng: &mut StdRng,
+        ) {
+            use rand::RngExt;
+            if view.round == 0 {
+                ctrl.run_honestly(PartyId(0));
+                return;
+            }
+            let share = AuthShare {
+                summand: (0..rng.random_range(1..6usize))
+                    .map(|_| Fp::new(rng.random::<u64>() % fair_field::MODULUS))
+                    .collect(),
+                summand_tag: MacTag(Fp::new(rng.random::<u64>() % fair_field::MODULUS)),
+            };
+            ctrl.send_as(PartyId(0), OutMsg::to_party(PartyId(1), Opt2Msg::Share(share)));
+        }
+    }
+
+    for seed in 0..40u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let inst = opt2_instance(
+            "swap",
+            swap_fn(),
+            [Value::Scalar(11), Value::Scalar(22)],
+            [Value::Scalar(0), Value::Scalar(0)],
+        );
+        let res = execute(inst, &mut Fuzzer, &mut rng, 40);
+        let y = Value::pair(Value::Scalar(22), Value::Scalar(11));
+        let default = Value::pair(Value::Scalar(22), Value::Scalar(0));
+        let out = &res.outputs[&PartyId(1)];
+        assert!(
+            *out == y || *out == default || *out == Value::Bot,
+            "seed {seed}: unexpected honest output {out}"
+        );
+    }
+}
+
+#[test]
+fn umbrella_crate_reexports_everything() {
+    // The fair-suite facade exposes each sub-crate.
+    let _ = fair_suite::field::Fp::new(1);
+    let _ = fair_suite::crypto::sha256::sha256(b"x");
+    let _ = fair_suite::runtime::Value::Scalar(1);
+    let _ = fair_suite::circuits::functions::and1();
+    let _ = fair_suite::core::Payoff::standard();
+    let _ = fair_suite::sfe::spec::and_spec();
+    let _ = fair_suite::protocols::opt2::swap_fn();
+    let _ = fair_suite::bench::default_trials();
+}

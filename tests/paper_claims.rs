@@ -1,0 +1,165 @@
+//! Closed-form cross-checks of the paper's claims, independent of any
+//! protocol execution: the relationships between the bounds must hold for
+//! *every* admissible payoff vector, not just the canonical one the
+//! Monte-Carlo experiments use.
+
+use fair_core::{analytic, Payoff};
+
+/// A grid of Γ⁺_fair vectors (γ01 = 0, 0 ≤ γ00 ≤ γ11 < γ10 = 1).
+fn gamma_plus_grid() -> Vec<Payoff> {
+    let mut out = Vec::new();
+    for g00_i in 0..4 {
+        for g11_i in 0..4 {
+            let g00 = g00_i as f64 * 0.2;
+            let g11 = g11_i as f64 * 0.25;
+            if let Ok(p) = Payoff::gamma_fair_plus(g00.min(g11), 1.0, g11) {
+                out.push(p);
+            }
+        }
+    }
+    assert!(out.len() >= 6, "grid populated");
+    out
+}
+
+#[test]
+fn theorem_3_optimum_interpolates_between_g11_and_g10() {
+    for p in gamma_plus_grid() {
+        let opt = analytic::opt2(&p);
+        assert!(p.g11 <= opt && opt <= p.g10, "{p:?}");
+        // Exactly the midpoint.
+        assert!((opt - (p.g10 + p.g11) / 2.0).abs() < 1e-12);
+    }
+}
+
+#[test]
+fn lemma_11_profile_is_monotone_and_bracketed() {
+    for p in gamma_plus_grid() {
+        for n in 2..8 {
+            for t in 1..n {
+                let u = analytic::optn_t(&p, n, t);
+                assert!(p.g11 <= u + 1e-12 && u <= p.g10 + 1e-12, "n={n} t={t}");
+                if t + 1 < n {
+                    assert!(u <= analytic::optn_t(&p, n, t + 1) + 1e-12, "monotone in t");
+                }
+            }
+            // n−1 corruptions approach γ10 as n grows.
+            assert!(analytic::optn_best(&p, n) <= p.g10);
+        }
+    }
+}
+
+#[test]
+fn two_party_case_of_lemma_11_is_theorem_3() {
+    for p in gamma_plus_grid() {
+        assert!((analytic::optn_t(&p, 2, 1) - analytic::opt2(&p)).abs() < 1e-12);
+    }
+}
+
+#[test]
+fn balance_bound_equals_the_sum_of_the_lemma_11_profile() {
+    for p in gamma_plus_grid() {
+        for n in 2..9 {
+            let sum: f64 = (1..n).map(|t| analytic::optn_t(&p, n, t)).sum();
+            assert!((sum - analytic::balance_sum(&p, n)).abs() < 1e-9, "n = {n}");
+        }
+    }
+}
+
+#[test]
+fn lemma_17_excess_is_positive_exactly_for_even_n() {
+    for p in gamma_plus_grid() {
+        // Strictness of γ10 > γ11 makes the excess strictly positive.
+        for n in 3..10 {
+            let excess = analytic::gmw_half_sum(&p, n) - analytic::balance_sum(&p, n);
+            if n % 2 == 0 {
+                assert!(excess > 0.0, "n = {n}, {p:?}");
+                assert!((excess - (p.g10 - p.g11) / 2.0).abs() < 1e-9);
+            } else {
+                assert!(excess.abs() < 1e-9, "n = {n}");
+            }
+        }
+    }
+}
+
+#[test]
+fn lemma_18_gap_grows_towards_its_limit() {
+    // The t = 1 advantage of the artificial protocol over Π^Opt_nSFE is
+    // (n−1)/n · (γ10−γ11)/2: strictly positive, increasing in n, with
+    // limit (γ10−γ11)/2.
+    for p in gamma_plus_grid() {
+        let mut prev_gap = 0.0;
+        for n in 3..10 {
+            let gap = analytic::artificial_t1(&p, n) - analytic::optn_t(&p, n, 1);
+            let closed_form = (n as f64 - 1.0) / n as f64 * (p.g10 - p.g11) / 2.0;
+            assert!((gap - closed_form).abs() < 1e-12, "n = {n}");
+            assert!(gap > 0.0, "optimal ≠ balanced for every n ({n})");
+            assert!(gap >= prev_gap - 1e-12, "gap monotone in n");
+            assert!(gap <= (p.g10 - p.g11) / 2.0 + 1e-12, "bounded by the limit");
+            prev_gap = gap;
+        }
+    }
+}
+
+#[test]
+fn theorem_6_costs_are_nonnegative_and_undominated_by_zero() {
+    use fair_core::cost::{cost_from_phi, is_ideally_fair, CostFn};
+    for p in gamma_plus_grid() {
+        let n = 5;
+        let phi: Vec<f64> = (1..n).map(|t| analytic::optn_t(&p, n, t)).collect();
+        let cost = cost_from_phi(&phi, &p, n);
+        for t in 1..n {
+            assert!(cost.cost(t) >= -1e-12, "costs are nonnegative");
+        }
+        assert!(is_ideally_fair(&phi, &cost, &p, n, 1e-9));
+        // The free cost function only works if the protocol was ideally
+        // fair to begin with (i.e. φ(t) = s(t) for all t) — which holds
+        // exactly when γ10's edge never materializes; on this grid γ10 = 1
+        // is strictly dominant, so free pricing must fail.
+        assert!(!is_ideally_fair(&phi, &CostFn::free(n), &p, n, 1e-9));
+    }
+}
+
+#[test]
+fn gk_remark_beats_the_generic_optimum_for_p_at_least_3() {
+    // (γ10 + (p−1)γ11)/p < (γ10 + γ11)/2 ⇔ p > 2 (equal at p = 2).
+    for g in gamma_plus_grid() {
+        let generic = analytic::opt2(&g);
+        let at2 = (g.g10 + g.g11) / 2.0;
+        assert!((at2 - generic).abs() < 1e-12);
+        for p in 3..10u64 {
+            let remark = (g.g10 + (p as f64 - 1.0) * g.g11) / p as f64;
+            assert!(
+                remark < generic + 1e-12,
+                "p = {p}: {remark} vs {generic} ({g:?})"
+            );
+        }
+    }
+}
+
+#[test]
+fn minimax_of_the_biased_design_game_is_at_one_half() {
+    use fair_core::game::Game;
+    for p in gamma_plus_grid() {
+        if p.g10 <= p.g11 {
+            continue; // degenerate (excluded by Γfair anyway)
+        }
+        let qs: Vec<f64> = (0..=10).map(|i| i as f64 / 10.0).collect();
+        let matrix: Vec<Vec<f64>> = qs
+            .iter()
+            .map(|&q| {
+                vec![
+                    q * p.g10 + (1.0 - q) * p.g11,
+                    (1.0 - q) * p.g10 + q * p.g11,
+                ]
+            })
+            .collect();
+        let game = Game::new(
+            qs.iter().map(|q| format!("q={q}")).collect(),
+            vec!["p1".into(), "p2".into()],
+            matrix,
+        );
+        let (d, v) = game.minimax();
+        assert_eq!(game.designer_moves()[d], "q=0.5", "{p:?}");
+        assert!((v - analytic::opt2(&p)).abs() < 1e-12);
+    }
+}
