@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# The repo's gate: static checks, tier-1 build + tests, and a smoke run of
+# the reproduction suite through the fair-simlab scheduler.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== cargo fmt --check"
+cargo fmt --check
+
+echo "== cargo clippy (deny warnings)"
+cargo clippy --workspace -- -D warnings
+
+echo "== cargo build --release"
+cargo build --release
+
+echo "== cargo test"
+cargo test -q
+
+echo "== reproduce smoke run (parallel, JSON records)"
+FAIR_TRIALS=100 ./target/release/reproduce --jobs 2 --json BENCH_reproduce.json e1 e4 e13
+
+echo "== ci.sh: all green"

@@ -1,7 +1,7 @@
 //! Criterion benchmarks for the cryptographic substrate.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
-use fair_crypto::{authshare, commit, hmac, mac, share, sha256, sign};
+use fair_crypto::{authshare, commit, hmac, mac, sha256, share, sign};
 use fair_field::Fp;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -18,7 +18,9 @@ fn bench_sha256(c: &mut Criterion) {
 
 fn bench_hmac(c: &mut Criterion) {
     let data = vec![0x5au8; 1024];
-    c.bench_function("hmac_sha256/1KiB", |b| b.iter(|| hmac::hmac_sha256(b"key", &data)));
+    c.bench_function("hmac_sha256/1KiB", |b| {
+        b.iter(|| hmac::hmac_sha256(b"key", &data))
+    });
 }
 
 fn bench_commit(c: &mut Criterion) {
@@ -43,7 +45,9 @@ fn bench_lamport(c: &mut Criterion) {
         )
     });
     c.bench_function("lamport/sign", |b| b.iter(|| sign::sign(&sk, b"message")));
-    c.bench_function("lamport/verify", |b| b.iter(|| sign::verify(&vk, b"message", &sig)));
+    c.bench_function("lamport/verify", |b| {
+        b.iter(|| sign::verify(&vk, b"message", &sig))
+    });
 }
 
 fn bench_mac(c: &mut Criterion) {
@@ -68,7 +72,12 @@ fn bench_sharing(c: &mut Criterion) {
     });
     c.bench_function("authshare/deal_8_elems", |b| {
         b.iter_batched(
-            || (StdRng::seed_from_u64(6), (0..8u64).map(Fp::new).collect::<Vec<_>>()),
+            || {
+                (
+                    StdRng::seed_from_u64(6),
+                    (0..8u64).map(Fp::new).collect::<Vec<_>>(),
+                )
+            },
             |(mut rng, secret)| authshare::deal(&secret, &mut rng),
             BatchSize::SmallInput,
         )

@@ -3,9 +3,9 @@
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 use fair_circuits::functions;
+use fair_core::strategy::CorruptionPlan;
 use fair_core::{run_once, Payoff};
 use fair_protocols::scenarios::{Opt2Scenario, OptnScenario, Strategy};
-use fair_core::strategy::CorruptionPlan;
 use fair_runtime::{execute, Passive};
 use fair_sfe::gmw::{gmw_instance, GmwConfig};
 use rand::rngs::StdRng;
@@ -34,8 +34,9 @@ fn bench_gmw(c: &mut Criterion) {
 fn bench_opt2_trial(c: &mut Criterion) {
     let payoff = Payoff::standard();
     c.bench_function("opt2/lock_abort_trial", |b| {
-        let scenario =
-            Opt2Scenario { strategy: Strategy::LockAbort(CorruptionPlan::RandomSingleton) };
+        let scenario = Opt2Scenario {
+            strategy: Strategy::LockAbort(CorruptionPlan::RandomSingleton),
+        };
         let mut seed = 0u64;
         b.iter(|| {
             seed += 1;

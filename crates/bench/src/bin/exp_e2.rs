@@ -1,14 +1,5 @@
 //! Experiment E2 (see DESIGN.md); equivalent to `reproduce -- e2`.
 
 fn main() {
-    let trials = fair_bench::default_trials();
-    let reports = fair_bench::run_experiment("e2", trials, 0xfa1e).expect("known experiment");
-    let mut pass = true;
-    for r in reports {
-        println!("{}", r.render());
-        pass &= r.pass();
-    }
-    if !pass {
-        std::process::exit(1);
-    }
+    fair_bench::runner::exp_main("e2");
 }

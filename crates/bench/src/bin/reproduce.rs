@@ -1,40 +1,111 @@
 //! Reproduces the paper's quantitative claims: runs the requested
-//! experiments (default: all) and prints paper-vs-measured tables.
+//! experiments (default: all) through the `fair-simlab` scheduler and
+//! prints paper-vs-measured tables plus run observability.
 //!
-//! Usage: `cargo run --release -p fair-bench --bin reproduce [-- e1 e5 …]`
+//! Usage:
+//!   `cargo run --release -p fair-bench --bin reproduce -- [FLAGS] [e1 e5 …]`
+//!
+//! Flags:
+//!   `--jobs N`      worker threads for trial sharding (default: 1, or
+//!                   `FAIR_JOBS`); tallies are bit-identical for every N
+//!   `--json PATH`   write the aggregate run record to PATH
+//!   `--list`        list experiment ids with descriptions and exit
+//!   `--markdown`    render tables as GitHub markdown
+//!
 //! Trials per estimate default to 1000; override with `FAIR_TRIALS`.
+//! Per-experiment records always land in `target/simlab/<exp>.json`.
+
+use fair_bench::runner::{run_suite, SuiteOptions, BASE_SEED};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: reproduce [--jobs N] [--json PATH] [--markdown] [--list] [EXPERIMENT ...]\n\
+         experiment ids: e1 .. e17 (default: all); see --list"
+    );
+    std::process::exit(2);
+}
 
 fn main() {
-    let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let markdown = args.iter().any(|a| a == "--markdown");
-    args.retain(|a| a != "--markdown");
-    let ids: Vec<&str> = if args.is_empty() {
-        fair_bench::ALL_EXPERIMENTS.to_vec()
-    } else {
-        args.iter().map(String::as_str).collect()
-    };
-    let trials = fair_bench::default_trials();
-    let mut all_pass = true;
-    for id in ids {
-        match fair_bench::run_experiment(id, trials, 0xfa1e) {
-            Some(reports) => {
-                for r in reports {
-                    if markdown {
-                        println!("{}", r.render_markdown());
-                    } else {
-                        println!("{}", r.render());
+    let mut args = std::env::args().skip(1);
+    let mut markdown = false;
+    let mut json = None;
+    let mut ids: Vec<String> = Vec::new();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--markdown" => markdown = true,
+            "--list" => {
+                for id in fair_bench::ALL_EXPERIMENTS {
+                    let title = fair_bench::experiment_title(id).expect("title for every id");
+                    println!("{id:<4} {title}");
+                }
+                return;
+            }
+            "--jobs" => {
+                let value = args.next().unwrap_or_else(|| {
+                    eprintln!("error: --jobs needs a value");
+                    usage()
+                });
+                match value.parse::<usize>() {
+                    Ok(n) if n > 0 => fair_simlab::set_jobs(n),
+                    _ => {
+                        eprintln!(
+                            "error: invalid --jobs value {value:?} (want a positive integer)"
+                        );
+                        usage()
                     }
-                    all_pass &= r.pass();
                 }
             }
-            None => {
-                eprintln!("unknown experiment id: {id}");
-                std::process::exit(2);
+            "--json" => {
+                let value = args.next().unwrap_or_else(|| {
+                    eprintln!("error: --json needs a path");
+                    usage()
+                });
+                json = Some(std::path::PathBuf::from(value));
             }
+            "--help" | "-h" => usage(),
+            flag if flag.starts_with("--") => {
+                eprintln!("error: unknown flag {flag:?}");
+                usage()
+            }
+            id => ids.push(id.to_string()),
         }
     }
-    println!("overall: {}", if all_pass { "ALL CLAIMS REPRODUCED ✓" } else { "SOME CLAIMS FAILED ✗" });
-    if !all_pass {
+    if ids.is_empty() {
+        ids = fair_bench::ALL_EXPERIMENTS
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+    }
+    let opts = SuiteOptions {
+        ids,
+        trials: fair_bench::default_trials(),
+        seed: BASE_SEED,
+        markdown,
+        json,
+    };
+    let suite = match run_suite(&opts) {
+        Ok(suite) => suite,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    eprintln!(
+        "[simlab] suite: {} experiments, {} trials each, {} jobs, {:.1}s total",
+        suite.experiments.len(),
+        suite.trials,
+        suite.jobs,
+        suite.total_wall_ms / 1000.0
+    );
+    println!(
+        "overall: {}",
+        if suite.pass {
+            "ALL CLAIMS REPRODUCED ✓"
+        } else {
+            "SOME CLAIMS FAILED ✗"
+        }
+    );
+    if !suite.pass {
         std::process::exit(1);
     }
 }

@@ -22,7 +22,12 @@ use crate::table::{Report, Row};
 /// Tolerance added on top of confidence intervals for pass/fail decisions.
 const TOL: f64 = 0.05;
 
-fn best<S: Scenario>(scenarios: &[S], payoff: &Payoff, trials: usize, seed: u64) -> UtilityEstimate {
+fn best<S: Scenario + Sync>(
+    scenarios: &[S],
+    payoff: &Payoff,
+    trials: usize,
+    seed: u64,
+) -> UtilityEstimate {
     let (ests, idx) = best_of(scenarios, payoff, trials, seed);
     ests[idx].clone()
 }
@@ -33,7 +38,13 @@ pub fn e1(trials: usize, seed: u64) -> Report {
     let u1 = best(&contract_sweep(false), &payoff, trials, seed);
     let u2 = best(&contract_sweep(true), &payoff, trials, seed ^ 1);
     let rows = vec![
-        Row::vs_paper("Π1 sup-utility (γ10)", analytic::pi1(&payoff), u1.mean, u1.ci, TOL),
+        Row::vs_paper(
+            "Π1 sup-utility (γ10)",
+            analytic::pi1(&payoff),
+            u1.mean,
+            u1.ci,
+            TOL,
+        ),
         Row::vs_paper(
             "Π2 sup-utility ((γ10+γ11)/2)",
             analytic::pi2(&payoff),
@@ -47,7 +58,11 @@ pub fn e1(trials: usize, seed: u64) -> Report {
             u2.mean + u2.ci < u1.mean - u1.ci,
         ),
     ];
-    Report::new("E1", "contract signing: coin-tossed order halves the attacker's edge", rows)
+    Report::new(
+        "E1",
+        "contract signing: coin-tossed order halves the attacker's edge",
+        rows,
+    )
 }
 
 /// E2 — Theorem 3: every strategy in the library stays at or below
@@ -67,7 +82,11 @@ pub fn e2(trials: usize, seed: u64) -> Report {
         ests[best_idx].ci,
         TOL,
     ));
-    Report::new("E2", "Π^Opt_2SFE upper bound: u_A ≤ (γ10+γ11)/2 for every strategy", rows)
+    Report::new(
+        "E2",
+        "Π^Opt_2SFE upper bound: u_A ≤ (γ10+γ11)/2 for every strategy",
+        rows,
+    )
 }
 
 /// E3 — Theorem 4 / Lemma 7: the proof adversaries attain the bound.
@@ -75,19 +94,25 @@ pub fn e3(trials: usize, seed: u64) -> Report {
     let payoff = Payoff::standard();
     let bound = analytic::opt2(&payoff);
     let a1 = estimate(
-        &Opt2Scenario { strategy: Strategy::LockAbort(CorruptionPlan::Fixed(vec![0])) },
+        &Opt2Scenario {
+            strategy: Strategy::LockAbort(CorruptionPlan::Fixed(vec![0])),
+        },
         &payoff,
         trials,
         seed,
     );
     let a2 = estimate(
-        &Opt2Scenario { strategy: Strategy::LockAbort(CorruptionPlan::Fixed(vec![1])) },
+        &Opt2Scenario {
+            strategy: Strategy::LockAbort(CorruptionPlan::Fixed(vec![1])),
+        },
         &payoff,
         trials,
         seed ^ 2,
     );
     let agen = estimate(
-        &Opt2Scenario { strategy: Strategy::LockAbort(CorruptionPlan::RandomSingleton) },
+        &Opt2Scenario {
+            strategy: Strategy::LockAbort(CorruptionPlan::RandomSingleton),
+        },
         &payoff,
         trials,
         seed ^ 3,
@@ -104,7 +129,11 @@ pub fn e3(trials: usize, seed: u64) -> Report {
             2.0 * TOL,
         ),
     ];
-    Report::new("E3", "Π^Opt_2SFE lower bound: A1/A2/A_gen achieve (γ10+γ11)/2", rows)
+    Report::new(
+        "E3",
+        "Π^Opt_2SFE lower bound: A1/A2/A_gen achieve (γ10+γ11)/2",
+        rows,
+    )
 }
 
 /// E4 — Lemmas 9/10: Π^Opt_2SFE has two reconstruction rounds; the
@@ -126,22 +155,43 @@ pub fn e4(trials: usize, seed: u64) -> Report {
     };
     let s0 = sweep_for(0, seed);
     let s1 = sweep_for(1, seed ^ 4);
-    let fair: Vec<bool> = s0.fair.iter().zip(&s1.fair).map(|(a, b)| *a && *b).collect();
+    let fair: Vec<bool> = s0
+        .fair
+        .iter()
+        .zip(&s1.fair)
+        .map(|(a, b)| *a && *b)
+        .collect();
     // Definition 8: ℓ counts the rounds in which an abort breaks fairness —
     // the reconstruction rounds. (Engine rounds 0–1 are phase 1, rounds
     // 2–3 are the two reconstruction rounds, round 4+ is past the end.)
     let ell = fair.iter().filter(|f| !**f).count();
-    let unfair_block: Vec<usize> =
-        fair.iter().enumerate().filter(|(_, f)| !**f).map(|(r, _)| r).collect();
+    let unfair_block: Vec<usize> = fair
+        .iter()
+        .enumerate()
+        .filter(|(_, f)| !**f)
+        .map(|(r, _)| r)
+        .collect();
     let strawman = best(&one_round_sweep(), &payoff, trials, seed ^ 5);
     let rows = vec![
-        Row::vs_paper("Π^Opt_2SFE reconstruction rounds ℓ", 2.0, ell as f64, 0.0, 0.0),
+        Row::vs_paper(
+            "Π^Opt_2SFE reconstruction rounds ℓ",
+            2.0,
+            ell as f64,
+            0.0,
+            0.0,
+        ),
         Row::check(
             "unfair aborts are exactly the reconstruction rounds {2,3}",
             unfair_block.len() as f64,
             unfair_block == vec![2, 3],
         ),
-        Row::vs_paper("strawman sup-utility (γ10)", payoff.g10, strawman.mean, strawman.ci, TOL),
+        Row::vs_paper(
+            "strawman sup-utility (γ10)",
+            payoff.g10,
+            strawman.mean,
+            strawman.ci,
+            TOL,
+        ),
         Row::check(
             "strawman less fair than Π^Opt_2SFE",
             strawman.mean,
@@ -157,7 +207,12 @@ pub fn e5(trials: usize, seed: u64, ns: &[usize]) -> Report {
     let mut rows = Vec::new();
     for &n in ns {
         for t in 1..n {
-            let u = best(&optn_sweep(n, t), &payoff, trials, seed ^ ((n * 16 + t) as u64));
+            let u = best(
+                &optn_sweep(n, t),
+                &payoff,
+                trials,
+                seed ^ ((n * 16 + t) as u64),
+            );
             rows.push(Row::vs_paper(
                 format!("n={n} t={t}: (t·γ10+(n−t)·γ11)/n"),
                 analytic::optn_t(&payoff, n, t),
@@ -167,7 +222,11 @@ pub fn e5(trials: usize, seed: u64, ns: &[usize]) -> Report {
             ));
         }
     }
-    Report::new("E5", "Π^Opt_nSFE per-coalition utilities (Lemma 11, tight by Lemma 13)", rows)
+    Report::new(
+        "E5",
+        "Π^Opt_nSFE per-coalition utilities (Lemma 11, tight by Lemma 13)",
+        rows,
+    )
 }
 
 /// E6 — Lemmas 12/13: the A_ī strategies and their mix.
@@ -211,7 +270,11 @@ pub fn e6(trials: usize, seed: u64, n: usize) -> Report {
         u.ci,
         TOL,
     ));
-    Report::new("E6", "multi-party lower bound via the A_ī strategies (Lemmas 12/13)", rows)
+    Report::new(
+        "E6",
+        "multi-party lower bound via the A_ī strategies (Lemmas 12/13)",
+        rows,
+    )
 }
 
 /// E7 — Lemmas 14/16: Π^Opt_nSFE is utility-balanced.
@@ -232,7 +295,11 @@ pub fn e7(trials: usize, seed: u64, n: usize) -> Report {
         sum_ci,
         (n - 1) as f64 * TOL,
     ));
-    Report::new("E7", "Π^Opt_nSFE is utility-balanced (Lemma 14, tight by Lemma 16)", rows)
+    Report::new(
+        "E7",
+        "Π^Opt_nSFE is utility-balanced (Lemma 14, tight by Lemma 16)",
+        rows,
+    )
 }
 
 /// E8 — Lemma 17: Π^{1/2}_GMW per-t cliff; balance violated for even n.
@@ -243,7 +310,12 @@ pub fn e8(trials: usize, seed: u64, ns: &[usize]) -> Report {
         let mut sum = 0.0;
         let mut sum_ci = 0.0;
         for t in 1..n {
-            let u = best(&gmw_half_sweep(n, t), &payoff, trials, seed ^ ((n * 16 + t) as u64));
+            let u = best(
+                &gmw_half_sweep(n, t),
+                &payoff,
+                trials,
+                seed ^ ((n * 16 + t) as u64),
+            );
             sum += u.mean;
             sum_ci += u.ci;
             rows.push(Row::vs_paper(
@@ -263,10 +335,20 @@ pub fn e8(trials: usize, seed: u64, ns: &[usize]) -> Report {
                 violated && (sum - bound - (payoff.g10 - payoff.g11) / 2.0).abs() < sum_ci + TOL,
             ));
         } else {
-            rows.push(Row::vs_paper(format!("n={n} (odd): Σ_t meets balance bound"), bound, sum, sum_ci, (n - 1) as f64 * TOL));
+            rows.push(Row::vs_paper(
+                format!("n={n} (odd): Σ_t meets balance bound"),
+                bound,
+                sum,
+                sum_ci,
+                (n - 1) as f64 * TOL,
+            ));
         }
     }
-    Report::new("E8", "Π^{1/2}_GMW: fair below n/2, unfair at n/2, unbalanced for even n (Lemma 17)", rows)
+    Report::new(
+        "E8",
+        "Π^{1/2}_GMW: fair below n/2, unfair at n/2, unbalanced for even n (Lemma 17)",
+        rows,
+    )
 }
 
 /// E9 — Lemma 18: the artificial protocol is optimally fair but not
@@ -297,7 +379,11 @@ pub fn e9(trials: usize, seed: u64, n: usize) -> Report {
             TOL,
         ),
     ];
-    Report::new("E9", "optimal fairness does not imply utility balance (Lemma 18)", rows)
+    Report::new(
+        "E9",
+        "optimal fairness does not imply utility balance (Lemma 18)",
+        rows,
+    )
 }
 
 /// E10 — Theorem 6 / Lemma 22: the corruption-cost duality.
@@ -309,13 +395,22 @@ pub fn e10(trials: usize, seed: u64, n: usize) -> Report {
     // Measure the ideal benchmark s(t) (dummy protocol around fair SFE)
     // rather than trusting the closed form.
     let s_measured: Vec<UtilityEstimate> = (1..n)
-        .map(|t| best(&ideal_fair_sweep(n, t), &payoff, trials, seed ^ (0x100 + t as u64)))
+        .map(|t| {
+            best(
+                &ideal_fair_sweep(n, t),
+                &payoff,
+                trials,
+                seed ^ (0x100 + t as u64),
+            )
+        })
         .collect();
     let cost = fair_core::cost::cost_from_phi(&phi, &payoff, n);
     let ideally_fair = fair_core::cost::is_ideally_fair(&phi, &cost, &payoff, n, TOL);
     // Any strictly dominated (uniformly cheaper) cost must fail.
     let cheaper = fair_core::cost::CostFn::new(
-        (0..n).map(|t| if t == 0 { 0.0 } else { cost.cost(t) - 0.15 }).collect(),
+        (0..n)
+            .map(|t| if t == 0 { 0.0 } else { cost.cost(t) - 0.15 })
+            .collect(),
     );
     let cheaper_fails = !fair_core::cost::is_ideally_fair(&phi, &cheaper, &payoff, n, TOL);
     let mut rows: Vec<Row> = (1..n)
@@ -338,9 +433,21 @@ pub fn e10(trials: usize, seed: u64, n: usize) -> Report {
             TOL,
         ));
     }
-    rows.push(Row::check("Π^Opt_nSFE ideally γ^C-fair under C", 1.0, ideally_fair));
-    rows.push(Row::check("strictly dominated C′ fails (optimality of C)", 1.0, cheaper_fails));
-    Report::new("E10", "utility balance ⇔ optimal corruption-cost function (Theorem 6)", rows)
+    rows.push(Row::check(
+        "Π^Opt_nSFE ideally γ^C-fair under C",
+        1.0,
+        ideally_fair,
+    ));
+    rows.push(Row::check(
+        "strictly dominated C′ fails (optimality of C)",
+        1.0,
+        cheaper_fails,
+    ));
+    Report::new(
+        "E10",
+        "utility balance ⇔ optimal corruption-cost function (Theorem 6)",
+        rows,
+    )
 }
 
 /// A scenario for the *real* GMW protocol (no ideal hybrid): the rushing
@@ -354,7 +461,14 @@ impl Scenario for GmwScenario {
     type Msg = GmwMsg;
 
     fn name(&self) -> String {
-        format!("GMW-real/{}", if self.lock_abort { "lock-abort" } else { "honest" })
+        format!(
+            "GMW-real/{}",
+            if self.lock_abort {
+                "lock-abort"
+            } else {
+                "honest"
+            }
+        )
     }
 
     fn n(&self) -> usize {
@@ -365,18 +479,28 @@ impl Scenario for GmwScenario {
         let a = rng.random_range(0u64..256);
         let b = rng.random_range(0u64..256);
         let instance = gmw_instance(&self.cfg, &[a, b], rng);
-        let bits: Vec<bool> =
-            u64_to_bits(a, 8).into_iter().chain(u64_to_bits(b, 8)).collect();
+        let bits: Vec<bool> = u64_to_bits(a, 8)
+            .into_iter()
+            .chain(u64_to_bits(b, 8))
+            .collect();
         let truth = Value::Scalar(bits_to_u64(&self.cfg.circuit().eval(&bits)));
         let adversary: Box<dyn fair_runtime::Adversary<GmwMsg>> = if self.lock_abort {
-            Box::new(LockAndAbort::new(CorruptionPlan::Fixed(vec![0]), any_output()))
+            Box::new(LockAndAbort::new(
+                CorruptionPlan::Fixed(vec![0]),
+                any_output(),
+            ))
         } else {
             Box::new(fair_core::strategy::RunHonestly::new(
                 CorruptionPlan::Fixed(vec![0]),
                 any_output(),
             ))
         };
-        Trial { instance, adversary, truth: Some(truth), max_rounds: self.cfg.rounds() + 6 }
+        Trial {
+            instance,
+            adversary,
+            truth: Some(truth),
+            max_rounds: self.cfg.rounds() + 6,
+        }
     }
 }
 
@@ -387,13 +511,19 @@ pub fn e13(trials: usize, seed: u64) -> Report {
     let payoff = Payoff::standard();
     let cfg = GmwConfig::new(fair_circuits::functions::millionaires(8), vec![8, 8]);
     let real = estimate(
-        &GmwScenario { cfg: Arc::clone(&cfg), lock_abort: true },
+        &GmwScenario {
+            cfg: Arc::clone(&cfg),
+            lock_abort: true,
+        },
         &payoff,
         trials,
         seed,
     );
     let honest = estimate(
-        &GmwScenario { cfg, lock_abort: false },
+        &GmwScenario {
+            cfg,
+            lock_abort: false,
+        },
         &payoff,
         trials,
         seed ^ 8,
@@ -499,14 +629,32 @@ pub fn e13(trials: usize, seed: u64) -> Report {
     let yao_eval = estimate(&YaoScenario { corrupt: 1 }, &payoff, trials, seed ^ 10);
     let yao_garb = estimate(&YaoScenario { corrupt: 0 }, &payoff, trials, seed ^ 11);
     let rows = vec![
-        Row::vs_paper("real GMW, lock-abort (γ10)", payoff.g10, real.mean, real.ci, TOL),
-        Row::vs_paper("ideal F_sfe^⊥, same attack (γ10)", payoff.g10, ideal.mean, ideal.ci, TOL),
+        Row::vs_paper(
+            "real GMW, lock-abort (γ10)",
+            payoff.g10,
+            real.mean,
+            real.ci,
+            TOL,
+        ),
+        Row::vs_paper(
+            "ideal F_sfe^⊥, same attack (γ10)",
+            payoff.g10,
+            ideal.mean,
+            ideal.ci,
+            TOL,
+        ),
         Row::check(
             "hybrid and real instantiation agree",
             (real.mean - ideal.mean).abs(),
             (real.mean - ideal.mean).abs() <= real.ci + ideal.ci + TOL,
         ),
-        Row::vs_paper("real GMW, honest coalition (γ11)", payoff.g11, honest.mean, honest.ci, TOL),
+        Row::vs_paper(
+            "real GMW, honest coalition (γ11)",
+            payoff.g11,
+            honest.mean,
+            honest.ci,
+            TOL,
+        ),
         Row::vs_paper(
             "real Yao, corrupted evaluator (γ10)",
             payoff.g10,
@@ -522,7 +670,11 @@ pub fn e13(trials: usize, seed: u64) -> Report {
             TOL,
         ),
     ];
-    Report::new("E13", "composability: replacing the hybrid by real GMW/Yao preserves utilities", rows)
+    Report::new(
+        "E13",
+        "composability: replacing the hybrid by real GMW/Yao preserves utilities",
+        rows,
+    )
 }
 
 /// E11 — Theorems 23/24: the Gordon–Katz protocols bound the attacker's
@@ -581,7 +733,11 @@ pub fn e11(trials: usize, seed: u64) -> Report {
         0.0,
         0.0,
     ));
-    Report::new("E11", "Gordon–Katz protocols: payoff ≤ 1/p with O(p·|Y|) / O(p²·|Z|) rounds", rows)
+    Report::new(
+        "E11",
+        "Gordon–Katz protocols: payoff ≤ 1/p with O(p·|Y|) / O(p²·|Z|) rounds",
+        rows,
+    )
 }
 
 /// E14 — the Section 4.1 remark: for functions admitting a 1/p-secure
@@ -714,7 +870,13 @@ pub fn e16(trials: usize, seed: u64) -> Report {
             sum_ci,
             (n - 1) as f64 * TOL,
         ),
-        Row::vs_paper("Π′ sup-utility = γ10 (not optimal)", payoff.g10, sup, 0.02, TOL),
+        Row::vs_paper(
+            "Π′ sup-utility = γ10 (not optimal)",
+            payoff.g10,
+            sup,
+            0.02,
+            TOL,
+        ),
         Row::check(
             "balanced ⇏ optimal: sup exceeds Π^Opt_nSFE's bound",
             sup - analytic::optn_best(&payoff, n),

@@ -5,14 +5,28 @@
 
 pub mod experiments;
 pub mod partial_exp;
+pub mod runner;
 pub mod table;
 
 pub use table::{Report, Row};
 
 /// Number of Monte-Carlo trials used by the experiment binaries (override
-/// with the `FAIR_TRIALS` environment variable).
+/// with the `FAIR_TRIALS` environment variable). A malformed value is
+/// reported on stderr, then the default of 1000 applies.
 pub fn default_trials() -> usize {
-    std::env::var("FAIR_TRIALS").ok().and_then(|s| s.parse().ok()).unwrap_or(1000)
+    match std::env::var("FAIR_TRIALS") {
+        Ok(s) => match s.trim().parse::<usize>() {
+            Ok(n) if n > 0 => n,
+            _ => {
+                eprintln!(
+                    "warning: ignoring malformed FAIR_TRIALS value {s:?} \
+                     (want a positive integer); using 1000 trials"
+                );
+                1000
+            }
+        },
+        Err(_) => 1000,
+    }
 }
 
 /// Runs an experiment by id; `None` for an unknown id.
@@ -42,6 +56,34 @@ pub fn run_experiment(id: &str, trials: usize, seed: u64) -> Option<Vec<Report>>
 
 /// All experiment ids in order.
 pub const ALL_EXPERIMENTS: [&str; 17] = [
-    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14",
-    "e15", "e16", "e17",
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
+    "e16", "e17",
 ];
+
+/// One-line description of each experiment (for `reproduce --list`).
+pub fn experiment_title(id: &str) -> Option<&'static str> {
+    Some(match id {
+        "e1" => "contract signing: coin-tossed order halves the attacker's edge",
+        "e2" => "Π^Opt_2SFE upper bound: u_A ≤ (γ10+γ11)/2 for every strategy",
+        "e3" => "Π^Opt_2SFE lower bound: A1/A2/A_gen achieve (γ10+γ11)/2",
+        "e4" => "reconstruction-round optimality (Lemmas 9/10)",
+        "e5" => "Π^Opt_nSFE per-coalition utilities (Lemma 11, tight by Lemma 13)",
+        "e6" => "multi-party lower bound via the A_ī strategies (Lemmas 12/13)",
+        "e7" => "Π^Opt_nSFE is utility-balanced (Lemma 14, tight by Lemma 16)",
+        "e8" => "Π^{1/2}_GMW: fair below n/2, unfair at n/2, unbalanced for even n (Lemma 17)",
+        "e9" => "optimal fairness does not imply utility balance (Lemma 18)",
+        "e10" => "utility balance ⇔ optimal corruption-cost function (Theorem 6)",
+        "e11" => "Gordon–Katz protocols: payoff ≤ 1/p with O(p·|Y|) / O(p²·|Z|) rounds",
+        "e12" => "Π̃ separates 1/p-security from utility-based fairness (Lemmas 25–27)",
+        "e13" => "composability: replacing the hybrid by real GMW/Yao preserves utilities",
+        "e14" => {
+            "Section 4.1 remark: 1/p-secure functions admit fairness beyond the generic optimum"
+        }
+        "e15" => "the attack game: uniform i* is the designer's minimax move (Remark 1)",
+        "e16" => "utility-balanced and optimal fairness are incomparable (Appendix B.1)",
+        "e17" => {
+            "Theorem 23: the GK protocol realizes F^{∧,$} — real and ideal observables coincide"
+        }
+        _ => return None,
+    })
+}

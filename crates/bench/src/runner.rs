@@ -1,0 +1,181 @@
+//! The experiment runner: executes experiments through the `fair-simlab`
+//! scheduler with observability (progress lines, wall-clock, per-trial
+//! latency) and persists structured records — `target/simlab/<exp>.json`
+//! per experiment plus an aggregate suite record (`BENCH_reproduce.json`).
+
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+use fair_simlab::metrics;
+use fair_simlab::{ExpRecord, Progress, ReportRecord, RowRecord, SuiteRecord};
+
+use crate::table::Report;
+
+/// Where per-experiment records are persisted, relative to the working
+/// directory.
+pub const RECORD_DIR: &str = "target/simlab";
+
+/// The base seed every experiment binary runs with.
+pub const BASE_SEED: u64 = 0xfa1e;
+
+/// Converts rendered reports into simlab's storage form.
+pub fn to_report_records(reports: &[Report]) -> Vec<ReportRecord> {
+    reports
+        .iter()
+        .map(|rep| ReportRecord {
+            id: rep.id.clone(),
+            title: rep.title.clone(),
+            rows: rep
+                .rows
+                .iter()
+                .map(|row| RowRecord {
+                    label: row.label.clone(),
+                    paper: row.paper,
+                    measured: row.measured,
+                    ci: row.ci,
+                    pass: row.pass,
+                })
+                .collect(),
+        })
+        .collect()
+}
+
+/// Runs one experiment with metrics collection enabled, returning the
+/// rendered reports and the structured execution record. `None` for an
+/// unknown id.
+pub fn run_recorded(id: &str, trials: usize, seed: u64) -> Option<(Vec<Report>, ExpRecord)> {
+    metrics::set_enabled(true);
+    let progress = Progress::start(id, 0, Duration::from_secs(2));
+    let t0 = Instant::now();
+    let reports = crate::run_experiment(id, trials, seed);
+    let wall_ms = t0.elapsed().as_secs_f64() * 1000.0;
+    drop(progress);
+    let latency = metrics::drain_latency();
+    metrics::set_enabled(false);
+    let reports = reports?;
+    let record = ExpRecord {
+        id: id.to_string(),
+        trials,
+        seed,
+        jobs: fair_simlab::effective_jobs(),
+        wall_ms,
+        latency,
+        pass: reports.iter().all(Report::pass),
+        reports: to_report_records(&reports),
+    };
+    Some((reports, record))
+}
+
+/// Options for a `reproduce` suite run, parsed from the CLI.
+pub struct SuiteOptions {
+    /// Experiment ids to run (in order).
+    pub ids: Vec<String>,
+    /// Trials per estimate.
+    pub trials: usize,
+    /// Base seed.
+    pub seed: u64,
+    /// Render tables as GitHub markdown instead of aligned text.
+    pub markdown: bool,
+    /// Where to write the aggregate record (`None` = don't).
+    pub json: Option<PathBuf>,
+}
+
+/// Runs a suite of experiments, printing tables and progress, persisting
+/// per-experiment records under [`RECORD_DIR`] and (optionally) the
+/// aggregate record. Returns the suite record; `Err` carries an unknown
+/// experiment id.
+pub fn run_suite(opts: &SuiteOptions) -> Result<SuiteRecord, String> {
+    let t0 = Instant::now();
+    let total = opts.ids.len();
+    let mut experiments = Vec::with_capacity(total);
+    for (k, id) in opts.ids.iter().enumerate() {
+        let (reports, record) = run_recorded(id, opts.trials, opts.seed)
+            .ok_or_else(|| format!("unknown experiment id: {id}"))?;
+        for r in &reports {
+            if opts.markdown {
+                println!("{}", r.render_markdown());
+            } else {
+                println!("{}", r.render());
+            }
+        }
+        let lat = record
+            .latency
+            .map(|l| format!(", per-trial latency {l}"))
+            .unwrap_or_default();
+        let elapsed = t0.elapsed().as_secs_f64();
+        let done = k + 1;
+        let eta = if done < total {
+            format!(
+                ", suite ETA {:.1}s",
+                elapsed / done as f64 * (total - done) as f64
+            )
+        } else {
+            String::new()
+        };
+        eprintln!(
+            "[simlab] {id}: {:.1}ms wall clock ({}/{total} experiments, {elapsed:.1}s elapsed{eta}){lat}",
+            record.wall_ms, done,
+        );
+        if let Err(e) = record.write(Path::new(RECORD_DIR)) {
+            eprintln!("warning: could not persist {RECORD_DIR}/{id}.json: {e}");
+        }
+        experiments.push(record);
+    }
+    let suite = SuiteRecord {
+        trials: opts.trials,
+        jobs: fair_simlab::effective_jobs(),
+        seed: opts.seed,
+        total_wall_ms: t0.elapsed().as_secs_f64() * 1000.0,
+        pass: experiments.iter().all(|e| e.pass),
+        experiments,
+    };
+    if let Some(path) = &opts.json {
+        match suite.write(path) {
+            Ok(()) => eprintln!("[simlab] wrote {}", path.display()),
+            Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+        }
+    }
+    Ok(suite)
+}
+
+/// Shared `main` for the single-experiment `exp_*` binaries: runs one
+/// experiment at [`BASE_SEED`] with `FAIR_TRIALS`/`FAIR_JOBS` honored,
+/// prints its tables, persists its record, and exits nonzero on failure.
+pub fn exp_main(id: &str) {
+    let trials = crate::default_trials();
+    let (reports, record) = run_recorded(id, trials, BASE_SEED).expect("known experiment");
+    for r in &reports {
+        println!("{}", r.render());
+    }
+    eprintln!("[simlab] {id}: {:.1}ms wall clock", record.wall_ms);
+    if let Err(e) = record.write(Path::new(RECORD_DIR)) {
+        eprintln!("warning: could not persist {RECORD_DIR}/{id}.json: {e}");
+    }
+    if !record.pass {
+        std::process::exit(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_id_is_none_and_disables_metrics() {
+        assert!(run_recorded("e99", 10, 1).is_none());
+        assert!(!metrics::enabled());
+    }
+
+    #[test]
+    fn recorded_run_captures_reports_and_latency() {
+        let (reports, record) = run_recorded("e1", 20, 7).expect("e1 exists");
+        assert_eq!(record.id, "e1");
+        assert_eq!(record.trials, 20);
+        assert_eq!(reports.len(), record.reports.len());
+        assert_eq!(record.pass, reports.iter().all(Report::pass));
+        // estimate() fed the metrics pipeline, so latency must be present.
+        let lat = record.latency.expect("latency collected");
+        assert!(lat.count > 0);
+        assert!(record.wall_ms > 0.0);
+    }
+}

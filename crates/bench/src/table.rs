@@ -1,7 +1,7 @@
 //! Experiment report tables: paper value vs. measured value.
 
 /// One row of an experiment table.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Row {
     /// What the row measures.
     pub label: String,
@@ -46,12 +46,18 @@ impl Row {
 
     /// A qualitative row with an explicit verdict.
     pub fn check(label: impl Into<String>, measured: f64, pass: bool) -> Row {
-        Row { label: label.into(), paper: None, measured, ci: 0.0, pass }
+        Row {
+            label: label.into(),
+            paper: None,
+            measured,
+            ci: 0.0,
+            pass,
+        }
     }
 }
 
 /// A complete experiment report.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Report {
     /// Experiment id (e.g. "E2").
     pub id: String,
@@ -64,7 +70,11 @@ pub struct Report {
 impl Report {
     /// Creates a report.
     pub fn new(id: &str, title: &str, rows: Vec<Row>) -> Report {
-        Report { id: id.to_string(), title: title.to_string(), rows }
+        Report {
+            id: id.to_string(),
+            title: title.to_string(),
+            rows,
+        }
     }
 
     /// Whether every row reproduced its claim.
@@ -79,7 +89,10 @@ impl Report {
         out.push_str("| quantity | paper | measured | ±95% | ok |\n");
         out.push_str("|---|---|---|---|---|\n");
         for r in &self.rows {
-            let paper = r.paper.map(|p| format!("{p:.4}")).unwrap_or_else(|| "—".to_string());
+            let paper = r
+                .paper
+                .map(|p| format!("{p:.4}"))
+                .unwrap_or_else(|| "—".to_string());
             out.push_str(&format!(
                 "| {} | {} | {:.4} | {:.4} | {} |\n",
                 r.label.replace('|', "\\|"),
@@ -97,14 +110,27 @@ impl Report {
     pub fn render(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!("== {}: {} ==\n", self.id, self.title));
-        let w = self.rows.iter().map(|r| r.label.len()).max().unwrap_or(10).max(10);
+        let w = self
+            .rows
+            .iter()
+            .map(|r| r.label.len())
+            .max()
+            .unwrap_or(10)
+            .max(10);
         out.push_str(&format!(
             "{:<w$}  {:>10}  {:>10}  {:>8}  {}\n",
-            "quantity", "paper", "measured", "±95%", "ok",
+            "quantity",
+            "paper",
+            "measured",
+            "±95%",
+            "ok",
             w = w
         ));
         for r in &self.rows {
-            let paper = r.paper.map(|p| format!("{p:.4}")).unwrap_or_else(|| "—".to_string());
+            let paper = r
+                .paper
+                .map(|p| format!("{p:.4}"))
+                .unwrap_or_else(|| "—".to_string());
             out.push_str(&format!(
                 "{:<w$}  {:>10}  {:>10.4}  {:>8.4}  {}\n",
                 r.label,
@@ -142,7 +168,10 @@ mod tests {
         let rep = Report::new(
             "E0",
             "smoke",
-            vec![Row::vs_paper("a", 1.0, 1.0, 0.0, 0.0), Row::check("b", 0.5, true)],
+            vec![
+                Row::vs_paper("a", 1.0, 1.0, 0.0, 0.0),
+                Row::check("b", 0.5, true),
+            ],
         );
         let s = rep.render();
         assert!(s.contains("E0"));

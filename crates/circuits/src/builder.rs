@@ -91,7 +91,10 @@ impl Builder {
     /// Panics on length mismatch.
     pub fn mux_vec(&mut self, sel: Wire, a: &[Wire], b: &[Wire]) -> Vec<Wire> {
         assert_eq!(a.len(), b.len(), "mux_vec length mismatch");
-        a.iter().zip(b).map(|(&x, &y)| self.mux(sel, x, y)).collect()
+        a.iter()
+            .zip(b)
+            .map(|(&x, &y)| self.mux(sel, x, y))
+            .collect()
     }
 
     /// AND of all wires in `ws` (`true` for empty input).
@@ -170,7 +173,11 @@ impl Builder {
 
     /// Finalizes the circuit with the given output wires.
     pub fn finish(self, outputs: Vec<Wire>) -> Circuit {
-        let c = Circuit { num_inputs: self.num_inputs, gates: self.gates, outputs };
+        let c = Circuit {
+            num_inputs: self.num_inputs,
+            gates: self.gates,
+            outputs,
+        };
         debug_assert!(c.validate().is_ok());
         c
     }

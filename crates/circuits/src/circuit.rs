@@ -45,7 +45,10 @@ impl fmt::Display for CircuitError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CircuitError::ForwardReference { wire, available } => {
-                write!(f, "wire {wire} referenced before defined ({available} available)")
+                write!(
+                    f,
+                    "wire {wire} referenced before defined ({available} available)"
+                )
             }
             CircuitError::InputLength { got, expected } => {
                 write!(f, "wrong input length: got {got}, expected {expected}")
@@ -76,7 +79,10 @@ impl Circuit {
 
     /// Number of AND gates (the GMW communication cost).
     pub fn and_count(&self) -> usize {
-        self.gates.iter().filter(|g| matches!(g, Gate::And(_, _))).count()
+        self.gates
+            .iter()
+            .filter(|g| matches!(g, Gate::And(_, _)))
+            .count()
     }
 
     /// Validates the topological ordering of gate operands and outputs.
@@ -89,7 +95,10 @@ impl Circuit {
             if w.0 < available {
                 Ok(())
             } else {
-                Err(CircuitError::ForwardReference { wire: w.0, available })
+                Err(CircuitError::ForwardReference {
+                    wire: w.0,
+                    available,
+                })
             }
         };
         for (g, gate) in self.gates.iter().enumerate() {
@@ -116,7 +125,10 @@ impl Circuit {
     /// Returns [`CircuitError::InputLength`] on an input-size mismatch.
     pub fn try_eval(&self, inputs: &[bool]) -> Result<Vec<bool>, CircuitError> {
         if inputs.len() != self.num_inputs {
-            return Err(CircuitError::InputLength { got: inputs.len(), expected: self.num_inputs });
+            return Err(CircuitError::InputLength {
+                got: inputs.len(),
+                expected: self.num_inputs,
+            });
         }
         let mut wires = Vec::with_capacity(self.num_wires());
         wires.extend_from_slice(inputs);
@@ -213,7 +225,9 @@ impl Circuit {
 /// Panics if more than 64 bits are given.
 pub fn bits_to_u64(bits: &[bool]) -> u64 {
     assert!(bits.len() <= 64, "too many bits for u64");
-    bits.iter().rev().fold(0u64, |acc, &b| (acc << 1) | b as u64)
+    bits.iter()
+        .rev()
+        .fold(0u64, |acc, &b| (acc << 1) | b as u64)
 }
 
 /// Unpacks the low `n` bits of `x`, little-endian.
@@ -253,10 +267,18 @@ mod tests {
         assert_eq!(and.eval(&[true, true]), vec![true]);
         assert_eq!(and.eval(&[true, false]), vec![false]);
 
-        let not = Circuit { num_inputs: 1, gates: vec![Gate::Not(Wire(0))], outputs: vec![Wire(1)] };
+        let not = Circuit {
+            num_inputs: 1,
+            gates: vec![Gate::Not(Wire(0))],
+            outputs: vec![Wire(1)],
+        };
         assert_eq!(not.eval(&[false]), vec![true]);
 
-        let k = Circuit { num_inputs: 0, gates: vec![Gate::Const(true)], outputs: vec![Wire(0)] };
+        let k = Circuit {
+            num_inputs: 0,
+            gates: vec![Gate::Const(true)],
+            outputs: vec![Wire(0)],
+        };
         assert_eq!(k.eval(&[]), vec![true]);
     }
 
@@ -269,15 +291,25 @@ mod tests {
         };
         assert_eq!(
             bad.validate(),
-            Err(CircuitError::ForwardReference { wire: 5, available: 1 })
+            Err(CircuitError::ForwardReference {
+                wire: 5,
+                available: 1
+            })
         );
         assert!(xor_circuit().validate().is_ok());
     }
 
     #[test]
     fn validate_catches_bad_output() {
-        let bad = Circuit { num_inputs: 1, gates: vec![], outputs: vec![Wire(3)] };
-        assert!(matches!(bad.validate(), Err(CircuitError::ForwardReference { wire: 3, .. })));
+        let bad = Circuit {
+            num_inputs: 1,
+            gates: vec![],
+            outputs: vec![Wire(3)],
+        };
+        assert!(matches!(
+            bad.validate(),
+            Err(CircuitError::ForwardReference { wire: 3, .. })
+        ));
     }
 
     #[test]
@@ -285,7 +317,10 @@ mod tests {
         let c = xor_circuit();
         assert_eq!(
             c.try_eval(&[true]),
-            Err(CircuitError::InputLength { got: 1, expected: 2 })
+            Err(CircuitError::InputLength {
+                got: 1,
+                expected: 2
+            })
         );
     }
 
@@ -353,7 +388,11 @@ mod tests {
     #[test]
     fn error_display() {
         assert_eq!(
-            CircuitError::InputLength { got: 1, expected: 2 }.to_string(),
+            CircuitError::InputLength {
+                got: 1,
+                expected: 2
+            }
+            .to_string(),
             "wrong input length: got 1, expected 2"
         );
     }

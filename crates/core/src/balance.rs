@@ -28,7 +28,11 @@ impl BalanceReport {
     /// Panics unless exactly n−1 assessments are given.
     pub fn new(protocol: &str, n: usize, per_t: Vec<Assessment>) -> BalanceReport {
         assert_eq!(per_t.len(), n - 1, "need one assessment per t in 1..n");
-        BalanceReport { protocol: protocol.to_string(), per_t, n }
+        BalanceReport {
+            protocol: protocol.to_string(),
+            per_t,
+            n,
+        }
     }
 
     /// The measured sum Σ_t u_A(Π, A_t).
@@ -88,8 +92,9 @@ mod tests {
         let p = Payoff::standard();
         let n = 4;
         // Π^Opt_nSFE per-t utilities (Lemma 11) sum exactly to the bound.
-        let per_t: Vec<Assessment> =
-            (1..n).map(|t| assessment(analytic::optn_t(&p, n, t))).collect();
+        let per_t: Vec<Assessment> = (1..n)
+            .map(|t| assessment(analytic::optn_t(&p, n, t)))
+            .collect();
         let report = BalanceReport::new("optn", n, per_t);
         assert!(report.is_balanced(&p, 1e-9));
         assert!(report.excess(&p).abs() < 1e-9);
@@ -100,8 +105,9 @@ mod tests {
     fn gmw_half_even_n_violates_bound() {
         let p = Payoff::standard();
         let n = 4;
-        let per_t: Vec<Assessment> =
-            (1..n).map(|t| assessment(analytic::gmw_half_t(&p, n, t))).collect();
+        let per_t: Vec<Assessment> = (1..n)
+            .map(|t| assessment(analytic::gmw_half_t(&p, n, t)))
+            .collect();
         let report = BalanceReport::new("gmw-1/2", n, per_t);
         assert!(!report.is_balanced(&p, 0.01));
         assert!((report.excess(&p) - (p.g10 - p.g11) / 2.0).abs() < 1e-9);
@@ -111,8 +117,9 @@ mod tests {
     fn gmw_half_odd_n_meets_bound() {
         let p = Payoff::standard();
         let n = 5;
-        let per_t: Vec<Assessment> =
-            (1..n).map(|t| assessment(analytic::gmw_half_t(&p, n, t))).collect();
+        let per_t: Vec<Assessment> = (1..n)
+            .map(|t| assessment(analytic::gmw_half_t(&p, n, t)))
+            .collect();
         let report = BalanceReport::new("gmw-1/2", n, per_t);
         assert!(report.is_balanced(&p, 0.05));
     }

@@ -40,7 +40,9 @@ impl CostFn {
 
     /// The zero cost function for n parties.
     pub fn free(n: usize) -> CostFn {
-        CostFn { costs: vec![0.0; n + 1] }
+        CostFn {
+            costs: vec![0.0; n + 1],
+        }
     }
 
     /// c(t).
@@ -88,7 +90,13 @@ pub fn cost_from_phi(phi: &[f64], payoff: &Payoff, n: usize) -> CostFn {
 
 /// Checks ideal γ^C-fairness (Definition 19) for measured per-t utilities:
 /// u(t) − c(t) ≤ s(t) + tol for every t.
-pub fn is_ideally_fair(utilities: &[f64], cost: &CostFn, payoff: &Payoff, n: usize, tol: f64) -> bool {
+pub fn is_ideally_fair(
+    utilities: &[f64],
+    cost: &CostFn,
+    payoff: &Payoff,
+    n: usize,
+    tol: f64,
+) -> bool {
     utilities.iter().enumerate().all(|(i, &u)| {
         let t = i + 1;
         u - cost.cost(t) <= analytic::ideal_fair_t(payoff, n, t) + tol
@@ -136,7 +144,9 @@ mod tests {
         assert!(is_ideally_fair(&phi, &cost, &p, n, 1e-9));
         // …and any strictly-dominated (cheaper) cost fails.
         let cheaper = CostFn::new(
-            (0..n).map(|t| if t == 0 { 0.0 } else { cost.cost(t) - 0.05 }).collect(),
+            (0..n)
+                .map(|t| if t == 0 { 0.0 } else { cost.cost(t) - 0.05 })
+                .collect(),
         );
         assert!(cost.strictly_dominates(&cheaper, 0.0));
         assert!(!is_ideally_fair(&phi, &cheaper, &p, n, 1e-9));

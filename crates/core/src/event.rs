@@ -119,7 +119,10 @@ mod tests {
                 .iter()
                 .map(|(i, v)| (PartyId(*i), v.clone()))
                 .collect::<BTreeMap<_, _>>(),
-            corrupted: corrupted.iter().map(|&i| PartyId(i)).collect::<BTreeSet<_>>(),
+            corrupted: corrupted
+                .iter()
+                .map(|&i| PartyId(i))
+                .collect::<BTreeSet<_>>(),
             learned,
             ledger: Ledger::new(),
             rounds: 1,
@@ -135,51 +138,78 @@ mod tests {
     #[test]
     fn no_corruption_is_e01() {
         let res = result(&[(0, y()), (1, y())], &[], None);
-        assert_eq!(classify(&res, N, &y(), &HonestCriterion::NonBot), Event::E01);
+        assert_eq!(
+            classify(&res, N, &y(), &HonestCriterion::NonBot),
+            Event::E01
+        );
     }
 
     #[test]
     fn all_corrupted_is_e11() {
         let res = result(&[], &[0, 1], None);
-        assert_eq!(classify(&res, N, &y(), &HonestCriterion::NonBot), Event::E11);
+        assert_eq!(
+            classify(&res, N, &y(), &HonestCriterion::NonBot),
+            Event::E11
+        );
     }
 
     #[test]
     fn learn_and_deny_is_e10() {
         let res = result(&[(1, Value::Bot)], &[0], Some(y()));
-        assert_eq!(classify(&res, N, &y(), &HonestCriterion::NonBot), Event::E10);
+        assert_eq!(
+            classify(&res, N, &y(), &HonestCriterion::NonBot),
+            Event::E10
+        );
     }
 
     #[test]
     fn both_get_output_is_e11() {
         let res = result(&[(1, y())], &[0], Some(y()));
-        assert_eq!(classify(&res, N, &y(), &HonestCriterion::NonBot), Event::E11);
+        assert_eq!(
+            classify(&res, N, &y(), &HonestCriterion::NonBot),
+            Event::E11
+        );
     }
 
     #[test]
     fn nobody_learns_is_e00() {
         let res = result(&[(1, Value::Bot)], &[0], None);
-        assert_eq!(classify(&res, N, &y(), &HonestCriterion::NonBot), Event::E00);
+        assert_eq!(
+            classify(&res, N, &y(), &HonestCriterion::NonBot),
+            Event::E00
+        );
     }
 
     #[test]
     fn wrong_claim_does_not_count_as_learning() {
         let res = result(&[(1, y())], &[0], Some(Value::Scalar(13)));
-        assert_eq!(classify(&res, N, &y(), &HonestCriterion::NonBot), Event::E01);
+        assert_eq!(
+            classify(&res, N, &y(), &HonestCriterion::NonBot),
+            Event::E01
+        );
     }
 
     #[test]
     fn bot_truth_never_counts_as_learned() {
         let res = result(&[(1, Value::Bot)], &[0], Some(Value::Bot));
-        assert_eq!(classify(&res, N, &Value::Bot, &HonestCriterion::NonBot), Event::E00);
+        assert_eq!(
+            classify(&res, N, &Value::Bot, &HonestCriterion::NonBot),
+            Event::E00
+        );
     }
 
     #[test]
     fn default_output_counts_under_nonbot_but_not_equals() {
         // Honest party computed a default-input evaluation ≠ y.
         let res = result(&[(1, Value::Scalar(7))], &[0], Some(y()));
-        assert_eq!(classify(&res, N, &y(), &HonestCriterion::NonBot), Event::E11);
-        assert_eq!(classify(&res, N, &y(), &HonestCriterion::EqualsTruth), Event::E10);
+        assert_eq!(
+            classify(&res, N, &y(), &HonestCriterion::NonBot),
+            Event::E11
+        );
+        assert_eq!(
+            classify(&res, N, &y(), &HonestCriterion::EqualsTruth),
+            Event::E10
+        );
     }
 
     #[test]

@@ -55,7 +55,11 @@ impl Assessment {
             .max_by(|a, b| a.mean.partial_cmp(&b.mean).expect("finite means"))
             .expect("nonempty")
             .clone();
-        Assessment { protocol: protocol.to_string(), best, all }
+        Assessment {
+            protocol: protocol.to_string(),
+            best,
+            all,
+        }
     }
 
     /// The empirical sup-utility.
@@ -113,7 +117,11 @@ mod tests {
     fn best_is_the_max_strategy() {
         let a = Assessment::from_estimates(
             "pi",
-            vec![est("weak", 0.3, 0.01), est("strong", 0.9, 0.01), est("mid", 0.5, 0.01)],
+            vec![
+                est("weak", 0.3, 0.01),
+                est("strong", 0.9, 0.01),
+                est("mid", 0.5, 0.01),
+            ],
         );
         assert_eq!(a.best.name, "strong");
         assert_eq!(a.sup_utility(), 0.9);
@@ -142,7 +150,11 @@ mod tests {
         let opt = assessment("opt", 0.75, 0.01);
         let worse = assessment("worse", 0.9, 0.01);
         let equal = assessment("equal", 0.75, 0.01);
-        assert!(is_optimal_among(&opt, &[worse.clone(), equal.clone()], 0.01));
+        assert!(is_optimal_among(
+            &opt,
+            &[worse.clone(), equal.clone()],
+            0.01
+        ));
         assert!(!is_optimal_among(&worse, &[opt, equal], 0.01));
     }
 

@@ -37,14 +37,32 @@ impl Game {
         attacker_moves: Vec<String>,
         utilities: Vec<Vec<f64>>,
     ) -> Game {
-        assert_eq!(utilities.len(), designer_moves.len(), "one row per designer move");
-        assert!(!designer_moves.is_empty(), "designer needs at least one move");
-        assert!(!attacker_moves.is_empty(), "attacker needs at least one move");
+        assert_eq!(
+            utilities.len(),
+            designer_moves.len(),
+            "one row per designer move"
+        );
+        assert!(
+            !designer_moves.is_empty(),
+            "designer needs at least one move"
+        );
+        assert!(
+            !attacker_moves.is_empty(),
+            "attacker needs at least one move"
+        );
         for row in &utilities {
-            assert_eq!(row.len(), attacker_moves.len(), "one column per attacker move");
+            assert_eq!(
+                row.len(),
+                attacker_moves.len(),
+                "one column per attacker move"
+            );
             assert!(row.iter().all(|u| u.is_finite()), "finite utilities");
         }
-        Game { designer_moves, attacker_moves, utilities }
+        Game {
+            designer_moves,
+            attacker_moves,
+            utilities,
+        }
     }
 
     /// The designer's move labels.
@@ -98,7 +116,13 @@ impl Game {
     /// Renders the matrix as an aligned table (for experiment reports).
     pub fn render(&self) -> String {
         let mut out = String::new();
-        let w = self.designer_moves.iter().map(String::len).max().unwrap_or(8).max(8);
+        let w = self
+            .designer_moves
+            .iter()
+            .map(String::len)
+            .max()
+            .unwrap_or(8)
+            .max(8);
         out.push_str(&format!("{:<w$}", "design", w = w));
         for a in &self.attacker_moves {
             out.push_str(&format!("  {a:>12}"));
@@ -127,9 +151,7 @@ mod tests {
         let qs = [0.1, 0.3, 0.5, 0.7, 0.9];
         let utilities = qs
             .iter()
-            .map(|q| {
-                vec![q * g10 + (1.0 - q) * g11, (1.0 - q) * g10 + q * g11]
-            })
+            .map(|q| vec![q * g10 + (1.0 - q) * g11, (1.0 - q) * g10 + q * g11])
             .collect();
         Game::new(
             qs.iter().map(|q| format!("q={q}")).collect(),

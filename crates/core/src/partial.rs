@@ -23,11 +23,18 @@ pub struct Acceptance {
 /// Estimates the acceptance probability of a boolean experiment over
 /// seeded runs.
 ///
+/// Per-trial seeds come from [`fair_simlab::trial_seed`] and trials are
+/// sharded across the simlab scheduler; like [`crate::utility::estimate`],
+/// the result is bit-identical for every worker count (hit counts are
+/// integers, so shard merges are exact).
+///
 /// # Examples
 ///
 /// ```
 /// use fair_core::partial::acceptance;
 ///
+/// // trial_seed output is uniform over u64, so `seed % 4 == 0` accepts a
+/// // quarter of the time.
 /// let a = acceptance(|seed| seed % 4 == 0, 1000, 0);
 /// assert!((a.rate - 0.25).abs() < 0.05);
 /// ```
@@ -35,21 +42,24 @@ pub struct Acceptance {
 /// # Panics
 ///
 /// Panics if `trials == 0`.
-pub fn acceptance<F: FnMut(u64) -> bool>(mut run: F, trials: usize, seed: u64) -> Acceptance {
+pub fn acceptance<F: Fn(u64) -> bool + Sync>(run: F, trials: usize, seed: u64) -> Acceptance {
     assert!(trials > 0, "need at least one trial");
-    let mut hits = 0usize;
-    for t in 0..trials {
-        if run(seed.wrapping_add(t as u64)) {
-            hits += 1;
-        }
-    }
-    let n = trials as f64;
-    let p = hits as f64 / n;
+    let hits: usize = fair_simlab::run_tiled(trials, |range| {
+        range
+            .filter(|&t| run(fair_simlab::trial_seed(seed, t as u64)))
+            .count()
+    })
+    .into_iter()
+    .sum();
+    let p = hits as f64 / trials as f64;
     // Wilson half-width: well-behaved at rates near 0 or 1 (a plain normal
     // approximation reports zero uncertainty there).
     let ci = crate::stats::wilson(hits, trials, crate::stats::Z_95).half_width();
-    let _ = n;
-    Acceptance { rate: p, ci, trials }
+    Acceptance {
+        rate: p,
+        ci,
+        trials,
+    }
 }
 
 /// A distinguishing experiment: the same environment run against the real
@@ -86,7 +96,7 @@ impl Distinguish {
 }
 
 /// Runs a distinguishing experiment.
-pub fn distinguish<R: FnMut(u64) -> bool, I: FnMut(u64) -> bool>(
+pub fn distinguish<R: Fn(u64) -> bool + Sync, I: Fn(u64) -> bool + Sync>(
     real: R,
     ideal: I,
     trials: usize,
@@ -124,12 +134,7 @@ mod tests {
 
     #[test]
     fn identical_worlds_have_no_advantage() {
-        let d = distinguish(
-            |s| s % 2 == 0,
-            |s| s % 2 == 0,
-            2000,
-            3,
-        );
+        let d = distinguish(|s| s % 2 == 0, |s| s % 2 == 0, 2000, 3);
         assert!(d.within(0.05));
         assert!(!d.exceeds(0.05));
     }

@@ -70,7 +70,12 @@ impl Payoff {
     /// Returns a [`PayoffError`] if the vector violates the class
     /// constraints.
     pub fn gamma_fair(g00: f64, g10: f64, g11: f64) -> Result<Payoff, PayoffError> {
-        let p = Payoff { g00, g01: 0.0, g10, g11 };
+        let p = Payoff {
+            g00,
+            g01: 0.0,
+            g10,
+            g11,
+        };
         p.check_gamma_fair()?;
         Ok(p)
     }
@@ -107,7 +112,12 @@ impl Payoff {
 
     /// The Gordon–Katz comparison vector γ = (0, 0, 1, 0) from Section 5.
     pub fn gk() -> Payoff {
-        Payoff { g00: 0.0, g01: 0.0, g10: 1.0, g11: 0.0 }
+        Payoff {
+            g00: 0.0,
+            g01: 0.0,
+            g10: 1.0,
+            g11: 0.0,
+        }
     }
 
     /// Validates membership in Γ_fair.
@@ -116,7 +126,10 @@ impl Payoff {
     ///
     /// Returns the first violated constraint.
     pub fn check_gamma_fair(&self) -> Result<(), PayoffError> {
-        if ![self.g00, self.g01, self.g10, self.g11].iter().all(|x| x.is_finite()) {
+        if ![self.g00, self.g01, self.g10, self.g11]
+            .iter()
+            .all(|x| x.is_finite())
+        {
             return Err(PayoffError::NotFinite);
         }
         if self.g01 != 0.0 {

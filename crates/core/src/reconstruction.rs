@@ -42,7 +42,7 @@ impl ReconstructionReport {
 /// Sweeps abort rounds `0..total_rounds`; `make(r)` builds the scenario
 /// whose adversary aborts at engine round `r`. An abort round is *fair*
 /// when no trial produced the event E₁₀.
-pub fn sweep<S: Scenario, F: Fn(usize) -> S>(
+pub fn sweep<S: Scenario + Sync, F: Fn(usize) -> S>(
     total_rounds: usize,
     make: F,
     payoff: &Payoff,
@@ -52,11 +52,20 @@ pub fn sweep<S: Scenario, F: Fn(usize) -> S>(
     let mut fair = Vec::with_capacity(total_rounds);
     let mut estimates = Vec::with_capacity(total_rounds);
     for r in 0..total_rounds {
-        let est = estimate(&make(r), payoff, trials, seed.wrapping_add((r as u64) << 24));
+        let est = estimate(
+            &make(r),
+            payoff,
+            trials,
+            seed.wrapping_add((r as u64) << 24),
+        );
         fair.push(est.event_rate(Event::E10) == 0.0);
         estimates.push(est);
     }
-    ReconstructionReport { total_rounds, fair, estimates }
+    ReconstructionReport {
+        total_rounds,
+        fair,
+        estimates,
+    }
 }
 
 #[cfg(test)]
@@ -65,7 +74,11 @@ mod tests {
 
     fn report(fair: Vec<bool>) -> ReconstructionReport {
         let total_rounds = fair.len();
-        ReconstructionReport { total_rounds, fair, estimates: vec![] }
+        ReconstructionReport {
+            total_rounds,
+            fair,
+            estimates: vec![],
+        }
     }
 
     #[test]

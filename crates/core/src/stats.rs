@@ -54,8 +54,16 @@ pub fn wilson(successes: usize, trials: usize, z: f64) -> Interval {
     let spread = (z / denom) * ((p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt());
     // At the extremes the exact endpoints are 0 resp. 1; snap them to
     // avoid 1e-18-scale floating-point residue.
-    let lo = if successes == 0 { 0.0 } else { (center - spread).max(0.0) };
-    let hi = if successes == trials { 1.0 } else { (center + spread).min(1.0) };
+    let lo = if successes == 0 {
+        0.0
+    } else {
+        (center - spread).max(0.0)
+    };
+    let hi = if successes == trials {
+        1.0
+    } else {
+        (center + spread).min(1.0)
+    };
     Interval { lo, hi }
 }
 
@@ -64,7 +72,10 @@ pub fn wilson(successes: usize, trials: usize, z: f64) -> Interval {
 pub fn mean_interval(mean: f64, variance: f64, trials: usize, z: f64) -> Interval {
     assert!(trials > 0, "need at least one trial");
     let se = (variance.max(0.0) / trials as f64).sqrt();
-    Interval { lo: mean - z * se, hi: mean + z * se }
+    Interval {
+        lo: mean - z * se,
+        hi: mean + z * se,
+    }
 }
 
 /// Two-proportion z-statistic: how significantly do two event rates

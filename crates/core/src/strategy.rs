@@ -154,7 +154,13 @@ pub struct LockAndAbort {
 impl LockAndAbort {
     /// Creates the strategy.
     pub fn new(plan: CorruptionPlan, is_real: IsReal) -> LockAndAbort {
-        LockAndAbort { plan, is_real, corrupted: Vec::new(), learned: None, aborted: false }
+        LockAndAbort {
+            plan,
+            is_real,
+            corrupted: Vec::new(),
+            learned: None,
+            aborted: false,
+        }
     }
 
     /// The concrete corruption set chosen for this execution.
@@ -169,7 +175,12 @@ impl<M: Clone + core::fmt::Debug> Adversary<M> for LockAndAbort {
         self.corrupted.clone()
     }
 
-    fn on_round(&mut self, view: &RoundView<'_, M>, ctrl: &mut AdvControl<'_, M>, _rng: &mut StdRng) {
+    fn on_round(
+        &mut self,
+        view: &RoundView<'_, M>,
+        ctrl: &mut AdvControl<'_, M>,
+        _rng: &mut StdRng,
+    ) {
         if self.aborted {
             return; // silent forever
         }
@@ -210,7 +221,13 @@ impl HonestUntilRound {
     /// Creates the strategy; `abort_round = 0` is the silent-from-the-start
     /// adversary.
     pub fn new(plan: CorruptionPlan, abort_round: usize, is_real: IsReal) -> HonestUntilRound {
-        HonestUntilRound { plan, abort_round, is_real, corrupted: Vec::new(), learned: None }
+        HonestUntilRound {
+            plan,
+            abort_round,
+            is_real,
+            corrupted: Vec::new(),
+            learned: None,
+        }
     }
 }
 
@@ -220,7 +237,12 @@ impl<M: Clone + core::fmt::Debug> Adversary<M> for HonestUntilRound {
         self.corrupted.clone()
     }
 
-    fn on_round(&mut self, view: &RoundView<'_, M>, ctrl: &mut AdvControl<'_, M>, _rng: &mut StdRng) {
+    fn on_round(
+        &mut self,
+        view: &RoundView<'_, M>,
+        ctrl: &mut AdvControl<'_, M>,
+        _rng: &mut StdRng,
+    ) {
         if view.round < self.abort_round {
             for &pid in &self.corrupted {
                 ctrl.run_honestly(pid);
@@ -258,7 +280,12 @@ pub struct RunHonestly {
 impl RunHonestly {
     /// Creates the strategy.
     pub fn new(plan: CorruptionPlan, is_real: IsReal) -> RunHonestly {
-        RunHonestly { plan, is_real, corrupted: Vec::new(), learned: None }
+        RunHonestly {
+            plan,
+            is_real,
+            corrupted: Vec::new(),
+            learned: None,
+        }
     }
 }
 
@@ -268,7 +295,12 @@ impl<M: Clone + core::fmt::Debug> Adversary<M> for RunHonestly {
         self.corrupted.clone()
     }
 
-    fn on_round(&mut self, _view: &RoundView<'_, M>, ctrl: &mut AdvControl<'_, M>, _rng: &mut StdRng) {
+    fn on_round(
+        &mut self,
+        _view: &RoundView<'_, M>,
+        ctrl: &mut AdvControl<'_, M>,
+        _rng: &mut StdRng,
+    ) {
         for &pid in &self.corrupted {
             ctrl.run_honestly(pid);
             if self.learned.is_none() {

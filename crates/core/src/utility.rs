@@ -9,6 +9,15 @@
 //! (see [`crate::event`]), and averages the payoffs. The estimate comes
 //! with a 95% confidence half-width so experiment assertions can be made
 //! statistically honest.
+//!
+//! Trials are sharded across workers by `fair-simlab`'s deterministic
+//! scheduler: each trial's seed is [`fair_simlab::trial_seed`]`(seed, t)`
+//! — a pure function of the trial index — and shards produce integer
+//! [`Tally`]s merged in schedule-independent order, so the estimate is
+//! **bit-identical for every worker count** (including the sequential
+//! `jobs = 1` path, which runs the same tiling code). Each individual
+//! protocol execution stays single-threaded, preserving reproducible
+//! adversary scheduling.
 
 use fair_runtime::{execute, Adversary, ExecutionResult, Instance, Value};
 use rand::rngs::StdRng;
@@ -16,6 +25,7 @@ use rand::SeedableRng;
 
 use crate::event::{classify, truth_from_ledger, Event, HonestCriterion};
 use crate::payoff::Payoff;
+use crate::stats;
 
 /// One prepared execution: instance, attack strategy, ground truth.
 pub struct Trial<M> {
@@ -50,6 +60,68 @@ pub trait Scenario {
     }
 }
 
+/// A partial event tally from a shard of trials — the mergeable unit the
+/// parallel scheduler produces per tile.
+///
+/// The payoff of a trial is a function of its fairness event alone, so the
+/// whole estimate (mean, variance, confidence interval) is derivable from
+/// these four integers; integer merges commute exactly, which is what makes
+/// parallel estimates bit-identical to sequential ones.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Tally {
+    /// Event occurrence counts, in [`Event::ALL`] order.
+    pub event_counts: [usize; 4],
+}
+
+impl Tally {
+    /// Records one classified trial.
+    pub fn record(&mut self, event: Event) {
+        let idx = Event::ALL
+            .iter()
+            .position(|x| *x == event)
+            .expect("event in ALL");
+        self.event_counts[idx] += 1;
+    }
+
+    /// Merges another shard's counts into this one (commutative, exact).
+    pub fn merge(mut self, other: Tally) -> Tally {
+        for (a, b) in self.event_counts.iter_mut().zip(other.event_counts) {
+            *a += b;
+        }
+        self
+    }
+
+    /// Total trials tallied.
+    pub fn trials(&self) -> usize {
+        self.event_counts.iter().sum()
+    }
+
+    /// Finalizes the tally into a [`UtilityEstimate`] under a payoff
+    /// vector, with a 95% normal-approximation interval from
+    /// [`crate::stats`].
+    pub fn into_estimate(self, name: String, payoff: &Payoff) -> UtilityEstimate {
+        let trials = self.trials();
+        assert!(trials > 0, "cannot finalize an empty tally");
+        let n = trials as f64;
+        let (mut sum, mut sum_sq) = (0.0, 0.0);
+        for (idx, &count) in self.event_counts.iter().enumerate() {
+            let pay = payoff.value(Event::ALL[idx]);
+            sum += count as f64 * pay;
+            sum_sq += count as f64 * pay * pay;
+        }
+        let mean = sum / n;
+        let var = (sum_sq / n - mean * mean).max(0.0);
+        let ci = stats::mean_interval(mean, var, trials, stats::Z_95).half_width();
+        UtilityEstimate {
+            name,
+            mean,
+            ci,
+            trials,
+            event_counts: self.event_counts,
+        }
+    }
+}
+
 /// A Monte-Carlo utility estimate.
 #[derive(Clone, Debug)]
 pub struct UtilityEstimate {
@@ -68,7 +140,10 @@ pub struct UtilityEstimate {
 impl UtilityEstimate {
     /// Empirical probability of an event.
     pub fn event_rate(&self, e: Event) -> f64 {
-        let idx = Event::ALL.iter().position(|x| *x == e).expect("event in ALL");
+        let idx = Event::ALL
+            .iter()
+            .position(|x| *x == e)
+            .expect("event in ALL");
         self.event_counts[idx] as f64 / self.trials as f64
     }
 
@@ -108,10 +183,19 @@ impl core::fmt::Display for UtilityEstimate {
 
 /// Runs one trial of a scenario and returns the raw execution result plus
 /// the classified event.
-pub fn run_once<S: Scenario>(scenario: &S, payoff: &Payoff, seed: u64) -> (ExecutionResult, Event, f64) {
+pub fn run_once<S: Scenario>(
+    scenario: &S,
+    payoff: &Payoff,
+    seed: u64,
+) -> (ExecutionResult, Event, f64) {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut trial = scenario.build(&mut rng);
-    let res = execute(trial.instance, trial.adversary.as_mut(), &mut rng, trial.max_rounds);
+    let res = execute(
+        trial.instance,
+        trial.adversary.as_mut(),
+        &mut rng,
+        trial.max_rounds,
+    );
     let truth = trial.truth.unwrap_or_else(|| truth_from_ledger(&res));
     let event = classify(&res, scenario.n(), &truth, &scenario.criterion());
     let pay = payoff.value(event);
@@ -119,35 +203,42 @@ pub fn run_once<S: Scenario>(scenario: &S, payoff: &Payoff, seed: u64) -> (Execu
 }
 
 /// Estimates the attacker's utility for a scenario by Monte Carlo.
-pub fn estimate<S: Scenario>(
+///
+/// Trials are sharded across the `fair-simlab` scheduler's workers; the
+/// result is bit-identical for every `--jobs` value (see the module docs).
+pub fn estimate<S: Scenario + Sync>(
     scenario: &S,
     payoff: &Payoff,
     trials: usize,
     seed: u64,
 ) -> UtilityEstimate {
     assert!(trials > 0, "need at least one trial");
-    let mut sum = 0.0;
-    let mut sum_sq = 0.0;
-    let mut event_counts = [0usize; 4];
-    for t in 0..trials {
-        let (_, event, pay) = run_once(scenario, payoff, seed.wrapping_add(t as u64));
-        sum += pay;
-        sum_sq += pay * pay;
-        let idx = Event::ALL.iter().position(|x| *x == event).expect("event");
-        event_counts[idx] += 1;
-    }
-    let n = trials as f64;
-    let mean = sum / n;
-    let var = (sum_sq / n - mean * mean).max(0.0);
-    let ci = 1.96 * (var / n).sqrt();
-    UtilityEstimate { name: scenario.name(), mean, ci, trials, event_counts }
+    let observe = fair_simlab::metrics::enabled();
+    let tallies = fair_simlab::run_tiled(trials, |range| {
+        let mut tally = Tally::default();
+        let mut latencies = observe.then(|| Vec::with_capacity(range.len()));
+        for t in range {
+            let started = latencies.as_ref().map(|_| std::time::Instant::now());
+            let (_, event, _) = run_once(scenario, payoff, fair_simlab::trial_seed(seed, t as u64));
+            tally.record(event);
+            if let (Some(lat), Some(t0)) = (latencies.as_mut(), started) {
+                lat.push(t0.elapsed().as_nanos() as u64);
+            }
+        }
+        if let Some(lat) = latencies {
+            fair_simlab::metrics::record_batch(&lat);
+        }
+        tally
+    });
+    let tally = tallies.into_iter().fold(Tally::default(), Tally::merge);
+    tally.into_estimate(scenario.name(), payoff)
 }
 
 /// Estimates the utility of the *best* strategy among several scenarios
 /// (the empirical analogue of `sup_A u_A(Π, A)` over a strategy library).
 ///
 /// Returns the per-scenario estimates and the index of the maximizer.
-pub fn best_of<S: Scenario>(
+pub fn best_of<S: Scenario + Sync>(
     scenarios: &[S],
     payoff: &Payoff,
     trials: usize,

@@ -17,7 +17,11 @@ struct CoinOutcome {
 
 impl Party<()> for CoinOutcome {
     fn round(&mut self, _: &RoundCtx, _: &[Envelope<()>]) -> Vec<OutMsg<()>> {
-        self.done = Some(if self.deliver { Value::Scalar(1) } else { Value::Bot });
+        self.done = Some(if self.deliver {
+            Value::Scalar(1)
+        } else {
+            Value::Bot
+        });
         vec![]
     }
     fn output(&self) -> Option<Value> {
@@ -44,7 +48,10 @@ impl Scenario for CoinScenario {
         let deliver = rng.random_bool(self.p_deliver);
         Trial {
             instance: Instance {
-                parties: vec![Box::new(CoinOutcome { deliver, done: None })],
+                parties: vec![Box::new(CoinOutcome {
+                    deliver,
+                    done: None,
+                })],
                 funcs: vec![],
             },
             adversary: Box::new(Passive),
@@ -89,7 +96,11 @@ fn estimator_tracks_the_true_mixture() {
     // 0.7·γ01 + 0.3·γ00 = 0.075.
     let payoff = Payoff::standard();
     let est = estimate(&CoinScenario { p_deliver: 0.7 }, &payoff, 20_000, 9);
-    assert!((est.mean - 0.3 * payoff.g00).abs() < 0.01, "mean = {}", est.mean);
+    assert!(
+        (est.mean - 0.3 * payoff.g00).abs() < 0.01,
+        "mean = {}",
+        est.mean
+    );
     assert!((est.event_rate(Event::E01) - 0.7).abs() < 0.02);
     assert!((est.event_rate(Event::E00) - 0.3).abs() < 0.02);
     assert_eq!(est.event_rate(Event::E10), 0.0);

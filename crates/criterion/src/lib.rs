@@ -1,0 +1,196 @@
+#![warn(missing_docs)]
+//! Vendored, dependency-free stand-in for the subset of `criterion` the
+//! workspace benches use (the build environment has no crates.io access).
+//!
+//! It is a real — if simple — timing harness: each `bench_function` runs a
+//! short calibration pass, then measures a handful of batches and reports
+//! the best observed ns/iter (plus derived throughput when declared). No
+//! statistics machinery, no HTML reports; enough to compare hot paths
+//! release-to-release with `cargo bench`.
+
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from deleting a benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Batch sizing hints (accepted for API compatibility; batches are sized
+/// by the calibration pass regardless).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Setup output is small; large batches are fine.
+    SmallInput,
+    /// Setup output is large.
+    LargeInput,
+    /// Re-run setup for every iteration.
+    PerIteration,
+}
+
+/// Throughput declaration for a benchmark group.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// The measured routine processes this many bytes per iteration.
+    Bytes(u64),
+    /// The measured routine processes this many elements per iteration.
+    Elements(u64),
+}
+
+/// Measurement driver handed to every benchmark closure.
+pub struct Bencher {
+    best_ns_per_iter: f64,
+}
+
+const TARGET_BATCH: Duration = Duration::from_millis(40);
+const BATCHES: usize = 5;
+
+impl Bencher {
+    fn new() -> Bencher {
+        Bencher {
+            best_ns_per_iter: f64::INFINITY,
+        }
+    }
+
+    /// Measures `routine` in timed batches.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        self.iter_batched(|| (), |()| routine(), BatchSize::SmallInput);
+    }
+
+    /// Measures `routine` over inputs produced (untimed) by `setup`.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        // Calibrate: how many iterations fill the target batch duration?
+        let once = {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            t.elapsed()
+        };
+        let per_batch =
+            (TARGET_BATCH.as_nanos() / once.as_nanos().max(1)).clamp(1, 100_000) as usize;
+        for _ in 0..BATCHES {
+            let inputs: Vec<I> = (0..per_batch).map(|_| setup()).collect();
+            let t = Instant::now();
+            for input in inputs {
+                black_box(routine(input));
+            }
+            let ns = t.elapsed().as_nanos() as f64 / per_batch as f64;
+            self.best_ns_per_iter = self.best_ns_per_iter.min(ns);
+        }
+    }
+}
+
+/// The benchmark registry / runner.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Runs and reports a single benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl std::fmt::Display,
+        f: F,
+    ) -> &mut Self {
+        run_and_report(&name.to_string(), None, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            _parent: self,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and throughput.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares the per-iteration throughput of subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs and reports one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl std::fmt::Display,
+        f: F,
+    ) -> &mut Self {
+        run_and_report(&format!("{}/{}", self.name, name), self.throughput, f);
+        self
+    }
+
+    /// Ends the group (no-op; provided for API compatibility).
+    pub fn finish(self) {}
+}
+
+fn run_and_report<F: FnMut(&mut Bencher)>(name: &str, throughput: Option<Throughput>, mut f: F) {
+    let mut b = Bencher::new();
+    f(&mut b);
+    let ns = b.best_ns_per_iter;
+    let rate = match throughput {
+        Some(Throughput::Bytes(n)) => {
+            format!(
+                "  {:>10.1} MiB/s",
+                n as f64 / (ns * 1e-9) / (1024.0 * 1024.0)
+            )
+        }
+        Some(Throughput::Elements(n)) => {
+            format!("  {:>10.1} Kelem/s", n as f64 / (ns * 1e-9) / 1e3)
+        }
+        None => String::new(),
+    };
+    println!("{name:<40} {ns:>12.1} ns/iter{rate}");
+}
+
+/// Declares a benchmark group function, `criterion`-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something_finite() {
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| black_box(1u64 + 1)));
+        let mut g = c.benchmark_group("grp");
+        g.throughput(Throughput::Bytes(8));
+        g.bench_function("add", |b| {
+            b.iter_batched(|| 21u64, |x| x * 2, BatchSize::SmallInput)
+        });
+        g.finish();
+    }
+}

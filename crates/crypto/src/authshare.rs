@@ -52,11 +52,17 @@ pub fn deal<R: Rng + ?Sized>(secret: &[Fp], rng: &mut R) -> (AuthShareHolding, A
     let shares = additive_share_vec(&payload, 2, rng);
     let (s1, s2) = (shares[0].clone(), shares[1].clone());
     let h1 = AuthShareHolding {
-        share: AuthShare { summand_tag: k2.tag_elems(&s1), summand: s1 },
+        share: AuthShare {
+            summand_tag: k2.tag_elems(&s1),
+            summand: s1,
+        },
         key: k1,
     };
     let h2 = AuthShareHolding {
-        share: AuthShare { summand_tag: k1.tag_elems(&s2), summand: s2 },
+        share: AuthShare {
+            summand_tag: k1.tag_elems(&s2),
+            summand: s2,
+        },
         key: k2,
     };
     (h1, h2)
@@ -77,7 +83,7 @@ impl AuthShare {
 
     /// Parses a serialized share; `None` on malformed input.
     pub fn from_bytes(bytes: &[u8]) -> Option<AuthShare> {
-        if bytes.len() < 16 || bytes.len() % 8 != 0 {
+        if bytes.len() < 16 || !bytes.len().is_multiple_of(8) {
             return None;
         }
         let count = u64::from_be_bytes(bytes[..8].try_into().ok()?) as usize;
@@ -93,7 +99,10 @@ impl AuthShare {
             elems.push(Fp::new(v));
         }
         let tag = MacTag(elems.pop()?);
-        Some(AuthShare { summand: elems, summand_tag: tag })
+        Some(AuthShare {
+            summand: elems,
+            summand_tag: tag,
+        })
     }
 }
 
@@ -143,7 +152,10 @@ pub fn reconstruct(
 ) -> Result<Vec<Fp>, ShareError> {
     assert!(party == 1 || party == 2, "party must be 1 or 2");
     // Verify the counterparty's summand under our key.
-    if !own.key.verify_elems(&incoming.summand, &incoming.summand_tag) {
+    if !own
+        .key
+        .verify_elems(&incoming.summand, &incoming.summand_tag)
+    {
         return Err(ShareError::BadTag);
     }
     if incoming.summand.len() != own.share.summand.len() || own.share.summand.len() < 2 {

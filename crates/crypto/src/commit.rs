@@ -48,7 +48,10 @@ impl Opening {
 /// ```
 pub fn commit<R: Rng + ?Sized>(message: &[u8], rng: &mut R) -> (Commitment, Opening) {
     let randomness = random_bytes(rng, OPENING_LEN);
-    let opening = Opening { message: message.to_vec(), randomness };
+    let opening = Opening {
+        message: message.to_vec(),
+        randomness,
+    };
     (opening.commitment(), opening)
 }
 
@@ -99,8 +102,14 @@ mod tests {
     fn distinct_messages_distinct_commitments_under_same_randomness() {
         // Binding sanity check: crafting two openings with equal randomness
         // but different messages yields different digests.
-        let o1 = Opening { message: b"a".to_vec(), randomness: vec![7; OPENING_LEN] };
-        let o2 = Opening { message: b"b".to_vec(), randomness: vec![7; OPENING_LEN] };
+        let o1 = Opening {
+            message: b"a".to_vec(),
+            randomness: vec![7; OPENING_LEN],
+        };
+        let o2 = Opening {
+            message: b"b".to_vec(),
+            randomness: vec![7; OPENING_LEN],
+        };
         assert_ne!(o1.commitment(), o2.commitment());
     }
 

@@ -38,7 +38,7 @@ pub mod commit;
 pub mod hmac;
 pub mod mac;
 pub mod prg;
-pub mod share;
 pub mod sha256;
+pub mod share;
 pub mod sign;
 pub mod vss;

@@ -29,7 +29,10 @@ pub struct MacTag(pub Fp);
 impl MacKey {
     /// Samples a fresh key.
     pub fn random<R: Rng + ?Sized>(rng: &mut R) -> MacKey {
-        MacKey { a: random_fp(rng), b: random_fp(rng) }
+        MacKey {
+            a: random_fp(rng),
+            b: random_fp(rng),
+        }
     }
 
     /// Tags a message given as field elements.
@@ -117,7 +120,10 @@ impl MacKey {
         if a >= fair_field::MODULUS || b >= fair_field::MODULUS {
             return None;
         }
-        Some(MacKey { a: Fp::new(a), b: Fp::new(b) })
+        Some(MacKey {
+            a: Fp::new(a),
+            b: Fp::new(b),
+        })
     }
 }
 
@@ -184,7 +190,13 @@ mod tests {
 
     #[test]
     fn unpack_inverts_pack() {
-        for msg in [&b""[..], b"a", b"1234567", b"12345678", b"arbitrary longer payload!"] {
+        for msg in [
+            &b""[..],
+            b"a",
+            b"1234567",
+            b"12345678",
+            b"arbitrary longer payload!",
+        ] {
             assert_eq!(unpack_bytes(&pack_bytes(msg)).as_deref(), Some(msg));
         }
     }
@@ -205,7 +217,10 @@ mod tests {
         let k2 = MacKey::from_bytes(&k.to_bytes()).expect("roundtrip");
         assert_eq!(k, k2);
         assert!(MacKey::from_bytes(&[0u8; 3]).is_none());
-        assert!(MacKey::from_bytes(&[0xff; 16]).is_none(), "non-canonical rejected");
+        assert!(
+            MacKey::from_bytes(&[0xff; 16]).is_none(),
+            "non-canonical rejected"
+        );
     }
 
     proptest! {

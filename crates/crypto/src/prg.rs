@@ -32,7 +32,11 @@ pub struct Prg {
 impl Prg {
     /// Creates a PRG from an arbitrary-length seed.
     pub fn new(seed: &[u8]) -> Prg {
-        Prg { seed: seed.to_vec(), counter: 0, buf: Vec::new() }
+        Prg {
+            seed: seed.to_vec(),
+            counter: 0,
+            buf: Vec::new(),
+        }
     }
 
     fn refill(&mut self) {

@@ -55,7 +55,12 @@ impl Default for Sha256 {
 impl Sha256 {
     /// Creates a fresh hashing context.
     pub fn new() -> Sha256 {
-        Sha256 { state: H0, buf: [0; 64], buf_len: 0, total_len: 0 }
+        Sha256 {
+            state: H0,
+            buf: [0; 64],
+            buf_len: 0,
+            total_len: 0,
+        }
     }
 
     /// Absorbs `data` into the hash state.

@@ -60,11 +60,7 @@ pub fn additive_reconstruct(shares: &[Fp]) -> Fp {
 
 /// Splits each element of `secret` into `n` additive shares; returns one
 /// vector share per party.
-pub fn additive_share_vec<R: Rng + ?Sized>(
-    secret: &[Fp],
-    n: usize,
-    rng: &mut R,
-) -> Vec<Vec<Fp>> {
+pub fn additive_share_vec<R: Rng + ?Sized>(secret: &[Fp], n: usize, rng: &mut R) -> Vec<Vec<Fp>> {
     let mut out = vec![Vec::with_capacity(secret.len()); n];
     for &s in secret {
         for (p, sh) in additive_share(s, n, rng).into_iter().enumerate() {
@@ -82,7 +78,10 @@ pub fn additive_share_vec<R: Rng + ?Sized>(
 pub fn additive_reconstruct_vec(shares: &[Vec<Fp>]) -> Vec<Fp> {
     assert!(!shares.is_empty(), "need at least one share");
     let len = shares[0].len();
-    assert!(shares.iter().all(|s| s.len() == len), "inconsistent share lengths");
+    assert!(
+        shares.iter().all(|s| s.len() == len),
+        "inconsistent share lengths"
+    );
     (0..len)
         .map(|i| shares.iter().map(|s| s[i]).sum())
         .collect()
@@ -116,7 +115,10 @@ pub fn shamir_share<R: Rng + ?Sized>(
     }
     let poly = Poly::from_coeffs(coeffs);
     (1..=n as u64)
-        .map(|i| ShamirShare { index: i, value: poly.eval(Fp::new(i)) })
+        .map(|i| ShamirShare {
+            index: i,
+            value: poly.eval(Fp::new(i)),
+        })
         .collect()
 }
 
@@ -127,7 +129,10 @@ pub fn shamir_share<R: Rng + ?Sized>(
 /// Returns [`ShareError::TooFewShares`] or [`ShareError::DuplicateIndex`].
 pub fn shamir_reconstruct(shares: &[ShamirShare], t: usize) -> Result<Fp, ShareError> {
     if shares.len() < t {
-        return Err(ShareError::TooFewShares { got: shares.len(), need: t });
+        return Err(ShareError::TooFewShares {
+            got: shares.len(),
+            need: t,
+        });
     }
     let subset = &shares[..t];
     for (i, a) in subset.iter().enumerate() {
@@ -148,7 +153,9 @@ pub fn shamir_reconstruct(shares: &[ShamirShare], t: usize) -> Result<Fp, ShareE
 /// Panics if `n == 0`.
 pub fn xor_share<R: Rng + ?Sized>(secret: &[u8], n: usize, rng: &mut R) -> Vec<Vec<u8>> {
     assert!(n > 0, "xor_share: need at least one share");
-    let mut shares: Vec<Vec<u8>> = (0..n - 1).map(|_| random_bytes(rng, secret.len())).collect();
+    let mut shares: Vec<Vec<u8>> = (0..n - 1)
+        .map(|_| random_bytes(rng, secret.len()))
+        .collect();
     let mut last = secret.to_vec();
     for s in &shares {
         for (l, b) in last.iter_mut().zip(s) {
@@ -167,7 +174,10 @@ pub fn xor_share<R: Rng + ?Sized>(secret: &[u8], n: usize, rng: &mut R) -> Vec<V
 pub fn xor_reconstruct(shares: &[Vec<u8>]) -> Vec<u8> {
     assert!(!shares.is_empty(), "need at least one share");
     let len = shares[0].len();
-    assert!(shares.iter().all(|s| s.len() == len), "inconsistent share lengths");
+    assert!(
+        shares.iter().all(|s| s.len() == len),
+        "inconsistent share lengths"
+    );
     let mut out = vec![0u8; len];
     for s in shares {
         for (o, b) in out.iter_mut().zip(s) {
@@ -274,7 +284,10 @@ mod tests {
             ShareError::TooFewShares { got: 1, need: 3 }.to_string(),
             "too few shares: got 1, need 3"
         );
-        assert_eq!(ShareError::BadTag.to_string(), "share authentication failed");
+        assert_eq!(
+            ShareError::BadTag.to_string(),
+            "share authentication failed"
+        );
     }
 
     proptest! {

@@ -53,6 +53,9 @@ impl VssShare {
 /// # Panics
 ///
 /// Panics unless `1 <= t <= n`.
+// The symmetric-matrix construction reads clearest with explicit (a, b)
+// index pairs.
+#[allow(clippy::needless_range_loop)]
 pub fn deal<R: Rng + ?Sized>(secret: Fp, t: usize, n: usize, rng: &mut R) -> Vec<VssShare> {
     assert!(t >= 1 && t <= n, "need 1 <= t <= n");
     // Symmetric coefficient matrix c[a][b] = c[b][a], c[0][0] = secret,
@@ -60,7 +63,11 @@ pub fn deal<R: Rng + ?Sized>(secret: Fp, t: usize, n: usize, rng: &mut R) -> Vec
     let mut c = vec![vec![Fp::ZERO; t]; t];
     for a in 0..t {
         for b in a..t {
-            let v = if a == 0 && b == 0 { secret } else { random_fp(rng) };
+            let v = if a == 0 && b == 0 {
+                secret
+            } else {
+                random_fp(rng)
+            };
             c[a][b] = v;
             c[b][a] = v;
         }
@@ -79,7 +86,10 @@ pub fn deal<R: Rng + ?Sized>(secret: Fp, t: usize, n: usize, rng: &mut R) -> Vec
                 }
                 coeffs.push(acc);
             }
-            VssShare { index: i, poly: coeffs }
+            VssShare {
+                index: i,
+                poly: coeffs,
+            }
         })
         .collect()
 }
@@ -110,7 +120,10 @@ pub fn reconstruct(shares: &[VssShare], t: usize) -> Result<Fp, ShareError> {
     // Filter to the mutually consistent core first.
     let core = consistent_core(shares);
     if core.len() < t {
-        return Err(ShareError::TooFewShares { got: core.len(), need: t });
+        return Err(ShareError::TooFewShares {
+            got: core.len(),
+            need: t,
+        });
     }
     let mut pts = Vec::with_capacity(t);
     for &i in core.iter().take(t) {
@@ -157,12 +170,16 @@ mod tests {
         let s = Fp::new(424242);
         let mut shares = deal(s, 3, 7, &mut rng);
         // Two cheaters (≤ t−1 = 2) replace their polynomials entirely.
-        for cheat in 0..2 {
-            shares[cheat].poly = (0..3).map(|_| random_fp(&mut rng)).collect();
+        for share in shares.iter_mut().take(2) {
+            share.poly = (0..3).map(|_| random_fp(&mut rng)).collect();
         }
         let core = consistent_core(&shares);
         assert!(core.iter().all(|&i| i >= 2), "cheaters excluded: {core:?}");
-        assert_eq!(reconstruct(&shares, 3).unwrap(), s, "honest majority still wins");
+        assert_eq!(
+            reconstruct(&shares, 3).unwrap(),
+            s,
+            "honest majority still wins"
+        );
     }
 
     #[test]
@@ -171,8 +188,8 @@ mod tests {
         let s = Fp::new(99);
         let mut shares = deal(s, 4, 7, &mut rng);
         // 4 cheaters (≥ t): they can deny service…
-        for cheat in 0..4 {
-            shares[cheat].poly = (0..4).map(|_| random_fp(&mut rng)).collect();
+        for share in shares.iter_mut().take(4) {
+            share.poly = (0..4).map(|_| random_fp(&mut rng)).collect();
         }
         match reconstruct(&shares, 4) {
             Ok(v) => assert_eq!(v, s, "if anything reconstructs, it is the real secret"),

@@ -97,6 +97,8 @@ impl From<Gf256> for u8 {
 
 impl Add for Gf256 {
     type Output = Gf256;
+    // In GF(2^8) addition *is* XOR.
+    #[allow(clippy::suspicious_arithmetic_impl)]
     fn add(self, rhs: Gf256) -> Gf256 {
         Gf256(self.0 ^ rhs.0)
     }
@@ -104,6 +106,8 @@ impl Add for Gf256 {
 
 impl Sub for Gf256 {
     type Output = Gf256;
+    // Characteristic 2: subtraction coincides with addition (XOR).
+    #[allow(clippy::suspicious_arithmetic_impl)]
     fn sub(self, rhs: Gf256) -> Gf256 {
         Gf256(self.0 ^ rhs.0)
     }

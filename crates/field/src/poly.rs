@@ -109,7 +109,9 @@ impl<F: Field> Poly<F> {
                 basis = basis.mul(&Poly::from_coeffs(vec![-xj, F::ONE]));
                 denom = denom * (xi - xj);
             }
-            let inv = denom.inverse().expect("distinct points give nonzero denominator");
+            let inv = denom
+                .inverse()
+                .expect("distinct points give nonzero denominator");
             acc = acc.add(&basis.scale(yi * inv));
         }
         acc
@@ -181,21 +183,20 @@ mod tests {
     #[test]
     fn interpolation_recovers_polynomial() {
         let q = p(&[7, 0, 5, 11]);
-        let pts: Vec<(Fp, Fp)> =
-            (1..5u64).map(|x| (Fp::new(x), q.eval(Fp::new(x)))).collect();
+        let pts: Vec<(Fp, Fp)> = (1..5u64)
+            .map(|x| (Fp::new(x), q.eval(Fp::new(x))))
+            .collect();
         assert_eq!(Poly::interpolate(&pts), q);
     }
 
     #[test]
     fn interpolate_at_matches_full_interpolation() {
         let q = p(&[3, 9, 2]);
-        let pts: Vec<(Fp, Fp)> =
-            (10..13u64).map(|x| (Fp::new(x), q.eval(Fp::new(x)))).collect();
+        let pts: Vec<(Fp, Fp)> = (10..13u64)
+            .map(|x| (Fp::new(x), q.eval(Fp::new(x))))
+            .collect();
         for x in 0..20u64 {
-            assert_eq!(
-                Poly::interpolate_at(&pts, Fp::new(x)),
-                q.eval(Fp::new(x))
-            );
+            assert_eq!(Poly::interpolate_at(&pts, Fp::new(x)), q.eval(Fp::new(x)));
         }
     }
 

@@ -17,9 +17,7 @@
 //! unchanged, so the protocol remains *optimally* fair (experiment E9).
 
 use fair_crypto::sign::{Signature, VerifyingKey};
-use fair_runtime::{
-    Adapted, Envelope, FuncId, Instance, OutMsg, Party, PartyId, RoundCtx, Value,
-};
+use fair_runtime::{Adapted, Envelope, FuncId, Instance, OutMsg, Party, PartyId, RoundCtx, Value};
 use fair_sfe::ideal::{SfeMsg, SfeWithAbort};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -48,12 +46,17 @@ fn down(m: &ArtMsg) -> Option<SfeMsg> {
 }
 
 #[derive(Clone, Debug)]
+#[allow(clippy::enum_variant_names)] // the Await* names mirror the paper's phase labels
 enum Phase {
     AwaitShareGen,
     /// Vote sent; holder will act once all votes land (or at the deadline).
-    AwaitVotes { deadline: usize },
+    AwaitVotes {
+        deadline: usize,
+    },
     /// Non-holder waiting for a reveal (or timeout).
-    AwaitReveal { deadline: usize },
+    AwaitReveal {
+        deadline: usize,
+    },
 }
 
 /// A party of the Lemma 18 protocol.
@@ -138,7 +141,9 @@ impl Party<ArtMsg> for ArtParty {
                         };
                         self.vk = Some(vk);
                         self.mine = Some(mine);
-                        self.phase = Phase::AwaitVotes { deadline: ctx.round + 2 };
+                        self.phase = Phase::AwaitVotes {
+                            deadline: ctx.round + 2,
+                        };
                         // Step 2: send "0" to everyone else.
                         (0..ctx.n)
                             .filter(|&j| j != ctx.id.0)
@@ -178,14 +183,14 @@ impl Party<ArtMsg> for ArtParty {
                     } else {
                         // Tails: reward exactly the non-0 senders.
                         (0..ctx.n)
-                            .filter(|&j| {
-                                j != ctx.id.0 && !zero_senders.contains(&PartyId(j))
-                            })
+                            .filter(|&j| j != ctx.id.0 && !zero_senders.contains(&PartyId(j)))
                             .map(|j| OutMsg::to_party(PartyId(j), ArtMsg::Reveal(mine.clone())))
                             .collect()
                     }
                 } else {
-                    self.phase = Phase::AwaitReveal { deadline: ctx.round + 2 };
+                    self.phase = Phase::AwaitReveal {
+                        deadline: ctx.round + 2,
+                    };
                     Vec::new()
                 }
             }
@@ -248,7 +253,12 @@ pub struct VoteOneAttack {
 impl VoteOneAttack {
     /// Attacks with corrupted party `target` (0-based).
     pub fn new(target: usize) -> VoteOneAttack {
-        VoteOneAttack { target: PartyId(target), learned: None, holder: false, silent: false }
+        VoteOneAttack {
+            target: PartyId(target),
+            learned: None,
+            holder: false,
+            silent: false,
+        }
     }
 }
 
@@ -326,7 +336,11 @@ mod tests {
         for seed in 0..5 {
             let mut rng = StdRng::seed_from_u64(100 + seed);
             let res = execute(instance(4, seed), &mut Passive, &mut rng, 30);
-            assert!(res.all_honest_output(&truth(4)), "seed {seed}: {:?}", res.outputs);
+            assert!(
+                res.all_honest_output(&truth(4)),
+                "seed {seed}: {:?}",
+                res.outputs
+            );
         }
     }
 

@@ -38,7 +38,13 @@ impl CoinParty {
     pub fn new(rng: &mut StdRng) -> CoinParty {
         let bit: bool = rng.random();
         let (commitment, opening) = commit::commit(&[bit as u8], rng);
-        CoinParty { bit, opening, commitment, their_commitment: None, out: None }
+        CoinParty {
+            bit,
+            opening,
+            commitment,
+            their_commitment: None,
+            out: None,
+        }
     }
 
     /// The party's committed bit (visible for tests and adversaries that
@@ -178,7 +184,10 @@ mod tests {
                 let target = honest_bit ^ 1; // force coin = 1
                 let (_, fake) = fair_crypto::commit::commit(&[target], rng);
                 self.fake = Some(fake.clone());
-                ctrl.send_as(PartyId(0), OutMsg::to_party(PartyId(1), CoinMsg::Open(fake)));
+                ctrl.send_as(
+                    PartyId(0),
+                    OutMsg::to_party(PartyId(1), CoinMsg::Open(fake)),
+                );
             }
         }
     }

@@ -102,8 +102,7 @@ impl ContractParty {
         let my_signed = signed_contract(contract, me, &sig);
         let (my_commitment, my_opening) = commit::commit(&my_signed, rng);
         let my_coin: bool = rng.random();
-        let (my_coin_commitment, my_coin_opening) =
-            commit::commit(&[my_coin as u8], rng);
+        let (my_coin_commitment, my_coin_opening) = commit::commit(&[my_coin as u8], rng);
         ContractParty {
             variant,
             me,
@@ -126,12 +125,22 @@ impl ContractParty {
     }
 
     /// Creates a Π1 party (`me` is 1-based).
-    pub fn pi1(me: usize, contract: &[u8], key: &(SigningKey, VerifyingKey), rng: &mut StdRng) -> ContractParty {
+    pub fn pi1(
+        me: usize,
+        contract: &[u8],
+        key: &(SigningKey, VerifyingKey),
+        rng: &mut StdRng,
+    ) -> ContractParty {
         ContractParty::build(Variant::Fixed, me, contract, key, rng)
     }
 
     /// Creates a Π2 party (`me` is 1-based).
-    pub fn pi2(me: usize, contract: &[u8], key: &(SigningKey, VerifyingKey), rng: &mut StdRng) -> ContractParty {
+    pub fn pi2(
+        me: usize,
+        contract: &[u8],
+        key: &(SigningKey, VerifyingKey),
+        rng: &mut StdRng,
+    ) -> ContractParty {
         ContractParty::build(Variant::CoinToss, me, contract, key, rng)
     }
 
@@ -173,7 +182,10 @@ impl ContractParty {
     }
 
     fn finish(&mut self) {
-        let theirs = self.their_signed.clone().expect("counterparty contract present");
+        let theirs = self
+            .their_signed
+            .clone()
+            .expect("counterparty contract present");
         let (s1, s2) = if self.me == 1 {
             (self.my_signed.clone(), theirs)
         } else {
@@ -192,7 +204,11 @@ impl ContractParty {
 }
 
 impl Party<ContractMsg> for ContractParty {
-    fn round(&mut self, ctx: &RoundCtx, inbox: &[Envelope<ContractMsg>]) -> Vec<OutMsg<ContractMsg>> {
+    fn round(
+        &mut self,
+        ctx: &RoundCtx,
+        inbox: &[Envelope<ContractMsg>],
+    ) -> Vec<OutMsg<ContractMsg>> {
         if self.out.is_some() {
             return Vec::new();
         }
@@ -241,7 +257,10 @@ impl Party<ContractMsg> for ContractParty {
                     self.abort();
                     return Vec::new();
                 }
-                vec![OutMsg::to_party(self.other(), ContractMsg::CoinOpen(self.my_coin_opening.clone()))]
+                vec![OutMsg::to_party(
+                    self.other(),
+                    ContractMsg::CoinOpen(self.my_coin_opening.clone()),
+                )]
             }
             // Π2 round 2: evaluate the coin; loser of the toss (bit b
             // decides) opens first in this round.
@@ -261,10 +280,13 @@ impl Party<ContractMsg> for ContractParty {
                 }
                 let b = self.my_coin ^ (o.message[0] == 1);
                 // b = 0: p1 opens first; b = 1: p2 opens first.
-                self.opens_first = Some((self.me == 1) == !b);
+                self.opens_first = Some((self.me == 1) != b);
                 if self.i_open_first() == Some(true) {
                     self.sent_open = true;
-                    vec![OutMsg::to_party(self.other(), ContractMsg::Open(self.my_opening.clone()))]
+                    vec![OutMsg::to_party(
+                        self.other(),
+                        ContractMsg::Open(self.my_opening.clone()),
+                    )]
                 } else {
                     Vec::new()
                 }
@@ -277,7 +299,10 @@ impl Party<ContractMsg> for ContractParty {
                 }
                 if self.i_open_first() == Some(true) {
                     self.sent_open = true;
-                    vec![OutMsg::to_party(self.other(), ContractMsg::Open(self.my_opening.clone()))]
+                    vec![OutMsg::to_party(
+                        self.other(),
+                        ContractMsg::Open(self.my_opening.clone()),
+                    )]
                 } else {
                     Vec::new()
                 }

@@ -14,7 +14,6 @@
 //! its own and withholds them — it learns y while the remaining ⌊n/2⌋
 //! honest parties stay below the threshold (see [`HalfCoalition`]).
 
-
 use fair_crypto::prg::Prg;
 use fair_crypto::share::{shamir_reconstruct, shamir_share, ShamirShare};
 use fair_crypto::sign::{self, Signature, VerifyingKey};
@@ -165,7 +164,10 @@ impl HalfParty {
             if shares.iter().any(|s| s.index == *index) {
                 continue;
             }
-            shares.push(ShamirShare { index: *index, value: Fp::new(*value) });
+            shares.push(ShamirShare {
+                index: *index,
+                value: Fp::new(*value),
+            });
         }
         let out = if shares.len() >= t {
             shamir_reconstruct(&shares, t)
@@ -229,7 +231,9 @@ impl Party<HalfMsg> for HalfParty {
                         self.ct = Some(ct);
                         self.my_share = Some((index, value, sig.clone()));
                         self.vks = vks;
-                        self.phase = Phase::AwaitShares { deadline: ctx.round + 2 };
+                        self.phase = Phase::AwaitShares {
+                            deadline: ctx.round + 2,
+                        };
                         vec![OutMsg::broadcast(HalfMsg::KeyShare(index, value, sig))]
                     }
                     Some(SfeMsg::Abort) => {
@@ -316,7 +320,10 @@ impl HalfCoalition {
         let shares: Vec<ShamirShare> = self
             .collected
             .iter()
-            .map(|(i, v)| ShamirShare { index: *i, value: Fp::new(*v) })
+            .map(|(i, v)| ShamirShare {
+                index: *i,
+                value: Fp::new(*v),
+            })
             .collect();
         if let (Ok(k), Some(ct)) = (shamir_reconstruct(&shares, t), &self.ct) {
             if let Some(y) = decrypt(ct, k) {
@@ -398,7 +405,11 @@ mod tests {
         for n in [3usize, 4, 5, 6] {
             let mut rng = StdRng::seed_from_u64(n as u64);
             let res = execute(instance(n), &mut Passive, &mut rng, 30);
-            assert!(res.all_honest_output(&truth(n)), "n = {n}: {:?}", res.outputs);
+            assert!(
+                res.all_honest_output(&truth(n)),
+                "n = {n}: {:?}",
+                res.outputs
+            );
         }
     }
 
@@ -409,7 +420,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(40);
         let mut adv = HalfCoalition::new(vec![0, 1]);
         let res = execute(instance(5), &mut adv, &mut rng, 30);
-        assert!(res.outputs.values().all(|v| *v == truth(5)), "{:?}", res.outputs);
+        assert!(
+            res.outputs.values().all(|v| *v == truth(5)),
+            "{:?}",
+            res.outputs
+        );
         assert_eq!(res.learned, Some(truth(5)));
     }
 

@@ -87,7 +87,10 @@ impl GkConfig {
             p,
             alpha,
             m: (8.0 / alpha).ceil() as usize,
-            fake: FakeMode::FromDomain { x_sampler, y_sampler },
+            fake: FakeMode::FromDomain {
+                x_sampler,
+                y_sampler,
+            },
         }
     }
 
@@ -95,12 +98,21 @@ impl GkConfig {
     /// output range: α = 1/(p²·|Z|), m = ⌈8/α⌉.
     pub fn poly_range(f: TwoPartyFn, p: u64, range: Vec<Value>) -> GkConfig {
         let alpha = 1.0 / (p as f64 * p as f64 * range.len() as f64);
-        GkConfig { f, p, alpha, m: (8.0 / alpha).ceil() as usize, fake: FakeMode::FromRange(range) }
+        GkConfig {
+            f,
+            p,
+            alpha,
+            m: (8.0 / alpha).ceil() as usize,
+            fake: FakeMode::FromRange(range),
+        }
     }
 
     fn sample_fake(&self, rng: &mut StdRng, inputs: &[Value], for_p1: bool) -> Value {
         match &self.fake {
-            FakeMode::FromDomain { x_sampler, y_sampler } => {
+            FakeMode::FromDomain {
+                x_sampler,
+                y_sampler,
+            } => {
                 if for_p1 {
                     (self.f)(&inputs[0], &y_sampler(rng))
                 } else {
@@ -152,12 +164,18 @@ fn encode_shares(ss: &[AuthShare]) -> Value {
 
 fn decode_holdings(v: &Value) -> Option<Vec<AuthShareHolding>> {
     let Value::Tuple(parts) = v else { return None };
-    parts.iter().map(|p| p.as_bytes().and_then(AuthShareHolding::from_bytes)).collect()
+    parts
+        .iter()
+        .map(|p| p.as_bytes().and_then(AuthShareHolding::from_bytes))
+        .collect()
 }
 
 fn decode_shares(v: &Value) -> Option<Vec<AuthShare>> {
     let Value::Tuple(parts) = v else { return None };
-    parts.iter().map(|p| p.as_bytes().and_then(AuthShare::from_bytes)).collect()
+    parts
+        .iter()
+        .map(|p| p.as_bytes().and_then(AuthShare::from_bytes))
+        .collect()
 }
 
 /// The ShareGen specification: candidate sequences, dealt as authenticated
@@ -174,8 +192,16 @@ pub fn sharegen_spec(name: &str, cfg: GkConfig) -> IdealSpec {
         let mut b_holdings = Vec::with_capacity(cfg.m);
         let mut b_shares = Vec::with_capacity(cfg.m);
         for i in 1..=cfg.m {
-            let a_i = if i < i_star { cfg.sample_fake(rng, inputs, true) } else { y.clone() };
-            let b_i = if i < i_star { cfg.sample_fake(rng, inputs, false) } else { y.clone() };
+            let a_i = if i < i_star {
+                cfg.sample_fake(rng, inputs, true)
+            } else {
+                y.clone()
+            };
+            let b_i = if i < i_star {
+                cfg.sample_fake(rng, inputs, false)
+            } else {
+                y.clone()
+            };
             let (h1, h2) = authshare::deal(&fair_crypto::mac::pack_bytes(&a_i.encode()), rng);
             a_holdings.push(h1);
             a_shares.push(h2.share);
@@ -191,8 +217,16 @@ pub fn sharegen_spec(name: &str, cfg: GkConfig) -> IdealSpec {
                 ("i_star".to_string(), Value::Scalar(i_star as u64)),
             ],
             per_party: vec![
-                Value::Tuple(vec![encode_holdings(&a_holdings), encode_shares(&b_shares), a0]),
-                Value::Tuple(vec![encode_holdings(&b_holdings), encode_shares(&a_shares), b0]),
+                Value::Tuple(vec![
+                    encode_holdings(&a_holdings),
+                    encode_shares(&b_shares),
+                    a0,
+                ]),
+                Value::Tuple(vec![
+                    encode_holdings(&b_holdings),
+                    encode_shares(&a_shares),
+                    b0,
+                ]),
             ],
         }
     })
@@ -285,7 +319,11 @@ impl GkParty {
 
     fn my_share_for(&self, i: usize) -> Option<GkMsg> {
         let share = self.shares.get(i - 1)?.clone();
-        Some(if self.me == 1 { GkMsg::BShare(i as u64, share) } else { GkMsg::AShare(i as u64, share) })
+        Some(if self.me == 1 {
+            GkMsg::BShare(i as u64, share)
+        } else {
+            GkMsg::AShare(i as u64, share)
+        })
     }
 }
 
@@ -300,15 +338,19 @@ impl Party<GkMsg> for GkParty {
                 GkMsg::Sfe(s) if matches!(e.from, fair_runtime::Endpoint::Func(_)) => {
                     sfe = Some(s.clone());
                 }
-                GkMsg::AShare(i, s) if self.me == 1 && e.from_party() == Some(self.other()) => {
-                    if self.pending.is_none() {
-                        self.pending = Some((*i, s.clone()));
-                    }
+                GkMsg::AShare(i, s)
+                    if self.me == 1
+                        && e.from_party() == Some(self.other())
+                        && self.pending.is_none() =>
+                {
+                    self.pending = Some((*i, s.clone()));
                 }
-                GkMsg::BShare(i, s) if self.me == 2 && e.from_party() == Some(self.other()) => {
-                    if self.pending.is_none() {
-                        self.pending = Some((*i, s.clone()));
-                    }
+                GkMsg::BShare(i, s)
+                    if self.me == 2
+                        && e.from_party() == Some(self.other())
+                        && self.pending.is_none() =>
+                {
+                    self.pending = Some((*i, s.clone()));
                 }
                 _ => {}
             }
@@ -345,7 +387,9 @@ impl GkParty {
                     Some(SfeMsg::Output(v)) => {
                         let parsed = (|| {
                             let Value::Tuple(parts) = &v else { return None };
-                            let [h, s, d] = parts.as_slice() else { return None };
+                            let [h, s, d] = parts.as_slice() else {
+                                return None;
+                            };
                             Some((decode_holdings(h)?, decode_shares(s)?, d.clone()))
                         })();
                         let Some((holdings, shares, default)) = parsed else {
@@ -363,7 +407,10 @@ impl GkParty {
                         self.last_progress = ctx.round;
                         if self.me == 2 {
                             // p2 opens the exchange: release a_1's share.
-                            return self.my_share_for(1).map(|m| vec![OutMsg::to_party(self.other(), m)]).unwrap_or_default();
+                            return self
+                                .my_share_for(1)
+                                .map(|m| vec![OutMsg::to_party(self.other(), m)])
+                                .unwrap_or_default();
                         }
                         Vec::new()
                     }
@@ -400,7 +447,9 @@ impl GkParty {
                         if i == self.m {
                             self.finish_with_latest();
                         }
-                        return msg.map(|m| vec![OutMsg::to_party(self.other(), m)]).unwrap_or_default();
+                        return msg
+                            .map(|m| vec![OutMsg::to_party(self.other(), m)])
+                            .unwrap_or_default();
                     }
                     // p2: advance and release the next a-share.
                     self.cur += 1;
@@ -467,11 +516,19 @@ pub struct GkAttack {
 impl GkAttack {
     /// Creates the attack.
     pub fn new(rule: AbortRule) -> GkAttack {
-        GkAttack { rule, holdings: Vec::new(), history: Vec::new(), learned: None, aborted: false }
+        GkAttack {
+            rule,
+            holdings: Vec::new(),
+            history: Vec::new(),
+            learned: None,
+            aborted: false,
+        }
     }
 
     fn should_abort(&self) -> bool {
-        let Some(last) = self.history.last() else { return false };
+        let Some(last) = self.history.last() else {
+            return false;
+        };
         match &self.rule {
             AbortRule::AtRound(i) => self.history.len() >= *i,
             AbortRule::OnValue(v) => last == v,
@@ -518,10 +575,12 @@ impl Adversary<GkMsg> for GkAttack {
             if i != self.history.len() + 1 {
                 continue;
             }
-            let Some(holding) = self.holdings.get(i - 1) else { continue };
+            let Some(holding) = self.holdings.get(i - 1) else {
+                continue;
+            };
             if let Ok(packed) = authshare::reconstruct(1, holding, &share) {
-                if let Some(v) = fair_crypto::mac::unpack_bytes(&packed)
-                    .and_then(|b| Value::decode(&b))
+                if let Some(v) =
+                    fair_crypto::mac::unpack_bytes(&packed).and_then(|b| Value::decode(&b))
                 {
                     self.history.push(v);
                 }
@@ -572,7 +631,11 @@ pub fn ideal_observables(
     let mut history: Vec<Value> = Vec::new();
     let mut abort_at: Option<usize> = None;
     for i in 1..=cfg.m {
-        let a_i = if i < i_star { cfg.sample_fake(rng, &inputs, true) } else { y.clone() };
+        let a_i = if i < i_star {
+            cfg.sample_fake(rng, &inputs, true)
+        } else {
+            y.clone()
+        };
         history.push(a_i);
         let fire = match rule {
             AbortRule::AtRound(r) => history.len() >= *r,

@@ -37,7 +37,12 @@ pub enum LeakyMsg {
 }
 
 fn translate_out(msgs: Vec<OutMsg<GkMsg>>) -> Vec<OutMsg<LeakyMsg>> {
-    msgs.into_iter().map(|m| OutMsg { to: m.to, msg: LeakyMsg::Gk(m.msg) }).collect()
+    msgs.into_iter()
+        .map(|m| OutMsg {
+            to: m.to,
+            msg: LeakyMsg::Gk(m.msg),
+        })
+        .collect()
 }
 
 /// A party of Π̃ wrapping the embedded Gordon–Katz party.
@@ -52,7 +57,10 @@ pub struct LeakyParty {
 
 impl core::fmt::Debug for LeakyParty {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        f.debug_struct("LeakyParty").field("me", &self.me).field("inner", &self.inner).finish()
+        f.debug_struct("LeakyParty")
+            .field("me", &self.me)
+            .field("inner", &self.inner)
+            .finish()
     }
 }
 
@@ -110,11 +118,19 @@ impl Party<LeakyMsg> for LeakyParty {
         let sub_inbox: Vec<Envelope<GkMsg>> = inbox
             .iter()
             .filter_map(|e| match &e.msg {
-                LeakyMsg::Gk(m) => Some(Envelope { from: e.from, to: e.to, msg: m.clone() }),
+                LeakyMsg::Gk(m) => Some(Envelope {
+                    from: e.from,
+                    to: e.to,
+                    msg: m.clone(),
+                }),
                 _ => None,
             })
             .collect();
-        let sub_ctx = RoundCtx { id: ctx.id, n: ctx.n, round: ctx.round - SUB_START };
+        let sub_ctx = RoundCtx {
+            id: ctx.id,
+            n: ctx.n,
+            round: ctx.round - SUB_START,
+        };
         translate_out(self.inner.round(&sub_ctx, &sub_inbox))
     }
 
@@ -226,7 +242,10 @@ impl fair_runtime::Adversary<LeakyMsg> for LeakyProbe {
     ) {
         if view.round == 0 {
             // Deviate: send 1 instead of the honest 0.
-            ctrl.send_as(PartyId(1), OutMsg::to_party(PartyId(0), LeakyMsg::FirstBit(true)));
+            ctrl.send_as(
+                PartyId(1),
+                OutMsg::to_party(PartyId(0), LeakyMsg::FirstBit(true)),
+            );
             return;
         }
         for e in view.delivered.iter().chain(view.rushing.iter()) {
@@ -316,6 +335,9 @@ mod tests {
                 zeros += 1;
             }
         }
-        assert!(zeros as f64 / trials as f64 > 0.8, "z1 = 0 in {zeros}/{trials}");
+        assert!(
+            zeros as f64 / trials as f64 > 0.8,
+            "z1 = 0 in {zeros}/{trials}"
+        );
     }
 }

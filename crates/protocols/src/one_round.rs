@@ -14,9 +14,7 @@ use std::sync::Arc;
 use fair_crypto::mac::{pack_bytes, unpack_bytes};
 use fair_crypto::share::{additive_reconstruct_vec, additive_share_vec};
 use fair_field::Fp;
-use fair_runtime::{
-    Adapted, Envelope, FuncId, Instance, OutMsg, Party, PartyId, RoundCtx, Value,
-};
+use fair_runtime::{Adapted, Envelope, FuncId, Instance, OutMsg, Party, PartyId, RoundCtx, Value};
 use fair_sfe::ideal::{SfeMsg, SfeWithAbort};
 use fair_sfe::spec::{IdealOutput, IdealSpec};
 
@@ -102,7 +100,11 @@ impl OneRoundParty {
 }
 
 impl Party<OneRoundMsg> for OneRoundParty {
-    fn round(&mut self, ctx: &RoundCtx, inbox: &[Envelope<OneRoundMsg>]) -> Vec<OutMsg<OneRoundMsg>> {
+    fn round(
+        &mut self,
+        ctx: &RoundCtx,
+        inbox: &[Envelope<OneRoundMsg>],
+    ) -> Vec<OutMsg<OneRoundMsg>> {
         if self.out.is_some() {
             return Vec::new();
         }
@@ -112,10 +114,11 @@ impl Party<OneRoundMsg> for OneRoundParty {
                 OneRoundMsg::Sfe(m) if matches!(e.from, fair_runtime::Endpoint::Func(_)) => {
                     sfe = Some(m.clone());
                 }
-                OneRoundMsg::Summand(v) if e.from_party() == Some(PartyId(1 - ctx.id.0)) => {
-                    if self.their_summand.is_none() {
-                        self.their_summand = Some(v.iter().map(|&x| Fp::new(x)).collect());
-                    }
+                OneRoundMsg::Summand(v)
+                    if e.from_party() == Some(PartyId(1 - ctx.id.0))
+                        && self.their_summand.is_none() =>
+                {
+                    self.their_summand = Some(v.iter().map(|&x| Fp::new(x)).collect());
                 }
                 _ => {}
             }
@@ -136,10 +139,11 @@ impl Party<OneRoundMsg> for OneRoundParty {
                             self.out = Some(Value::Bot);
                             return Vec::new();
                         };
-                        let msg =
-                            OneRoundMsg::Summand(mine.iter().map(|x| x.value()).collect());
+                        let msg = OneRoundMsg::Summand(mine.iter().map(|x| x.value()).collect());
                         self.my_summand = Some(mine);
-                        self.phase = Phase::AwaitSummand { deadline: ctx.round + 2 };
+                        self.phase = Phase::AwaitSummand {
+                            deadline: ctx.round + 2,
+                        };
                         // The single reconstruction round: both summands
                         // cross simultaneously.
                         vec![OutMsg::to_party(PartyId(1 - ctx.id.0), msg)]
@@ -203,7 +207,12 @@ pub struct OneRoundRusher {
 impl OneRoundRusher {
     /// Attacks with corrupted party `target` (0-based).
     pub fn new(target: usize) -> OneRoundRusher {
-        OneRoundRusher { target: PartyId(target), mine: None, learned: None, submitted: false }
+        OneRoundRusher {
+            target: PartyId(target),
+            mine: None,
+            learned: None,
+            submitted: false,
+        }
     }
 }
 
@@ -223,7 +232,10 @@ impl fair_runtime::Adversary<OneRoundMsg> for OneRoundRusher {
             self.submitted = true;
             ctrl.send_as(
                 self.target,
-                OutMsg::to_func(FuncId(0), OneRoundMsg::Sfe(SfeMsg::Input(Value::Scalar(5 + self.target.0 as u64)))),
+                OutMsg::to_func(
+                    FuncId(0),
+                    OneRoundMsg::Sfe(SfeMsg::Input(Value::Scalar(5 + self.target.0 as u64))),
+                ),
             );
         }
         for e in view.delivered {
@@ -233,7 +245,9 @@ impl fair_runtime::Adversary<OneRoundMsg> for OneRoundRusher {
         }
         for e in view.rushing {
             if let OneRoundMsg::Summand(v) = &e.msg {
-                let Some(mine) = self.mine.clone() else { continue };
+                let Some(mine) = self.mine.clone() else {
+                    continue;
+                };
                 let theirs: Vec<Fp> = v.iter().map(|&x| Fp::new(x)).collect();
                 if mine.len() == theirs.len() {
                     let packed = additive_reconstruct_vec(&[mine, theirs]);
@@ -285,7 +299,11 @@ mod tests {
                 let inst = one_round_instance("swap", swap_fn(), xs);
                 let res = execute(inst, &mut adv, &mut rng, 30);
                 let expect = res.ledger.get("y").cloned().expect("y recorded");
-                assert_eq!(res.learned, Some(expect), "adversary always learns (p{target})");
+                assert_eq!(
+                    res.learned,
+                    Some(expect),
+                    "adversary always learns (p{target})"
+                );
                 let honest = PartyId(1 - target);
                 assert_eq!(res.outputs[&honest], Value::Bot, "honest party denied");
             }

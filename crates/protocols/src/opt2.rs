@@ -24,9 +24,7 @@ use std::sync::Arc;
 
 use fair_crypto::authshare::{self, AuthShare, AuthShareHolding};
 use fair_crypto::mac::{pack_bytes, unpack_bytes};
-use fair_runtime::{
-    Adapted, Envelope, FuncId, Instance, OutMsg, Party, PartyId, RoundCtx, Value,
-};
+use fair_runtime::{Adapted, Envelope, FuncId, Instance, OutMsg, Party, PartyId, RoundCtx, Value};
 use fair_sfe::ideal::{SfeMsg, SfeWithAbort};
 use fair_sfe::spec::{IdealOutput, IdealSpec};
 use rand::RngExt;
@@ -77,9 +75,8 @@ pub fn f_prime_spec_biased(name: &str, f: TwoPartyFn, q: f64) -> IdealSpec {
         let packed = pack_bytes(&y.encode());
         let (h1, h2) = authshare::deal(&packed, rng);
         let i_star = if rng.random_bool(q) { 1u64 } else { 2u64 };
-        let out = |h: &AuthShareHolding| {
-            Value::pair(Value::Bytes(h.to_bytes()), Value::Scalar(i_star))
-        };
+        let out =
+            |h: &AuthShareHolding| Value::pair(Value::Bytes(h.to_bytes()), Value::Scalar(i_star));
         IdealOutput {
             facts: vec![
                 ("y".to_string(), y.clone()),
@@ -91,6 +88,7 @@ pub fn f_prime_spec_biased(name: &str, f: TwoPartyFn, q: f64) -> IdealSpec {
 }
 
 #[derive(Clone, Debug)]
+#[allow(clippy::enum_variant_names)] // the Await* names mirror the paper's phase labels
 enum Phase {
     /// Waiting for the phase-1 output (since the given round).
     AwaitShareGen,
@@ -169,7 +167,12 @@ impl Opt2Party {
     }
 
     fn my_share_msg(&self) -> OutMsg<Opt2Msg> {
-        let share = self.holding.as_ref().expect("holding present").share.clone();
+        let share = self
+            .holding
+            .as_ref()
+            .expect("holding present")
+            .share
+            .clone();
         OutMsg::to_party(self.other(), Opt2Msg::Share(share))
     }
 
@@ -194,10 +197,10 @@ impl Party<Opt2Msg> for Opt2Party {
                 Opt2Msg::Sfe(m) if matches!(e.from, fair_runtime::Endpoint::Func(_)) => {
                     sfe = Some(m.clone());
                 }
-                Opt2Msg::Share(s) if e.from_party() == Some(self.other()) => {
-                    if self.pending_share.is_none() {
-                        self.pending_share = Some(s.clone());
-                    }
+                Opt2Msg::Share(s)
+                    if e.from_party() == Some(self.other()) && self.pending_share.is_none() =>
+                {
+                    self.pending_share = Some(s.clone());
                 }
                 _ => {}
             }
@@ -251,13 +254,15 @@ impl Opt2Party {
                         self.holding = Some(holding);
                         if i_star == self.me as u64 {
                             // Reconstruction comes to us first.
-                            self.phase =
-                                Phase::AwaitFirstReconstruction { deadline: ctx.round + 3 };
+                            self.phase = Phase::AwaitFirstReconstruction {
+                                deadline: ctx.round + 3,
+                            };
                             Vec::new()
                         } else {
                             // We send our share first, then await theirs.
-                            self.phase =
-                                Phase::AwaitSecondReconstruction { deadline: ctx.round + 3 };
+                            self.phase = Phase::AwaitSecondReconstruction {
+                                deadline: ctx.round + 3,
+                            };
                             vec![self.my_share_msg()]
                         }
                     }
@@ -377,7 +382,11 @@ mod tests {
             let y = Value::pair(Value::Scalar(22), Value::Scalar(11));
             assert!(res.all_honest_output(&y), "seed {seed}: {:?}", res.outputs);
             assert_eq!(res.ledger.get("y"), Some(&y));
-            let i_star = res.ledger.get("i_star").and_then(|v| v.as_scalar()).unwrap();
+            let i_star = res
+                .ledger
+                .get("i_star")
+                .and_then(|v| v.as_scalar())
+                .unwrap();
             assert!(i_star == 1 || i_star == 2);
         }
     }
@@ -405,8 +414,7 @@ mod tests {
             let mut rng = StdRng::seed_from_u64(1000 + seed);
             // Default-input evaluation for corrupted p1: f(x1, d2) = (0, x1).
             let default = Value::pair(Value::Scalar(0), Value::Scalar(11));
-            let mut adv =
-                LockAndAbort::new(CorruptionPlan::Fixed(vec![0]), differs_from(default));
+            let mut adv = LockAndAbort::new(CorruptionPlan::Fixed(vec![0]), differs_from(default));
             let res = execute(instance(11, 22), &mut adv, &mut rng, 30);
             let y = Value::pair(Value::Scalar(22), Value::Scalar(11));
             let i_star = res.ledger.get("i_star").cloned();
@@ -471,7 +479,10 @@ mod tests {
                         .to_bytes(),
                     )
                     .expect("well-formed bogus share");
-                    ctrl.send_as(PartyId(0), OutMsg::to_party(PartyId(1), Opt2Msg::Share(bogus)));
+                    ctrl.send_as(
+                        PartyId(0),
+                        OutMsg::to_party(PartyId(1), Opt2Msg::Share(bogus)),
+                    );
                 }
             }
         }

@@ -79,7 +79,9 @@ enum Phase {
     AwaitShareGen,
     /// Announced; deciding once all n announces landed (or at the
     /// deadline, whichever comes first).
-    AwaitAnnounces { deadline: usize },
+    AwaitAnnounces {
+        deadline: usize,
+    },
 }
 
 /// A party of Π^Opt_nSFE.
@@ -176,7 +178,9 @@ impl Party<OptnMsg> for OptnParty {
                         };
                         self.vk = Some(vk);
                         self.mine = Some(mine.clone());
-                        self.phase = Phase::AwaitAnnounces { deadline: ctx.round + 2 };
+                        self.phase = Phase::AwaitAnnounces {
+                            deadline: ctx.round + 2,
+                        };
                         vec![OutMsg::broadcast(OptnMsg::Announce(mine))]
                     }
                     Some(SfeMsg::Abort) => {
@@ -232,7 +236,7 @@ pub fn concat_fn() -> NPartyFn {
 mod tests {
     use super::*;
     use fair_core::strategy::{any_output, CorruptionPlan, LockAndAbort};
-    use fair_runtime::{execute, Passive, PartyId};
+    use fair_runtime::{execute, PartyId, Passive};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -250,7 +254,11 @@ mod tests {
         for n in [3, 4, 5] {
             let mut rng = StdRng::seed_from_u64(n as u64);
             let res = execute(instance(n), &mut Passive, &mut rng, 30);
-            assert!(res.all_honest_output(&truth(n)), "n = {n}: {:?}", res.outputs);
+            assert!(
+                res.all_honest_output(&truth(n)),
+                "n = {n}: {:?}",
+                res.outputs
+            );
         }
     }
 
@@ -324,10 +332,7 @@ mod tests {
             ) {
                 ctrl.run_honestly(PartyId(0));
                 if view.round == 2 {
-                    let fake = Value::pair(
-                        Value::Scalar(666),
-                        Value::Bytes(vec![0u8; 256 * 32]),
-                    );
+                    let fake = Value::pair(Value::Scalar(666), Value::Bytes(vec![0u8; 256 * 32]));
                     ctrl.send_as(PartyId(0), OutMsg::broadcast(OptnMsg::Announce(fake)));
                 }
             }

@@ -7,7 +7,6 @@
 //!
 //! [`Scenario`]: fair_core::Scenario
 
-
 use fair_core::strategy::{
     any_output, differs_from_any, CorruptionPlan, HonestUntilRound, LockAndAbort, RunHonestly,
 };
@@ -88,7 +87,10 @@ pub fn t_adversary_sweep(n: usize, t: usize) -> Vec<Strategy> {
         Strategy::Honest(CorruptionPlan::RandomSubset(t)),
     ];
     for r in 0..6 {
-        out.push(Strategy::AbortAtRound(CorruptionPlan::Fixed((0..t).collect()), r));
+        out.push(Strategy::AbortAtRound(
+            CorruptionPlan::Fixed((0..t).collect()),
+            r,
+        ));
     }
     out
 }
@@ -109,7 +111,11 @@ impl Scenario for ContractScenario {
     type Msg = ContractMsg;
 
     fn name(&self) -> String {
-        format!("{}/{}", if self.pi2 { "Pi2" } else { "Pi1" }, self.strategy.label())
+        format!(
+            "{}/{}",
+            if self.pi2 { "Pi2" } else { "Pi1" },
+            self.strategy.label()
+        )
     }
 
     fn n(&self) -> usize {
@@ -135,7 +141,10 @@ impl Scenario for ContractScenario {
 
 /// The full strategy sweep against Π1 or Π2.
 pub fn contract_sweep(pi2: bool) -> Vec<ContractScenario> {
-    two_party_sweep().into_iter().map(|strategy| ContractScenario { pi2, strategy }).collect()
+    two_party_sweep()
+        .into_iter()
+        .map(|strategy| ContractScenario { pi2, strategy })
+        .collect()
 }
 
 // ---------------------------------------------------------------------------
@@ -185,7 +194,10 @@ impl Scenario for Opt2Scenario {
 
 /// The full strategy sweep against Π^Opt_2SFE.
 pub fn opt2_sweep() -> Vec<Opt2Scenario> {
-    two_party_sweep().into_iter().map(|strategy| Opt2Scenario { strategy }).collect()
+    two_party_sweep()
+        .into_iter()
+        .map(|strategy| Opt2Scenario { strategy })
+        .collect()
 }
 
 /// Π^Opt_2SFE with a *biased* designated-party choice (Pr[i* = 1] = q):
@@ -236,9 +248,18 @@ impl Scenario for BiasedOpt2Scenario {
 /// strategies matter for the minimax question).
 pub fn biased_opt2_sweep(q: f64) -> Vec<BiasedOpt2Scenario> {
     vec![
-        BiasedOpt2Scenario { q, strategy: Strategy::LockAbort(CorruptionPlan::Fixed(vec![0])) },
-        BiasedOpt2Scenario { q, strategy: Strategy::LockAbort(CorruptionPlan::Fixed(vec![1])) },
-        BiasedOpt2Scenario { q, strategy: Strategy::Honest(CorruptionPlan::Fixed(vec![0])) },
+        BiasedOpt2Scenario {
+            q,
+            strategy: Strategy::LockAbort(CorruptionPlan::Fixed(vec![0])),
+        },
+        BiasedOpt2Scenario {
+            q,
+            strategy: Strategy::LockAbort(CorruptionPlan::Fixed(vec![1])),
+        },
+        BiasedOpt2Scenario {
+            q,
+            strategy: Strategy::Honest(CorruptionPlan::Fixed(vec![0])),
+        },
     ]
 }
 
@@ -266,8 +287,9 @@ impl Scenario for OptnScenario {
     }
 
     fn build(&self, rng: &mut StdRng) -> Trial<OptnMsg> {
-        let inputs: Vec<Value> =
-            (0..self.n).map(|_| Value::Scalar(rng.random_range(0..1 << 30))).collect();
+        let inputs: Vec<Value> = (0..self.n)
+            .map(|_| Value::Scalar(rng.random_range(0..1 << 30)))
+            .collect();
         let instance = optn_instance("concat", concat_fn(), inputs);
         Trial {
             instance,
@@ -322,30 +344,34 @@ impl Scenario for OneRoundScenario {
     fn build(&self, rng: &mut StdRng) -> Trial<OneRoundMsg> {
         let x1 = rng.random_range(1u64..1 << 30);
         let x2 = rng.random_range(1u64..1 << 30);
-        let instance = one_round_instance(
-            "swap",
-            swap_fn(),
-            [Value::Scalar(x1), Value::Scalar(x2)],
-        );
+        let instance =
+            one_round_instance("swap", swap_fn(), [Value::Scalar(x1), Value::Scalar(x2)]);
         let adversary: Box<dyn Adversary<OneRoundMsg>> = match &self.strategy {
             OneRoundStrategy::Rusher(t) => Box::new(OneRoundRusher::new(*t)),
             OneRoundStrategy::Generic(s) => s.build(any_output()),
         };
-        Trial { instance, adversary, truth: None, max_rounds: 40 }
+        Trial {
+            instance,
+            adversary,
+            truth: None,
+            max_rounds: 40,
+        }
     }
 }
 
 /// The sweep against the strawman (rushers plus the generic library).
 pub fn one_round_sweep() -> Vec<OneRoundScenario> {
     let mut out = vec![
-        OneRoundScenario { strategy: OneRoundStrategy::Rusher(0) },
-        OneRoundScenario { strategy: OneRoundStrategy::Rusher(1) },
+        OneRoundScenario {
+            strategy: OneRoundStrategy::Rusher(0),
+        },
+        OneRoundScenario {
+            strategy: OneRoundStrategy::Rusher(1),
+        },
     ];
-    out.extend(
-        two_party_sweep()
-            .into_iter()
-            .map(|s| OneRoundScenario { strategy: OneRoundStrategy::Generic(s) }),
-    );
+    out.extend(two_party_sweep().into_iter().map(|s| OneRoundScenario {
+        strategy: OneRoundStrategy::Generic(s),
+    }));
     out
 }
 
@@ -385,25 +411,33 @@ impl Scenario for HalfScenario {
     }
 
     fn build(&self, rng: &mut StdRng) -> Trial<HalfMsg> {
-        let inputs: Vec<Value> =
-            (0..self.n).map(|_| Value::Scalar(rng.random_range(0..1 << 30))).collect();
+        let inputs: Vec<Value> = (0..self.n)
+            .map(|_| Value::Scalar(rng.random_range(0..1 << 30)))
+            .collect();
         let instance = gmw_half_instance("concat", concat_fn(), inputs);
         let adversary: Box<dyn Adversary<HalfMsg>> = match &self.strategy {
             HalfStrategy::Coalition(t) => Box::new(HalfCoalition::new((0..*t).collect())),
             HalfStrategy::Generic(s) => s.build(any_output()),
         };
-        Trial { instance, adversary, truth: None, max_rounds: 40 }
+        Trial {
+            instance,
+            adversary,
+            truth: None,
+            max_rounds: 40,
+        }
     }
 }
 
 /// The t-adversary sweep against Π^{1/2}_GMW.
 pub fn gmw_half_sweep(n: usize, t: usize) -> Vec<HalfScenario> {
-    let mut out = vec![HalfScenario { n, strategy: HalfStrategy::Coalition(t) }];
-    out.extend(
-        t_adversary_sweep(n, t)
-            .into_iter()
-            .map(|s| HalfScenario { n, strategy: HalfStrategy::Generic(s) }),
-    );
+    let mut out = vec![HalfScenario {
+        n,
+        strategy: HalfStrategy::Coalition(t),
+    }];
+    out.extend(t_adversary_sweep(n, t).into_iter().map(|s| HalfScenario {
+        n,
+        strategy: HalfStrategy::Generic(s),
+    }));
     out
 }
 
@@ -443,8 +477,9 @@ impl Scenario for ArtScenario {
     }
 
     fn build(&self, rng: &mut StdRng) -> Trial<crate::artificial::ArtMsg> {
-        let inputs: Vec<Value> =
-            (0..self.n).map(|_| Value::Scalar(rng.random_range(0..1 << 30))).collect();
+        let inputs: Vec<Value> = (0..self.n)
+            .map(|_| Value::Scalar(rng.random_range(0..1 << 30)))
+            .collect();
         let mut inst_rng = StdRng::seed_from_u64(rng.random());
         let instance =
             crate::artificial::artificial_instance("concat", concat_fn(), inputs, &mut inst_rng);
@@ -452,7 +487,12 @@ impl Scenario for ArtScenario {
             ArtStrategy::VoteOne(t) => Box::new(crate::artificial::VoteOneAttack::new(*t)),
             ArtStrategy::Generic(s) => s.build(any_output()),
         };
-        Trial { instance, adversary, truth: None, max_rounds: 40 }
+        Trial {
+            instance,
+            adversary,
+            truth: None,
+            max_rounds: 40,
+        }
     }
 }
 
@@ -460,13 +500,15 @@ impl Scenario for ArtScenario {
 pub fn artificial_sweep(n: usize, t: usize) -> Vec<ArtScenario> {
     let mut out: Vec<ArtScenario> = Vec::new();
     if t == 1 {
-        out.push(ArtScenario { n, strategy: ArtStrategy::VoteOne(0) });
+        out.push(ArtScenario {
+            n,
+            strategy: ArtStrategy::VoteOne(0),
+        });
     }
-    out.extend(
-        t_adversary_sweep(n, t)
-            .into_iter()
-            .map(|s| ArtScenario { n, strategy: ArtStrategy::Generic(s) }),
-    );
+    out.extend(t_adversary_sweep(n, t).into_iter().map(|s| ArtScenario {
+        n,
+        strategy: ArtStrategy::Generic(s),
+    }));
     out
 }
 
@@ -532,8 +574,16 @@ pub fn gk_sweep(cfg: &GkConfig, rounds: &[usize]) -> Vec<GkScenario> {
             label: format!("on-value({v})"),
         });
     }
-    out.push(GkScenario { cfg: cfg.clone(), rule: AbortRule::OnRepeat, label: "on-repeat".into() });
-    out.push(GkScenario { cfg: cfg.clone(), rule: AbortRule::Never, label: "honest".into() });
+    out.push(GkScenario {
+        cfg: cfg.clone(),
+        rule: AbortRule::OnRepeat,
+        label: "on-repeat".into(),
+    });
+    out.push(GkScenario {
+        cfg: cfg.clone(),
+        rule: AbortRule::Never,
+        label: "honest".into(),
+    });
     out
 }
 
@@ -562,8 +612,9 @@ impl Scenario for IdealFairScenario {
     }
 
     fn build(&self, rng: &mut StdRng) -> Trial<fair_sfe::ideal::SfeMsg> {
-        let inputs: Vec<Value> =
-            (0..self.n).map(|_| Value::Scalar(rng.random_range(0..1 << 30))).collect();
+        let inputs: Vec<Value> = (0..self.n)
+            .map(|_| Value::Scalar(rng.random_range(0..1 << 30)))
+            .collect();
         let instance = Instance {
             parties: inputs
                 .iter()
@@ -572,9 +623,9 @@ impl Scenario for IdealFairScenario {
                         as Box<dyn fair_runtime::Party<fair_sfe::ideal::SfeMsg>>
                 })
                 .collect(),
-            funcs: vec![Box::new(fair_sfe::ideal::FairSfe::new(fair_sfe::spec::concat_spec(
-                self.n,
-            )))],
+            funcs: vec![Box::new(fair_sfe::ideal::FairSfe::new(
+                fair_sfe::spec::concat_spec(self.n),
+            ))],
         };
         Trial {
             instance,

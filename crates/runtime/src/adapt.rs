@@ -22,7 +22,12 @@ impl<MO, MI, F> Adapted<MO, MI, F> {
     /// one (returning `None` for messages not addressed to this
     /// functionality, which are dropped); `up` wraps replies.
     pub fn new(inner: F, down: fn(&MO) -> Option<MI>, up: fn(MI) -> MO) -> Self {
-        Adapted { inner, down, up, _marker: core::marker::PhantomData }
+        Adapted {
+            inner,
+            down,
+            up,
+            _marker: core::marker::PhantomData,
+        }
     }
 
     /// Access to the wrapped functionality.
@@ -43,13 +48,20 @@ where
         let translated: Vec<Envelope<MI>> = incoming
             .iter()
             .filter_map(|e| {
-                (self.down)(&e.msg).map(|m| Envelope { from: e.from, to: e.to, msg: m })
+                (self.down)(&e.msg).map(|m| Envelope {
+                    from: e.from,
+                    to: e.to,
+                    msg: m,
+                })
             })
             .collect();
         self.inner
             .on_round(ctx, &translated)
             .into_iter()
-            .map(|o| OutMsg { to: o.to, msg: (self.up)(o.msg) })
+            .map(|o| OutMsg {
+                to: o.to,
+                msg: (self.up)(o.msg),
+            })
             .collect()
     }
 }
@@ -71,12 +83,14 @@ mod tests {
             "doubler"
         }
 
-        fn on_round(&mut self, _ctx: &mut FuncCtx<'_>, incoming: &[Envelope<u64>]) -> Vec<OutMsg<u64>> {
+        fn on_round(
+            &mut self,
+            _ctx: &mut FuncCtx<'_>,
+            incoming: &[Envelope<u64>],
+        ) -> Vec<OutMsg<u64>> {
             incoming
                 .iter()
-                .filter_map(|e| {
-                    e.from_party().map(|p| OutMsg::to_party(p, e.msg * 2))
-                })
+                .filter_map(|e| e.from_party().map(|p| OutMsg::to_party(p, e.msg * 2)))
                 .collect()
         }
     }
@@ -101,7 +115,13 @@ mod tests {
         let mut ledger = Ledger::new();
         let corrupted = BTreeSet::new();
         let mut rng = StdRng::seed_from_u64(0);
-        let mut ctx = FuncCtx { round: 0, n: 2, corrupted: &corrupted, ledger: &mut ledger, rng: &mut rng };
+        let mut ctx = FuncCtx {
+            round: 0,
+            n: 2,
+            corrupted: &corrupted,
+            ledger: &mut ledger,
+            rng: &mut rng,
+        };
         let incoming = vec![
             Envelope {
                 from: Endpoint::Party(PartyId(0)),

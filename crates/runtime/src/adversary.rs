@@ -114,7 +114,9 @@ impl<'a, M: Clone> AdvControl<'a, M> {
         if self.corrupted.contains(&pid) {
             return None;
         }
-        let machine = self.honest[pid.0].take().expect("honest party machine present");
+        let machine = self.honest[pid.0]
+            .take()
+            .expect("honest party machine present");
         self.pool.insert(pid, machine);
         self.corrupted.insert(pid);
         let mut retracted = Vec::new();
@@ -137,10 +139,18 @@ impl<'a, M: Clone> AdvControl<'a, M> {
                 matches!(m.to, Destination::Party(q) if q == pid)
                     || matches!(m.to, Destination::All)
             })
-            .map(|(p, m)| Envelope { from: Endpoint::Party(*p), to: m.to, msg: m.msg.clone() })
+            .map(|(p, m)| Envelope {
+                from: Endpoint::Party(*p),
+                to: m.to,
+                msg: m.msg.clone(),
+            })
             .collect();
         let inbox = self.inboxes.get(&pid).cloned().unwrap_or_default();
-        Some(CorruptionGrant { retracted, inbox, now_visible })
+        Some(CorruptionGrant {
+            retracted,
+            inbox,
+            now_visible,
+        })
     }
 
     /// Mutable access to a corrupted party's live state machine (for
@@ -150,7 +160,9 @@ impl<'a, M: Clone> AdvControl<'a, M> {
     ///
     /// Panics if `pid` is not corrupted.
     pub fn machine(&mut self, pid: PartyId) -> &mut Box<dyn Party<M>> {
-        self.pool.get_mut(&pid).expect("machine of a corrupted party")
+        self.pool
+            .get_mut(&pid)
+            .expect("machine of a corrupted party")
     }
 
     /// The current-round inbox of a corrupted party.
@@ -169,8 +181,15 @@ impl<'a, M: Clone> AdvControl<'a, M> {
     /// Panics if `pid` is not corrupted.
     pub fn run_honestly(&mut self, pid: PartyId) {
         let inbox = self.inboxes.get(&pid).cloned().unwrap_or_default();
-        let ctx = RoundCtx { id: pid, n: self.n, round: self.round };
-        let machine = self.pool.get_mut(&pid).expect("machine of a corrupted party");
+        let ctx = RoundCtx {
+            id: pid,
+            n: self.n,
+            round: self.round,
+        };
+        let machine = self
+            .pool
+            .get_mut(&pid)
+            .expect("machine of a corrupted party");
         let outs = machine.round(&ctx, &inbox);
         for out in outs {
             self.sends.push((Endpoint::Party(pid), out));

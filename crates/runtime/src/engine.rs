@@ -97,7 +97,11 @@ pub fn execute<M: Clone + core::fmt::Debug>(
     rng: &mut StdRng,
     max_rounds: usize,
 ) -> ExecutionResult {
-    let max_rounds = if max_rounds == 0 { DEFAULT_MAX_ROUNDS } else { max_rounds };
+    let max_rounds = if max_rounds == 0 {
+        DEFAULT_MAX_ROUNDS
+    } else {
+        max_rounds
+    };
     let n = instance.parties.len();
     let mut honest: Vec<Option<Box<dyn Party<M>>>> =
         instance.parties.into_iter().map(Some).collect();
@@ -141,6 +145,7 @@ pub fn execute<M: Clone + core::fmt::Debug>(
         // 2. Honest parties run.
         let mut honest_out: Vec<(PartyId, OutMsg<M>)> = Vec::new();
         let mut all_honest_done = true;
+        #[allow(clippy::needless_range_loop)] // i is a PartyId, not just an index
         for i in 0..n {
             let pid = PartyId(i);
             if corrupted.contains(&pid) {
@@ -174,11 +179,20 @@ pub fn execute<M: Clone + core::fmt::Debug>(
                 Destination::Adversary => true,
                 Destination::Func(_) => false,
             })
-            .map(|(p, m)| Envelope { from: Endpoint::Party(*p), to: m.to, msg: m.msg.clone() })
+            .map(|(p, m)| Envelope {
+                from: Endpoint::Party(*p),
+                to: m.to,
+                msg: m.msg.clone(),
+            })
             .collect();
         let mut sends: Vec<(Endpoint, OutMsg<M>)>;
         {
-            let view = RoundView { round, n, delivered: &adv_delivered, rushing: &rushing };
+            let view = RoundView {
+                round,
+                n,
+                delivered: &adv_delivered,
+                rushing: &rushing,
+            };
             let mut ctrl = AdvControl {
                 round,
                 n,
@@ -214,11 +228,22 @@ pub fn execute<M: Clone + core::fmt::Debug>(
                     }
                 }
                 Destination::Party(_) | Destination::Adversary => {
-                    pending.push(Envelope { from, to: out.to, msg: out.msg });
+                    pending.push(Envelope {
+                        from,
+                        to: out.to,
+                        msg: out.msg,
+                    });
                 }
                 Destination::Func(f) => {
-                    assert!(f.0 < funcs.len(), "message to nonexistent functionality {f}");
-                    func_now[f.0].push(Envelope { from, to: out.to, msg: out.msg });
+                    assert!(
+                        f.0 < funcs.len(),
+                        "message to nonexistent functionality {f}"
+                    );
+                    func_now[f.0].push(Envelope {
+                        from,
+                        to: out.to,
+                        msg: out.msg,
+                    });
                 }
             }
         }
@@ -230,8 +255,14 @@ pub fn execute<M: Clone + core::fmt::Debug>(
             // round (func_now) are both visible now: functionalities react
             // within the round they are invoked.
             let mut incoming = core::mem::take(&mut func_in[fi]);
-            incoming.extend(func_now[fi].drain(..));
-            let mut ctx = FuncCtx { round, n, corrupted: &corrupted, ledger: &mut ledger, rng };
+            incoming.append(&mut func_now[fi]);
+            let mut ctx = FuncCtx {
+                round,
+                n,
+                corrupted: &corrupted,
+                ledger: &mut ledger,
+                rng,
+            };
             for out in func.on_round(&mut ctx, &incoming) {
                 match out.to {
                     Destination::All => {
@@ -254,6 +285,7 @@ pub fn execute<M: Clone + core::fmt::Debug>(
     }
 
     let mut outputs = BTreeMap::new();
+    #[allow(clippy::needless_range_loop)] // i is a PartyId, not just an index
     for i in 0..n {
         let pid = PartyId(i);
         if corrupted.contains(&pid) {
@@ -323,8 +355,14 @@ mod tests {
     fn swap_instance() -> Instance<u64> {
         Instance {
             parties: vec![
-                Box::new(Swapper { input: 10, got: None }),
-                Box::new(Swapper { input: 20, got: None }),
+                Box::new(Swapper {
+                    input: 10,
+                    got: None,
+                }),
+                Box::new(Swapper {
+                    input: 20,
+                    got: None,
+                }),
             ],
             funcs: vec![],
         }
@@ -439,7 +477,9 @@ mod tests {
     #[test]
     fn adaptive_corruption_hands_over_live_state() {
         let mut rng = StdRng::seed_from_u64(0);
-        let mut adv = LateCorruptor { grabbed_state: false };
+        let mut adv = LateCorruptor {
+            grabbed_state: false,
+        };
         let res = execute(swap_instance(), &mut adv, &mut rng, 10);
         assert!(adv.grabbed_state);
         // p1 remains honest and got its output before the corruption.
@@ -485,7 +525,10 @@ mod tests {
                 Box::new(self.clone())
             }
         }
-        let inst = Instance { parties: vec![Box::new(Loop), Box::new(Loop)], funcs: vec![] };
+        let inst = Instance {
+            parties: vec![Box::new(Loop), Box::new(Loop)],
+            funcs: vec![],
+        };
         let mut rng = StdRng::seed_from_u64(0);
         let res = execute(inst, &mut Passive, &mut rng, 7);
         assert_eq!(res.rounds, 6);
@@ -520,9 +563,18 @@ mod tests {
         }
         let inst = Instance {
             parties: vec![
-                Box::new(Bc { input: Some(42), heard: None }),
-                Box::new(Bc { input: None, heard: None }),
-                Box::new(Bc { input: None, heard: None }),
+                Box::new(Bc {
+                    input: Some(42),
+                    heard: None,
+                }),
+                Box::new(Bc {
+                    input: None,
+                    heard: None,
+                }),
+                Box::new(Bc {
+                    input: None,
+                    heard: None,
+                }),
             ],
             funcs: vec![],
         };

@@ -90,17 +90,26 @@ impl<M> OutMsg<M> {
 
     /// Message to a single party.
     pub fn to_party(pid: PartyId, msg: M) -> OutMsg<M> {
-        OutMsg { to: Destination::Party(pid), msg }
+        OutMsg {
+            to: Destination::Party(pid),
+            msg,
+        }
     }
 
     /// Message to a functionality.
     pub fn to_func(fid: FuncId, msg: M) -> OutMsg<M> {
-        OutMsg { to: Destination::Func(fid), msg }
+        OutMsg {
+            to: Destination::Func(fid),
+            msg,
+        }
     }
 
     /// Broadcast message.
     pub fn broadcast(msg: M) -> OutMsg<M> {
-        OutMsg { to: Destination::All, msg }
+        OutMsg {
+            to: Destination::All,
+            msg,
+        }
     }
 }
 
@@ -151,9 +160,17 @@ mod tests {
 
     #[test]
     fn envelope_from_party() {
-        let e = Envelope { from: Endpoint::Party(PartyId(2)), to: Destination::All, msg: () };
+        let e = Envelope {
+            from: Endpoint::Party(PartyId(2)),
+            to: Destination::All,
+            msg: (),
+        };
         assert_eq!(e.from_party(), Some(PartyId(2)));
-        let e2 = Envelope { from: Endpoint::Adversary, to: Destination::All, msg: () };
+        let e2 = Envelope {
+            from: Endpoint::Adversary,
+            to: Destination::All,
+            msg: (),
+        };
         assert_eq!(e2.from_party(), None);
     }
 }

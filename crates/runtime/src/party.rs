@@ -80,7 +80,10 @@ pub fn run_isolated_seq<M: Clone>(
             return Some(out);
         }
         let inbox = inboxes.get(r).unwrap_or(&empty);
-        let ctx = RoundCtx { round: ctx0.round + r, ..ctx0 };
+        let ctx = RoundCtx {
+            round: ctx0.round + r,
+            ..ctx0
+        };
         let _ = party.round(&ctx, inbox);
     }
     party.output()
@@ -119,16 +122,31 @@ mod tests {
     }
 
     fn ctx() -> RoundCtx {
-        RoundCtx { id: PartyId(0), n: 2, round: 0 }
+        RoundCtx {
+            id: PartyId(0),
+            n: 2,
+            round: 0,
+        }
     }
 
     #[test]
     fn run_isolated_delivers_first_inbox_then_silence() {
-        let mut p: Box<dyn Party<u64>> =
-            Box::new(Counter { wait: 3, seen: 0, done: None });
+        let mut p: Box<dyn Party<u64>> = Box::new(Counter {
+            wait: 3,
+            seen: 0,
+            done: None,
+        });
         let first = vec![
-            Envelope { from: Endpoint::Party(PartyId(1)), to: Destination::Party(PartyId(0)), msg: 9 },
-            Envelope { from: Endpoint::Party(PartyId(1)), to: Destination::Party(PartyId(0)), msg: 9 },
+            Envelope {
+                from: Endpoint::Party(PartyId(1)),
+                to: Destination::Party(PartyId(0)),
+                msg: 9,
+            },
+            Envelope {
+                from: Endpoint::Party(PartyId(1)),
+                to: Destination::Party(PartyId(0)),
+                msg: 9,
+            },
         ];
         let out = run_isolated(&mut p, ctx(), &first, 10);
         assert_eq!(out, Some(Value::Scalar(2)));
@@ -136,22 +154,31 @@ mod tests {
 
     #[test]
     fn run_isolated_respects_round_budget() {
-        let mut p: Box<dyn Party<u64>> =
-            Box::new(Counter { wait: 100, seen: 0, done: None });
+        let mut p: Box<dyn Party<u64>> = Box::new(Counter {
+            wait: 100,
+            seen: 0,
+            done: None,
+        });
         assert_eq!(run_isolated(&mut p, ctx(), &[], 5), None);
     }
 
     #[test]
     fn run_isolated_stops_at_existing_output() {
-        let mut p: Box<dyn Party<u64>> =
-            Box::new(Counter { wait: 0, seen: 7, done: Some(Value::Scalar(7)) });
+        let mut p: Box<dyn Party<u64>> = Box::new(Counter {
+            wait: 0,
+            seen: 7,
+            done: Some(Value::Scalar(7)),
+        });
         assert_eq!(run_isolated(&mut p, ctx(), &[], 5), Some(Value::Scalar(7)));
     }
 
     #[test]
     fn forked_clone_is_independent() {
-        let original: Box<dyn Party<u64>> =
-            Box::new(Counter { wait: 2, seen: 0, done: None });
+        let original: Box<dyn Party<u64>> = Box::new(Counter {
+            wait: 2,
+            seen: 0,
+            done: None,
+        });
         let mut fork = original.clone();
         let out = run_isolated(&mut fork, ctx(), &[], 10);
         assert_eq!(out, Some(Value::Scalar(0)));

@@ -247,7 +247,10 @@ mod tests {
             Value::Bytes(vec![]),
             Value::Bytes(vec![0, 1, 255]),
             Value::pair(Value::Bytes(vec![9]), Value::Scalar(1)),
-            Value::pair(Value::pair(Value::Bot, Value::Scalar(2)), Value::Bytes(vec![3])),
+            Value::pair(
+                Value::pair(Value::Bot, Value::Scalar(2)),
+                Value::Bytes(vec![3]),
+            ),
             Value::Tuple(vec![]),
             Value::Tuple(vec![Value::Scalar(1), Value::Bot, Value::Bytes(vec![7, 7])]),
         ];
@@ -264,7 +267,11 @@ mod tests {
         let mut good = Value::Scalar(5).encode();
         good.push(0);
         assert_eq!(Value::decode(&good), None, "trailing bytes");
-        assert_eq!(Value::decode(&[2, 0, 0, 0, 0, 0, 0, 0, 9, 1]), None, "short bytes body");
+        assert_eq!(
+            Value::decode(&[2, 0, 0, 0, 0, 0, 0, 0, 9, 1]),
+            None,
+            "short bytes body"
+        );
     }
 
     #[test]

@@ -22,7 +22,10 @@ struct Mixer {
 impl Party<u64> for Mixer {
     fn round(&mut self, ctx: &RoundCtx, inbox: &[Envelope<u64>]) -> Vec<OutMsg<u64>> {
         for e in inbox {
-            self.acc = self.acc.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(e.msg);
+            self.acc = self
+                .acc
+                .wrapping_mul(0x9e3779b97f4a7c15)
+                .wrapping_add(e.msg);
         }
         if ctx.round >= self.stop_after {
             self.out = Some(Value::Scalar(self.acc));
@@ -44,8 +47,11 @@ fn instance(n: usize, rounds: usize, salt: u64) -> Instance<u64> {
     Instance {
         parties: (0..n)
             .map(|i| {
-                Box::new(Mixer { acc: salt.wrapping_add(i as u64), stop_after: rounds, out: None })
-                    as Box<dyn Party<u64>>
+                Box::new(Mixer {
+                    acc: salt.wrapping_add(i as u64),
+                    stop_after: rounds,
+                    out: None,
+                }) as Box<dyn Party<u64>>
             })
             .collect(),
         funcs: vec![],
@@ -64,9 +70,14 @@ impl Adversary<u64> for NoisyAdversary {
         vec![t]
     }
 
-    fn on_round(&mut self, view: &RoundView<'_, u64>, ctrl: &mut AdvControl<'_, u64>, rng: &mut StdRng) {
+    fn on_round(
+        &mut self,
+        view: &RoundView<'_, u64>,
+        ctrl: &mut AdvControl<'_, u64>,
+        rng: &mut StdRng,
+    ) {
         let t = self.target.expect("chosen at start");
-        if view.round % 2 == 0 {
+        if view.round.is_multiple_of(2) {
             ctrl.send_as(t, OutMsg::broadcast(rng.random()));
         } else {
             ctrl.run_honestly(t);
@@ -128,7 +139,12 @@ fn corruption_is_conserved() {
         fn initial_corruptions(&mut self, _n: usize, _r: &mut StdRng) -> Vec<PartyId> {
             vec![PartyId(0), PartyId(0)]
         }
-        fn on_round(&mut self, v: &RoundView<'_, u64>, c: &mut AdvControl<'_, u64>, _r: &mut StdRng) {
+        fn on_round(
+            &mut self,
+            v: &RoundView<'_, u64>,
+            c: &mut AdvControl<'_, u64>,
+            _r: &mut StdRng,
+        ) {
             if v.round == 1 {
                 assert!(c.corrupt(PartyId(0)).is_none(), "already corrupted");
                 assert!(c.corrupt(PartyId(1)).is_some(), "fresh corruption succeeds");

@@ -25,7 +25,11 @@ pub struct SfeDummyParty {
 impl SfeDummyParty {
     /// Creates the party with its input.
     pub fn new(input: Value) -> SfeDummyParty {
-        SfeDummyParty { input, sent: false, out: None }
+        SfeDummyParty {
+            input,
+            sent: false,
+            out: None,
+        }
     }
 }
 
@@ -40,7 +44,10 @@ impl Party<SfeMsg> for SfeDummyParty {
         }
         if !self.sent {
             self.sent = true;
-            return vec![OutMsg::to_func(FuncId(0), SfeMsg::Input(self.input.clone()))];
+            return vec![OutMsg::to_func(
+                FuncId(0),
+                SfeMsg::Input(self.input.clone()),
+            )];
         }
         Vec::new()
     }
@@ -65,7 +72,11 @@ pub struct RandDummyParty {
 impl RandDummyParty {
     /// Creates the party with its input.
     pub fn new(input: Value) -> RandDummyParty {
-        RandDummyParty { input, sent: false, out: None }
+        RandDummyParty {
+            input,
+            sent: false,
+            out: None,
+        }
     }
 }
 
@@ -78,7 +89,10 @@ impl Party<RandMsg> for RandDummyParty {
         }
         if !self.sent {
             self.sent = true;
-            return vec![OutMsg::to_func(FuncId(0), RandMsg::Input(self.input.clone()))];
+            return vec![OutMsg::to_func(
+                FuncId(0),
+                RandMsg::Input(self.input.clone()),
+            )];
         }
         Vec::new()
     }
@@ -97,7 +111,7 @@ mod tests {
     use super::*;
     use crate::ideal::FairSfe;
     use crate::spec::concat_spec;
-    use fair_runtime::{execute, Instance, Passive, PartyId};
+    use fair_runtime::{execute, Instance, PartyId, Passive};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -125,7 +139,11 @@ mod tests {
     #[test]
     fn dummy_party_outputs_bot_on_abort_message() {
         let mut p = SfeDummyParty::new(Value::Scalar(0));
-        let ctx = RoundCtx { id: PartyId(0), n: 2, round: 0 };
+        let ctx = RoundCtx {
+            id: PartyId(0),
+            n: 2,
+            round: 0,
+        };
         let env = Envelope {
             from: fair_runtime::Endpoint::Func(FuncId(0)),
             to: fair_runtime::Destination::Party(PartyId(0)),

@@ -28,9 +28,7 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use fair_circuits::{bits_to_u64, Circuit, Gate};
-use fair_runtime::{
-    Envelope, FuncCtx, Functionality, OutMsg, Party, PartyId, RoundCtx, Value,
-};
+use fair_runtime::{Envelope, FuncCtx, Functionality, OutMsg, Party, PartyId, RoundCtx, Value};
 use rand::rngs::StdRng;
 use rand::RngExt;
 
@@ -166,7 +164,10 @@ pub struct GmwParty {
 
 impl core::fmt::Debug for GmwParty {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        f.debug_struct("GmwParty").field("id", &self.id).field("out", &self.out).finish()
+        f.debug_struct("GmwParty")
+            .field("id", &self.id)
+            .field("out", &self.out)
+            .finish()
     }
 }
 
@@ -193,20 +194,29 @@ impl GmwParty {
     /// # Panics
     ///
     /// Panics if the input width disagrees with the configuration.
-    pub fn new(cfg: Arc<GmwConfig>, id: PartyId, input_bits: Vec<bool>, rng: &mut StdRng) -> GmwParty {
+    pub fn new(
+        cfg: Arc<GmwConfig>,
+        id: PartyId,
+        input_bits: Vec<bool>,
+        rng: &mut StdRng,
+    ) -> GmwParty {
         let n = cfg.n();
         assert!(id.0 < n, "party id out of range");
-        assert_eq!(input_bits.len(), cfg.input_widths[id.0], "input width mismatch");
+        assert_eq!(
+            input_bits.len(),
+            cfg.input_widths[id.0],
+            "input width mismatch"
+        );
         // Pre-draw the XOR sharing of our input.
         let mut input_shares = vec![vec![false; input_bits.len()]; n];
         for (b, &bit) in input_bits.iter().enumerate() {
             let mut acc = bit;
-            for j in 0..n {
+            for (j, share) in input_shares.iter_mut().enumerate() {
                 if j == id.0 {
                     continue;
                 }
                 let r: bool = rng.random();
-                input_shares[j][b] = r;
+                share[b] = r;
                 acc ^= r;
             }
             input_shares[id.0][b] = acc;
@@ -341,7 +351,9 @@ impl Party<GmwMsg> for GmwParty {
             // Round 0: distribute input shares.
             0 => (0..n)
                 .filter(|&j| j != self.id.0)
-                .map(|j| OutMsg::to_party(PartyId(j), GmwMsg::InputShare(self.input_shares[j].clone())))
+                .map(|j| {
+                    OutMsg::to_party(PartyId(j), GmwMsg::InputShare(self.input_shares[j].clone()))
+                })
                 .collect(),
             // Round 1: collect input shares + triples, resolve, open wave 1
             // (or exchange outputs if the circuit has no ANDs).
@@ -415,7 +427,8 @@ impl Party<GmwMsg> for GmwParty {
                 } else {
                     // Final round: combine output shares.
                     let want = self.cfg.circuit.outputs.len();
-                    if self.out_shares.len() != n || self.out_shares.values().any(|s| s.len() != want)
+                    if self.out_shares.len() != n
+                        || self.out_shares.values().any(|s| s.len() != want)
                     {
                         return self.abort();
                     }
@@ -459,7 +472,11 @@ impl Functionality<GmwMsg> for TripleDealer {
         "F_triple_dealer"
     }
 
-    fn on_round(&mut self, ctx: &mut FuncCtx<'_>, _incoming: &[Envelope<GmwMsg>]) -> Vec<OutMsg<GmwMsg>> {
+    fn on_round(
+        &mut self,
+        ctx: &mut FuncCtx<'_>,
+        _incoming: &[Envelope<GmwMsg>],
+    ) -> Vec<OutMsg<GmwMsg>> {
         if self.dealt {
             return Vec::new();
         }
@@ -503,7 +520,8 @@ pub fn gmw_instance(
         .enumerate()
         .map(|(i, &x)| {
             let bits = fair_circuits::u64_to_bits(x, cfg.input_widths[i]);
-            Box::new(GmwParty::new(Arc::clone(cfg), PartyId(i), bits, rng)) as Box<dyn Party<GmwMsg>>
+            Box::new(GmwParty::new(Arc::clone(cfg), PartyId(i), bits, rng))
+                as Box<dyn Party<GmwMsg>>
         })
         .collect();
     fair_runtime::Instance {
@@ -540,7 +558,10 @@ mod tests {
         assert!(cfg.waves() > 1, "comparator should have AND depth > 1");
         for (a, b, seed) in [(200u64, 100u64, 1u64), (100, 200, 2), (55, 55, 3)] {
             let res = run_gmw(&cfg, &[a, b], seed);
-            assert!(res.all_honest_output(&Value::Scalar((a > b) as u64)), "{a} > {b}");
+            assert!(
+                res.all_honest_output(&Value::Scalar((a > b) as u64)),
+                "{a} > {b}"
+            );
         }
     }
 
@@ -615,9 +636,7 @@ mod tests {
 
     #[test]
     fn config_rejects_bad_widths() {
-        let result = std::panic::catch_unwind(|| {
-            GmwConfig::new(functions::and1(), vec![1, 2])
-        });
+        let result = std::panic::catch_unwind(|| GmwConfig::new(functions::and1(), vec![1, 2]));
         assert!(result.is_err());
     }
 }

@@ -46,8 +46,13 @@ const STALL_LIMIT: usize = 2;
 
 #[derive(Debug)]
 enum Phase {
-    Collecting { got: BTreeMap<PartyId, Value>, first_round: Option<usize> },
-    Window { per_party: Vec<Value> },
+    Collecting {
+        got: BTreeMap<PartyId, Value>,
+        first_round: Option<usize>,
+    },
+    Window {
+        per_party: Vec<Value>,
+    },
     Done,
 }
 
@@ -70,7 +75,10 @@ impl SfeWithAbort {
     pub fn new(spec: IdealSpec) -> SfeWithAbort {
         SfeWithAbort {
             spec,
-            phase: Phase::Collecting { got: BTreeMap::new(), first_round: None },
+            phase: Phase::Collecting {
+                got: BTreeMap::new(),
+                first_round: None,
+            },
             fact_prefix: String::new(),
         }
     }
@@ -79,14 +87,19 @@ impl SfeWithAbort {
     pub fn with_fact_prefix(spec: IdealSpec, prefix: &str) -> SfeWithAbort {
         SfeWithAbort {
             spec,
-            phase: Phase::Collecting { got: BTreeMap::new(), first_round: None },
+            phase: Phase::Collecting {
+                got: BTreeMap::new(),
+                first_round: None,
+            },
             fact_prefix: prefix.to_string(),
         }
     }
 
     fn abort_all(&mut self, n: usize) -> Vec<OutMsg<SfeMsg>> {
         self.phase = Phase::Done;
-        (0..n).map(|i| OutMsg::to_party(PartyId(i), SfeMsg::Abort)).collect()
+        (0..n)
+            .map(|i| OutMsg::to_party(PartyId(i), SfeMsg::Abort))
+            .collect()
     }
 }
 
@@ -128,7 +141,8 @@ impl Functionality<SfeMsg> for SfeWithAbort {
                     let inputs: Vec<Value> = got.values().cloned().collect();
                     let out = self.spec.eval(&inputs, ctx.rng);
                     for (k, v) in &out.facts {
-                        ctx.ledger.record(&format!("{}{}", self.fact_prefix, k), v.clone());
+                        ctx.ledger
+                            .record(&format!("{}{}", self.fact_prefix, k), v.clone());
                     }
                     let mut msgs = Vec::new();
                     let corrupted_any = !ctx.corrupted.is_empty();
@@ -138,7 +152,9 @@ impl Functionality<SfeMsg> for SfeWithAbort {
                         }
                     }
                     if corrupted_any {
-                        self.phase = Phase::Window { per_party: out.per_party };
+                        self.phase = Phase::Window {
+                            per_party: out.per_party,
+                        };
                     } else {
                         for (i, v) in out.per_party.iter().enumerate() {
                             msgs.push(OutMsg::to_party(PartyId(i), SfeMsg::Output(v.clone())));
@@ -185,7 +201,13 @@ pub struct FairSfe {
 impl FairSfe {
     /// Creates the functionality for `spec`.
     pub fn new(spec: IdealSpec) -> FairSfe {
-        FairSfe { spec, phase: Phase::Collecting { got: BTreeMap::new(), first_round: None } }
+        FairSfe {
+            spec,
+            phase: Phase::Collecting {
+                got: BTreeMap::new(),
+                first_round: None,
+            },
+        }
     }
 }
 
@@ -204,7 +226,9 @@ impl Functionality<SfeMsg> for FairSfe {
             Phase::Collecting { got, first_round } => {
                 if adversary_sent_abort(incoming) {
                     self.phase = Phase::Done;
-                    return (0..n).map(|i| OutMsg::to_party(PartyId(i), SfeMsg::Abort)).collect();
+                    return (0..n)
+                        .map(|i| OutMsg::to_party(PartyId(i), SfeMsg::Abort))
+                        .collect();
                 }
                 collect_inputs(got, incoming);
                 if !got.is_empty() && first_round.is_none() {
@@ -299,7 +323,10 @@ impl RandAbortSfe {
         if let Some(vals) = &self.computed {
             if !self.delivered[i] {
                 self.delivered[i] = true;
-                out.push(OutMsg::to_party(PartyId(i), RandMsg::Output(vals[i].clone())));
+                out.push(OutMsg::to_party(
+                    PartyId(i),
+                    RandMsg::Output(vals[i].clone()),
+                ));
             }
         }
     }
@@ -363,7 +390,8 @@ impl Functionality<RandMsg> for RandAbortSfe {
                         if !self.delivered[i] && !ctx.corrupted.contains(&pid) {
                             let x = self.inputs.get(&pid).cloned().unwrap_or(Value::Bot);
                             let replacement = (self.dist)(i, &x, ctx.rng);
-                            ctx.ledger.record(&format!("replaced_{}", i + 1), replacement.clone());
+                            ctx.ledger
+                                .record(&format!("replaced_{}", i + 1), replacement.clone());
                             if let Some(vals) = &mut self.computed {
                                 vals[i] = replacement;
                             }
@@ -388,7 +416,10 @@ impl Functionality<RandMsg> for RandAbortSfe {
 
 /// Convenience: sends an input message for party `pid` to functionality 0.
 pub fn input_msg(v: Value) -> OutMsg<SfeMsg> {
-    OutMsg { to: Destination::Func(fair_runtime::FuncId(0)), msg: SfeMsg::Input(v) }
+    OutMsg {
+        to: Destination::Func(fair_runtime::FuncId(0)),
+        msg: SfeMsg::Input(v),
+    }
 }
 
 #[cfg(test)]
@@ -558,7 +589,10 @@ mod tests {
         ) {
             let fid = fair_runtime::FuncId(0);
             if view.round == 0 {
-                ctrl.send_as(PartyId(0), OutMsg::to_func(fid, RandMsg::Input(Value::Scalar(1))));
+                ctrl.send_as(
+                    PartyId(0),
+                    OutMsg::to_func(fid, RandMsg::Input(Value::Scalar(1))),
+                );
                 ctrl.send_adv(OutMsg::to_func(fid, RandMsg::Deliver(0)));
             }
             for e in view.delivered {
@@ -588,8 +622,16 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(5);
         let mut adv = RandGrabAbort { learned: None };
         let res = execute(inst, &mut adv, &mut rng, 30);
-        assert_eq!(res.learned, Some(Value::Scalar(1)), "adversary saw the real output");
-        assert_eq!(res.outputs[&PartyId(1)], Value::Scalar(9), "honest output was replaced");
+        assert_eq!(
+            res.learned,
+            Some(Value::Scalar(1)),
+            "adversary saw the real output"
+        );
+        assert_eq!(
+            res.outputs[&PartyId(1)],
+            Value::Scalar(9),
+            "honest output was replaced"
+        );
         assert!(res.ledger.get("replaced_2").is_some());
     }
 }

@@ -54,7 +54,9 @@ pub fn unblind(component: &Value, key: &[u8]) -> Option<Value> {
 
 /// Extracts party `i`'s private output from the public blinded vector.
 pub fn extract(public: &Value, i: usize, key: &[u8]) -> Option<Value> {
-    let Value::Tuple(slots) = public else { return None };
+    let Value::Tuple(slots) = public else {
+        return None;
+    };
     unblind(slots.get(i)?, key)
 }
 
@@ -154,7 +156,10 @@ mod tests {
         let spec = blinded_spec("swap-priv", 2, swap_priv());
         let k = sample_key(&mut rng);
         let out1 = spec.eval(
-            &[wrap_input(Value::Scalar(5), &k), wrap_input(Value::Scalar(6), &sample_key(&mut rng))],
+            &[
+                wrap_input(Value::Scalar(5), &k),
+                wrap_input(Value::Scalar(6), &sample_key(&mut rng)),
+            ],
             &mut rng,
         );
         let out2 = spec.eval(
@@ -177,7 +182,9 @@ mod tests {
             &[Value::Scalar(7), wrap_input(Value::Scalar(8), &k2)],
             &mut rng,
         );
-        let Value::Tuple(slots) = &out.per_party[0] else { panic!("tuple") };
+        let Value::Tuple(slots) = &out.per_party[0] else {
+            panic!("tuple")
+        };
         assert_eq!(slots[0], Value::Scalar(8), "keyless party's slot is clear");
         assert_eq!(extract(&out.per_party[0], 1, &k2), Some(Value::Scalar(7)));
     }
@@ -186,7 +193,7 @@ mod tests {
     fn works_end_to_end_through_the_fair_functionality() {
         use crate::dummy::SfeDummyParty;
         use crate::ideal::FairSfe;
-        use fair_runtime::{execute, Instance, Passive, PartyId};
+        use fair_runtime::{execute, Instance, PartyId, Passive};
 
         let mut rng = StdRng::seed_from_u64(4);
         let k1 = sample_key(&mut rng);
@@ -196,11 +203,18 @@ mod tests {
                 Box::new(SfeDummyParty::new(wrap_input(Value::Scalar(1), &k1))),
                 Box::new(SfeDummyParty::new(wrap_input(Value::Scalar(2), &k2))),
             ],
-            funcs: vec![Box::new(FairSfe::new(blinded_spec("swap-priv", 2, swap_priv())))],
+            funcs: vec![Box::new(FairSfe::new(blinded_spec(
+                "swap-priv",
+                2,
+                swap_priv(),
+            )))],
         };
         let res = execute(inst, &mut Passive, &mut rng, 20);
         let pub1 = &res.outputs[&PartyId(0)];
         assert_eq!(extract(pub1, 0, &k1), Some(Value::Scalar(2)));
-        assert_eq!(extract(&res.outputs[&PartyId(1)], 1, &k2), Some(Value::Scalar(1)));
+        assert_eq!(
+            extract(&res.outputs[&PartyId(1)], 1, &k2),
+            Some(Value::Scalar(1))
+        );
     }
 }

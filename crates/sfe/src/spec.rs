@@ -28,7 +28,10 @@ pub struct IdealSpec {
 
 impl core::fmt::Debug for IdealSpec {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        f.debug_struct("IdealSpec").field("name", &self.name).field("n", &self.n).finish()
+        f.debug_struct("IdealSpec")
+            .field("name", &self.name)
+            .field("n", &self.n)
+            .finish()
     }
 }
 
@@ -38,7 +41,11 @@ impl IdealSpec {
     where
         F: Fn(&[Value], &mut StdRng) -> IdealOutput + Send + Sync + 'static,
     {
-        IdealSpec { name: name.to_string(), n, eval: Arc::new(eval) }
+        IdealSpec {
+            name: name.to_string(),
+            n,
+            eval: Arc::new(eval),
+        }
     }
 
     /// A deterministic function with one *global* output that every party
@@ -74,7 +81,11 @@ impl IdealSpec {
     pub fn eval(&self, inputs: &[Value], rng: &mut StdRng) -> IdealOutput {
         assert_eq!(inputs.len(), self.n, "ideal spec arity mismatch");
         let out = (self.eval)(inputs, rng);
-        assert_eq!(out.per_party.len(), self.n, "ideal spec output arity mismatch");
+        assert_eq!(
+            out.per_party.len(),
+            self.n,
+            "ideal spec output arity mismatch"
+        );
         out
     }
 }

@@ -100,7 +100,10 @@ pub fn garble(
     garbler_bits: &[bool],
     rng: &mut StdRng,
 ) -> (GarbledCircuit, GarblerSecrets) {
-    assert!(garbler_bits.len() <= circuit.num_inputs, "garbler input width");
+    assert!(
+        garbler_bits.len() <= circuit.num_inputs,
+        "garbler input width"
+    );
     let delta = random_label(rng);
     // label0 per wire; label1 = label0 ⊕ Δ (FreeXOR).
     let mut label0: Vec<Label> = Vec::with_capacity(circuit.num_wires());
@@ -127,16 +130,27 @@ pub fn garble(
                 for (row, item) in rows.iter_mut().enumerate() {
                     let bit_a = row & 1 == 1;
                     let bit_b = row & 2 == 2;
-                    let ka = if bit_a { xor_label(&label0[a.0], &delta) } else { label0[a.0] };
-                    let kb = if bit_b { xor_label(&label0[b.0], &delta) } else { label0[b.0] };
-                    let out = if bit_a && bit_b { xor_label(&c0, &delta) } else { c0 };
+                    let ka = if bit_a {
+                        xor_label(&label0[a.0], &delta)
+                    } else {
+                        label0[a.0]
+                    };
+                    let kb = if bit_b {
+                        xor_label(&label0[b.0], &delta)
+                    } else {
+                        label0[b.0]
+                    };
+                    let out = if bit_a && bit_b {
+                        xor_label(&c0, &delta)
+                    } else {
+                        c0
+                    };
                     let pad = row_pad(&ka, &kb, g as u64, row as u8);
-                    for i in 0..LABEL_LEN {
-                        item[i] = out[i] ^ pad[i];
+                    for (dst, (o, p)) in item.iter_mut().zip(out.iter().zip(&pad)) {
+                        *dst = o ^ p;
                     }
-                    for i in 0..8 {
-                        item[LABEL_LEN + i] = pad[LABEL_LEN + i]; // zero-tag
-                    }
+                    // zero-tag
+                    item[LABEL_LEN..LABEL_LEN + 8].copy_from_slice(&pad[LABEL_LEN..LABEL_LEN + 8]);
                 }
                 tables.insert(g, GarbledGate { rows });
                 c0
@@ -147,7 +161,16 @@ pub fn garble(
     let garbler_inputs: BTreeMap<usize, Label> = garbler_bits
         .iter()
         .enumerate()
-        .map(|(w, &b)| (w, if b { xor_label(&label0[w], &delta) } else { label0[w] }))
+        .map(|(w, &b)| {
+            (
+                w,
+                if b {
+                    xor_label(&label0[w], &delta)
+                } else {
+                    label0[w]
+                },
+            )
+        })
         .collect();
     let evaluator_label_pairs: BTreeMap<usize, (Label, Label)> = (garbler_bits.len()
         ..circuit.num_inputs)
@@ -157,12 +180,22 @@ pub fn garble(
         .outputs
         .iter()
         .map(|o| {
-            (out_hash(&label0[o.0]), out_hash(&xor_label(&label0[o.0], &delta)))
+            (
+                out_hash(&label0[o.0]),
+                out_hash(&xor_label(&label0[o.0], &delta)),
+            )
         })
         .collect();
     (
-        GarbledCircuit { tables, consts, garbler_inputs, output_map },
-        GarblerSecrets { evaluator_label_pairs },
+        GarbledCircuit {
+            tables,
+            consts,
+            garbler_inputs,
+            output_map,
+        },
+        GarblerSecrets {
+            evaluator_label_pairs,
+        },
     )
 }
 
@@ -196,7 +229,10 @@ pub fn evaluate(
                 for row in 0..4u8 {
                     let pad = row_pad(&ka, &kb, g as u64, row);
                     let ct = &table.rows[row as usize];
-                    if ct[LABEL_LEN..].iter().zip(&pad[LABEL_LEN..LABEL_LEN + 8]).all(|(c, p)| c == p)
+                    if ct[LABEL_LEN..]
+                        .iter()
+                        .zip(&pad[LABEL_LEN..LABEL_LEN + 8])
+                        .all(|(c, p)| c == p)
                     {
                         let mut out = [0u8; LABEL_LEN];
                         for i in 0..LABEL_LEN {
@@ -277,7 +313,11 @@ impl Functionality<YaoMsg> for OtFunctionality {
         "F_ot"
     }
 
-    fn on_round(&mut self, _ctx: &mut FuncCtx<'_>, incoming: &[Envelope<YaoMsg>]) -> Vec<OutMsg<YaoMsg>> {
+    fn on_round(
+        &mut self,
+        _ctx: &mut FuncCtx<'_>,
+        incoming: &[Envelope<YaoMsg>],
+    ) -> Vec<OutMsg<YaoMsg>> {
         for e in incoming {
             match (&e.msg, e.from_party()) {
                 (YaoMsg::OtChoose(c), Some(p)) if p == PartyId(1) && self.choices.is_none() => {
@@ -323,7 +363,9 @@ pub struct GarblerParty {
 
 impl core::fmt::Debug for GarblerParty {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        f.debug_struct("GarblerParty").field("out", &self.out).finish()
+        f.debug_struct("GarblerParty")
+            .field("out", &self.out)
+            .finish()
     }
 }
 
@@ -411,7 +453,9 @@ pub struct EvaluatorParty {
 
 impl core::fmt::Debug for EvaluatorParty {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        f.debug_struct("EvaluatorParty").field("out", &self.out).finish()
+        f.debug_struct("EvaluatorParty")
+            .field("out", &self.out)
+            .finish()
     }
 }
 
@@ -430,15 +474,24 @@ impl Clone for EvaluatorParty {
 impl EvaluatorParty {
     /// Creates the evaluator with its input bits.
     pub fn new(circuit: Arc<Circuit>, bits: Vec<bool>) -> EvaluatorParty {
-        EvaluatorParty { circuit, bits, garbled: None, labels: None, out: None }
+        EvaluatorParty {
+            circuit,
+            bits,
+            garbled: None,
+            labels: None,
+            out: None,
+        }
     }
 
     fn try_evaluate(&mut self) -> Option<Vec<bool>> {
         let garbled = self.garbled.as_ref()?;
         let labels = self.labels.as_ref()?;
         let offset = self.circuit.num_inputs - self.bits.len();
-        let map: BTreeMap<usize, Label> =
-            labels.iter().enumerate().map(|(i, &l)| (offset + i, l)).collect();
+        let map: BTreeMap<usize, Label> = labels
+            .iter()
+            .enumerate()
+            .map(|(i, &l)| (offset + i, l))
+            .collect();
         evaluate(&self.circuit, garbled, &map)
     }
 }
@@ -500,7 +553,11 @@ pub fn yao_instance(
     inputs: [u64; 2],
     rng: &mut StdRng,
 ) -> Instance<YaoMsg> {
-    assert_eq!(widths[0] + widths[1], circuit.num_inputs, "widths cover the inputs");
+    assert_eq!(
+        widths[0] + widths[1],
+        circuit.num_inputs,
+        "widths cover the inputs"
+    );
     let g_bits = fair_circuits::u64_to_bits(inputs[0], widths[0]);
     let e_bits = fair_circuits::u64_to_bits(inputs[1], widths[1]);
     Instance {
@@ -519,7 +576,12 @@ mod tests {
     use fair_runtime::{execute, Passive};
     use rand::SeedableRng;
 
-    fn run_yao(circuit: Circuit, widths: [usize; 2], inputs: [u64; 2], seed: u64) -> fair_runtime::ExecutionResult {
+    fn run_yao(
+        circuit: Circuit,
+        widths: [usize; 2],
+        inputs: [u64; 2],
+        seed: u64,
+    ) -> fair_runtime::ExecutionResult {
         let circuit = Arc::new(circuit);
         let mut rng = StdRng::seed_from_u64(seed);
         let inst = yao_instance(&circuit, widths, inputs, &mut rng);
@@ -549,7 +611,11 @@ mod tests {
         for (a, b, seed) in [(200u64, 100u64, 1u64), (100, 200, 2), (55, 55, 3)] {
             let res = run_yao(functions::millionaires(8), [8, 8], [a, b], seed);
             let expect = Value::Scalar((a > b) as u64);
-            assert!(res.all_honest_output(&expect), "{a} > {b}: {:?}", res.outputs);
+            assert!(
+                res.all_honest_output(&expect),
+                "{a} > {b}: {:?}",
+                res.outputs
+            );
         }
     }
 
@@ -570,7 +636,10 @@ mod tests {
             input.extend(fair_circuits::u64_to_bits(b_in, 4));
             let expect = circuit.eval(&input)[0] as u64;
             let res = run_yao(circuit.clone(), [4, 4], [a_in, b_in], seed);
-            assert!(res.all_honest_output(&Value::Scalar(expect)), "{a_in}^{b_in}");
+            assert!(
+                res.all_honest_output(&Value::Scalar(expect)),
+                "{a_in}^{b_in}"
+            );
         }
     }
 
@@ -605,8 +674,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(12);
         let (garbled, _) = garble(&circuit, &fair_circuits::u64_to_bits(9, 4), &mut rng);
         // Random garbage labels: the AND rows never authenticate.
-        let labels: BTreeMap<usize, Label> =
-            (4..8).map(|w| (w, random_label(&mut rng))).collect();
+        let labels: BTreeMap<usize, Label> = (4..8).map(|w| (w, random_label(&mut rng))).collect();
         assert_eq!(evaluate(&circuit, &garbled, &labels), None);
     }
 

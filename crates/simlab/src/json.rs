@@ -1,0 +1,337 @@
+//! A hand-rolled JSON writer (the workspace takes no serde dependency).
+//!
+//! Build a [`Json`] value and render it with [`Json::render`] (compact) or
+//! [`Json::render_pretty`]. Strings are escaped per RFC 8259; non-finite
+//! numbers render as `null` (JSON has no NaN/∞).
+
+/// A JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// A number (rendered as integer when exactly integral).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object (insertion-ordered).
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Shorthand for a string value.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// Shorthand for a number value.
+    pub fn num(n: impl Into<f64>) -> Json {
+        Json::Num(n.into())
+    }
+
+    /// An empty object builder.
+    pub fn obj() -> Json {
+        Json::Obj(Vec::new())
+    }
+
+    /// Appends a field to an object (panics on non-objects).
+    pub fn field(mut self, key: &str, value: Json) -> Json {
+        match &mut self {
+            Json::Obj(fields) => fields.push((key.to_string(), value)),
+            other => panic!("field() on non-object {other:?}"),
+        }
+        self
+    }
+
+    /// Renders compact JSON.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, None, 0);
+        out
+    }
+
+    /// Renders indented JSON (two spaces per level).
+    pub fn render_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(2), 0);
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, level: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(n) => {
+                if !n.is_finite() {
+                    out.push_str("null");
+                } else if n.fract() == 0.0 && n.abs() < 9.0e15 {
+                    out.push_str(&format!("{}", *n as i64));
+                } else {
+                    out.push_str(&format!("{n}"));
+                }
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => write_seq(out, indent, level, '[', ']', items.len(), |out, i| {
+                items[i].write(out, indent, level + 1);
+            }),
+            Json::Obj(fields) => write_seq(out, indent, level, '{', '}', fields.len(), |out, i| {
+                write_escaped(out, &fields[i].0);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                fields[i].1.write(out, indent, level + 1);
+            }),
+        }
+    }
+}
+
+fn write_seq(
+    out: &mut String,
+    indent: Option<usize>,
+    level: usize,
+    open: char,
+    close: char,
+    len: usize,
+    mut item: impl FnMut(&mut String, usize),
+) {
+    out.push(open);
+    for i in 0..len {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(width) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(width * (level + 1)));
+        }
+        item(out, i);
+    }
+    if len > 0 {
+        if let Some(width) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(width * level));
+        }
+    }
+    out.push(close);
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// A minimal recursive-descent JSON parser — enough for the test suite to
+/// verify round-trips and for tools to re-read persisted run records.
+pub fn parse(input: &str) -> Result<Json, String> {
+    let bytes = input.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing data at byte {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+    if *pos < b.len() && b[*pos] == c {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected {:?} at byte {}", c as char, pos))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        Some(b'n') => parse_lit(b, pos, "null", Json::Null),
+        Some(b't') => parse_lit(b, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_lit(b, pos, "false", Json::Bool(false)),
+        Some(b'"') => parse_string(b, pos).map(Json::Str),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut fields = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(fields));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = parse_string(b, pos)?;
+                skip_ws(b, pos);
+                expect(b, pos, b':')?;
+                fields.push((key, parse_value(b, pos)?));
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(fields));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+                }
+            }
+        }
+        Some(_) => {
+            let start = *pos;
+            while *pos < b.len()
+                && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+            {
+                *pos += 1;
+            }
+            std::str::from_utf8(&b[start..*pos])
+                .ok()
+                .and_then(|s| s.parse::<f64>().ok())
+                .map(Json::Num)
+                .ok_or_else(|| format!("bad number at byte {start}"))
+        }
+        None => Err("unexpected end of input".to_string()),
+    }
+}
+
+fn parse_lit(b: &[u8], pos: &mut usize, lit: &str, value: Json) -> Result<Json, String> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(value)
+    } else {
+        Err(format!("bad literal at byte {pos}"))
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(b, pos, b'"')?;
+    let mut out = String::new();
+    let s = std::str::from_utf8(b).map_err(|e| e.to_string())?;
+    let mut chars = s[*pos..].char_indices();
+    while let Some((i, c)) = chars.next() {
+        match c {
+            '"' => {
+                *pos += i + 1;
+                return Ok(out);
+            }
+            '\\' => match chars.next() {
+                Some((_, '"')) => out.push('"'),
+                Some((_, '\\')) => out.push('\\'),
+                Some((_, '/')) => out.push('/'),
+                Some((_, 'n')) => out.push('\n'),
+                Some((_, 'r')) => out.push('\r'),
+                Some((_, 't')) => out.push('\t'),
+                Some((_, 'u')) => {
+                    let mut code = 0u32;
+                    for _ in 0..4 {
+                        let (_, h) = chars.next().ok_or("truncated \\u escape")?;
+                        code = code * 16 + h.to_digit(16).ok_or("bad \\u escape")?;
+                    }
+                    out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                }
+                other => return Err(format!("bad escape {other:?}")),
+            },
+            c => out.push(c),
+        }
+    }
+    Err("unterminated string".to_string())
+}
+
+/// Looks up a field of an object (`None` on non-objects / missing keys).
+pub fn get<'j>(value: &'j Json, key: &str) -> Option<&'j Json> {
+    match value {
+        Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_and_reparses() {
+        let doc = Json::obj()
+            .field("name", Json::str("e1 \"quoted\"\nline"))
+            .field("pass", Json::Bool(true))
+            .field("trials", Json::num(1000u32))
+            .field("wall", Json::Num(12.25))
+            .field("nan", Json::Num(f64::NAN))
+            .field("rows", Json::Arr(vec![Json::Null, Json::num(2u32)]));
+        for rendered in [doc.render(), doc.render_pretty()] {
+            let back = parse(&rendered).unwrap();
+            assert_eq!(get(&back, "pass"), Some(&Json::Bool(true)));
+            assert_eq!(get(&back, "trials"), Some(&Json::Num(1000.0)));
+            assert_eq!(get(&back, "wall"), Some(&Json::Num(12.25)));
+            assert_eq!(get(&back, "nan"), Some(&Json::Null));
+            assert_eq!(
+                get(&back, "name"),
+                Some(&Json::Str("e1 \"quoted\"\nline".to_string()))
+            );
+            assert_eq!(
+                get(&back, "rows"),
+                Some(&Json::Arr(vec![Json::Null, Json::Num(2.0)]))
+            );
+        }
+    }
+
+    #[test]
+    fn integers_render_without_decimal_point() {
+        assert_eq!(Json::num(3u32).render(), "3");
+        assert_eq!(Json::Num(3.5).render(), "3.5");
+        assert_eq!(Json::Num(-0.25).render(), "-0.25");
+    }
+
+    #[test]
+    fn escapes_control_characters() {
+        let s = Json::str("\u{1}tab\there").render();
+        assert_eq!(s, "\"\\u0001tab\\there\"");
+        assert_eq!(parse(&s).unwrap(), Json::Str("\u{1}tab\there".to_string()));
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        assert!(parse("{\"a\":}").is_err());
+        assert!(parse("[1,2").is_err());
+        assert!(parse("12 34").is_err());
+        assert!(parse("\"open").is_err());
+    }
+}

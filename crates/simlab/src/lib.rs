@@ -1,0 +1,31 @@
+#![warn(missing_docs)]
+//! `fair-simlab` — the deterministic parallel experiment-execution
+//! subsystem behind the E1–E17 reproduction suite.
+//!
+//! Every quantitative claim in the paper is checked by Monte-Carlo
+//! estimation; this crate makes those estimations (1) fast — trials are
+//! sharded across `std::thread::scope` workers — (2) *bit-identical for
+//! any worker count* — each trial's seed is derived independently of the
+//! schedule via [`seed::trial_seed`] (splitmix64) and per-worker partial
+//! tallies are merged in a schedule-independent order — and (3) observable
+//! — live trials/sec progress, per-trial latency summaries, and a
+//! hand-rolled JSON results store persisting every run
+//! (`target/simlab/<exp>.json` plus the aggregate `BENCH_reproduce.json`).
+//!
+//! The protocol engine itself stays single-threaded *per execution*
+//! (DESIGN.md's reproducible-adversary-scheduling requirement); simlab
+//! parallelizes *across* independent trials only.
+//!
+//! No dependencies: the crate is std-only so every layer of the workspace
+//! (including `fair-core`'s estimator) can use the scheduler.
+
+pub mod json;
+pub mod metrics;
+pub mod record;
+pub mod scheduler;
+pub mod seed;
+
+pub use metrics::{LatencySummary, Progress};
+pub use record::{ExpRecord, ReportRecord, RowRecord, SuiteRecord};
+pub use scheduler::{effective_jobs, run_tiled, set_jobs, with_jobs, TILE};
+pub use seed::trial_seed;

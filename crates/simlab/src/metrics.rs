@@ -1,0 +1,196 @@
+//! Run observability: global trial counters (for trials/sec + ETA progress
+//! lines) and per-trial latency collection (min/p50/p99/max summaries).
+//!
+//! Collection is off by default so unit tests and library consumers pay
+//! nothing; the `reproduce` runner enables it around each experiment and
+//! drains a [`LatencySummary`] afterwards. Counters are atomics; latency
+//! samples are batched per tile so the mutex is touched once per ~64
+//! trials, never per trial.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static TRIALS_DONE: AtomicU64 = AtomicU64::new(0);
+static SAMPLES: Mutex<Vec<u64>> = Mutex::new(Vec::new());
+
+/// Whether trial metrics are being collected.
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turns collection on/off and clears all state (called by the runner at
+/// experiment boundaries).
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+    TRIALS_DONE.store(0, Ordering::Relaxed);
+    SAMPLES.lock().unwrap_or_else(|e| e.into_inner()).clear();
+}
+
+/// Records a finished batch of trials with their per-trial latencies.
+/// No-op unless collection is enabled.
+pub fn record_batch(latencies_ns: &[u64]) {
+    if !enabled() || latencies_ns.is_empty() {
+        return;
+    }
+    TRIALS_DONE.fetch_add(latencies_ns.len() as u64, Ordering::Relaxed);
+    SAMPLES
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .extend_from_slice(latencies_ns);
+}
+
+/// Trials completed since collection was (re)enabled.
+pub fn trials_done() -> u64 {
+    TRIALS_DONE.load(Ordering::Relaxed)
+}
+
+/// Distribution summary of per-trial execution latency.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LatencySummary {
+    /// Number of trials measured.
+    pub count: usize,
+    /// Fastest trial, nanoseconds.
+    pub min_ns: u64,
+    /// Median trial, nanoseconds.
+    pub p50_ns: u64,
+    /// 99th-percentile trial, nanoseconds.
+    pub p99_ns: u64,
+    /// Slowest trial, nanoseconds.
+    pub max_ns: u64,
+}
+
+impl LatencySummary {
+    /// Summarizes a set of per-trial latencies (`None` when empty).
+    pub fn from_samples(mut samples: Vec<u64>) -> Option<LatencySummary> {
+        if samples.is_empty() {
+            return None;
+        }
+        samples.sort_unstable();
+        let count = samples.len();
+        let pct = |p: f64| samples[(((count - 1) as f64) * p).round() as usize];
+        Some(LatencySummary {
+            count,
+            min_ns: samples[0],
+            p50_ns: pct(0.50),
+            p99_ns: pct(0.99),
+            max_ns: samples[count - 1],
+        })
+    }
+}
+
+impl core::fmt::Display for LatencySummary {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "min {} / p50 {} / p99 {} / max {}",
+            fmt_ns(self.min_ns),
+            fmt_ns(self.p50_ns),
+            fmt_ns(self.p99_ns),
+            fmt_ns(self.max_ns)
+        )
+    }
+}
+
+/// Renders a nanosecond count with an adaptive unit.
+pub fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.1}µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+/// Drains and summarizes the collected per-trial latencies.
+pub fn drain_latency() -> Option<LatencySummary> {
+    let samples = std::mem::take(&mut *SAMPLES.lock().unwrap_or_else(|e| e.into_inner()));
+    LatencySummary::from_samples(samples)
+}
+
+/// A live stderr progress line: `trials done, trials/sec, ETA` against an
+/// expected trial count, refreshed from a background ticker thread.
+pub struct Progress {
+    stop: std::sync::Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Progress {
+    /// Spawns a ticker that reports progress for `label` every `period`
+    /// until dropped. `expected_trials` drives the ETA (0 = unknown).
+    pub fn start(label: &str, expected_trials: u64, period: Duration) -> Progress {
+        let stop = std::sync::Arc::new(AtomicBool::new(false));
+        let stop2 = std::sync::Arc::clone(&stop);
+        let label = label.to_string();
+        let handle = std::thread::spawn(move || {
+            let t0 = Instant::now();
+            while !stop2.load(Ordering::Relaxed) {
+                std::thread::sleep(period);
+                if stop2.load(Ordering::Relaxed) {
+                    break;
+                }
+                let done = trials_done();
+                let secs = t0.elapsed().as_secs_f64();
+                if done == 0 || secs <= 0.0 {
+                    continue;
+                }
+                let rate = done as f64 / secs;
+                let eta = if expected_trials > done && rate > 0.0 {
+                    format!(", ETA {:.1}s", (expected_trials - done) as f64 / rate)
+                } else {
+                    String::new()
+                };
+                eprintln!("[simlab] {label}: {done} trials, {:.0} trials/s{eta}", rate);
+            }
+        });
+        Progress {
+            stop,
+            handle: Some(handle),
+        }
+    }
+}
+
+impl Drop for Progress {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_percentiles_are_order_statistics() {
+        let s = LatencySummary::from_samples((1..=100).collect()).unwrap();
+        assert_eq!(s.count, 100);
+        assert_eq!(s.min_ns, 1);
+        assert_eq!(s.p50_ns, 51); // index round(99*0.5)=50 → value 51
+        assert_eq!(s.p99_ns, 99);
+        assert_eq!(s.max_ns, 100);
+        assert!(LatencySummary::from_samples(vec![]).is_none());
+    }
+
+    #[test]
+    fn fmt_ns_picks_sane_units() {
+        assert_eq!(fmt_ns(500), "500ns");
+        assert_eq!(fmt_ns(1_500), "1.5µs");
+        assert_eq!(fmt_ns(2_500_000), "2.50ms");
+        assert_eq!(fmt_ns(3_200_000_000), "3.20s");
+    }
+
+    #[test]
+    fn disabled_collection_is_a_no_op() {
+        set_enabled(false);
+        record_batch(&[1, 2, 3]);
+        assert_eq!(trials_done(), 0);
+        assert!(drain_latency().is_none());
+    }
+}

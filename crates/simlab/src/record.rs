@@ -1,0 +1,276 @@
+//! The structured results store: machine-readable records of experiment
+//! runs, persisted as JSON so fairness reproductions are re-checkable and
+//! the suite's performance trajectory is trackable across commits
+//! (`target/simlab/<exp>.json` per run, `BENCH_reproduce.json` aggregate).
+
+use crate::json::Json;
+use crate::metrics::LatencySummary;
+
+/// One measured row of an experiment table (mirrors `fair-bench`'s `Row`
+/// without depending on it — simlab sits below the bench crate).
+#[derive(Clone, Debug, PartialEq)]
+pub struct RowRecord {
+    /// What the row measures.
+    pub label: String,
+    /// The paper's closed-form value (`None` for qualitative checks).
+    pub paper: Option<f64>,
+    /// The measured value.
+    pub measured: f64,
+    /// 95% confidence half-width.
+    pub ci: f64,
+    /// Whether the row reproduced the claim.
+    pub pass: bool,
+}
+
+/// One rendered report (an experiment may emit several).
+#[derive(Clone, Debug, PartialEq)]
+pub struct ReportRecord {
+    /// Report id (e.g. `"E5"`).
+    pub id: String,
+    /// The paper claim under test.
+    pub title: String,
+    /// The measurement rows.
+    pub rows: Vec<RowRecord>,
+}
+
+impl ReportRecord {
+    /// Whether every row passed.
+    pub fn pass(&self) -> bool {
+        self.rows.iter().all(|r| r.pass)
+    }
+}
+
+/// A complete record of one experiment execution.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ExpRecord {
+    /// Experiment id (e.g. `"e5"`).
+    pub id: String,
+    /// Monte-Carlo trials per estimate.
+    pub trials: usize,
+    /// Base seed of the run.
+    pub seed: u64,
+    /// Worker count the run used.
+    pub jobs: usize,
+    /// Wall-clock time of the whole experiment, milliseconds.
+    pub wall_ms: f64,
+    /// Per-trial latency distribution (when metrics were collected).
+    pub latency: Option<LatencySummary>,
+    /// Whether every report row passed.
+    pub pass: bool,
+    /// The full measurement tables.
+    pub reports: Vec<ReportRecord>,
+}
+
+impl ExpRecord {
+    /// The full per-experiment JSON document.
+    pub fn to_json(&self) -> Json {
+        let mut doc = self
+            .summary_fields()
+            .field("seed", Json::num(self.seed as f64));
+        let reports = self
+            .reports
+            .iter()
+            .map(|rep| {
+                Json::obj()
+                    .field("id", Json::str(&rep.id))
+                    .field("title", Json::str(&rep.title))
+                    .field("pass", Json::Bool(rep.pass()))
+                    .field(
+                        "rows",
+                        Json::Arr(
+                            rep.rows
+                                .iter()
+                                .map(|row| {
+                                    Json::obj()
+                                        .field("label", Json::str(&row.label))
+                                        .field("paper", row.paper.map_or(Json::Null, Json::Num))
+                                        .field("measured", Json::Num(row.measured))
+                                        .field("ci", Json::Num(row.ci))
+                                        .field("pass", Json::Bool(row.pass))
+                                })
+                                .collect(),
+                        ),
+                    )
+            })
+            .collect();
+        doc = doc.field("reports", Json::Arr(reports));
+        doc
+    }
+
+    /// The summary object embedded in the aggregate suite record:
+    /// id, trial count, wall-clock, throughput, latency, pass/fail.
+    pub fn summary_fields(&self) -> Json {
+        let mut doc = Json::obj()
+            .field("experiment", Json::str(&self.id))
+            .field("trials", Json::num(self.trials as f64))
+            .field("jobs", Json::num(self.jobs as f64))
+            .field("wall_clock_ms", Json::Num(round3(self.wall_ms)))
+            .field("pass", Json::Bool(self.pass));
+        if let Some(lat) = &self.latency {
+            doc = doc.field(
+                "trial_latency_ns",
+                Json::obj()
+                    .field("count", Json::num(lat.count as f64))
+                    .field("min", Json::num(lat.min_ns as f64))
+                    .field("p50", Json::num(lat.p50_ns as f64))
+                    .field("p99", Json::num(lat.p99_ns as f64))
+                    .field("max", Json::num(lat.max_ns as f64)),
+            );
+        }
+        doc
+    }
+
+    /// Writes `dir/<id>.json` (creating `dir`), returning the path.
+    pub fn write(&self, dir: &std::path::Path) -> std::io::Result<std::path::PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}.json", self.id));
+        std::fs::write(&path, self.to_json().render_pretty() + "\n")?;
+        Ok(path)
+    }
+}
+
+/// The aggregate record of a whole `reproduce` invocation — the repo-root
+/// `BENCH_reproduce.json` tracking the perf trajectory.
+#[derive(Clone, Debug)]
+pub struct SuiteRecord {
+    /// Trials per estimate for the run.
+    pub trials: usize,
+    /// Worker count.
+    pub jobs: usize,
+    /// Base seed.
+    pub seed: u64,
+    /// End-to-end wall clock, milliseconds.
+    pub total_wall_ms: f64,
+    /// Whether every experiment passed.
+    pub pass: bool,
+    /// Per-experiment results.
+    pub experiments: Vec<ExpRecord>,
+}
+
+impl SuiteRecord {
+    /// The aggregate JSON document (per-experiment summaries, not full
+    /// tables — those live in `target/simlab/<exp>.json`).
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .field("suite", Json::str("reproduce"))
+            .field("trials", Json::num(self.trials as f64))
+            .field("jobs", Json::num(self.jobs as f64))
+            .field("seed", Json::num(self.seed as f64))
+            .field("total_wall_clock_ms", Json::Num(round3(self.total_wall_ms)))
+            .field("pass", Json::Bool(self.pass))
+            .field(
+                "experiments",
+                Json::Arr(
+                    self.experiments
+                        .iter()
+                        .map(ExpRecord::summary_fields)
+                        .collect(),
+                ),
+            )
+    }
+
+    /// Writes the aggregate record to `path`.
+    pub fn write(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json().render_pretty() + "\n")
+    }
+}
+
+fn round3(x: f64) -> f64 {
+    (x * 1000.0).round() / 1000.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    fn sample() -> ExpRecord {
+        ExpRecord {
+            id: "e1".into(),
+            trials: 100,
+            seed: 0xfa1e,
+            jobs: 4,
+            wall_ms: 12.3456,
+            latency: Some(LatencySummary {
+                count: 100,
+                min_ns: 10,
+                p50_ns: 20,
+                p99_ns: 90,
+                max_ns: 95,
+            }),
+            pass: true,
+            reports: vec![ReportRecord {
+                id: "E1".into(),
+                title: "contract signing".into(),
+                rows: vec![RowRecord {
+                    label: "Π1 sup-utility".into(),
+                    paper: Some(1.0),
+                    measured: 0.99,
+                    ci: 0.01,
+                    pass: true,
+                }],
+            }],
+        }
+    }
+
+    #[test]
+    fn experiment_record_round_trips() {
+        let doc = sample().to_json().render_pretty();
+        let back = json::parse(&doc).unwrap();
+        assert_eq!(
+            json::get(&back, "experiment"),
+            Some(&Json::Str("e1".into()))
+        );
+        assert_eq!(json::get(&back, "trials"), Some(&Json::Num(100.0)));
+        assert_eq!(json::get(&back, "pass"), Some(&Json::Bool(true)));
+        let lat = json::get(&back, "trial_latency_ns").unwrap();
+        assert_eq!(json::get(lat, "p99"), Some(&Json::Num(90.0)));
+        let reports = match json::get(&back, "reports") {
+            Some(Json::Arr(r)) => r,
+            other => panic!("bad reports {other:?}"),
+        };
+        let rows = match json::get(&reports[0], "rows") {
+            Some(Json::Arr(r)) => r,
+            other => panic!("bad rows {other:?}"),
+        };
+        assert_eq!(json::get(&rows[0], "measured"), Some(&Json::Num(0.99)));
+    }
+
+    #[test]
+    fn suite_record_has_per_experiment_summaries() {
+        let suite = SuiteRecord {
+            trials: 100,
+            jobs: 4,
+            seed: 0xfa1e,
+            total_wall_ms: 99.5,
+            pass: true,
+            experiments: vec![sample()],
+        };
+        let back = json::parse(&suite.to_json().render()).unwrap();
+        assert_eq!(
+            json::get(&back, "suite"),
+            Some(&Json::Str("reproduce".into()))
+        );
+        let exps = match json::get(&back, "experiments") {
+            Some(Json::Arr(e)) => e,
+            other => panic!("bad experiments {other:?}"),
+        };
+        assert_eq!(
+            json::get(&exps[0], "experiment"),
+            Some(&Json::Str("e1".into()))
+        );
+        assert!(json::get(&exps[0], "wall_clock_ms").is_some());
+        assert!(json::get(&exps[0], "pass").is_some());
+        // Full tables only in the per-experiment record.
+        assert!(json::get(&exps[0], "reports").is_none());
+    }
+
+    #[test]
+    fn write_creates_directory_and_file() {
+        let dir = std::env::temp_dir().join(format!("simlab-test-{}", std::process::id()));
+        let path = sample().write(&dir).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(json::parse(&text).is_ok());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

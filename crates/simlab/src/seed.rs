@@ -1,0 +1,72 @@
+//! Schedule-independent per-trial seed derivation.
+//!
+//! Trial `i` of a run with base seed `s` always executes with seed
+//! [`trial_seed`]`(s, i)` — a pure function of `(s, i)` — so the stream of
+//! randomness a trial sees does not depend on which worker runs it or how
+//! many workers exist. This is the property that makes `--jobs K` produce
+//! bit-identical tallies for every `K`.
+//!
+//! The derivation is the SplitMix64 sequence of Steele–Lea–Flood seeded at
+//! the base seed: `trial_seed(s, i) = mix64(s + (i+1)·GOLDEN_GAMMA)`, i.e.
+//! the `i`-th output of the splitmix64 generator with state `s`, computed
+//! by random access instead of iteration.
+
+/// The SplitMix64 state increment (the odd integer closest to 2⁶⁴/φ).
+pub const GOLDEN_GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// The SplitMix64 output mix (a bijection on `u64`).
+#[inline]
+pub fn mix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The seed for trial number `trial_index` of a run with `base_seed`.
+#[inline]
+pub fn trial_seed(base_seed: u64, trial_index: u64) -> u64 {
+    mix64(base_seed.wrapping_add(GOLDEN_GAMMA.wrapping_mul(trial_index.wrapping_add(1))))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn golden_values_are_stable() {
+        // Pinned outputs: any change to the derivation silently reshuffles
+        // every experiment's sample stream, so lock it down.
+        assert_eq!(trial_seed(0, 0), 0xE220_A839_7B1D_CDAF);
+        assert_eq!(trial_seed(0, 1), 0x6E78_9E6A_A1B9_65F4);
+        assert_eq!(trial_seed(0, 2), 0x06C4_5D18_8009_454F);
+        assert_eq!(trial_seed(0xfa1e, 0), trial_seed(0xfa1e, 0));
+        assert_ne!(trial_seed(0xfa1e, 0), trial_seed(0xfa1f, 0));
+    }
+
+    #[test]
+    fn matches_iterated_splitmix64() {
+        // Random access must agree with running the generator forward.
+        let base = 0x1234_5678_9abc_def0u64;
+        let mut state = base;
+        for i in 0..1000u64 {
+            state = state.wrapping_add(GOLDEN_GAMMA);
+            assert_eq!(trial_seed(base, i), mix64(state), "index {i}");
+        }
+    }
+
+    #[test]
+    fn no_collisions_in_1e5_indices() {
+        for base in [0u64, 0xfa1e, u64::MAX / 2] {
+            let seeds: HashSet<u64> = (0..100_000).map(|i| trial_seed(base, i)).collect();
+            assert_eq!(seeds.len(), 100_000, "collision under base {base:#x}");
+        }
+    }
+
+    #[test]
+    fn mix64_is_a_bijection_on_samples() {
+        // Spot-check injectivity of the mix on a dense low range.
+        let outs: HashSet<u64> = (0..100_000u64).map(mix64).collect();
+        assert_eq!(outs.len(), 100_000);
+    }
+}

@@ -19,7 +19,10 @@ fn main() {
 
     println!("Π1 (fixed opening order):");
     println!("  best attack: {}", e1[b1]);
-    println!("  paper:       {:.4} (the attacker always wins: γ10)", analytic::pi1(&payoff));
+    println!(
+        "  paper:       {:.4} (the attacker always wins: γ10)",
+        analytic::pi1(&payoff)
+    );
     println!();
     println!("Π2 (coin-tossed opening order):");
     println!("  best attack: {}", e2[b2]);

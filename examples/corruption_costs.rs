@@ -18,7 +18,11 @@ fn main() {
     let phi: Vec<f64> = (1..n)
         .map(|t| {
             let (ests, b) = best_of(&optn_sweep(n, t), &payoff, trials, t as u64);
-            println!("φ({t}) = {:.3}  (paper {:.3})", ests[b].mean, analytic::optn_t(&payoff, n, t));
+            println!(
+                "φ({t}) = {:.3}  (paper {:.3})",
+                ests[b].mean,
+                analytic::optn_t(&payoff, n, t)
+            );
             ests[b].mean
         })
         .collect();
@@ -41,7 +45,9 @@ fn main() {
 
     // Theorem 6(2): any strictly cheaper price list fails.
     let cheaper = CostFn::new(
-        (0..n).map(|t| if t == 0 { 0.0 } else { cost.cost(t) - 0.1 }).collect(),
+        (0..n)
+            .map(|t| if t == 0 { 0.0 } else { cost.cost(t) - 0.1 })
+            .collect(),
     );
     assert!(!is_ideally_fair(&phi, &cheaper, &payoff, n, 0.02));
     println!("Dropping every price by 0.1 breaks ideal fairness: C is undominated (Theorem 6).");

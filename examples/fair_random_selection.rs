@@ -14,7 +14,7 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use fair_protocols::opt2::{opt2_instance, TwoPartyFn};
-use fair_runtime::{execute, Passive, PartyId, Value};
+use fair_runtime::{execute, PartyId, Passive, Value};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
@@ -38,8 +38,14 @@ fn main() {
             [Value::Scalar(0), Value::Scalar(0)],
         );
         let res = execute(inst, &mut Passive, &mut rng, 40);
-        let out = res.outputs[&PartyId(0)].as_scalar().expect("selection value");
-        assert_eq!(res.outputs[&PartyId(1)].as_scalar(), Some(out), "parties agree");
+        let out = res.outputs[&PartyId(0)]
+            .as_scalar()
+            .expect("selection value");
+        assert_eq!(
+            res.outputs[&PartyId(1)].as_scalar(),
+            Some(out),
+            "parties agree"
+        );
         assert_eq!(out, x1 ^ x2);
         *buckets.entry(out >> 12).or_default() += 1; // 16 coarse buckets
     }

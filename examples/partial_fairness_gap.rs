@@ -26,7 +26,10 @@ fn main() {
 
     // Step 2: the distinguishers of Lemma 26.
     let (rz1, rz2) = real_acceptances(trials as usize, 99);
-    println!("real world:  Pr[Z1] = {:.3}   Pr[Z2] = {:.3}", rz1.rate, rz2.rate);
+    println!(
+        "real world:  Pr[Z1] = {:.3}   Pr[Z2] = {:.3}",
+        rz1.rate, rz2.rate
+    );
 
     let mut best_gap = f64::INFINITY;
     for sim in simulator_grid() {

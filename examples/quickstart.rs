@@ -12,7 +12,10 @@ use fair_protocols::scenarios::opt2_sweep;
 fn main() {
     // An attacker's preferences: γ = (γ00, γ01, γ10, γ11) ∈ Γ⁺_fair.
     let payoff = Payoff::standard();
-    println!("payoff vector: γ00={}, γ01={}, γ10={}, γ11={}", payoff.g00, payoff.g01, payoff.g10, payoff.g11);
+    println!(
+        "payoff vector: γ00={}, γ01={}, γ10={}, γ11={}",
+        payoff.g00, payoff.g01, payoff.g10, payoff.g11
+    );
     println!();
 
     // Sweep the attack-strategy library over Π^Opt_2SFE (swap function).
@@ -23,7 +26,10 @@ fn main() {
     }
     println!();
     println!("best attack:     {}", estimates[best]);
-    println!("paper's optimum: {:.4}  (Theorem 3: (γ10+γ11)/2)", analytic::opt2(&payoff));
+    println!(
+        "paper's optimum: {:.4}  (Theorem 3: (γ10+γ11)/2)",
+        analytic::opt2(&payoff)
+    );
     println!();
     println!(
         "The best attacker gains {:.3}, matching the paper's optimal-fairness bound: \

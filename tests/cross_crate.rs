@@ -3,7 +3,7 @@
 //! injection aborts cleanly everywhere.
 
 use fair_circuits::{bits_to_u64, functions, u64_to_bits, Builder};
-use fair_runtime::{execute, Passive, PartyId, Value};
+use fair_runtime::{execute, PartyId, Passive, Value};
 use fair_sfe::gmw::{gmw_instance, GmwConfig};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -100,7 +100,10 @@ fn byzantine_message_injection_never_yields_wrong_outputs() {
                     .collect(),
                 summand_tag: MacTag(Fp::new(rng.random::<u64>() % fair_field::MODULUS)),
             };
-            ctrl.send_as(PartyId(0), OutMsg::to_party(PartyId(1), Opt2Msg::Share(share)));
+            ctrl.send_as(
+                PartyId(0),
+                OutMsg::to_party(PartyId(1), Opt2Msg::Share(share)),
+            );
         }
     }
 

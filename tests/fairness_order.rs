@@ -31,7 +31,10 @@ fn assess_strawman() -> Assessment {
 
 #[test]
 fn pi2_strictly_fairer_than_pi1() {
-    assert_eq!(compare(&assess_pi2(), &assess_pi1(), TOL), FairnessOrder::StrictlyFairer);
+    assert_eq!(
+        compare(&assess_pi2(), &assess_pi1(), TOL),
+        FairnessOrder::StrictlyFairer
+    );
 }
 
 #[test]
@@ -51,7 +54,10 @@ fn strawman_and_pi1_sit_at_the_bottom() {
     let pi1 = assess_pi1();
     // Both fully unfair (γ10); and both strictly less fair than Π^Opt_2SFE.
     assert_eq!(compare(&strawman, &pi1, TOL), FairnessOrder::Equivalent);
-    assert_eq!(compare(&strawman, &assess_opt2(), TOL), FairnessOrder::StrictlyLessFair);
+    assert_eq!(
+        compare(&strawman, &assess_opt2(), TOL),
+        FairnessOrder::StrictlyLessFair
+    );
 }
 
 #[test]
@@ -67,7 +73,11 @@ fn opt2_is_optimal_among_the_zoo() {
 fn fairness_relation_is_reflexive_and_transitive_on_the_zoo() {
     let chain = [assess_opt2(), assess_pi2(), assess_pi1()];
     for a in &chain {
-        assert!(at_least_as_fair(a, a, TOL), "reflexivity for {}", a.protocol);
+        assert!(
+            at_least_as_fair(a, a, TOL),
+            "reflexivity for {}",
+            a.protocol
+        );
     }
     // opt2 ⪰ pi2 and pi2 ⪰ pi1 imply opt2 ⪰ pi1.
     assert!(at_least_as_fair(&chain[0], &chain[1], TOL));

@@ -4,11 +4,9 @@
 //! layers are what make this hold; these tests are the end-to-end check
 //! that nothing in the message plumbing routes around them.)
 
-use fair_protocols::optn::{concat_fn, optn_instance, OptnMsg};
 use fair_protocols::gmw_half::{gmw_half_instance, HalfMsg};
-use fair_runtime::{
-    execute, AdvControl, Adversary, OutMsg, PartyId, RoundView, Value,
-};
+use fair_protocols::optn::{concat_fn, optn_instance, OptnMsg};
+use fair_runtime::{execute, AdvControl, Adversary, OutMsg, PartyId, RoundView, Value};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
@@ -35,7 +33,11 @@ impl Adversary<OptnMsg> for OptnFuzzer {
                 2 => Value::pair(Value::Scalar(rng.random()), Value::Bytes(vec![0u8; 32])),
                 _ => Value::pair(
                     Value::Scalar(rng.random()),
-                    Value::Bytes((0..rng.random_range(0..64usize)).map(|_| rng.random()).collect()),
+                    Value::Bytes(
+                        (0..rng.random_range(0..64usize))
+                            .map(|_| rng.random())
+                            .collect(),
+                    ),
                 ),
             };
             ctrl.send_as(PartyId(0), OutMsg::broadcast(OptnMsg::Announce(v)));
@@ -78,15 +80,15 @@ impl Adversary<HalfMsg> for HalfFuzzer {
     ) {
         ctrl.run_honestly(PartyId(0));
         for _ in 0..rng.random_range(1..3usize) {
-            let sig_len = if rng.random_bool(0.5) { 256 * 32 } else { rng.random_range(0..64) };
+            let sig_len = if rng.random_bool(0.5) {
+                256 * 32
+            } else {
+                rng.random_range(0..64)
+            };
             let sig: Vec<u8> = (0..sig_len).map(|_| rng.random()).collect();
             ctrl.send_as(
                 PartyId(0),
-                OutMsg::broadcast(HalfMsg::KeyShare(
-                    rng.random_range(0..8),
-                    rng.random(),
-                    sig,
-                )),
+                OutMsg::broadcast(HalfMsg::KeyShare(rng.random_range(0..8), rng.random(), sig)),
             );
         }
     }
@@ -154,7 +156,9 @@ fn adaptive_corruption_of_i_star_after_broadcast_is_too_late() {
         let inputs: Vec<Value> = (0..n).map(|i| Value::Scalar(50 + i as u64)).collect();
         let truth = Value::Tuple(inputs.clone());
         let inst = optn_instance("concat", concat_fn(), inputs);
-        let mut adv = LateIStarCorruptor { corrupted_i_star: false };
+        let mut adv = LateIStarCorruptor {
+            corrupted_i_star: false,
+        };
         let res = execute(inst, &mut adv, &mut rng, 40);
         assert!(adv.corrupted_i_star, "seed {seed}: the adversary found i*");
         // The announcement was already in flight on a consistent broadcast

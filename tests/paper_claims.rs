@@ -146,12 +146,7 @@ fn minimax_of_the_biased_design_game_is_at_one_half() {
         let qs: Vec<f64> = (0..=10).map(|i| i as f64 / 10.0).collect();
         let matrix: Vec<Vec<f64>> = qs
             .iter()
-            .map(|&q| {
-                vec![
-                    q * p.g10 + (1.0 - q) * p.g11,
-                    (1.0 - q) * p.g10 + q * p.g11,
-                ]
-            })
+            .map(|&q| vec![q * p.g10 + (1.0 - q) * p.g11, (1.0 - q) * p.g10 + q * p.g11])
             .collect();
         let game = Game::new(
             qs.iter().map(|q| format!("q={q}")).collect(),
