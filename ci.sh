@@ -10,6 +10,9 @@ cargo fmt --check
 echo "== cargo clippy (deny warnings)"
 cargo clippy --workspace -- -D warnings
 
+echo "== fairlint (strict)"
+cargo run -q -p fairlint -- --strict
+
 echo "== cargo build --release"
 cargo build --release
 

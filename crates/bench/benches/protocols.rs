@@ -23,6 +23,7 @@ fn bench_gmw(c: &mut Criterion) {
                 |mut rng| {
                     let inst = gmw_instance(&cfg, &[5, 9], &mut rng);
                     execute(inst, &mut Passive, &mut rng, cfg.rounds() + 4)
+                        .expect("execution succeeds")
                 },
                 BatchSize::SmallInput,
             )

@@ -1,3 +1,4 @@
+#![allow(clippy::print_stdout)]
 //! Reproduces the paper's quantitative claims: runs the requested
 //! experiments (default: all) through the `fair-simlab` scheduler and
 //! prints paper-vs-measured tables plus run observability.

@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+#![allow(clippy::print_stdout)] // the experiment reporters print their tables
 #![warn(missing_docs)]
 //! Experiment harness for the `fair-protocols` workspace: every table the
 //! reproduction generates (experiments E1–E13 from DESIGN.md) plus the
@@ -12,21 +14,10 @@ pub use table::{Report, Row};
 
 /// Number of Monte-Carlo trials used by the experiment binaries (override
 /// with the `FAIR_TRIALS` environment variable). A malformed value is
-/// reported on stderr, then the default of 1000 applies.
+/// reported on stderr, then the default of 1000 applies. Routed through
+/// `fair-simlab`'s sanctioned env entry point (fairlint rule R4).
 pub fn default_trials() -> usize {
-    match std::env::var("FAIR_TRIALS") {
-        Ok(s) => match s.trim().parse::<usize>() {
-            Ok(n) if n > 0 => n,
-            _ => {
-                eprintln!(
-                    "warning: ignoring malformed FAIR_TRIALS value {s:?} \
-                     (want a positive integer); using 1000 trials"
-                );
-                1000
-            }
-        },
-        Err(_) => 1000,
-    }
+    fair_simlab::config::env_usize("FAIR_TRIALS", 1000)
 }
 
 /// Runs an experiment by id; `None` for an unknown id.

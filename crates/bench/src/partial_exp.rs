@@ -344,7 +344,8 @@ pub fn e17(trials: usize, seed: u64) -> Report {
                 let mut rng = StdRng::seed_from_u64(s ^ 0x5eed);
                 let inst = gk_instance("and", cfg.clone(), [x1.clone(), x2.clone()]);
                 let mut adv = GkAttack::new(rule.clone());
-                let res = execute(inst, &mut adv, &mut rng, 3 * cfg.m + 20);
+                let res =
+                    execute(inst, &mut adv, &mut rng, 3 * cfg.m + 20).expect("execution succeeds");
                 let honest = res.outputs.get(&PartyId(1)).cloned().unwrap_or(Value::Bot);
                 *real.entry(symbol(&res.learned, &honest)).or_default() += 1;
                 // Ideal world (decorrelated randomness).

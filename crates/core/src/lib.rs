@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 //! Utility-based fairness for cryptographic protocols — the primary
 //! contribution of *"How Fair is Your Protocol? A Utility-based Approach to

@@ -132,7 +132,7 @@ impl Payoff {
         {
             return Err(PayoffError::NotFinite);
         }
-        if self.g01 != 0.0 {
+        if !crate::stats::approx_zero(self.g01) {
             return Err(PayoffError::G01NotZero);
         }
         if self.g01 > self.g00.min(self.g11) {

@@ -58,7 +58,7 @@ pub fn sweep<S: Scenario + Sync, F: Fn(usize) -> S>(
             trials,
             seed.wrapping_add((r as u64) << 24),
         );
-        fair.push(est.event_rate(Event::E10) == 0.0);
+        fair.push(crate::stats::approx_zero(est.event_rate(Event::E10)));
         estimates.push(est);
     }
     ReconstructionReport {

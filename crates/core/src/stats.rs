@@ -35,6 +35,23 @@ impl Interval {
 /// The 97.5% standard-normal quantile (two-sided 95%).
 pub const Z_95: f64 = 1.959_963_984_540_054;
 
+/// Default absolute tolerance for floating-point comparisons in estimator
+/// code. Direct `==`/`!=` on floats is forbidden inside the determinism
+/// boundary (fairlint rule D2); compare through [`approx_eq`] /
+/// [`approx_zero`] instead so platform-dependent rounding cannot flip an
+/// experiment verdict.
+pub const F64_TOL: f64 = 1e-12;
+
+/// Whether two floats agree within an absolute tolerance.
+pub fn approx_eq(a: f64, b: f64, tol: f64) -> bool {
+    (a - b).abs() <= tol
+}
+
+/// Whether a float is zero within [`F64_TOL`].
+pub fn approx_zero(x: f64) -> bool {
+    x.abs() <= F64_TOL
+}
+
 /// Wilson score interval for a binomial proportion — better behaved than
 /// the normal approximation near 0 and 1, which is exactly where the
 /// fairness experiments live (events that "never happen" under a correct
@@ -97,7 +114,7 @@ pub fn two_proportion_z(
     let pb = successes_b as f64 / nb;
     let pooled = (successes_a + successes_b) as f64 / (na + nb);
     let se = (pooled * (1.0 - pooled) * (1.0 / na + 1.0 / nb)).sqrt();
-    if se == 0.0 {
+    if approx_zero(se) {
         return 0.0;
     }
     (pa - pb) / se

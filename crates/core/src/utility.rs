@@ -195,7 +195,8 @@ pub fn run_once<S: Scenario>(
         trial.adversary.as_mut(),
         &mut rng,
         trial.max_rounds,
-    );
+    )
+    .expect("scenario builds a well-formed instance");
     let truth = trial.truth.unwrap_or_else(|| truth_from_ledger(&res));
     let event = classify(&res, scenario.n(), &truth, &scenario.criterion());
     let pay = payoff.value(event);
@@ -213,21 +214,17 @@ pub fn estimate<S: Scenario + Sync>(
     seed: u64,
 ) -> UtilityEstimate {
     assert!(trials > 0, "need at least one trial");
-    let observe = fair_simlab::metrics::enabled();
     let tallies = fair_simlab::run_tiled(trials, |range| {
         let mut tally = Tally::default();
-        let mut latencies = observe.then(|| Vec::with_capacity(range.len()));
+        // Per-trial latency observation goes through simlab's timing
+        // facade: fair-core itself never reads the wall clock (rule D1).
+        let mut timer = fair_simlab::BatchTimer::start(range.len());
         for t in range {
-            let started = latencies.as_ref().map(|_| std::time::Instant::now());
-            let (_, event, _) = run_once(scenario, payoff, fair_simlab::trial_seed(seed, t as u64));
+            let (_, event, _) =
+                timer.time(|| run_once(scenario, payoff, fair_simlab::trial_seed(seed, t as u64)));
             tally.record(event);
-            if let (Some(lat), Some(t0)) = (latencies.as_mut(), started) {
-                lat.push(t0.elapsed().as_nanos() as u64);
-            }
         }
-        if let Some(lat) = latencies {
-            fair_simlab::metrics::record_batch(&lat);
-        }
+        timer.finish();
         tally
     });
     let tally = tallies.into_iter().fold(Tally::default(), Tally::merge);

@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+#![allow(clippy::print_stdout)] // bench output goes to stdout by design
 #![warn(missing_docs)]
 //! Vendored, dependency-free stand-in for the subset of `criterion` the
 //! workspace benches use (the build environment has no crates.io access).

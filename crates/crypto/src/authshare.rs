@@ -18,12 +18,16 @@
 use fair_field::Fp;
 use rand::Rng;
 
+use crate::ct::CtEq;
 use crate::mac::{MacKey, MacTag};
 use crate::share::{additive_share_vec, ShareError};
 
 /// The share held by one party: a summand and a tag on that summand under
 /// the *other* party's key (so the other party can verify it on receipt).
-#[derive(Clone, PartialEq, Eq, Debug)]
+///
+/// Share material: `Debug` is redacted and equality is constant-time
+/// (fairlint rule S1).
+#[derive(Clone)]
 pub struct AuthShare {
     /// This party's additive summand of the authenticated payload.
     pub summand: Vec<Fp>,
@@ -31,14 +35,53 @@ pub struct AuthShare {
     pub summand_tag: MacTag,
 }
 
+impl core::fmt::Debug for AuthShare {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("AuthShare")
+            .field(
+                "summand",
+                &format_args!("<{} elems redacted>", self.summand.len()),
+            )
+            .field("summand_tag", &self.summand_tag)
+            .finish()
+    }
+}
+
+impl PartialEq for AuthShare {
+    fn eq(&self, other: &Self) -> bool {
+        self.summand.ct_eq(&other.summand) & self.summand_tag.ct_eq(&other.summand_tag)
+    }
+}
+
+impl Eq for AuthShare {}
+
 /// Everything a party holds after dealing: its share plus its MAC key.
-#[derive(Clone, PartialEq, Eq, Debug)]
+///
+/// Contains key material; `Debug` is redacted and equality constant-time.
+#[derive(Clone)]
 pub struct AuthShareHolding {
     /// The transferable share.
     pub share: AuthShare,
     /// The party's own verification key `kᵢ`.
     pub key: MacKey,
 }
+
+impl core::fmt::Debug for AuthShareHolding {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("AuthShareHolding")
+            .field("share", &self.share)
+            .field("key", &self.key)
+            .finish()
+    }
+}
+
+impl PartialEq for AuthShareHolding {
+    fn eq(&self, other: &Self) -> bool {
+        (self.share == other.share) & (self.key == other.key)
+    }
+}
+
+impl Eq for AuthShareHolding {}
 
 /// Deals an authenticated 2-of-2 sharing of `secret`; returns the holdings
 /// of p₁ and p₂.

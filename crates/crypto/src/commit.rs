@@ -8,6 +8,7 @@
 
 use rand::Rng;
 
+use crate::ct::CtEq;
 use crate::prg::random_bytes;
 use crate::sha256::{sha256_parts, Digest};
 
@@ -19,13 +20,34 @@ pub const OPENING_LEN: usize = 32;
 pub struct Commitment(pub Digest);
 
 /// The opening of a commitment: the committed message and the randomness.
-#[derive(Clone, PartialEq, Eq, Debug)]
+///
+/// Until the opening phase this is secret material — a leaked `r` lets the
+/// counterparty brute-force low-entropy messages — so `Debug` is redacted
+/// and equality is constant-time (fairlint rule S1).
+#[derive(Clone)]
 pub struct Opening {
     /// The committed message.
     pub message: Vec<u8>,
     /// The commitment randomness.
     pub randomness: Vec<u8>,
 }
+
+impl core::fmt::Debug for Opening {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Opening")
+            .field("message", &"<redacted>")
+            .field("randomness", &"<redacted>")
+            .finish()
+    }
+}
+
+impl PartialEq for Opening {
+    fn eq(&self, other: &Self) -> bool {
+        self.message.ct_eq(&other.message) & self.randomness.ct_eq(&other.randomness)
+    }
+}
+
+impl Eq for Opening {}
 
 impl Opening {
     /// Recomputes the commitment this opening corresponds to.
@@ -55,9 +77,10 @@ pub fn commit<R: Rng + ?Sized>(message: &[u8], rng: &mut R) -> (Commitment, Open
     (opening.commitment(), opening)
 }
 
-/// Verifies that `opening` opens `commitment`.
+/// Verifies that `opening` opens `commitment`, comparing digests in
+/// constant time.
 pub fn verify(commitment: &Commitment, opening: &Opening) -> bool {
-    opening.commitment() == *commitment
+    opening.commitment().0.ct_eq(&commitment.0)
 }
 
 #[cfg(test)]

@@ -1,0 +1,116 @@
+//! Constant-time comparison primitives.
+//!
+//! Authenticator checks (MAC tags, commitment digests, signature preimages)
+//! must not leak *where* a comparison first diverged: a byte-position
+//! timing oracle against tag verification is the classic remote attack on
+//! MAC'd protocols, and real deployments of penalty/fairness protocols get
+//! audited for exactly this defect. Every verification path in this crate
+//! therefore routes through [`ct_eq_bytes`] / [`ct_eq_u64`], which
+//! accumulate a difference mask over the *entire* input before deciding,
+//! with [`core::hint::black_box`] keeping the optimizer from re-inserting
+//! an early exit.
+//!
+//! Secret-bearing types implement [`CtEq`] and base their `PartialEq` on
+//! it (fairlint rule S1 forbids *derived* equality on such types).
+
+/// Constant-time equality of two byte strings.
+///
+/// Runs in time dependent only on the input *lengths* (which are public in
+/// every use in this workspace), never on the position of a mismatch.
+/// Unequal lengths return `false` after still scanning the shorter input.
+pub fn ct_eq_bytes(a: &[u8], b: &[u8]) -> bool {
+    let mut diff = (a.len() ^ b.len()) as u8;
+    for (x, y) in a.iter().zip(b.iter()) {
+        diff |= core::hint::black_box(x ^ y);
+    }
+    core::hint::black_box(diff) == 0
+}
+
+/// Constant-time equality of two `u64` values (e.g. canonical field-element
+/// representatives).
+pub fn ct_eq_u64(a: u64, b: u64) -> bool {
+    // Collapse the XOR difference to a single bit without branching.
+    let d = core::hint::black_box(a ^ b);
+    ((d | d.wrapping_neg()) >> 63) == 0
+}
+
+/// Equality that takes secret-independent time.
+///
+/// Implementations must visit their entire representation regardless of
+/// where (or whether) the operands differ.
+pub trait CtEq {
+    /// Constant-time equality check.
+    fn ct_eq(&self, other: &Self) -> bool;
+}
+
+impl CtEq for [u8] {
+    fn ct_eq(&self, other: &Self) -> bool {
+        ct_eq_bytes(self, other)
+    }
+}
+
+impl CtEq for Vec<u8> {
+    fn ct_eq(&self, other: &Self) -> bool {
+        ct_eq_bytes(self, other)
+    }
+}
+
+impl<const N: usize> CtEq for [u8; N] {
+    fn ct_eq(&self, other: &Self) -> bool {
+        ct_eq_bytes(self, other)
+    }
+}
+
+impl CtEq for fair_field::Fp {
+    fn ct_eq(&self, other: &Self) -> bool {
+        ct_eq_u64(self.value(), other.value())
+    }
+}
+
+impl CtEq for Vec<fair_field::Fp> {
+    fn ct_eq(&self, other: &Self) -> bool {
+        let mut ok = self.len() == other.len();
+        for (x, y) in self.iter().zip(other.iter()) {
+            ok &= x.ct_eq(y);
+        }
+        ok
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fair_field::Fp;
+
+    #[test]
+    fn bytes_equality_matches_naive() {
+        assert!(ct_eq_bytes(b"", b""));
+        assert!(ct_eq_bytes(b"abc", b"abc"));
+        assert!(!ct_eq_bytes(b"abc", b"abd"));
+        assert!(!ct_eq_bytes(b"abc", b"ab"));
+        assert!(!ct_eq_bytes(b"", b"x"));
+    }
+
+    #[test]
+    fn u64_equality_matches_naive() {
+        for (a, b) in [(0, 0), (1, 0), (u64::MAX, u64::MAX), (u64::MAX, 1)] {
+            assert_eq!(ct_eq_u64(a, b), a == b, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn fp_vectors_compare_elementwise() {
+        let a = vec![Fp::new(1), Fp::new(2)];
+        let b = vec![Fp::new(1), Fp::new(2)];
+        let c = vec![Fp::new(1), Fp::new(3)];
+        assert!(a.ct_eq(&b));
+        assert!(!a.ct_eq(&c));
+        assert!(!a.ct_eq(&vec![Fp::new(1)]));
+    }
+
+    #[test]
+    fn fixed_arrays_compare() {
+        assert!([1u8, 2, 3].ct_eq(&[1, 2, 3]));
+        assert!(![1u8, 2, 3].ct_eq(&[1, 2, 4]));
+    }
+}

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 //! From-scratch cryptographic primitives for the `fair-protocols` workspace.
 //!
@@ -35,6 +36,7 @@
 
 pub mod authshare;
 pub mod commit;
+pub mod ct;
 pub mod hmac;
 pub mod mac;
 pub mod prg;

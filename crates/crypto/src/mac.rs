@@ -13,18 +13,65 @@
 use fair_field::Fp;
 use rand::Rng;
 
+use crate::ct::CtEq;
 use crate::prg::random_fp;
 
 /// A one-time MAC key `(a, b)`.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+///
+/// Key material: `Debug` is redacted and equality is constant-time (no
+/// derived `PartialEq`/`Debug` — fairlint rule S1).
+#[derive(Clone, Copy)]
 pub struct MacKey {
     a: Fp,
     b: Fp,
 }
 
+impl core::fmt::Debug for MacKey {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str("MacKey(<redacted>)")
+    }
+}
+
+impl PartialEq for MacKey {
+    fn eq(&self, other: &Self) -> bool {
+        self.a.ct_eq(&other.a) & self.b.ct_eq(&other.b)
+    }
+}
+
+impl Eq for MacKey {}
+
+impl CtEq for MacKey {
+    fn ct_eq(&self, other: &Self) -> bool {
+        self == other
+    }
+}
+
 /// A MAC tag (a single field element).
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+///
+/// Authenticator material: `Debug` is redacted and equality is
+/// constant-time, so tag verification cannot leak a mismatch position.
+#[derive(Clone, Copy)]
 pub struct MacTag(pub Fp);
+
+impl core::fmt::Debug for MacTag {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str("MacTag(<redacted>)")
+    }
+}
+
+impl PartialEq for MacTag {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.ct_eq(&other.0)
+    }
+}
+
+impl Eq for MacTag {}
+
+impl CtEq for MacTag {
+    fn ct_eq(&self, other: &Self) -> bool {
+        self == other
+    }
+}
 
 impl MacKey {
     /// Samples a fresh key.
@@ -46,9 +93,10 @@ impl MacKey {
         MacTag(acc)
     }
 
-    /// Verifies a tag on a field-element message.
+    /// Verifies a tag on a field-element message in constant time (the
+    /// comparison never reveals where a forged tag diverges).
     pub fn verify_elems(&self, msg: &[Fp], tag: &MacTag) -> bool {
-        self.tag_elems(msg) == *tag
+        self.tag_elems(msg).ct_eq(tag)
     }
 
     /// Tags an arbitrary byte string (packed 7 bytes per element, with the

@@ -22,11 +22,22 @@ use crate::hmac::hmac_sha256;
 /// let mut p2 = Prg::new(b"seed");
 /// assert_eq!(p1.next_bytes(40), p2.next_bytes(40));
 /// ```
-#[derive(Clone, Debug)]
+#[derive(Clone)]
 pub struct Prg {
     seed: Vec<u8>,
     counter: u64,
     buf: Vec<u8>,
+}
+
+// The seed (and the buffered output derived from it) is key material; only
+// the public counter position is printable (fairlint rule S1).
+impl core::fmt::Debug for Prg {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Prg")
+            .field("seed", &"<redacted>")
+            .field("counter", &self.counter)
+            .finish()
+    }
 }
 
 impl Prg {

@@ -8,6 +8,7 @@
 use fair_field::{Fp, Poly};
 use rand::Rng;
 
+use crate::ct::CtEq;
 use crate::prg::{random_bytes, random_fp};
 
 /// Errors produced by reconstruction.
@@ -88,13 +89,34 @@ pub fn additive_reconstruct_vec(shares: &[Vec<Fp>]) -> Vec<Fp> {
 }
 
 /// A Shamir share: the evaluation point index (1-based) and the value.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+///
+/// The value is share material: `Debug` prints the public index but
+/// redacts the evaluation, and equality is constant-time in the value
+/// (fairlint rule S1).
+#[derive(Clone, Copy)]
 pub struct ShamirShare {
     /// 1-based party index (the evaluation point).
     pub index: u64,
     /// Polynomial evaluation at `index`.
     pub value: Fp,
 }
+
+impl core::fmt::Debug for ShamirShare {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("ShamirShare")
+            .field("index", &self.index)
+            .field("value", &"<redacted>")
+            .finish()
+    }
+}
+
+impl PartialEq for ShamirShare {
+    fn eq(&self, other: &Self) -> bool {
+        (self.index == other.index) & self.value.ct_eq(&other.value)
+    }
+}
+
+impl Eq for ShamirShare {}
 
 /// Shamir-shares `secret` among `n` parties with threshold `t`: any `t`
 /// shares reconstruct, any `t − 1` reveal nothing.

@@ -12,28 +12,92 @@
 
 use rand::Rng;
 
+use crate::ct::{ct_eq_bytes, CtEq};
 use crate::prg::random_bytes;
 use crate::sha256::{sha256, sha256_parts, Digest};
 
 const BITS: usize = 256;
 
+fn ct_eq_digest_pairs(a: &[[Digest; 2]], b: &[[Digest; 2]]) -> bool {
+    let mut ok = a.len() == b.len();
+    for (x, y) in a.iter().zip(b.iter()) {
+        ok &= x[0].ct_eq(&y[0]) & x[1].ct_eq(&y[1]);
+    }
+    ok
+}
+
 /// A Lamport signing key: 2×256 random 32-byte preimages.
-#[derive(Clone, PartialEq, Eq, Debug)]
+///
+/// Secret key material: `Debug` is redacted and equality is constant-time
+/// (fairlint rule S1).
+#[derive(Clone)]
 pub struct SigningKey {
     secrets: Vec<[Digest; 2]>, // BITS entries
 }
 
+impl core::fmt::Debug for SigningKey {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str("SigningKey(<redacted>)")
+    }
+}
+
+impl PartialEq for SigningKey {
+    fn eq(&self, other: &Self) -> bool {
+        ct_eq_digest_pairs(&self.secrets, &other.secrets)
+    }
+}
+
+impl Eq for SigningKey {}
+
 /// A Lamport verification key: the hashes of the signing-key preimages.
-#[derive(Clone, PartialEq, Eq, Debug)]
+///
+/// Public material, but compared in constant time anyway so key checks
+/// are uniform with the rest of the crate.
+#[derive(Clone)]
 pub struct VerifyingKey {
     hashes: Vec<[Digest; 2]>, // BITS entries
 }
 
+impl core::fmt::Debug for VerifyingKey {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "VerifyingKey({} bit positions)", self.hashes.len())
+    }
+}
+
+impl PartialEq for VerifyingKey {
+    fn eq(&self, other: &Self) -> bool {
+        ct_eq_digest_pairs(&self.hashes, &other.hashes)
+    }
+}
+
+impl Eq for VerifyingKey {}
+
 /// A Lamport signature: one revealed preimage per message-hash bit.
-#[derive(Clone, PartialEq, Eq, Debug)]
+///
+/// The reveals are spent one-time secrets; equality is constant-time and
+/// `Debug` is redacted.
+#[derive(Clone)]
 pub struct Signature {
     reveals: Vec<Digest>, // BITS entries
 }
+
+impl core::fmt::Debug for Signature {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str("Signature(<redacted>)")
+    }
+}
+
+impl PartialEq for Signature {
+    fn eq(&self, other: &Self) -> bool {
+        let mut ok = self.reveals.len() == other.reveals.len();
+        for (x, y) in self.reveals.iter().zip(other.reveals.iter()) {
+            ok &= x.ct_eq(y);
+        }
+        ok
+    }
+}
+
+impl Eq for Signature {}
 
 impl VerifyingKey {
     /// Serializes the key (2 × 256 × 32 bytes).
@@ -135,14 +199,19 @@ pub fn sign(key: &SigningKey, message: &[u8]) -> Signature {
 }
 
 /// Verifies `signature` on `message` under `key`.
+///
+/// Every bit position is checked unconditionally — the loop never exits
+/// early on the first bad preimage, so verification time does not reveal
+/// which reveal a forger got wrong.
 pub fn verify(key: &VerifyingKey, message: &[u8], signature: &Signature) -> bool {
     if signature.reveals.len() != BITS {
         return false;
     }
-    message_bits(message)
-        .iter()
-        .enumerate()
-        .all(|(i, &b)| sha256(&signature.reveals[i]) == key.hashes[i][b as usize])
+    let mut ok = true;
+    for (i, &b) in message_bits(message).iter().enumerate() {
+        ok &= ct_eq_bytes(&sha256(&signature.reveals[i]), &key.hashes[i][b as usize]);
+    }
+    ok
 }
 
 #[cfg(test)]

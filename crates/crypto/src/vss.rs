@@ -16,17 +16,41 @@
 use fair_field::{Fp, Poly};
 use rand::Rng;
 
+use crate::ct::CtEq;
 use crate::prg::random_fp;
 use crate::share::ShareError;
 
 /// Party i's VSS share: the univariate polynomial fᵢ(y) = F(i, y).
-#[derive(Clone, PartialEq, Eq, Debug)]
+///
+/// Share material: `Debug` prints the public index but redacts the
+/// polynomial, and equality is constant-time (fairlint rule S1).
+#[derive(Clone)]
 pub struct VssShare {
     /// The 1-based party index (the x-coordinate).
     pub index: u64,
     /// Coefficients of fᵢ(y), lowest degree first (length t).
     pub poly: Vec<Fp>,
 }
+
+impl core::fmt::Debug for VssShare {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("VssShare")
+            .field("index", &self.index)
+            .field(
+                "poly",
+                &format_args!("<{} coeffs redacted>", self.poly.len()),
+            )
+            .finish()
+    }
+}
+
+impl PartialEq for VssShare {
+    fn eq(&self, other: &Self) -> bool {
+        (self.index == other.index) & self.poly.ct_eq(&other.poly)
+    }
+}
+
+impl Eq for VssShare {}
 
 impl VssShare {
     /// Evaluates the share polynomial at `y`.
@@ -41,9 +65,11 @@ impl VssShare {
     }
 
     /// Pairwise consistency check: does `other`'s claimed polynomial agree
-    /// with ours at the crossover points (fᵢ(j) = fⱼ(i))?
+    /// with ours at the crossover points (fᵢ(j) = fⱼ(i))? Compared in
+    /// constant time — the check handles announced share material.
     pub fn consistent_with(&self, other: &VssShare) -> bool {
-        self.eval(Fp::new(other.index)) == other.eval(Fp::new(self.index))
+        self.eval(Fp::new(other.index))
+            .ct_eq(&other.eval(Fp::new(self.index)))
     }
 }
 

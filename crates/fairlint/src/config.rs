@@ -1,0 +1,201 @@
+//! `fairlint.toml` — checked-in, path-scoped configuration.
+//!
+//! The parser handles the small TOML subset the config actually uses
+//! (`[section]` headers, string / string-array / bool values, `#`
+//! comments) with no external dependency; unknown keys are ignored so
+//! the format can grow.
+
+use std::path::Path;
+
+/// One parsed `key = value` under its section.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TomlValue {
+    /// `key = "…"`
+    Str(String),
+    /// `key = ["…", "…"]`
+    List(Vec<String>),
+    /// `key = true`
+    Bool(bool),
+}
+
+/// Flat `section.key → value` view of the file (sections joined with
+/// dots). Order-preserving and deterministic.
+pub fn parse_toml_subset(src: &str) -> Vec<(String, TomlValue)> {
+    let mut out = Vec::new();
+    let mut section = String::new();
+    for raw_line in src.lines() {
+        let line = strip_comment(raw_line).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(h) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+            section = h.trim().to_string();
+            continue;
+        }
+        let Some((k, v)) = line.split_once('=') else {
+            continue;
+        };
+        let key = if section.is_empty() {
+            k.trim().to_string()
+        } else {
+            format!("{section}.{}", k.trim())
+        };
+        if let Some(val) = parse_value(v.trim()) {
+            out.push((key, val));
+        }
+    }
+    out
+}
+
+fn strip_comment(line: &str) -> &str {
+    // A `#` outside quotes starts a comment.
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn parse_value(v: &str) -> Option<TomlValue> {
+    if v == "true" {
+        return Some(TomlValue::Bool(true));
+    }
+    if v == "false" {
+        return Some(TomlValue::Bool(false));
+    }
+    if let Some(inner) = v.strip_prefix('[').and_then(|x| x.strip_suffix(']')) {
+        let items = inner
+            .split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .filter_map(unquote)
+            .collect();
+        return Some(TomlValue::List(items));
+    }
+    unquote(v).map(TomlValue::Str)
+}
+
+fn unquote(s: &str) -> Option<String> {
+    s.strip_prefix('"')?.strip_suffix('"').map(str::to_string)
+}
+
+/// Effective rule configuration: built-in defaults overridden by any
+/// `fairlint.toml` at the workspace root.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Crates inside the determinism boundary (rule D1).
+    pub boundary_crates: Vec<String>,
+    /// Crates whose non-test code rule D2 (float `==`) covers.
+    pub float_crates: Vec<String>,
+    /// Crates holding secret-bearing types (rule S1).
+    pub secret_crates: Vec<String>,
+    /// Type-name suffixes that mark a type secret-bearing.
+    pub secret_suffixes: Vec<String>,
+    /// Extra exact type names treated as secret-bearing.
+    pub extra_secret_types: Vec<String>,
+    /// Workspace-relative files whose message paths rule S2 hardens.
+    pub engine_paths: Vec<String>,
+    /// Crates exempt from rule R2's `#![forbid(unsafe_code)]`.
+    pub unsafe_allow_crates: Vec<String>,
+    /// Workspace-relative files allowed to read the environment (R4).
+    pub env_allow_paths: Vec<String>,
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        let v = |xs: &[&str]| xs.iter().map(|s| s.to_string()).collect();
+        Config {
+            boundary_crates: v(&[
+                "core",
+                "protocols",
+                "runtime",
+                "crypto",
+                "field",
+                "circuits",
+            ]),
+            float_crates: v(&["core", "bench"]),
+            secret_crates: v(&["crypto"]),
+            secret_suffixes: v(&["Key", "Tag", "Opening", "Share", "Holding", "Secret"]),
+            extra_secret_types: vec![],
+            engine_paths: v(&["crates/runtime/src/engine.rs"]),
+            unsafe_allow_crates: vec![],
+            env_allow_paths: vec![],
+        }
+    }
+}
+
+impl Config {
+    /// Loads `fairlint.toml` from `root`, merging over the defaults.
+    /// A missing file yields the defaults; present keys replace them.
+    pub fn load(root: &Path) -> Config {
+        let mut cfg = Config::default();
+        let Ok(src) = std::fs::read_to_string(root.join("fairlint.toml")) else {
+            return cfg;
+        };
+        cfg.apply(&parse_toml_subset(&src));
+        cfg
+    }
+
+    /// Applies parsed key/value pairs over the current settings.
+    pub fn apply(&mut self, pairs: &[(String, TomlValue)]) {
+        for (key, value) in pairs {
+            let TomlValue::List(items) = value else {
+                continue;
+            };
+            match key.as_str() {
+                "boundary.crates" => self.boundary_crates = items.clone(),
+                "rules.D2.crates" => self.float_crates = items.clone(),
+                "rules.S1.crates" => self.secret_crates = items.clone(),
+                "rules.S1.suffixes" => self.secret_suffixes = items.clone(),
+                "rules.S1.extra_types" => self.extra_secret_types = items.clone(),
+                "rules.S2.paths" => self.engine_paths = items.clone(),
+                "rules.R2.allow_crates" => self.unsafe_allow_crates = items.clone(),
+                "allow.R4.paths" => self.env_allow_paths = items.clone(),
+                _ => {}
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_sections_strings_lists_bools() {
+        let pairs = parse_toml_subset(
+            "# header\n[boundary]\ncrates = [\"core\", \"field\"]\n\n[allow.R4]\npaths = [\"a/b.rs\"]\nreason = \"the one entry point\"\nstrict = true\n",
+        );
+        assert!(pairs.contains(&(
+            "boundary.crates".into(),
+            TomlValue::List(vec!["core".into(), "field".into()])
+        )));
+        assert!(pairs.contains(&(
+            "allow.R4.reason".into(),
+            TomlValue::Str("the one entry point".into())
+        )));
+        assert!(pairs.contains(&("allow.R4.strict".into(), TomlValue::Bool(true))));
+    }
+
+    #[test]
+    fn hash_inside_quotes_is_not_a_comment() {
+        let pairs = parse_toml_subset("k = \"a#b\"\n");
+        assert_eq!(pairs, vec![("k".into(), TomlValue::Str("a#b".into()))]);
+    }
+
+    #[test]
+    fn apply_overrides_defaults() {
+        let mut cfg = Config::default();
+        cfg.apply(&[(
+            "rules.S1.extra_types".into(),
+            TomlValue::List(vec!["Prg".into()]),
+        )]);
+        assert_eq!(cfg.extra_secret_types, vec!["Prg".to_string()]);
+        // Untouched keys keep defaults.
+        assert!(cfg.boundary_crates.contains(&"core".to_string()));
+    }
+}

@@ -1,0 +1,374 @@
+//! A scrubbing lexer: replaces the contents of comments, string literals
+//! and char literals with spaces while preserving line structure, so rule
+//! checks can match raw tokens without being fooled by prose or data.
+//!
+//! Along the way it extracts `// fairlint::allow(...)` suppression
+//! comments (they live inside comments, which are about to be blanked).
+//!
+//! The lexer understands exactly enough Rust: line comments, nested block
+//! comments, string literals with escapes, raw strings (`r"…"`,
+//! `r#"…"#`, any hash depth), byte and raw-byte strings, and the
+//! char-literal/lifetime ambiguity (`'a'` vs `'a`).
+
+/// A suppression comment, parsed but not yet validated.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Suppression {
+    /// 1-based line the comment sits on.
+    pub line: usize,
+    /// Rule ids listed before `reason = …`.
+    pub rules: Vec<String>,
+    /// The mandatory reason string, if one parsed.
+    pub reason: Option<String>,
+    /// Raw text inside `allow(...)`, for diagnostics.
+    pub raw: String,
+}
+
+impl Suppression {
+    /// Lines this suppression covers: its own line and the next one (a
+    /// whole-line comment suppresses the statement below; a trailing
+    /// comment suppresses its own line).
+    pub fn covers(&self, line: usize) -> bool {
+        line == self.line || line == self.line + 1
+    }
+}
+
+/// Output of [`scrub`].
+#[derive(Clone, Debug)]
+pub struct Scrubbed {
+    /// Source with comment/string/char contents blanked to spaces.
+    /// Newlines (and string delimiters) are preserved, so byte offsets
+    /// and line numbers match the original exactly.
+    pub text: String,
+    /// Every `fairlint::allow(...)` comment found.
+    pub suppressions: Vec<Suppression>,
+}
+
+const ALLOW_MARKER: &str = "fairlint::allow(";
+
+/// Scrubs Rust source. See the module docs.
+pub fn scrub(src: &str) -> Scrubbed {
+    let b = src.as_bytes();
+    let mut out = Vec::with_capacity(b.len());
+    let mut suppressions = Vec::new();
+    let mut line = 1usize;
+    let mut i = 0usize;
+
+    macro_rules! push_raw {
+        ($c:expr) => {{
+            if $c == b'\n' {
+                line += 1;
+            }
+            out.push($c);
+        }};
+    }
+    // Blank a byte: newlines survive, everything else becomes a space.
+    macro_rules! push_blank {
+        ($c:expr) => {{
+            if $c == b'\n' {
+                line += 1;
+                out.push(b'\n');
+            } else {
+                out.push(b' ');
+            }
+        }};
+    }
+
+    while i < b.len() {
+        let c = b[i];
+        // Line comment.
+        if c == b'/' && i + 1 < b.len() && b[i + 1] == b'/' {
+            let end = src[i..].find('\n').map_or(b.len(), |k| i + k);
+            let comment = &src[i..end];
+            if let Some(s) = parse_allow(comment, line) {
+                suppressions.push(s);
+            }
+            while i < end {
+                push_blank!(b[i]);
+                i += 1;
+            }
+            continue;
+        }
+        // Block comment (nested).
+        if c == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+            let mut depth = 1usize;
+            push_blank!(b[i]);
+            push_blank!(b[i + 1]);
+            i += 2;
+            while i < b.len() && depth > 0 {
+                if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+                    depth += 1;
+                    push_blank!(b[i]);
+                    push_blank!(b[i + 1]);
+                    i += 2;
+                } else if b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
+                    depth -= 1;
+                    push_blank!(b[i]);
+                    push_blank!(b[i + 1]);
+                    i += 2;
+                } else {
+                    push_blank!(b[i]);
+                    i += 1;
+                }
+            }
+            continue;
+        }
+        // Raw string (r"…", r#"…"#, br#"…"#). Check before plain ident.
+        if (c == b'r' || (c == b'b' && i + 1 < b.len() && b[i + 1] == b'r')) && !prev_is_ident(b, i)
+        {
+            let start = if c == b'b' { i + 2 } else { i + 1 };
+            let mut hashes = 0usize;
+            let mut j = start;
+            while j < b.len() && b[j] == b'#' {
+                hashes += 1;
+                j += 1;
+            }
+            if j < b.len() && b[j] == b'"' {
+                // Emit the prefix (r, b, hashes, opening quote) verbatim.
+                while i <= j {
+                    push_raw!(b[i]);
+                    i += 1;
+                }
+                // Blank until closing quote + same hash count.
+                'raw: while i < b.len() {
+                    if b[i] == b'"' {
+                        let mut k = 0usize;
+                        while k < hashes && i + 1 + k < b.len() && b[i + 1 + k] == b'#' {
+                            k += 1;
+                        }
+                        if k == hashes {
+                            for _ in 0..=hashes {
+                                push_raw!(b[i]);
+                                i += 1;
+                            }
+                            break 'raw;
+                        }
+                    }
+                    push_blank!(b[i]);
+                    i += 1;
+                }
+                continue;
+            }
+        }
+        // Plain or byte string.
+        if c == b'"' || (c == b'b' && i + 1 < b.len() && b[i + 1] == b'"' && !prev_is_ident(b, i)) {
+            if c == b'b' {
+                push_raw!(b[i]);
+                i += 1;
+            }
+            push_raw!(b[i]); // opening quote
+            i += 1;
+            while i < b.len() {
+                if b[i] == b'\\' && i + 1 < b.len() {
+                    push_blank!(b[i]);
+                    push_blank!(b[i + 1]);
+                    i += 2;
+                    continue;
+                }
+                if b[i] == b'"' {
+                    push_raw!(b[i]);
+                    i += 1;
+                    break;
+                }
+                push_blank!(b[i]);
+                i += 1;
+            }
+            continue;
+        }
+        // Char literal vs lifetime.
+        if c == b'\'' && !prev_is_ident(b, i) {
+            if let Some(len) = char_literal_len(&b[i..]) {
+                for _ in 0..len {
+                    if b[i] == b'\'' {
+                        push_raw!(b[i]);
+                    } else {
+                        push_blank!(b[i]);
+                    }
+                    i += 1;
+                }
+                continue;
+            }
+            // Lifetime: emit verbatim.
+            push_raw!(b[i]);
+            i += 1;
+            continue;
+        }
+        push_raw!(b[i]);
+        i += 1;
+    }
+
+    Scrubbed {
+        text: String::from_utf8_lossy(&out).into_owned(),
+        suppressions,
+    }
+}
+
+/// Whether `b[i]` is preceded by an identifier character (so `r` in
+/// `for` or `'` in `x'` — impossible, but defensive — is not a prefix).
+fn prev_is_ident(b: &[u8], i: usize) -> bool {
+    i > 0 && (b[i - 1].is_ascii_alphanumeric() || b[i - 1] == b'_')
+}
+
+/// If `b` (starting at a `'`) begins a char literal, its byte length
+/// (including both quotes); `None` for a lifetime.
+fn char_literal_len(b: &[u8]) -> Option<usize> {
+    debug_assert!(b[0] == b'\'');
+    if b.len() < 3 {
+        return None;
+    }
+    if b[1] == b'\\' {
+        // Escaped char: find the closing quote within a small window
+        // (\u{10FFFF} is the longest escape).
+        let limit = b.len().min(12);
+        (2..limit).find(|&j| b[j] == b'\'').map(|j| j + 1)
+    } else if b[1] < 0x80 {
+        // ASCII content: `'x'` exactly, otherwise it's a lifetime.
+        (b[1] != b'\'' && b[2] == b'\'').then_some(3)
+    } else {
+        // Multibyte UTF-8 char: content length from the leading byte.
+        let len = match b[1] {
+            0xC0..=0xDF => 2,
+            0xE0..=0xEF => 3,
+            _ => 4,
+        };
+        (b.len() > 1 + len && b[1 + len] == b'\'').then_some(len + 2)
+    }
+}
+
+/// Parses a `fairlint::allow(...)` comment into a [`Suppression`].
+///
+/// Only plain `//` comments whose text *starts* with the marker count;
+/// doc comments (`///`, `//!`) and prose that merely mentions the
+/// syntax are ignored.
+fn parse_allow(comment: &str, line: usize) -> Option<Suppression> {
+    let content = comment.strip_prefix("//")?;
+    if content.starts_with('/') || content.starts_with('!') {
+        return None;
+    }
+    let rest = content.trim_start().strip_prefix(ALLOW_MARKER)?;
+    let close = rest.rfind(')').unwrap_or(rest.len());
+    let inner = rest[..close].trim().to_string();
+
+    let mut rules = Vec::new();
+    let mut reason = None;
+    for part in split_top_level(&inner) {
+        let part = part.trim();
+        if let Some(eq) = part.strip_prefix("reason") {
+            let eq = eq.trim_start();
+            if let Some(v) = eq.strip_prefix('=') {
+                let v = v.trim();
+                let v = v.strip_prefix('"').unwrap_or(v);
+                let v = v.strip_suffix('"').unwrap_or(v);
+                if !v.trim().is_empty() {
+                    reason = Some(v.trim().to_string());
+                }
+            }
+        } else if !part.is_empty() {
+            rules.push(part.to_string());
+        }
+    }
+    Some(Suppression {
+        line,
+        rules,
+        reason,
+        raw: inner,
+    })
+}
+
+/// Splits on commas that are not inside a quoted string.
+fn split_top_level(s: &str) -> Vec<&str> {
+    let mut parts = Vec::new();
+    let mut start = 0usize;
+    let mut in_str = false;
+    for (i, c) in s.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            ',' if !in_str => {
+                parts.push(&s[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    parts.push(&s[start..]);
+    parts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_comments_are_blanked_but_lines_survive() {
+        let s = scrub("let x = 1; // Instant::now\nlet y = 2;");
+        assert!(!s.text.contains("Instant"));
+        assert_eq!(s.text.lines().count(), 2);
+        assert!(s.text.contains("let y = 2;"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let s = scrub("a /* outer /* inner */ still comment */ b");
+        assert!(s.text.contains('a') && s.text.contains('b'));
+        assert!(!s.text.contains("comment"));
+    }
+
+    #[test]
+    fn strings_are_blanked_delimiters_kept() {
+        let s = scrub(r#"call("Instant::now", 'x', b"bytes")"#);
+        assert!(!s.text.contains("Instant"));
+        assert!(!s.text.contains("bytes"));
+        assert!(s.text.contains("call(\""));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let src = "let s = r#\"todo!() \" quote inside\"#; after();";
+        let s = scrub(src);
+        assert!(!s.text.contains("todo"));
+        assert!(s.text.contains("after();"));
+    }
+
+    #[test]
+    fn escaped_quote_does_not_end_string() {
+        let s = scrub(r#"x("a\"b unimplemented!"); y();"#);
+        assert!(!s.text.contains("unimplemented"));
+        assert!(s.text.contains("y();"));
+    }
+
+    #[test]
+    fn lifetimes_survive_char_literals_do_not() {
+        let s = scrub("fn f<'a>(x: &'a str) { let c = 'q'; let n = '\\n'; }");
+        assert!(s.text.contains("<'a>"));
+        assert!(s.text.contains("&'a str"));
+        assert!(!s.text.contains('q'), "text: {}", s.text);
+    }
+
+    #[test]
+    fn suppression_with_reason_parses() {
+        let s = scrub("// fairlint::allow(D1, reason = \"bench-only timing\")\nfoo();");
+        assert_eq!(s.suppressions.len(), 1);
+        let sup = &s.suppressions[0];
+        assert_eq!(sup.rules, vec!["D1".to_string()]);
+        assert_eq!(sup.reason.as_deref(), Some("bench-only timing"));
+        assert_eq!(sup.line, 1);
+        assert!(sup.covers(1) && sup.covers(2) && !sup.covers(3));
+    }
+
+    #[test]
+    fn suppression_without_reason_has_none() {
+        let s = scrub("x(); // fairlint::allow(S1)");
+        assert_eq!(s.suppressions.len(), 1);
+        assert!(s.suppressions[0].reason.is_none());
+        assert_eq!(s.suppressions[0].rules, vec!["S1".to_string()]);
+    }
+
+    #[test]
+    fn comma_inside_reason_string_is_not_a_separator() {
+        let s = scrub("// fairlint::allow(R4, reason = \"one, sanctioned entry\")");
+        assert_eq!(s.suppressions[0].rules.len(), 1);
+        assert_eq!(
+            s.suppressions[0].reason.as_deref(),
+            Some("one, sanctioned entry")
+        );
+    }
+}

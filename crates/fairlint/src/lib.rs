@@ -1,0 +1,41 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+//! `fairlint` — the project's own static-analysis pass.
+//!
+//! The reproduction suite's claims rest on three properties no generic
+//! linter checks: **determinism** (bit-identical estimates for any
+//! worker count require no wall-clock, ambient entropy, or
+//! iteration-order dependence inside the protocol/estimator layers),
+//! **secret hygiene** (shares, MAC keys/tags, commitment openings and
+//! signing keys must not leak through derived `Debug` or short-circuit
+//! `==`), and **experiment-registry conformance** (every `exp_*` bin,
+//! the shared runner's `ALL_EXPERIMENTS` registry, and the
+//! EXPERIMENTS.md summary table stay in lockstep).
+//!
+//! fairlint enforces those as rules `D1`–`D2`, `S1`–`S2`, `R1`–`R4`,
+//! plus `L1` policing its own suppression comments. It is a token-level
+//! analysis over a scrubbing lexer ([`lexer`]) — comments and string
+//! literals are blanked before matching, so prose never trips a rule —
+//! with path-scoped configuration from `fairlint.toml` ([`config`]) and
+//! inline escape hatches:
+//!
+//! ```text
+//! // fairlint::allow(D1, reason = "bench-only timing, outside the boundary")
+//! ```
+//!
+//! The reason is mandatory; a reasonless suppression is inert and
+//! itself a violation. Run `cargo run -p fairlint -- --list-rules` for
+//! the rule table; `ci.sh` runs `--strict` on every push.
+
+pub mod config;
+pub mod diag;
+pub mod lexer;
+pub mod rules;
+pub mod source;
+pub mod workspace;
+
+pub use config::Config;
+pub use diag::{render_json_report, Diagnostic, Severity};
+pub use rules::{known_rule, RULES};
+pub use source::SourceFile;
+pub use workspace::Workspace;

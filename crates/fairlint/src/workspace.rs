@@ -1,0 +1,98 @@
+//! Workspace loading: walk the tree, build [`SourceFile`] models, load
+//! configuration and the experiment registry's markdown side.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::config::Config;
+use crate::diag::Diagnostic;
+use crate::rules;
+use crate::source::SourceFile;
+
+/// Directory names the walker never descends into. `fixtures` keeps
+/// fairlint's own offending test inputs out of real runs.
+const SKIP_DIRS: &[&str] = &["target", "fixtures", "node_modules"];
+
+/// A loaded workspace, ready to analyze.
+#[derive(Debug)]
+pub struct Workspace {
+    /// Workspace root.
+    pub root: PathBuf,
+    /// Every `.rs` file found, sorted by relative path.
+    pub files: Vec<SourceFile>,
+    /// Effective configuration (defaults merged with `fairlint.toml`).
+    pub config: Config,
+    /// Raw `EXPERIMENTS.md`, when present (rule R1's third leg).
+    pub experiments_md: Option<String>,
+}
+
+impl Workspace {
+    /// Walks `root` and loads every Rust source file.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from walking or reading files.
+    pub fn load(root: &Path) -> io::Result<Workspace> {
+        let root = root.canonicalize()?;
+        let mut paths = Vec::new();
+        walk(&root, &mut paths)?;
+        paths.sort();
+        let files = paths
+            .into_iter()
+            .map(|p| {
+                let raw = std::fs::read_to_string(&p)?;
+                Ok(SourceFile::from_contents(&root, &p, raw))
+            })
+            .collect::<io::Result<Vec<_>>>()?;
+        let config = Config::load(&root);
+        let experiments_md = std::fs::read_to_string(root.join("EXPERIMENTS.md")).ok();
+        Ok(Workspace {
+            root,
+            files,
+            config,
+            experiments_md,
+        })
+    }
+
+    /// Looks a file up by workspace-relative path.
+    pub fn file_by_rel(&self, rel: &str) -> Option<&SourceFile> {
+        self.files.iter().find(|f| f.rel == rel)
+    }
+
+    /// Runs every rule; see [`rules::check_all`].
+    pub fn analyze(&self) -> Vec<Diagnostic> {
+        rules::check_all(self)
+    }
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if entry.file_type()?.is_dir() {
+            if name.starts_with('.') || SKIP_DIRS.contains(&name.as_ref()) {
+                continue;
+            }
+            walk(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loads_this_crate() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+        let ws = Workspace::load(root).expect("load");
+        assert!(ws.files.iter().any(|f| f.rel == "src/workspace.rs"));
+        // The walker never picks up fixture inputs.
+        assert!(ws.files.iter().all(|f| !f.rel.contains("fixtures/")));
+    }
+}

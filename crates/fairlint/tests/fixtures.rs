@@ -1,0 +1,170 @@
+//! Fixture-driven end-to-end tests: every rule fires on the offending
+//! mini-workspace (`ws_bad`), every suppression/allowlist mechanism
+//! silences the mirrored one (`ws_ok`), and the binary's exit codes and
+//! JSON output hold their contract.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use fairlint::{render_json_report, Diagnostic, Workspace, RULES};
+
+fn fixture(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn analyze(name: &str) -> Vec<Diagnostic> {
+    Workspace::load(&fixture(name))
+        .expect("fixture loads")
+        .analyze()
+}
+
+#[test]
+fn every_rule_fires_on_ws_bad() {
+    let diags = analyze("ws_bad");
+    for rule in RULES {
+        assert!(
+            diags.iter().any(|d| d.rule == rule.id),
+            "rule {} produced no diagnostic on ws_bad; got: {:#?}",
+            rule.id,
+            diags
+        );
+    }
+}
+
+#[test]
+fn ws_bad_diagnostics_land_on_the_right_lines() {
+    let diags = analyze("ws_bad");
+    let has = |rule: &str, rel: &str, line: usize| {
+        diags
+            .iter()
+            .any(|d| d.rule == rule && d.rel == rel && d.line == line)
+    };
+    assert!(has("D1", "crates/core/src/lib.rs", 8), "{diags:#?}");
+    assert!(has("D2", "crates/core/src/lib.rs", 12));
+    assert!(has("R3", "crates/core/src/lib.rs", 17));
+    assert!(has("R4", "crates/core/src/lib.rs", 21));
+    assert!(has("S1", "crates/crypto/src/lib.rs", 3));
+    assert!(has("S2", "crates/runtime/src/engine.rs", 2)); // assert!
+    assert!(has("S2", "crates/runtime/src/engine.rs", 3)); // .unwrap(
+    assert!(has("R2", "crates/norust/src/lib.rs", 1));
+    // L1: the reasonless allow and the unknown-rule allow.
+    assert!(has("L1", "crates/core/src/lib.rs", 6));
+    assert!(has("L1", "crates/core/src/lib.rs", 15));
+}
+
+#[test]
+fn ws_bad_registry_violations_cover_all_three_directions() {
+    let diags = analyze("ws_bad");
+    let r1: Vec<&str> = diags
+        .iter()
+        .filter(|d| d.rule == "R1")
+        .map(|d| d.message.as_str())
+        .collect();
+    assert!(
+        r1.iter()
+            .any(|m| m.contains("`e2`") && m.contains("no crates/bench/src/bin/exp_e2.rs")),
+        "{r1:?}"
+    );
+    assert!(r1
+        .iter()
+        .any(|m| m.contains("`e2`") && m.contains("EXPERIMENTS.md")));
+    assert!(r1
+        .iter()
+        .any(|m| m.contains("exp_e3.rs") && m.contains("not registered")));
+    assert!(r1
+        .iter()
+        .any(|m| m.contains("`e9`") && m.contains("not registered")));
+}
+
+#[test]
+fn ws_bad_does_not_flag_test_code_or_debug_assert() {
+    let diags = analyze("ws_bad");
+    // The #[cfg(test)] mod in core/src/lib.rs repeats every sin.
+    assert!(diags
+        .iter()
+        .all(|d| d.line < 24 || d.rel != "crates/core/src/lib.rs"));
+    // debug_assert! in engine.rs line 4 is fine.
+    assert!(!diags
+        .iter()
+        .any(|d| d.rel == "crates/runtime/src/engine.rs" && d.line == 4));
+}
+
+#[test]
+fn ws_ok_is_fully_suppressed() {
+    let diags = analyze("ws_ok");
+    assert!(diags.is_empty(), "expected clean, got: {diags:#?}");
+}
+
+#[test]
+fn json_report_shape() {
+    let diags = analyze("ws_bad");
+    let json = render_json_report(&diags);
+    assert!(json.starts_with("{\"version\":1,\"count\":"));
+    for key in [
+        "\"rule\":",
+        "\"severity\":",
+        "\"path\":",
+        "\"line\":",
+        "\"message\":",
+    ] {
+        assert!(json.contains(key), "missing {key} in {json}");
+    }
+    // Every diagnostic appears exactly once.
+    assert_eq!(json.matches("\"rule\":").count(), diags.len());
+}
+
+fn run_bin(args: &[&str]) -> (Option<i32>, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_fairlint"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        out.status.code(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+    )
+}
+
+#[test]
+fn binary_exit_codes() {
+    let bad = fixture("ws_bad");
+    let ok = fixture("ws_ok");
+    // Report-only run: exit 0 even with violations.
+    assert_eq!(run_bin(&["--root", bad.to_str().unwrap()]).0, Some(0));
+    // Strict: violations are fatal...
+    assert_eq!(
+        run_bin(&["--root", bad.to_str().unwrap(), "--strict"]).0,
+        Some(1)
+    );
+    // ...clean trees are not.
+    assert_eq!(
+        run_bin(&["--root", ok.to_str().unwrap(), "--strict"]).0,
+        Some(0)
+    );
+    // Usage errors are 2.
+    assert_eq!(run_bin(&["--no-such-flag"]).0, Some(2));
+    assert_eq!(run_bin(&["--root", "/no/such/dir"]).0, Some(2));
+}
+
+#[test]
+fn binary_list_rules_names_every_rule() {
+    let (code, stdout) = run_bin(&["--list-rules"]);
+    assert_eq!(code, Some(0));
+    for rule in RULES {
+        assert!(
+            stdout.contains(rule.id),
+            "missing {} in:\n{stdout}",
+            rule.id
+        );
+    }
+}
+
+#[test]
+fn binary_json_flag_emits_the_report() {
+    let bad = fixture("ws_bad");
+    let (code, stdout) = run_bin(&["--root", bad.to_str().unwrap(), "--json"]);
+    assert_eq!(code, Some(0));
+    assert!(stdout.trim_start().starts_with("{\"version\":1,"));
+    assert!(stdout.contains("\"rule\":\"D1\""));
+}

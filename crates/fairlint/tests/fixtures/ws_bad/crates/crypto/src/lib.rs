@@ -1,0 +1,7 @@
+#![forbid(unsafe_code)]
+
+#[derive(Clone, Debug, PartialEq)]
+pub struct MacKey(pub [u8; 32]);
+
+#[derive(Clone)]
+pub struct Commitment(pub [u8; 32]);

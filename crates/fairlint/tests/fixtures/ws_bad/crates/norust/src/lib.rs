@@ -1,0 +1,1 @@
+pub fn no_forbid_attribute_here() {}

@@ -1,0 +1,2 @@
+#![forbid(unsafe_code)]
+pub const ALL_EXPERIMENTS: [&str; 1] = ["e1"];

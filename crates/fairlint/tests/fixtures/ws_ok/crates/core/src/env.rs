@@ -1,0 +1,5 @@
+// This file is allowlisted for rule R4 in the fixture's fairlint.toml:
+// it plays the role of the one sanctioned environment entry point.
+pub fn knob(name: &str) -> Option<String> {
+    std::env::var(name).ok()
+}

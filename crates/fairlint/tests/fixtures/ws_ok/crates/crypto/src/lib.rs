@@ -1,0 +1,9 @@
+#![forbid(unsafe_code)]
+
+// fairlint::allow(S1, reason = "fixture: derived Debug kept to prove suppression works")
+#[derive(Clone, Debug, PartialEq)]
+pub struct MacKey(pub [u8; 32]);
+
+// Non-secret names may derive freely.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Commitment(pub [u8; 32]);

@@ -1,0 +1,1 @@
+pub fn allowlisted_crate_without_the_attribute() {}

@@ -1,0 +1,15 @@
+pub fn deliver(msgs: &[u8]) -> u8 {
+    // fairlint::allow(S2, reason = "fixture: empty slice is unreachable by construction")
+    let first = msgs.first().unwrap();
+    debug_assert!(*first < 250);
+    *first
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_panic_freely() {
+        assert_eq!(super::deliver(&[1]), 1);
+        [1u8].first().unwrap();
+    }
+}

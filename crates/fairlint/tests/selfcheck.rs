@@ -1,0 +1,59 @@
+//! Regression gate: fairlint on the real workspace reports zero
+//! violations. Any future wall-clock read, derived Debug on key
+//! material, unregistered experiment, or reasonless suppression breaks
+//! this test (and `ci.sh`, which runs the binary in `--strict` mode).
+
+use std::path::Path;
+
+use fairlint::Workspace;
+
+#[test]
+fn the_workspace_lints_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root exists");
+    let ws = Workspace::load(&root).expect("workspace loads");
+    // Sanity: this really is the repo (the walker saw the whole tree).
+    assert!(ws.files.len() > 100, "only {} files found", ws.files.len());
+    assert!(ws.experiments_md.is_some(), "EXPERIMENTS.md missing");
+    let diags = ws.analyze();
+    assert!(
+        diags.is_empty(),
+        "fairlint found {} violation(s) in the workspace:\n{}",
+        diags.len(),
+        diags
+            .iter()
+            .map(fairlint::Diagnostic::render)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn the_workspace_config_scopes_the_boundary() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root exists");
+    let ws = Workspace::load(&root).expect("workspace loads");
+    // fairlint.toml is checked in and actually loaded: the boundary
+    // covers the protocol stack, and the one sanctioned env entry
+    // point is allowlisted.
+    for krate in [
+        "core",
+        "protocols",
+        "runtime",
+        "crypto",
+        "field",
+        "circuits",
+    ] {
+        assert!(ws.config.boundary_crates.iter().any(|c| c == krate));
+    }
+    assert!(ws
+        .config
+        .env_allow_paths
+        .iter()
+        .any(|p| p == "crates/simlab/src/config.rs"));
+    assert!(ws.config.extra_secret_types.iter().any(|t| t == "Prg"));
+}

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 //! Vendored, dependency-free stand-in for the subset of `proptest` this
 //! workspace uses (the build environment has no crates.io access).

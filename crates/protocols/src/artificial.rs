@@ -335,7 +335,8 @@ mod tests {
     fn honest_run_broadcasts_and_everyone_outputs() {
         for seed in 0..5 {
             let mut rng = StdRng::seed_from_u64(100 + seed);
-            let res = execute(instance(4, seed), &mut Passive, &mut rng, 30);
+            let res =
+                execute(instance(4, seed), &mut Passive, &mut rng, 30).expect("execution succeeds");
             assert!(
                 res.all_honest_output(&truth(4)),
                 "seed {seed}: {:?}",
@@ -355,7 +356,8 @@ mod tests {
         for seed in 0..120 {
             let mut rng = StdRng::seed_from_u64(500 + seed);
             let mut adv = VoteOneAttack::new(0);
-            let res = execute(instance(n, seed), &mut adv, &mut rng, 30);
+            let res =
+                execute(instance(n, seed), &mut adv, &mut rng, 30).expect("execution succeeds");
             let learned = res.learned == Some(truth(n));
             let honest_got = res.outputs.values().all(|v| *v == truth(n));
             assert!(

@@ -137,7 +137,7 @@ mod tests {
         for seed in 0..trials {
             let mut rng = StdRng::seed_from_u64(seed);
             let inst = coin_toss_instance(&mut rng);
-            let res = execute(inst, &mut Passive, &mut rng, 10);
+            let res = execute(inst, &mut Passive, &mut rng, 10).expect("execution succeeds");
             let b0 = res.outputs[&PartyId(0)].as_scalar().expect("coin");
             let b1 = res.outputs[&PartyId(1)].as_scalar().expect("coin");
             assert_eq!(b0, b1, "parties agree on the coin");
@@ -198,7 +198,7 @@ mod tests {
             let mut rng = StdRng::seed_from_u64(1000 + seed);
             let inst = coin_toss_instance(&mut rng);
             let mut adv = Flipper { fake: None };
-            let res = execute(inst, &mut adv, &mut rng, 10);
+            let res = execute(inst, &mut adv, &mut rng, 10).expect("execution succeeds");
             // The honest party never accepts the forged opening: it aborts
             // rather than outputting a biased coin.
             assert_eq!(res.outputs[&PartyId(1)], Value::Bot, "seed {seed}");
@@ -222,7 +222,7 @@ mod tests {
         }
         let mut rng = StdRng::seed_from_u64(77);
         let inst = coin_toss_instance(&mut rng);
-        let res = execute(inst, &mut Silent, &mut rng, 10);
+        let res = execute(inst, &mut Silent, &mut rng, 10).expect("execution succeeds");
         assert_eq!(res.outputs[&PartyId(1)], Value::Bot);
     }
 }

@@ -408,7 +408,7 @@ mod tests {
         } else {
             pi1_instance(b"the deal", &keys, &mut rng)
         };
-        (execute(inst, &mut Passive, &mut rng, 20), truth)
+        (execute(inst, &mut Passive, &mut rng, 20), truth).expect("execution succeeds")
     }
 
     #[test]

@@ -404,7 +404,7 @@ mod tests {
     fn honest_run_reconstructs_for_various_n() {
         for n in [3usize, 4, 5, 6] {
             let mut rng = StdRng::seed_from_u64(n as u64);
-            let res = execute(instance(n), &mut Passive, &mut rng, 30);
+            let res = execute(instance(n), &mut Passive, &mut rng, 30).expect("execution succeeds");
             assert!(
                 res.all_honest_output(&truth(n)),
                 "n = {n}: {:?}",
@@ -419,7 +419,7 @@ mod tests {
         // honest strict majority reconstructs anyway (E11 at best).
         let mut rng = StdRng::seed_from_u64(40);
         let mut adv = HalfCoalition::new(vec![0, 1]);
-        let res = execute(instance(5), &mut adv, &mut rng, 30);
+        let res = execute(instance(5), &mut adv, &mut rng, 30).expect("execution succeeds");
         assert!(
             res.outputs.values().all(|v| *v == truth(5)),
             "{:?}",
@@ -434,7 +434,7 @@ mod tests {
         // withholding leaves the honest pair below the ⌊n/2⌋+1 threshold.
         let mut rng = StdRng::seed_from_u64(41);
         let mut adv = HalfCoalition::new(vec![0, 1]);
-        let res = execute(instance(4), &mut adv, &mut rng, 30);
+        let res = execute(instance(4), &mut adv, &mut rng, 30).expect("execution succeeds");
         assert_eq!(res.learned, Some(truth(4)), "coalition learned the output");
         assert!(
             res.outputs.values().all(|v| v.is_bot()),
@@ -448,7 +448,7 @@ mod tests {
         // n = 5, t = 3 ≥ ⌈5/2⌉.
         let mut rng = StdRng::seed_from_u64(44);
         let mut adv = HalfCoalition::new(vec![0, 1, 2]);
-        let res = execute(instance(5), &mut adv, &mut rng, 30);
+        let res = execute(instance(5), &mut adv, &mut rng, 30).expect("execution succeeds");
         assert_eq!(res.learned, Some(truth(5)));
         assert!(res.outputs.values().all(|v| v.is_bot()));
     }
@@ -476,7 +476,8 @@ mod tests {
             }
         }
         let mut rng = StdRng::seed_from_u64(42);
-        let res = execute(instance(5), &mut SilentInPhase2, &mut rng, 30);
+        let res =
+            execute(instance(5), &mut SilentInPhase2, &mut rng, 30).expect("execution succeeds");
         for (p, v) in &res.outputs {
             assert_eq!(v, &truth(5), "party {p} reconstructs");
         }
@@ -506,7 +507,7 @@ mod tests {
             }
         }
         let mut rng = StdRng::seed_from_u64(43);
-        let res = execute(instance(3), &mut ForgeShare, &mut rng, 30);
+        let res = execute(instance(3), &mut ForgeShare, &mut rng, 30).expect("execution succeeds");
         // The forged share is ignored; real shares still reconstruct y.
         assert!(res.outputs.values().all(|v| *v == truth(3)));
     }

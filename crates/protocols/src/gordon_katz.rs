@@ -686,7 +686,7 @@ mod tests {
         let m = cfg.m;
         let inst = gk_instance("and", cfg, [Value::Scalar(x1), Value::Scalar(x2)]);
         let mut rng = StdRng::seed_from_u64(seed);
-        execute(inst, &mut Passive, &mut rng, 3 * m + 20)
+        execute(inst, &mut Passive, &mut rng, 3 * m + 20).expect("execution succeeds")
     }
 
     #[test]
@@ -726,7 +726,7 @@ mod tests {
             let inst = gk_instance("and", cfg, [Value::Scalar(1), Value::Scalar(1)]);
             let mut rng = StdRng::seed_from_u64(900 + seed);
             let mut adv = GkAttack::new(AbortRule::AtRound(3));
-            let res = execute(inst, &mut adv, &mut rng, 3 * m + 20);
+            let res = execute(inst, &mut adv, &mut rng, 3 * m + 20).expect("execution succeeds");
             let y = Value::Scalar(1);
             let honest_correct = res.outputs.get(&PartyId(1)) == Some(&y);
             if res.learned == Some(y.clone()) && !honest_correct {
@@ -747,7 +747,7 @@ mod tests {
         let inst = gk_instance("and", cfg, [Value::Scalar(1), Value::Scalar(1)]);
         let mut rng = StdRng::seed_from_u64(31);
         let mut adv = GkAttack::new(AbortRule::AtRound(m));
-        let res = execute(inst, &mut adv, &mut rng, 3 * m + 20);
+        let res = execute(inst, &mut adv, &mut rng, 3 * m + 20).expect("execution succeeds");
         assert_eq!(res.outputs[&PartyId(1)], Value::Scalar(1));
     }
 
@@ -760,7 +760,7 @@ mod tests {
         let inst = gk_instance("and", cfg, [Value::Scalar(1), Value::Scalar(0)]);
         let mut rng = StdRng::seed_from_u64(37);
         let mut adv = GkAttack::new(AbortRule::AtRound(1));
-        let res = execute(inst, &mut adv, &mut rng, 3 * m + 20);
+        let res = execute(inst, &mut adv, &mut rng, 3 * m + 20).expect("execution succeeds");
         assert_eq!(res.outputs[&PartyId(1)], Value::Scalar(0));
     }
 }

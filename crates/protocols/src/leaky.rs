@@ -271,7 +271,7 @@ pub fn probe_real(x1: u64, x2_played: u64, seed: u64) -> LeakyObservation {
     let mut rng = StdRng::seed_from_u64(seed);
     let inst = leaky_instance(x1, x2_played, &mut rng);
     let mut adv = LeakyProbe::new();
-    let res = fair_runtime::execute(inst, &mut adv, &mut rng, 400);
+    let res = fair_runtime::execute(inst, &mut adv, &mut rng, 400).expect("execution succeeds");
     LeakyObservation {
         reply: adv.reply,
         z1: res.outputs.get(&PartyId(0)).cloned().unwrap_or(Value::Bot),
@@ -288,7 +288,7 @@ mod tests {
         for (x1, x2) in [(0u64, 0u64), (0, 1), (1, 0), (1, 1)] {
             let mut rng = StdRng::seed_from_u64(60 + x1 * 2 + x2);
             let inst = leaky_instance(x1, x2, &mut rng);
-            let res = execute(inst, &mut Passive, &mut rng, 400);
+            let res = execute(inst, &mut Passive, &mut rng, 400).expect("execution succeeds");
             assert!(
                 res.all_honest_output(&Value::Scalar(x1 & x2)),
                 "{x1} ∧ {x2}: {:?}",
@@ -302,7 +302,7 @@ mod tests {
         // With an honest p2 (first bit 0), p1 never sends a Reply.
         let mut rng = StdRng::seed_from_u64(70);
         let inst = leaky_instance(1, 1, &mut rng);
-        let res = execute(inst, &mut Passive, &mut rng, 400);
+        let res = execute(inst, &mut Passive, &mut rng, 400).expect("execution succeeds");
         assert!(res.all_honest_got_output());
     }
 

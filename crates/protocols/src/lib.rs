@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 //! Every protocol from *"How Fair is Your Protocol?"*, runnable on the
 //! `fair-runtime` engine:

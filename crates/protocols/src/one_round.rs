@@ -283,7 +283,7 @@ mod tests {
     #[test]
     fn honest_run_completes() {
         let mut rng = StdRng::seed_from_u64(0);
-        let res = execute(instance(), &mut Passive, &mut rng, 30);
+        let res = execute(instance(), &mut Passive, &mut rng, 30).expect("execution succeeds");
         assert!(res.all_honest_output(&y()));
     }
 
@@ -297,7 +297,7 @@ mod tests {
                 let mut adv = OneRoundRusher::new(target);
                 let xs = [Value::Scalar(5), Value::Scalar(6)];
                 let inst = one_round_instance("swap", swap_fn(), xs);
-                let res = execute(inst, &mut adv, &mut rng, 30);
+                let res = execute(inst, &mut adv, &mut rng, 30).expect("execution succeeds");
                 let expect = res.ledger.get("y").cloned().expect("y recorded");
                 assert_eq!(
                     res.learned,
@@ -316,7 +316,7 @@ mod tests {
         // has already released its summand, so honest parties finish.
         let mut rng = StdRng::seed_from_u64(800);
         let mut adv = LockAndAbort::new(CorruptionPlan::Fixed(vec![0]), any_output());
-        let res = execute(instance(), &mut adv, &mut rng, 30);
+        let res = execute(instance(), &mut adv, &mut rng, 30).expect("execution succeeds");
         assert_eq!(res.outputs[&PartyId(1)], y());
     }
 }

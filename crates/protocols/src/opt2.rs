@@ -378,7 +378,8 @@ mod tests {
     fn honest_run_delivers_swap_to_both() {
         for seed in 0..6 {
             let mut rng = StdRng::seed_from_u64(seed);
-            let res = execute(instance(11, 22), &mut Passive, &mut rng, 30);
+            let res =
+                execute(instance(11, 22), &mut Passive, &mut rng, 30).expect("execution succeeds");
             let y = Value::pair(Value::Scalar(22), Value::Scalar(11));
             assert!(res.all_honest_output(&y), "seed {seed}: {:?}", res.outputs);
             assert_eq!(res.ledger.get("y"), Some(&y));
@@ -396,7 +397,8 @@ mod tests {
         let mut ones = 0;
         for seed in 0..60 {
             let mut rng = StdRng::seed_from_u64(seed);
-            let res = execute(instance(1, 2), &mut Passive, &mut rng, 30);
+            let res =
+                execute(instance(1, 2), &mut Passive, &mut rng, 30).expect("execution succeeds");
             if res.ledger.get("i_star") == Some(&Value::Scalar(1)) {
                 ones += 1;
             }
@@ -415,7 +417,8 @@ mod tests {
             // Default-input evaluation for corrupted p1: f(x1, d2) = (0, x1).
             let default = Value::pair(Value::Scalar(0), Value::Scalar(11));
             let mut adv = LockAndAbort::new(CorruptionPlan::Fixed(vec![0]), differs_from(default));
-            let res = execute(instance(11, 22), &mut adv, &mut rng, 30);
+            let res =
+                execute(instance(11, 22), &mut adv, &mut rng, 30).expect("execution succeeds");
             let y = Value::pair(Value::Scalar(22), Value::Scalar(11));
             let i_star = res.ledger.get("i_star").cloned();
             if res.learned == Some(y.clone()) && res.outputs[&PartyId(1)] == Value::Bot {
@@ -446,7 +449,7 @@ mod tests {
             }
         }
         let mut rng = StdRng::seed_from_u64(5);
-        let res = execute(instance(11, 22), &mut Silent, &mut rng, 40);
+        let res = execute(instance(11, 22), &mut Silent, &mut rng, 40).expect("execution succeeds");
         // Honest p2 evaluates f(default, x2) = (22, 0).
         assert_eq!(
             res.outputs[&PartyId(1)],
@@ -487,7 +490,7 @@ mod tests {
             }
         }
         let mut rng = StdRng::seed_from_u64(6);
-        let res = execute(instance(11, 22), &mut Forger, &mut rng, 40);
+        let res = execute(instance(11, 22), &mut Forger, &mut rng, 40).expect("execution succeeds");
         let y = Value::pair(Value::Scalar(22), Value::Scalar(11));
         let out = &res.outputs[&PartyId(1)];
         assert_ne!(out, &y, "forgery must not produce the real output early");

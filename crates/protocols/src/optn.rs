@@ -253,7 +253,7 @@ mod tests {
     fn honest_run_delivers_to_all() {
         for n in [3, 4, 5] {
             let mut rng = StdRng::seed_from_u64(n as u64);
-            let res = execute(instance(n), &mut Passive, &mut rng, 30);
+            let res = execute(instance(n), &mut Passive, &mut rng, 30).expect("execution succeeds");
             assert!(
                 res.all_honest_output(&truth(n)),
                 "n = {n}: {:?}",
@@ -272,7 +272,7 @@ mod tests {
         for seed in 0..trials {
             let mut rng = StdRng::seed_from_u64(3000 + seed);
             let mut adv = LockAndAbort::new(CorruptionPlan::Fixed((0..t).collect()), any_output());
-            let res = execute(instance(n), &mut adv, &mut rng, 30);
+            let res = execute(instance(n), &mut adv, &mut rng, 30).expect("execution succeeds");
             let i_star = res
                 .ledger
                 .get("i_star")
@@ -312,7 +312,7 @@ mod tests {
             }
         }
         let mut rng = StdRng::seed_from_u64(7);
-        let res = execute(instance(3), &mut Silent, &mut rng, 40);
+        let res = execute(instance(3), &mut Silent, &mut rng, 40).expect("execution succeeds");
         assert!(res.outputs.values().all(|v| v.is_bot()));
     }
 
@@ -338,7 +338,7 @@ mod tests {
             }
         }
         let mut rng = StdRng::seed_from_u64(9);
-        let res = execute(instance(3), &mut Forge, &mut rng, 40);
+        let res = execute(instance(3), &mut Forge, &mut rng, 40).expect("execution succeeds");
         for v in res.outputs.values() {
             assert_ne!(v, &Value::Scalar(666), "forged output must not be adopted");
         }

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 //! Vendored, dependency-free stand-in for the parts of the `rand` crate this
 //! workspace uses. The build environment has no network access to crates.io,

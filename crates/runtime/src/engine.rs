@@ -27,6 +27,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use rand::rngs::StdRng;
 
 use crate::adversary::{AdvControl, Adversary, RoundView};
+use crate::error::EngineError;
 use crate::func::{FuncCtx, Functionality, Ledger};
 use crate::msg::{Destination, Endpoint, Envelope, FuncId, OutMsg, PartyId};
 use crate::party::{Party, RoundCtx};
@@ -91,12 +92,19 @@ pub const DEFAULT_MAX_ROUNDS: usize = 10_000;
 /// `rng` drives *all* randomness (parties pre-draw theirs at construction;
 /// functionalities and the adversary draw here), so executions are exactly
 /// reproducible from a seed.
+///
+/// # Errors
+///
+/// Returns an [`EngineError`] when the adversary corrupts a nonexistent
+/// party, when a message is routed to a functionality the instance lacks,
+/// or when an engine-internal invariant breaks. Malformed adversarial input
+/// is a typed error, never a panic.
 pub fn execute<M: Clone + core::fmt::Debug>(
     instance: Instance<M>,
     adversary: &mut dyn Adversary<M>,
     rng: &mut StdRng,
     max_rounds: usize,
-) -> ExecutionResult {
+) -> Result<ExecutionResult, EngineError> {
     let max_rounds = if max_rounds == 0 {
         DEFAULT_MAX_ROUNDS
     } else {
@@ -110,9 +118,13 @@ pub fn execute<M: Clone + core::fmt::Debug>(
     let mut corrupted: BTreeSet<PartyId> = BTreeSet::new();
     let mut pool: BTreeMap<PartyId, Box<dyn Party<M>>> = BTreeMap::new();
     for pid in adversary.initial_corruptions(n, rng) {
-        assert!(pid.0 < n, "corruption of nonexistent party {pid}");
+        if pid.0 >= n {
+            return Err(EngineError::CorruptOutOfRange { party: pid, n });
+        }
         if corrupted.insert(pid) {
-            let machine = honest[pid.0].take().expect("party machine present");
+            let machine = honest[pid.0]
+                .take()
+                .ok_or(EngineError::Internal("initial corruption machine taken"))?;
             pool.insert(pid, machine);
         }
     }
@@ -138,7 +150,11 @@ pub fn execute<M: Clone + core::fmt::Debug>(
                 }
                 Destination::Func(f) => func_in[f.0].push(env),
                 Destination::Adversary => adv_delivered.push(env),
-                Destination::All => unreachable!("broadcasts are expanded at send time"),
+                // Broadcasts are expanded at send time; a pending broadcast
+                // envelope would be an engine bug.
+                Destination::All => {
+                    return Err(EngineError::Internal("undelivered broadcast envelope"))
+                }
             }
         }
 
@@ -151,7 +167,9 @@ pub fn execute<M: Clone + core::fmt::Debug>(
             if corrupted.contains(&pid) {
                 continue;
             }
-            let machine = honest[i].as_mut().expect("honest machine present");
+            let machine = honest[i]
+                .as_mut()
+                .ok_or(EngineError::Internal("honest machine missing in round"))?;
             if machine.output().is_some() {
                 continue;
             }
@@ -235,10 +253,12 @@ pub fn execute<M: Clone + core::fmt::Debug>(
                     });
                 }
                 Destination::Func(f) => {
-                    assert!(
-                        f.0 < funcs.len(),
-                        "message to nonexistent functionality {f}"
-                    );
+                    if f.0 >= funcs.len() {
+                        return Err(EngineError::UnknownFunctionality {
+                            func: f,
+                            funcs: funcs.len(),
+                        });
+                    }
                     func_now[f.0].push(Envelope {
                         from,
                         to: out.to,
@@ -291,17 +311,19 @@ pub fn execute<M: Clone + core::fmt::Debug>(
         if corrupted.contains(&pid) {
             continue;
         }
-        let machine = honest[i].as_ref().expect("honest machine present");
+        let machine = honest[i]
+            .as_ref()
+            .ok_or(EngineError::Internal("honest machine missing at output"))?;
         outputs.insert(pid, machine.output().unwrap_or(Value::Bot));
     }
 
-    ExecutionResult {
+    Ok(ExecutionResult {
         outputs,
         corrupted,
         learned: adversary.learned(),
         ledger,
         rounds: rounds_used,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -371,7 +393,7 @@ mod tests {
     #[test]
     fn passive_execution_swaps_inputs() {
         let mut rng = StdRng::seed_from_u64(0);
-        let res = execute(swap_instance(), &mut Passive, &mut rng, 10);
+        let res = execute(swap_instance(), &mut Passive, &mut rng, 10).expect("execution succeeds");
         assert_eq!(res.outputs[&PartyId(0)], Value::Scalar(20));
         assert_eq!(res.outputs[&PartyId(1)], Value::Scalar(10));
         assert!(res.corrupted.is_empty());
@@ -398,7 +420,8 @@ mod tests {
     #[test]
     fn silent_corruption_forces_abort_output() {
         let mut rng = StdRng::seed_from_u64(0);
-        let res = execute(swap_instance(), &mut SilentCorruptor, &mut rng, 10);
+        let res = execute(swap_instance(), &mut SilentCorruptor, &mut rng, 10)
+            .expect("execution succeeds");
         assert_eq!(res.outputs.len(), 1);
         assert_eq!(res.outputs[&PartyId(1)], Value::Bot);
         assert!(res.corrupted.contains(&PartyId(0)));
@@ -440,7 +463,7 @@ mod tests {
     fn rushing_view_shows_same_round_messages() {
         let mut rng = StdRng::seed_from_u64(0);
         let mut adv = RushingReader::default();
-        let res = execute(swap_instance(), &mut adv, &mut rng, 10);
+        let res = execute(swap_instance(), &mut adv, &mut rng, 10).expect("execution succeeds");
         assert_eq!(res.learned, Some(Value::Scalar(20)));
         // p2 received the injected message.
         assert_eq!(res.outputs[&PartyId(1)], Value::Scalar(999));
@@ -480,7 +503,7 @@ mod tests {
         let mut adv = LateCorruptor {
             grabbed_state: false,
         };
-        let res = execute(swap_instance(), &mut adv, &mut rng, 10);
+        let res = execute(swap_instance(), &mut adv, &mut rng, 10).expect("execution succeeds");
         assert!(adv.grabbed_state);
         // p1 remains honest and got its output before the corruption.
         assert_eq!(res.outputs[&PartyId(0)], Value::Scalar(20));
@@ -503,7 +526,7 @@ mod tests {
             }
         }
         let mut rng = StdRng::seed_from_u64(0);
-        let res = execute(swap_instance(), &mut All, &mut rng, 10);
+        let res = execute(swap_instance(), &mut All, &mut rng, 10).expect("execution succeeds");
         assert!(res.outputs.is_empty());
         assert_eq!(res.corrupted.len(), 2);
         assert_eq!(res.rounds, 0);
@@ -530,7 +553,7 @@ mod tests {
             funcs: vec![],
         };
         let mut rng = StdRng::seed_from_u64(0);
-        let res = execute(inst, &mut Passive, &mut rng, 7);
+        let res = execute(inst, &mut Passive, &mut rng, 7).expect("execution succeeds");
         assert_eq!(res.rounds, 6);
         assert!(res.outputs.values().all(|v| v.is_bot()));
     }
@@ -579,7 +602,7 @@ mod tests {
             funcs: vec![],
         };
         let mut rng = StdRng::seed_from_u64(0);
-        let res = execute(inst, &mut Passive, &mut rng, 10);
+        let res = execute(inst, &mut Passive, &mut rng, 10).expect("execution succeeds");
         for i in 0..3 {
             assert_eq!(res.outputs[&PartyId(i)], Value::Scalar(42), "party {i}");
         }

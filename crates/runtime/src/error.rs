@@ -1,0 +1,76 @@
+//! Typed errors for the execution engine.
+//!
+//! The engine's message-handling paths never panic on adversary-controlled
+//! input (fairlint rule S2): a malformed corruption request or a message
+//! addressed to a nonexistent functionality surfaces as an [`EngineError`]
+//! from [`crate::execute`], and engine-internal invariant breaches are
+//! reported as [`EngineError::Internal`] rather than unwrapped.
+
+use crate::msg::{FuncId, PartyId};
+
+/// An error aborting a protocol execution.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum EngineError {
+    /// The adversary requested corruption of a party outside `0..n`.
+    CorruptOutOfRange {
+        /// The requested party id.
+        party: PartyId,
+        /// Number of parties in the instance.
+        n: usize,
+    },
+    /// A message was addressed to a functionality the instance lacks.
+    UnknownFunctionality {
+        /// The addressed functionality id.
+        func: FuncId,
+        /// Number of functionalities in the instance.
+        funcs: usize,
+    },
+    /// An engine invariant was violated — a bug in the engine itself, not
+    /// in the protocol or adversary under test.
+    Internal(&'static str),
+}
+
+impl core::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            EngineError::CorruptOutOfRange { party, n } => {
+                write!(f, "corruption of nonexistent party {party} (n = {n})")
+            }
+            EngineError::UnknownFunctionality { func, funcs } => {
+                write!(
+                    f,
+                    "message to nonexistent functionality {func} ({funcs} installed)"
+                )
+            }
+            EngineError::Internal(what) => write!(f, "engine invariant violated: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert_eq!(
+            EngineError::CorruptOutOfRange {
+                party: PartyId(7),
+                n: 3
+            }
+            .to_string(),
+            "corruption of nonexistent party p8 (n = 3)"
+        );
+        assert_eq!(
+            EngineError::UnknownFunctionality {
+                func: FuncId(2),
+                funcs: 0
+            }
+            .to_string(),
+            "message to nonexistent functionality F2 (0 installed)"
+        );
+        assert!(EngineError::Internal("x").to_string().contains("x"));
+    }
+}

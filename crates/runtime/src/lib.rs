@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 //! A synchronous MPC execution engine with rushing adversaries and adaptive
 //! corruptions.
@@ -42,13 +43,14 @@
 //!
 //! let inst = Instance { parties: vec![Box::new(Trivial(None))], funcs: vec![] };
 //! let mut rng = StdRng::seed_from_u64(0);
-//! let res = execute(inst, &mut Passive, &mut rng, 10);
+//! let res = execute(inst, &mut Passive, &mut rng, 10).expect("execution succeeds");
 //! assert_eq!(res.outputs[&PartyId(0)], Value::Scalar(7));
 //! ```
 
 mod adapt;
 mod adversary;
 mod engine;
+mod error;
 mod func;
 mod msg;
 mod party;
@@ -57,6 +59,7 @@ mod value;
 pub use adapt::Adapted;
 pub use adversary::{AdvControl, Adversary, CorruptionGrant, Passive, RoundView};
 pub use engine::{execute, ExecutionResult, Instance, DEFAULT_MAX_ROUNDS};
+pub use error::EngineError;
 pub use func::{FuncCtx, Functionality, Ledger};
 pub use msg::{Destination, Endpoint, Envelope, FuncId, OutMsg, PartyId};
 pub use party::{run_isolated, run_isolated_seq, Party, RoundCtx};

@@ -93,7 +93,7 @@ proptest! {
         let run = || {
             let mut rng = StdRng::seed_from_u64(seed);
             let mut adv = NoisyAdversary { target: None };
-            execute(instance(n, rounds, salt), &mut adv, &mut rng, rounds + 4)
+            execute(instance(n, rounds, salt), &mut adv, &mut rng, rounds + 4).expect("execution succeeds")
         };
         let a = run();
         let b = run();
@@ -105,7 +105,7 @@ proptest! {
     #[test]
     fn passive_runs_never_abort(n in 2usize..6, rounds in 1usize..6, salt: u64, seed: u64) {
         let mut rng = StdRng::seed_from_u64(seed);
-        let res = execute(instance(n, rounds, salt), &mut Passive, &mut rng, rounds + 4);
+        let res = execute(instance(n, rounds, salt), &mut Passive, &mut rng, rounds + 4).expect("execution succeeds");
         prop_assert!(res.all_honest_got_output());
         prop_assert_eq!(res.outputs.len(), n);
     }
@@ -124,7 +124,7 @@ proptest! {
             funcs: vec![],
         };
         let mut rng = StdRng::seed_from_u64(salt);
-        let res = execute(inst, &mut Passive, &mut rng, rounds + 4);
+        let res = execute(inst, &mut Passive, &mut rng, rounds + 4).expect("execution succeeds");
         let first = res.outputs.values().next().expect("some output").clone();
         prop_assert!(res.outputs.values().all(|v| *v == first));
     }
@@ -152,7 +152,8 @@ fn corruption_is_conserved() {
         }
     }
     let mut rng = StdRng::seed_from_u64(5);
-    let res = execute(instance(3, 4, 1), &mut DoubleCorrupt, &mut rng, 10);
+    let res =
+        execute(instance(3, 4, 1), &mut DoubleCorrupt, &mut rng, 10).expect("execution succeeds");
     assert_eq!(res.corrupted.len(), 2);
     assert_eq!(res.outputs.len(), 1);
 }

@@ -128,7 +128,7 @@ mod tests {
             funcs: vec![Box::new(FairSfe::new(concat_spec(n)))],
         };
         let mut rng = StdRng::seed_from_u64(0);
-        let res = execute(inst, &mut Passive, &mut rng, 20);
+        let res = execute(inst, &mut Passive, &mut rng, 20).expect("execution succeeds");
         let y = Value::Tuple((1..=n as u64).map(Value::Scalar).collect());
         assert!(res.all_honest_output(&y));
         for i in 0..n {

@@ -540,7 +540,7 @@ mod tests {
     fn run_gmw(cfg: &Arc<GmwConfig>, inputs: &[u64], seed: u64) -> fair_runtime::ExecutionResult {
         let mut rng = StdRng::seed_from_u64(seed);
         let inst = gmw_instance(cfg, inputs, &mut rng);
-        execute(inst, &mut Passive, &mut rng, cfg.rounds() + 4)
+        execute(inst, &mut Passive, &mut rng, cfg.rounds() + 4).expect("execution succeeds")
     }
 
     #[test]
@@ -602,7 +602,8 @@ mod tests {
         let cfg = GmwConfig::new(functions::and1(), vec![1, 1]);
         let mut rng = StdRng::seed_from_u64(11);
         let inst = gmw_instance(&cfg, &[1, 1], &mut rng);
-        let res = execute(inst, &mut Silent, &mut rng, cfg.rounds() + 4);
+        let res =
+            execute(inst, &mut Silent, &mut rng, cfg.rounds() + 4).expect("execution succeeds");
         assert_eq!(res.outputs[&PartyId(1)], Value::Bot);
     }
 
@@ -630,7 +631,8 @@ mod tests {
         let cfg = GmwConfig::new(functions::millionaires(4), vec![4, 4]);
         let mut rng = StdRng::seed_from_u64(13);
         let inst = gmw_instance(&cfg, &[9, 3], &mut rng);
-        let res = execute(inst, &mut Malform, &mut rng, cfg.rounds() + 4);
+        let res =
+            execute(inst, &mut Malform, &mut rng, cfg.rounds() + 4).expect("execution succeeds");
         assert_eq!(res.outputs[&PartyId(1)], Value::Bot);
     }
 

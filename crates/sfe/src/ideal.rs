@@ -452,7 +452,7 @@ mod tests {
             Value::Scalar(20),
         );
         let mut rng = StdRng::seed_from_u64(0);
-        let res = execute(inst, &mut Passive, &mut rng, 20);
+        let res = execute(inst, &mut Passive, &mut rng, 20).expect("execution succeeds");
         let y = Value::pair(Value::Scalar(20), Value::Scalar(10));
         assert!(res.all_honest_output(&y));
         assert_eq!(res.ledger.get("y"), Some(&y));
@@ -502,7 +502,7 @@ mod tests {
         );
         let mut rng = StdRng::seed_from_u64(1);
         let mut adv = GrabAndAbort { learned: None };
-        let res = execute(inst, &mut adv, &mut rng, 20);
+        let res = execute(inst, &mut adv, &mut rng, 20).expect("execution succeeds");
         // Adversary (as p1) learned y = (x2, x1') = (20, 5).
         let y = Value::pair(Value::Scalar(20), Value::Scalar(5));
         assert_eq!(res.learned, Some(y.clone()));
@@ -520,7 +520,7 @@ mod tests {
         );
         let mut rng = StdRng::seed_from_u64(2);
         let mut adv = GrabAndAbort { learned: None };
-        let res = execute(inst, &mut adv, &mut rng, 20);
+        let res = execute(inst, &mut adv, &mut rng, 20).expect("execution succeeds");
         // The abort arrives only after outputs were already delivered to
         // everyone: honest p2 still gets the real output.
         let y = Value::pair(Value::Scalar(20), Value::Scalar(5));
@@ -548,7 +548,7 @@ mod tests {
             Value::Scalar(2),
         );
         let mut rng = StdRng::seed_from_u64(3);
-        let res = execute(inst, &mut Withhold, &mut rng, 30);
+        let res = execute(inst, &mut Withhold, &mut rng, 30).expect("execution succeeds");
         assert_eq!(res.outputs[&PartyId(1)], Value::Bot);
     }
 
@@ -566,7 +566,7 @@ mod tests {
             funcs: vec![Box::new(RandAbortSfe::new(and_spec(), dist))],
         };
         let mut rng = StdRng::seed_from_u64(4);
-        let res = execute(inst, &mut Passive, &mut rng, 30);
+        let res = execute(inst, &mut Passive, &mut rng, 30).expect("execution succeeds");
         assert!(res.all_honest_output(&Value::Scalar(1)));
     }
 
@@ -621,7 +621,7 @@ mod tests {
         };
         let mut rng = StdRng::seed_from_u64(5);
         let mut adv = RandGrabAbort { learned: None };
-        let res = execute(inst, &mut adv, &mut rng, 30);
+        let res = execute(inst, &mut adv, &mut rng, 30).expect("execution succeeds");
         assert_eq!(
             res.learned,
             Some(Value::Scalar(1)),

@@ -209,7 +209,7 @@ mod tests {
                 swap_priv(),
             )))],
         };
-        let res = execute(inst, &mut Passive, &mut rng, 20);
+        let res = execute(inst, &mut Passive, &mut rng, 20).expect("execution succeeds");
         let pub1 = &res.outputs[&PartyId(0)];
         assert_eq!(extract(pub1, 0, &k1), Some(Value::Scalar(2)));
         assert_eq!(

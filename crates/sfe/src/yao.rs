@@ -585,7 +585,7 @@ mod tests {
         let circuit = Arc::new(circuit);
         let mut rng = StdRng::seed_from_u64(seed);
         let inst = yao_instance(&circuit, widths, inputs, &mut rng);
-        execute(inst, &mut Passive, &mut rng, 20)
+        execute(inst, &mut Passive, &mut rng, 20).expect("execution succeeds")
     }
 
     #[test]
@@ -696,7 +696,7 @@ mod tests {
         let circuit = Arc::new(functions::and1());
         let mut rng = StdRng::seed_from_u64(13);
         let inst = yao_instance(&circuit, [1, 1], [1, 1], &mut rng);
-        let res = execute(inst, &mut Silent, &mut rng, 20);
+        let res = execute(inst, &mut Silent, &mut rng, 20).expect("execution succeeds");
         assert_eq!(res.outputs[&PartyId(1)], Value::Bot);
     }
 }

@@ -1,0 +1,39 @@
+//! The workspace's **one sanctioned environment entry point** (fairlint
+//! rule R4).
+//!
+//! Environment variables are ambient, undeclared inputs; scattering
+//! `std::env::var` calls through the tree makes it impossible to audit
+//! which knobs affect a Monte-Carlo run. Every runtime environment read in
+//! the workspace goes through [`env_usize`] — fairlint flags any other
+//! call site — so the full knob surface is this module's callers:
+//! `FAIR_TRIALS` (trial count, `fair-bench`) and `FAIR_JOBS` (worker
+//! count, [`crate::scheduler`]).
+
+/// Reads a positive integer from the environment variable `name`, falling
+/// back to `default` when unset. A malformed or non-positive value is
+/// reported on stderr and the default applies.
+pub fn env_usize(name: &str, default: usize) -> usize {
+    match std::env::var(name) {
+        Ok(s) => match s.trim().parse::<usize>() {
+            Ok(n) if n > 0 => n,
+            _ => {
+                eprintln!(
+                    "warning: ignoring malformed {name} value {s:?} \
+                     (want a positive integer); using {default}"
+                );
+                default
+            }
+        },
+        Err(_) => default,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unset_variable_yields_default() {
+        assert_eq!(env_usize("FAIRLINT_TEST_UNSET_VAR", 42), 42);
+    }
+}

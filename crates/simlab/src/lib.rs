@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 //! `fair-simlab` — the deterministic parallel experiment-execution
 //! subsystem behind the E1–E17 reproduction suite.
@@ -19,13 +20,14 @@
 //! No dependencies: the crate is std-only so every layer of the workspace
 //! (including `fair-core`'s estimator) can use the scheduler.
 
+pub mod config;
 pub mod json;
 pub mod metrics;
 pub mod record;
 pub mod scheduler;
 pub mod seed;
 
-pub use metrics::{LatencySummary, Progress};
+pub use metrics::{BatchTimer, LatencySummary, Progress};
 pub use record::{ExpRecord, ReportRecord, RowRecord, SuiteRecord};
 pub use scheduler::{effective_jobs, run_tiled, set_jobs, with_jobs, TILE};
 pub use seed::trial_seed;

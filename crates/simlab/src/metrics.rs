@@ -106,6 +106,59 @@ pub fn fmt_ns(ns: u64) -> String {
     }
 }
 
+/// The per-trial timing facade: wall-clock reads stay inside `simlab`
+/// (fairlint rule D1 keeps `Instant` out of the determinism-boundary
+/// crates), and estimators just wrap each trial in [`BatchTimer::time`].
+///
+/// When collection is disabled (the default) the timer is a no-op: no
+/// clock is read and nothing is allocated beyond an empty `Option`.
+///
+/// # Examples
+///
+/// ```
+/// use fair_simlab::metrics::BatchTimer;
+///
+/// let mut timer = BatchTimer::start(8);
+/// let answer = timer.time(|| 2 + 2);
+/// assert_eq!(answer, 4);
+/// timer.finish(); // records the batch if collection is enabled
+/// ```
+#[derive(Debug)]
+pub struct BatchTimer {
+    samples: Option<Vec<u64>>,
+}
+
+impl BatchTimer {
+    /// Creates a timer for a batch of up to `capacity` timed calls.
+    /// Samples are only collected while metrics are [`enabled`].
+    pub fn start(capacity: usize) -> BatchTimer {
+        BatchTimer {
+            samples: enabled().then(|| Vec::with_capacity(capacity)),
+        }
+    }
+
+    /// Runs `f`, recording its wall-clock latency when collection is
+    /// enabled; transparent otherwise.
+    pub fn time<R>(&mut self, f: impl FnOnce() -> R) -> R {
+        match self.samples.as_mut() {
+            Some(samples) => {
+                let t0 = Instant::now();
+                let out = f();
+                samples.push(t0.elapsed().as_nanos() as u64);
+                out
+            }
+            None => f(),
+        }
+    }
+
+    /// Submits the batch to the global latency collector.
+    pub fn finish(self) {
+        if let Some(samples) = self.samples {
+            record_batch(&samples);
+        }
+    }
+}
+
 /// Drains and summarizes the collected per-trial latencies.
 pub fn drain_latency() -> Option<LatencySummary> {
     let samples = std::mem::take(&mut *SAMPLES.lock().unwrap_or_else(|e| e.into_inner()));

@@ -47,16 +47,7 @@ pub fn effective_jobs() -> usize {
         return set;
     }
     static ENV_JOBS: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
-    *ENV_JOBS.get_or_init(|| match std::env::var("FAIR_JOBS") {
-        Ok(s) => match s.trim().parse::<usize>() {
-            Ok(n) if n > 0 => n,
-            _ => {
-                eprintln!("warning: ignoring malformed FAIR_JOBS value {s:?}; using 1 job");
-                1
-            }
-        },
-        Err(_) => 1,
-    })
+    *ENV_JOBS.get_or_init(|| crate::config::env_usize("FAIR_JOBS", 1))
 }
 
 /// Runs `f` with the global worker count temporarily set to `jobs`,
@@ -140,7 +131,10 @@ mod tests {
         let run = |jobs| {
             with_jobs(jobs, || {
                 run_tiled(1000, |r| {
-                    r.map(|i| crate::seed::trial_seed(7, i as u64)).sum::<u64>()
+                    // Wrapping sum: tiles of full-range u64 seeds overflow a
+                    // checked add; only schedule-independence matters here.
+                    r.map(|i| crate::seed::trial_seed(7, i as u64))
+                        .fold(0u64, u64::wrapping_add)
                 })
             })
         };

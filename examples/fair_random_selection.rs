@@ -37,7 +37,7 @@ fn main() {
             [Value::Scalar(x1), Value::Scalar(x2)],
             [Value::Scalar(0), Value::Scalar(0)],
         );
-        let res = execute(inst, &mut Passive, &mut rng, 40);
+        let res = execute(inst, &mut Passive, &mut rng, 40).expect("execution succeeds");
         let out = res.outputs[&PartyId(0)]
             .as_scalar()
             .expect("selection value");

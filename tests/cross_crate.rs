@@ -12,7 +12,7 @@ use rand::SeedableRng;
 fn run_gmw(cfg: &std::sync::Arc<GmwConfig>, inputs: &[u64], seed: u64) -> Option<u64> {
     let mut rng = StdRng::seed_from_u64(seed);
     let inst = gmw_instance(cfg, inputs, &mut rng);
-    let res = execute(inst, &mut Passive, &mut rng, cfg.rounds() + 4);
+    let res = execute(inst, &mut Passive, &mut rng, cfg.rounds() + 4).expect("execution succeeds");
     res.outputs.get(&PartyId(0)).and_then(|v| v.as_scalar())
 }
 
@@ -115,7 +115,7 @@ fn byzantine_message_injection_never_yields_wrong_outputs() {
             [Value::Scalar(11), Value::Scalar(22)],
             [Value::Scalar(0), Value::Scalar(0)],
         );
-        let res = execute(inst, &mut Fuzzer, &mut rng, 40);
+        let res = execute(inst, &mut Fuzzer, &mut rng, 40).expect("execution succeeds");
         let y = Value::pair(Value::Scalar(22), Value::Scalar(11));
         let default = Value::pair(Value::Scalar(22), Value::Scalar(0));
         let out = &res.outputs[&PartyId(1)];

@@ -53,7 +53,7 @@ fn optn_fuzzing_never_forges_an_output() {
         let inputs: Vec<Value> = (0..n).map(|i| Value::Scalar(7 + i as u64)).collect();
         let truth = Value::Tuple(inputs.clone());
         let inst = optn_instance("concat", concat_fn(), inputs);
-        let res = execute(inst, &mut OptnFuzzer, &mut rng, 40);
+        let res = execute(inst, &mut OptnFuzzer, &mut rng, 40).expect("execution succeeds");
         for (p, v) in &res.outputs {
             assert!(
                 *v == truth || v.is_bot(),
@@ -102,7 +102,7 @@ fn gmw_half_fuzzing_never_corrupts_reconstruction() {
         let inputs: Vec<Value> = (0..n).map(|i| Value::Scalar(3 + i as u64)).collect();
         let truth = Value::Tuple(inputs.clone());
         let inst = gmw_half_instance("concat", concat_fn(), inputs);
-        let res = execute(inst, &mut HalfFuzzer, &mut rng, 40);
+        let res = execute(inst, &mut HalfFuzzer, &mut rng, 40).expect("execution succeeds");
         for (p, v) in &res.outputs {
             assert!(
                 *v == truth || v.is_bot(),
@@ -159,7 +159,7 @@ fn adaptive_corruption_of_i_star_after_broadcast_is_too_late() {
         let mut adv = LateIStarCorruptor {
             corrupted_i_star: false,
         };
-        let res = execute(inst, &mut adv, &mut rng, 40);
+        let res = execute(inst, &mut adv, &mut rng, 40).expect("execution succeeds");
         assert!(adv.corrupted_i_star, "seed {seed}: the adversary found i*");
         // The announcement was already in flight on a consistent broadcast
         // channel: all remaining honest parties still output y.
