@@ -13,13 +13,19 @@ cargo clippy --workspace -- -D warnings
 echo "== fairlint (strict)"
 cargo run -q -p fairlint -- --strict
 
-echo "== cargo build --release"
-cargo build --release
+echo "== cargo build --release (workspace: libs + reproduce/exp_*/fair-trace bins)"
+cargo build --release --workspace
 
 echo "== cargo test"
 cargo test -q
 
+echo "== fair-trace selfcheck (record + replay + diff)"
+./target/release/fair-trace record exp_coin_toss --trials 80 --sample 3 > /tmp/fair_trace_recorded.txt
+./target/release/fair-trace replay exp_coin_toss --jobs 2
+./target/release/fair-trace diff "$(head -1 /tmp/fair_trace_recorded.txt)" "$(head -1 /tmp/fair_trace_recorded.txt)"
+./target/release/fair-trace top exp_coin_toss --trials 80 --sample 5 --by msgs
+
 echo "== reproduce smoke run (parallel, JSON records)"
-FAIR_TRIALS=100 ./target/release/reproduce --jobs 2 --json BENCH_reproduce.json e1 e4 e13
+FAIR_TRIALS=100 ./target/release/reproduce --jobs 2 --trace --json BENCH_reproduce.json e1 e4 e13
 
 echo "== ci.sh: all green"

@@ -1,13 +1,16 @@
 //! Criterion benchmarks for protocol executions: GMW gate throughput,
-//! engine round throughput, and full fairness-experiment executions.
+//! engine round throughput, full fairness-experiment executions, and the
+//! tracing overhead smoke check (no-op tracer vs plain engine).
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 use fair_circuits::functions;
 use fair_core::strategy::CorruptionPlan;
 use fair_core::{run_once, Payoff};
+use fair_protocols::coin_toss::coin_toss_instance;
 use fair_protocols::scenarios::{Opt2Scenario, OptnScenario, Strategy};
-use fair_runtime::{execute, Passive};
+use fair_runtime::{execute, execute_traced, Passive};
 use fair_sfe::gmw::{gmw_instance, GmwConfig};
+use fair_trace::{NoopTracer, RecordingTracer};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -65,5 +68,55 @@ fn bench_optn_trial(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_gmw, bench_opt2_trial, bench_optn_trial);
+/// The satellite smoke check for the tracing tentpole: `execute` (which
+/// monomorphizes `execute_traced::<_, NoopTracer>`) against an explicit
+/// no-op-traced call and a recording tracer. The first two must be
+/// indistinguishable — every emission site is behind the compile-time
+/// `T::ENABLED` constant — while the recording row shows what enabling
+/// observability actually costs.
+fn bench_trace_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("trace_overhead");
+    g.bench_function("coin_toss/untraced", |b| {
+        b.iter_batched(
+            || StdRng::seed_from_u64(7),
+            |mut rng| {
+                let inst = coin_toss_instance(&mut rng);
+                execute(inst, &mut Passive, &mut rng, 10).expect("execution succeeds")
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("coin_toss/noop_traced", |b| {
+        b.iter_batched(
+            || StdRng::seed_from_u64(7),
+            |mut rng| {
+                let inst = coin_toss_instance(&mut rng);
+                execute_traced(inst, &mut Passive, &mut rng, 10, &mut NoopTracer)
+                    .expect("execution succeeds")
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("coin_toss/recording", |b| {
+        b.iter_batched(
+            || StdRng::seed_from_u64(7),
+            |mut rng| {
+                let inst = coin_toss_instance(&mut rng);
+                let mut tracer = RecordingTracer::with_ring(256);
+                execute_traced(inst, &mut Passive, &mut rng, 10, &mut tracer)
+                    .expect("execution succeeds")
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_gmw,
+    bench_opt2_trial,
+    bench_optn_trial,
+    bench_trace_overhead
+);
 criterion_main!(benches);

@@ -12,6 +12,8 @@
 //!   `--json PATH`   write the aggregate run record to PATH
 //!   `--list`        list experiment ids with descriptions and exit
 //!   `--markdown`    render tables as GitHub markdown
+//!   `--trace`       capture sample transcripts per experiment under
+//!                   `target/simlab/trace/` (replayable via `fair-trace`)
 //!
 //! Trials per estimate default to 1000; override with `FAIR_TRIALS`.
 //! Per-experiment records always land in `target/simlab/<exp>.json`.
@@ -20,7 +22,7 @@ use fair_bench::runner::{run_suite, SuiteOptions, BASE_SEED};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: reproduce [--jobs N] [--json PATH] [--markdown] [--list] [EXPERIMENT ...]\n\
+        "usage: reproduce [--jobs N] [--json PATH] [--markdown] [--trace] [--list] [EXPERIMENT ...]\n\
          experiment ids: e1 .. e17 (default: all); see --list"
     );
     std::process::exit(2);
@@ -29,14 +31,18 @@ fn usage() -> ! {
 fn main() {
     let mut args = std::env::args().skip(1);
     let mut markdown = false;
+    let mut trace = false;
     let mut json = None;
     let mut ids: Vec<String> = Vec::new();
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--markdown" => markdown = true,
+            "--trace" => trace = true,
             "--list" => {
-                for id in fair_bench::ALL_EXPERIMENTS {
-                    let title = fair_bench::experiment_title(id).expect("title for every id");
+                // The shared registry listing — `fair-trace list` prints
+                // the same lines, so both tools name experiments
+                // identically.
+                for (id, title) in fair_bench::experiment_listing() {
                     println!("{id:<4} {title}");
                 }
                 return;
@@ -83,6 +89,7 @@ fn main() {
         seed: BASE_SEED,
         markdown,
         json,
+        trace,
     };
     let suite = match run_suite(&opts) {
         Ok(suite) => suite,

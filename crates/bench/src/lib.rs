@@ -9,6 +9,7 @@ pub mod experiments;
 pub mod partial_exp;
 pub mod runner;
 pub mod table;
+pub mod tracecli;
 
 pub use table::{Report, Row};
 
@@ -50,6 +51,16 @@ pub const ALL_EXPERIMENTS: [&str; 17] = [
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
     "e16", "e17",
 ];
+
+/// The experiment registry as `(id, title)` pairs in [`ALL_EXPERIMENTS`]
+/// order — the single listing behind `reproduce --list` and
+/// `fair-trace list`, so the two tools name experiments identically.
+pub fn experiment_listing() -> Vec<(&'static str, &'static str)> {
+    ALL_EXPERIMENTS
+        .iter()
+        .map(|id| (*id, experiment_title(id).expect("title for every id")))
+        .collect()
+}
 
 /// One-line description of each experiment (for `reproduce --list`).
 pub fn experiment_title(id: &str) -> Option<&'static str> {

@@ -18,6 +18,9 @@ pub const RECORD_DIR: &str = "target/simlab";
 /// The base seed every experiment binary runs with.
 pub const BASE_SEED: u64 = 0xfa1e;
 
+/// Transcripts sampled per experiment by `reproduce --trace`.
+pub const SUITE_TRACE_SAMPLE: usize = 2;
+
 /// Converts rendered reports into simlab's storage form.
 pub fn to_report_records(reports: &[Report]) -> Vec<ReportRecord> {
     reports
@@ -40,18 +43,22 @@ pub fn to_report_records(reports: &[Report]) -> Vec<ReportRecord> {
         .collect()
 }
 
-/// Runs one experiment with metrics collection enabled, returning the
-/// rendered reports and the structured execution record. `None` for an
-/// unknown id.
+/// Runs one experiment with metrics collection enabled — both simlab's
+/// wall-clock latency pipeline and `fair-trace`'s deterministic
+/// per-protocol counters — returning the rendered reports and the
+/// structured execution record. `None` for an unknown id.
 pub fn run_recorded(id: &str, trials: usize, seed: u64) -> Option<(Vec<Report>, ExpRecord)> {
     metrics::set_enabled(true);
+    fair_trace::metrics::set_enabled(true);
     let progress = Progress::start(id, 0, Duration::from_secs(2));
     let t0 = Instant::now();
     let reports = crate::run_experiment(id, trials, seed);
     let wall_ms = t0.elapsed().as_secs_f64() * 1000.0;
     drop(progress);
     let latency = metrics::drain_latency();
+    let protocols = fair_trace::metrics::drain();
     metrics::set_enabled(false);
+    fair_trace::metrics::set_enabled(false);
     let reports = reports?;
     let record = ExpRecord {
         id: id.to_string(),
@@ -60,6 +67,7 @@ pub fn run_recorded(id: &str, trials: usize, seed: u64) -> Option<(Vec<Report>, 
         jobs: fair_simlab::effective_jobs(),
         wall_ms,
         latency,
+        protocols,
         pass: reports.iter().all(Report::pass),
         reports: to_report_records(&reports),
     };
@@ -78,6 +86,12 @@ pub struct SuiteOptions {
     pub markdown: bool,
     /// Where to write the aggregate record (`None` = don't).
     pub json: Option<PathBuf>,
+    /// Capture per-experiment sample transcripts under
+    /// `target/simlab/trace/<exp>/` (see `fair-trace replay`). Which
+    /// trials are sampled depends on completion order, so with `--jobs`
+    /// above 1 the sampled set may vary between runs; every captured
+    /// transcript replays deterministically regardless.
+    pub trace: bool,
 }
 
 /// Runs a suite of experiments, printing tables and progress, persisting
@@ -89,8 +103,27 @@ pub fn run_suite(opts: &SuiteOptions) -> Result<SuiteRecord, String> {
     let total = opts.ids.len();
     let mut experiments = Vec::with_capacity(total);
     for (k, id) in opts.ids.iter().enumerate() {
-        let (reports, record) = run_recorded(id, opts.trials, opts.seed)
-            .ok_or_else(|| format!("unknown experiment id: {id}"))?;
+        if opts.trace {
+            fair_trace::capture::begin(
+                fair_trace::capture::CaptureFilter::FirstN(SUITE_TRACE_SAMPLE),
+                fair_trace::capture::DEFAULT_RING,
+            );
+        }
+        let run = run_recorded(id, opts.trials, opts.seed);
+        let captured = opts.trace.then(fair_trace::capture::end);
+        let (reports, record) = run.ok_or_else(|| format!("unknown experiment id: {id}"))?;
+        if let Some(transcripts) = captured {
+            let dir = Path::new(crate::tracecli::TRACE_DIR);
+            match crate::tracecli::write_transcripts(dir, id, opts.trials, opts.seed, &transcripts)
+            {
+                Ok(paths) => eprintln!(
+                    "[trace] {id}: {} transcript(s) under {}/{id}/",
+                    paths.len(),
+                    crate::tracecli::TRACE_DIR
+                ),
+                Err(e) => eprintln!("warning: could not persist {id} transcripts: {e}"),
+            }
+        }
         for r in &reports {
             if opts.markdown {
                 println!("{}", r.render_markdown());
@@ -177,5 +210,14 @@ mod tests {
         let lat = record.latency.expect("latency collected");
         assert!(lat.count > 0);
         assert!(record.wall_ms > 0.0);
+        // The estimator also fed the trace-metrics pipeline: one summary
+        // per scenario, each accounting for every trial.
+        assert!(!record.protocols.is_empty());
+        for p in &record.protocols {
+            assert_eq!(p.trials, 20, "{}", p.name);
+            assert_eq!(p.rounds.count, 20, "{}", p.name);
+            assert!(p.msgs.total > 0, "{}", p.name);
+        }
+        assert!(!fair_trace::metrics::enabled());
     }
 }

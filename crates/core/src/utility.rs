@@ -19,7 +19,8 @@
 //! protocol execution stays single-threaded, preserving reproducible
 //! adversary scheduling.
 
-use fair_runtime::{execute, Adversary, ExecutionResult, Instance, Value};
+use fair_runtime::{execute, execute_traced, Adversary, ExecutionResult, Instance, Value};
+use fair_trace::{ExecStats, ProtoBatch, RecordingTracer};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -188,19 +189,57 @@ pub fn run_once<S: Scenario>(
     payoff: &Payoff,
     seed: u64,
 ) -> (ExecutionResult, Event, f64) {
+    let (res, event, pay, _) = run_once_traced(scenario, payoff, seed);
+    (res, event, pay)
+}
+
+/// [`run_once`] with observability: when trace metrics or transcript
+/// capture are armed (see `fair_trace::{metrics, capture}`) the trial runs
+/// through a recording tracer and returns its [`ExecStats`]; otherwise it
+/// takes the plain [`execute`] path, whose only extra cost is one relaxed
+/// atomic load per trial.
+pub fn run_once_traced<S: Scenario>(
+    scenario: &S,
+    payoff: &Payoff,
+    seed: u64,
+) -> (ExecutionResult, Event, f64, Option<ExecStats>) {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut trial = scenario.build(&mut rng);
-    let res = execute(
-        trial.instance,
-        trial.adversary.as_mut(),
-        &mut rng,
-        trial.max_rounds,
-    )
-    .expect("scenario builds a well-formed instance");
+    let capture = fair_trace::capture::active() && fair_trace::capture::wants(seed);
+    let (res, stats) = if fair_trace::metrics::enabled() || capture {
+        let ring = if capture {
+            fair_trace::capture::ring_capacity()
+        } else {
+            0
+        };
+        let mut tracer = RecordingTracer::with_ring(ring);
+        let res = execute_traced(
+            trial.instance,
+            trial.adversary.as_mut(),
+            &mut rng,
+            trial.max_rounds,
+            &mut tracer,
+        )
+        .expect("scenario builds a well-formed instance");
+        let stats = tracer.stats();
+        if capture {
+            fair_trace::capture::submit(tracer.into_transcript(seed));
+        }
+        (res, Some(stats))
+    } else {
+        let res = execute(
+            trial.instance,
+            trial.adversary.as_mut(),
+            &mut rng,
+            trial.max_rounds,
+        )
+        .expect("scenario builds a well-formed instance");
+        (res, None)
+    };
     let truth = trial.truth.unwrap_or_else(|| truth_from_ledger(&res));
     let event = classify(&res, scenario.n(), &truth, &scenario.criterion());
     let pay = payoff.value(event);
-    (res, event, pay)
+    (res, event, pay, stats)
 }
 
 /// Estimates the attacker's utility for a scenario by Monte Carlo.
@@ -216,15 +255,25 @@ pub fn estimate<S: Scenario + Sync>(
     assert!(trials > 0, "need at least one trial");
     let tallies = fair_simlab::run_tiled(trials, |range| {
         let mut tally = Tally::default();
+        // Per-tile protocol-metric batch, submitted once per tile (same
+        // one-mutex-touch-per-tile discipline as the latency batches).
+        let mut proto = fair_trace::metrics::enabled().then(ProtoBatch::default);
         // Per-trial latency observation goes through simlab's timing
         // facade: fair-core itself never reads the wall clock (rule D1).
         let mut timer = fair_simlab::BatchTimer::start(range.len());
         for t in range {
-            let (_, event, _) =
-                timer.time(|| run_once(scenario, payoff, fair_simlab::trial_seed(seed, t as u64)));
+            let (_, event, _, stats) = timer.time(|| {
+                run_once_traced(scenario, payoff, fair_simlab::trial_seed(seed, t as u64))
+            });
             tally.record(event);
+            if let (Some(batch), Some(stats)) = (proto.as_mut(), stats) {
+                batch.record(&stats);
+            }
         }
         timer.finish();
+        if let Some(batch) = proto {
+            fair_trace::metrics::record_batch(&scenario.name(), batch);
+        }
         tally
     });
     let tally = tallies.into_iter().fold(Tally::default(), Tally::merge);

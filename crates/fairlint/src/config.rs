@@ -103,6 +103,9 @@ pub struct Config {
     pub unsafe_allow_crates: Vec<String>,
     /// Workspace-relative files allowed to read the environment (R4).
     pub env_allow_paths: Vec<String>,
+    /// Crates that must emit diagnostics via the fair-trace Tracer
+    /// rather than stdout/stderr (rule T1).
+    pub trace_crates: Vec<String>,
 }
 
 impl Default for Config {
@@ -124,6 +127,7 @@ impl Default for Config {
             engine_paths: v(&["crates/runtime/src/engine.rs"]),
             unsafe_allow_crates: vec![],
             env_allow_paths: vec![],
+            trace_crates: v(&["runtime", "protocols"]),
         }
     }
 }
@@ -154,6 +158,7 @@ impl Config {
                 "rules.S1.extra_types" => self.extra_secret_types = items.clone(),
                 "rules.S2.paths" => self.engine_paths = items.clone(),
                 "rules.R2.allow_crates" => self.unsafe_allow_crates = items.clone(),
+                "rules.T1.crates" => self.trace_crates = items.clone(),
                 "allow.R4.paths" => self.env_allow_paths = items.clone(),
                 _ => {}
             }

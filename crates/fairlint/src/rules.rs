@@ -54,6 +54,10 @@ pub const RULES: &[RuleInfo] = &[
         id: "L1",
         summary: "fairlint::allow suppressions must name a known rule and carry a reason",
     },
+    RuleInfo {
+        id: "T1",
+        summary: "engine/protocol crates emit diagnostics only through the fair-trace Tracer (no print!/eprintln!/dbg!)",
+    },
 ];
 
 /// Whether `id` names a known rule.
@@ -73,6 +77,7 @@ pub fn check_all(ws: &Workspace) -> Vec<Diagnostic> {
         check_r3(f, &mut diags);
         check_r4(ws, f, &mut diags);
         check_l1(f, &mut diags);
+        check_t1(ws, f, &mut diags);
     }
     check_r1(ws, &mut diags);
     check_r2(ws, &mut diags);
@@ -575,6 +580,36 @@ fn check_l1(f: &SourceFile, out: &mut Vec<Diagnostic>) {
                     f,
                     s.line,
                     format!("suppression names unknown rule `{id}`"),
+                ));
+            }
+        }
+    }
+}
+
+/// T1 — tracing discipline: the engine and protocol crates may not write
+/// to stdout/stderr directly; execution observability goes through the
+/// `fair_trace::Tracer` threaded by `execute_traced`, so recorded
+/// transcripts stay the single source of diagnostic truth.
+fn check_t1(ws: &Workspace, f: &SourceFile, out: &mut Vec<Diagnostic>) {
+    const TOKENS: &[&str] = &["print!", "println!", "eprint!", "eprintln!", "dbg!"];
+    let Some(krate) = &f.krate else { return };
+    if !ws.config.trace_crates.contains(krate) || f.is_test_path {
+        return;
+    }
+    for (line_no, line) in f.lines() {
+        if f.is_test_line(line_no) {
+            continue;
+        }
+        for token in TOKENS {
+            if token_hit(line, token) {
+                out.push(err(
+                    "T1",
+                    f,
+                    line_no,
+                    format!(
+                        "`{token}` in crate `{krate}`; engine/protocol code emits diagnostics \
+                         through the fair-trace Tracer so transcripts capture them"
+                    ),
                 ));
             }
         }

@@ -48,6 +48,7 @@ fn ws_bad_diagnostics_land_on_the_right_lines() {
     assert!(has("S1", "crates/crypto/src/lib.rs", 3));
     assert!(has("S2", "crates/runtime/src/engine.rs", 2)); // assert!
     assert!(has("S2", "crates/runtime/src/engine.rs", 3)); // .unwrap(
+    assert!(has("T1", "crates/runtime/src/engine.rs", 9)); // eprintln!
     assert!(has("R2", "crates/norust/src/lib.rs", 1));
     // L1: the reasonless allow and the unknown-rule allow.
     assert!(has("L1", "crates/core/src/lib.rs", 6));

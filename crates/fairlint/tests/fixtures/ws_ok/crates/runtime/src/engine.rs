@@ -5,6 +5,11 @@ pub fn deliver(msgs: &[u8]) -> u8 {
     *first
 }
 
+pub fn trace_fallback(round: usize) {
+    // fairlint::allow(T1, reason = "fixture: legacy diagnostic pending Tracer port")
+    eprintln!("round {round}");
+}
+
 #[cfg(test)]
 mod tests {
     #[test]

@@ -408,7 +408,10 @@ mod tests {
         } else {
             pi1_instance(b"the deal", &keys, &mut rng)
         };
-        (execute(inst, &mut Passive, &mut rng, 20), truth).expect("execution succeeds")
+        (
+            execute(inst, &mut Passive, &mut rng, 20).expect("execution succeeds"),
+            truth,
+        )
     }
 
     #[test]

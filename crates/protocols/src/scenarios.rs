@@ -15,6 +15,7 @@ use fair_runtime::{Adversary, Instance, Passive, Value};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
+use crate::coin_toss::{coin_toss_instance, CoinMsg};
 use crate::contract::{contract_keys, contract_truth, pi1_instance, pi2_instance, ContractMsg};
 use crate::gmw_half::{gmw_half_instance, HalfCoalition, HalfMsg};
 use crate::gordon_katz::{gk_instance, AbortRule, GkAttack, GkConfig, GkMsg};
@@ -145,6 +146,66 @@ pub fn contract_sweep(pi2: bool) -> Vec<ContractScenario> {
         .into_iter()
         .map(|strategy| ContractScenario { pi2, strategy })
         .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Blum coin toss
+// ---------------------------------------------------------------------------
+
+/// A Blum commit-then-open coin-toss scenario.
+///
+/// The coin toss has no secret the adversary could "learn" ahead of the
+/// honest party (the XOR is undetermined until both openings are on the
+/// wire), so `truth` is pinned to ⊥ — classification reduces to tracking
+/// whether the honest party completed (E₀₁) or aborted (E₀₀). That makes
+/// this the cheapest named protocol in the workspace, which is exactly what
+/// the `fair-trace` CLI and CI selfcheck want in a record/replay target.
+pub struct CoinTossScenario {
+    /// The attack strategy.
+    pub strategy: Strategy,
+}
+
+impl Scenario for CoinTossScenario {
+    type Msg = CoinMsg;
+
+    fn name(&self) -> String {
+        format!("CoinToss/{}", self.strategy.label())
+    }
+
+    fn n(&self) -> usize {
+        2
+    }
+
+    fn build(&self, rng: &mut StdRng) -> Trial<CoinMsg> {
+        Trial {
+            instance: coin_toss_instance(rng),
+            adversary: self.strategy.build(any_output()),
+            truth: Some(Value::Bot),
+            max_rounds: 10,
+        }
+    }
+}
+
+/// The strategy sweep against the coin toss (small on purpose: the
+/// completion/abort split is visible under any of these).
+pub fn coin_toss_sweep() -> Vec<CoinTossScenario> {
+    let mut out = vec![
+        CoinTossScenario {
+            strategy: Strategy::NoCorruption,
+        },
+        CoinTossScenario {
+            strategy: Strategy::LockAbort(CorruptionPlan::Fixed(vec![0])),
+        },
+        CoinTossScenario {
+            strategy: Strategy::Honest(CorruptionPlan::Fixed(vec![0])),
+        },
+    ];
+    for r in 0..3 {
+        out.push(CoinTossScenario {
+            strategy: Strategy::AbortAtRound(CorruptionPlan::Fixed(vec![0]), r),
+        });
+    }
+    out
 }
 
 // ---------------------------------------------------------------------------

@@ -24,6 +24,7 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
+use fair_trace::{debug_len, Dst, NoopTracer, Src, TraceEvent, Tracer};
 use rand::rngs::StdRng;
 
 use crate::adversary::{AdvControl, Adversary, RoundView};
@@ -105,6 +106,47 @@ pub fn execute<M: Clone + core::fmt::Debug>(
     rng: &mut StdRng,
     max_rounds: usize,
 ) -> Result<ExecutionResult, EngineError> {
+    execute_traced(instance, adversary, rng, max_rounds, &mut NoopTracer)
+}
+
+/// The traced message source for an engine endpoint.
+fn trace_src(e: Endpoint) -> Src {
+    match e {
+        Endpoint::Party(p) => Src::Party(p.0),
+        Endpoint::Func(f) => Src::Func(f.0),
+        Endpoint::Adversary => Src::Adversary,
+    }
+}
+
+/// The traced destination for an engine destination (broadcasts are traced
+/// once, before fan-out).
+fn trace_dst(d: Destination) -> Dst {
+    match d {
+        Destination::Party(p) => Dst::Party(p.0),
+        Destination::Func(f) => Dst::Func(f.0),
+        Destination::Adversary => Dst::Adversary,
+        Destination::All => Dst::Broadcast,
+    }
+}
+
+/// [`execute`], observed through a [`Tracer`].
+///
+/// Every emission site is guarded by `if T::ENABLED`, a compile-time
+/// constant, so with [`NoopTracer`] this monomorphizes to exactly the
+/// untraced engine: no event is built, no corruption set is snapshotted,
+/// no message is measured. [`execute`] itself is that instantiation.
+///
+/// # Errors
+///
+/// Identical to [`execute`] — tracing observes the execution and never
+/// changes its outcome.
+pub fn execute_traced<M: Clone + core::fmt::Debug, T: Tracer>(
+    instance: Instance<M>,
+    adversary: &mut dyn Adversary<M>,
+    rng: &mut StdRng,
+    max_rounds: usize,
+    tracer: &mut T,
+) -> Result<ExecutionResult, EngineError> {
     let max_rounds = if max_rounds == 0 {
         DEFAULT_MAX_ROUNDS
     } else {
@@ -126,6 +168,12 @@ pub fn execute<M: Clone + core::fmt::Debug>(
                 .take()
                 .ok_or(EngineError::Internal("initial corruption machine taken"))?;
             pool.insert(pid, machine);
+            if T::ENABLED {
+                tracer.event(&TraceEvent::Corrupt {
+                    party: pid.0,
+                    round: 0,
+                });
+            }
         }
     }
 
@@ -135,6 +183,9 @@ pub fn execute<M: Clone + core::fmt::Debug>(
 
     for round in 0..max_rounds {
         rounds_used = round;
+        if T::ENABLED {
+            tracer.event(&TraceEvent::RoundStart { round });
+        }
 
         // 1. Partition this round's deliveries.
         let mut inboxes: BTreeMap<PartyId, Vec<Envelope<M>>> = BTreeMap::new();
@@ -203,6 +254,14 @@ pub fn execute<M: Clone + core::fmt::Debug>(
                 msg: m.msg.clone(),
             })
             .collect();
+        // Snapshot the corruption set so adaptive corruptions made inside
+        // `on_round` can be traced afterwards (empty — allocation-free —
+        // when tracing is disabled).
+        let pre_corrupted = if T::ENABLED {
+            corrupted.clone()
+        } else {
+            BTreeSet::new()
+        };
         let mut sends: Vec<(Endpoint, OutMsg<M>)>;
         {
             let view = RoundView {
@@ -224,6 +283,14 @@ pub fn execute<M: Clone + core::fmt::Debug>(
             adversary.on_round(&view, &mut ctrl, rng);
             sends = ctrl.sends;
         }
+        if T::ENABLED {
+            for pid in corrupted.difference(&pre_corrupted) {
+                tracer.event(&TraceEvent::Corrupt {
+                    party: pid.0,
+                    round,
+                });
+            }
+        }
         if corrupted.len() == n {
             // Nobody honest is left; the execution is over.
             break;
@@ -235,6 +302,13 @@ pub fn execute<M: Clone + core::fmt::Debug>(
         }
         let mut func_now: Vec<Vec<Envelope<M>>> = (0..funcs.len()).map(|_| Vec::new()).collect();
         for (from, out) in sends {
+            if T::ENABLED {
+                tracer.event(&TraceEvent::Send {
+                    from: trace_src(from),
+                    to: trace_dst(out.to),
+                    len: debug_len(&out.msg),
+                });
+            }
             match out.to {
                 Destination::All => {
                     for q in 0..n {
@@ -276,6 +350,13 @@ pub fn execute<M: Clone + core::fmt::Debug>(
             // within the round they are invoked.
             let mut incoming = core::mem::take(&mut func_in[fi]);
             incoming.append(&mut func_now[fi]);
+            if T::ENABLED && !incoming.is_empty() {
+                tracer.event(&TraceEvent::FuncCall {
+                    func: fi,
+                    round,
+                    msgs: incoming.len(),
+                });
+            }
             let mut ctx = FuncCtx {
                 round,
                 n,
@@ -284,6 +365,13 @@ pub fn execute<M: Clone + core::fmt::Debug>(
                 rng,
             };
             for out in func.on_round(&mut ctx, &incoming) {
+                if T::ENABLED {
+                    tracer.event(&TraceEvent::Send {
+                        from: Src::Func(fi),
+                        to: trace_dst(out.to),
+                        len: debug_len(&out.msg),
+                    });
+                }
                 match out.to {
                     Destination::All => {
                         for q in 0..n {
@@ -314,7 +402,19 @@ pub fn execute<M: Clone + core::fmt::Debug>(
         let machine = honest[i]
             .as_ref()
             .ok_or(EngineError::Internal("honest machine missing at output"))?;
-        outputs.insert(pid, machine.output().unwrap_or(Value::Bot));
+        let v = machine.output().unwrap_or(Value::Bot);
+        if T::ENABLED {
+            tracer.event(&TraceEvent::Output {
+                party: i,
+                bot: v.is_bot(),
+            });
+        }
+        outputs.insert(pid, v);
+    }
+    if T::ENABLED {
+        tracer.event(&TraceEvent::End {
+            rounds: rounds_used,
+        });
     }
 
     Ok(ExecutionResult {
@@ -556,6 +656,93 @@ mod tests {
         let res = execute(inst, &mut Passive, &mut rng, 7).expect("execution succeeds");
         assert_eq!(res.rounds, 6);
         assert!(res.outputs.values().all(|v| v.is_bot()));
+    }
+
+    #[test]
+    fn traced_execution_pins_the_event_stream() {
+        use fair_trace::RecordingTracer;
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut tracer = RecordingTracer::with_ring(64);
+        let res = execute_traced(
+            swap_instance(),
+            &mut SilentCorruptor,
+            &mut rng,
+            10,
+            &mut tracer,
+        )
+        .expect("execution succeeds");
+        let stats = tracer.stats();
+        assert_eq!(stats.corruptions, 1);
+        assert_eq!(stats.outputs, 1);
+        assert_eq!(stats.bots, 1);
+        assert_eq!(stats.rounds, res.rounds as u64);
+        let lines: Vec<String> = tracer
+            .into_transcript(0)
+            .events
+            .iter()
+            .map(|e| e.render())
+            .collect();
+        // p0 is corrupted up front and stays silent; p1 sends its input in
+        // round 0 (debug_len of `20u64` is 2 bytes), waits one round for a
+        // reply that never comes, and aborts with ⊥.
+        assert_eq!(
+            lines,
+            vec![
+                "corrupt p0 round=0",
+                "round 0",
+                "send from=p1 to=p0 len=2",
+                "round 1",
+                "round 2",
+                "output p1 bot=true",
+                "end rounds=2",
+            ]
+        );
+    }
+
+    #[test]
+    fn traced_and_untraced_executions_agree() {
+        use fair_trace::{NoopTracer, RecordingTracer};
+        for seed in 0..8 {
+            let mut r1 = StdRng::seed_from_u64(seed);
+            let mut r2 = StdRng::seed_from_u64(seed);
+            let mut r3 = StdRng::seed_from_u64(seed);
+            let plain = execute(swap_instance(), &mut RushingReader::default(), &mut r1, 10);
+            let noop = execute_traced(
+                swap_instance(),
+                &mut RushingReader::default(),
+                &mut r2,
+                10,
+                &mut NoopTracer,
+            );
+            let mut rec = RecordingTracer::with_ring(256);
+            let traced = execute_traced(
+                swap_instance(),
+                &mut RushingReader::default(),
+                &mut r3,
+                10,
+                &mut rec,
+            );
+            assert_eq!(format!("{plain:?}"), format!("{noop:?}"), "seed {seed}");
+            assert_eq!(format!("{plain:?}"), format!("{traced:?}"), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn adaptive_corruptions_are_traced_in_their_round() {
+        use fair_trace::{RecordingTracer, TraceEvent};
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut adv = LateCorruptor {
+            grabbed_state: false,
+        };
+        let mut tracer = RecordingTracer::with_ring(64);
+        execute_traced(swap_instance(), &mut adv, &mut rng, 10, &mut tracer)
+            .expect("execution succeeds");
+        let t = tracer.into_transcript(0);
+        assert!(
+            t.events
+                .contains(&TraceEvent::Corrupt { party: 1, round: 1 }),
+            "the round-1 adaptive corruption of p2 must be traced"
+        );
     }
 
     #[test]

@@ -20,6 +20,8 @@
 //!   ground-truth fact ledger used by the fairness harness.
 //! * [`Adversary`] / [`AdvControl`] / [`RoundView`] — attack strategies.
 //! * [`Instance`] / [`execute`] / [`ExecutionResult`] — running a protocol.
+//! * [`execute_traced`] — the same execution observed through a
+//!   `fair_trace::Tracer`; [`execute`] is its no-op-tracer instantiation.
 //!
 //! # Examples
 //!
@@ -58,7 +60,7 @@ mod value;
 
 pub use adapt::Adapted;
 pub use adversary::{AdvControl, Adversary, CorruptionGrant, Passive, RoundView};
-pub use engine::{execute, ExecutionResult, Instance, DEFAULT_MAX_ROUNDS};
+pub use engine::{execute, execute_traced, ExecutionResult, Instance, DEFAULT_MAX_ROUNDS};
 pub use error::EngineError;
 pub use func::{FuncCtx, Functionality, Ledger};
 pub use msg::{Destination, Endpoint, Envelope, FuncId, OutMsg, PartyId};

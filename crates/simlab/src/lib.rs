@@ -17,8 +17,10 @@
 //! (DESIGN.md's reproducible-adversary-scheduling requirement); simlab
 //! parallelizes *across* independent trials only.
 //!
-//! No dependencies: the crate is std-only so every layer of the workspace
-//! (including `fair-core`'s estimator) can use the scheduler.
+//! The only dependency is the workspace's own zero-dependency `fair-trace`
+//! (shared integer quantile code and the per-protocol metric types embedded
+//! in records), so every layer of the workspace — including `fair-core`'s
+//! estimator — can use the scheduler.
 
 pub mod config;
 pub mod json;

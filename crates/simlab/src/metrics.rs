@@ -63,18 +63,25 @@ pub struct LatencySummary {
 
 impl LatencySummary {
     /// Summarizes a set of per-trial latencies (`None` when empty).
+    ///
+    /// Percentile indices come from `fair_trace::stats::percentile_index`
+    /// — exact integer arithmetic shared with the trace histograms. The
+    /// float formulation this replaces (`round((count − 1) as f64 * p)`)
+    /// mis-indexed exact-halfway cases: `0.99` is not representable in
+    /// binary, so `50 × 0.99` evaluated to `49.499…` and truncated the
+    /// p99 of a 51-sample batch to index 49 instead of 50.
     pub fn from_samples(mut samples: Vec<u64>) -> Option<LatencySummary> {
+        use fair_trace::stats::{percentile_index, P50, P99};
         if samples.is_empty() {
             return None;
         }
         samples.sort_unstable();
         let count = samples.len();
-        let pct = |p: f64| samples[(((count - 1) as f64) * p).round() as usize];
         Some(LatencySummary {
             count,
             min_ns: samples[0],
-            p50_ns: pct(0.50),
-            p99_ns: pct(0.99),
+            p50_ns: samples[percentile_index(count, P50)],
+            p99_ns: samples[percentile_index(count, P99)],
             max_ns: samples[count - 1],
         })
     }
@@ -229,6 +236,42 @@ mod tests {
         assert_eq!(s.p99_ns, 99);
         assert_eq!(s.max_ns, 100);
         assert!(LatencySummary::from_samples(vec![]).is_none());
+    }
+
+    #[test]
+    fn summary_handles_tiny_batches_exactly() {
+        // 0 elements: no summary.
+        assert!(LatencySummary::from_samples(vec![]).is_none());
+        // 1 element: every statistic is that element.
+        let s1 = LatencySummary::from_samples(vec![42]).unwrap();
+        assert_eq!(
+            (s1.count, s1.min_ns, s1.p50_ns, s1.p99_ns, s1.max_ns),
+            (1, 42, 42, 42, 42)
+        );
+        // 2 elements: the halfway median index rounds up to the larger.
+        let s2 = LatencySummary::from_samples(vec![30, 10]).unwrap();
+        assert_eq!(
+            (s2.count, s2.min_ns, s2.p50_ns, s2.p99_ns, s2.max_ns),
+            (2, 10, 30, 30, 30)
+        );
+    }
+
+    #[test]
+    fn summary_of_one_tile_matches_order_statistics() {
+        // 64 samples — exactly one scheduler tile. Indices:
+        // round(63·0.5) = 32 (31.5 rounds up), round(63·0.99) = 62.
+        let s = LatencySummary::from_samples((1..=64).rev().collect()).unwrap();
+        assert_eq!(s.count, 64);
+        assert_eq!((s.min_ns, s.p50_ns, s.p99_ns, s.max_ns), (1, 33, 63, 64));
+    }
+
+    #[test]
+    fn halfway_percentile_indices_are_exact() {
+        // 51 samples: (51−1)·0.99 = 49.5 exactly → index 50. The float
+        // formula this pins against computed 49.499… and picked 49.
+        let s = LatencySummary::from_samples((1..=51).collect()).unwrap();
+        assert_eq!(s.p99_ns, 51);
+        assert_eq!(s.p50_ns, 26);
     }
 
     #[test]

@@ -5,6 +5,7 @@
 
 use crate::json::Json;
 use crate::metrics::LatencySummary;
+use fair_trace::{ProtoSummary, QuantileSummary};
 
 /// One measured row of an experiment table (mirrors `fair-bench`'s `Row`
 /// without depending on it — simlab sits below the bench crate).
@@ -55,6 +56,11 @@ pub struct ExpRecord {
     pub wall_ms: f64,
     /// Per-trial latency distribution (when metrics were collected).
     pub latency: Option<LatencySummary>,
+    /// Per-protocol trace metrics (rounds/messages/bytes/aborts per
+    /// scenario), drained from `fair_trace::metrics`. Deterministic —
+    /// bit-identical for any worker count — unlike the wall-clock
+    /// `latency` block.
+    pub protocols: Vec<ProtoSummary>,
     /// Whether every report row passed.
     pub pass: bool,
     /// The full measurement tables.
@@ -115,6 +121,12 @@ impl ExpRecord {
                     .field("p50", Json::num(lat.p50_ns as f64))
                     .field("p99", Json::num(lat.p99_ns as f64))
                     .field("max", Json::num(lat.max_ns as f64)),
+            );
+        }
+        if !self.protocols.is_empty() {
+            doc = doc.field(
+                "protocols",
+                Json::Arr(self.protocols.iter().map(proto_json).collect()),
             );
         }
         doc
@@ -179,6 +191,27 @@ fn round3(x: f64) -> f64 {
     (x * 1000.0).round() / 1000.0
 }
 
+fn quantile_json(q: &QuantileSummary) -> Json {
+    Json::obj()
+        .field("total", Json::num(q.total as f64))
+        .field("min", Json::num(q.min as f64))
+        .field("p50", Json::num(q.p50 as f64))
+        .field("p99", Json::num(q.p99 as f64))
+        .field("max", Json::num(q.max as f64))
+}
+
+fn proto_json(p: &ProtoSummary) -> Json {
+    Json::obj()
+        .field("name", Json::str(&p.name))
+        .field("trials", Json::num(p.trials as f64))
+        .field("corruptions", Json::num(p.corruptions as f64))
+        .field("func_calls", Json::num(p.func_calls as f64))
+        .field("aborts", Json::num(p.aborts as f64))
+        .field("rounds", quantile_json(&p.rounds))
+        .field("msgs", quantile_json(&p.msgs))
+        .field("bytes", quantile_json(&p.bytes))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -198,6 +231,23 @@ mod tests {
                 p99_ns: 90,
                 max_ns: 95,
             }),
+            protocols: vec![ProtoSummary {
+                name: "Π1/honest".into(),
+                trials: 100,
+                corruptions: 0,
+                func_calls: 100,
+                aborts: 3,
+                rounds: QuantileSummary {
+                    count: 100,
+                    total: 500,
+                    min: 5,
+                    p50: 5,
+                    p99: 5,
+                    max: 5,
+                },
+                msgs: QuantileSummary::default(),
+                bytes: QuantileSummary::default(),
+            }],
             pass: true,
             reports: vec![ReportRecord {
                 id: "E1".into(),
@@ -225,6 +275,17 @@ mod tests {
         assert_eq!(json::get(&back, "pass"), Some(&Json::Bool(true)));
         let lat = json::get(&back, "trial_latency_ns").unwrap();
         assert_eq!(json::get(lat, "p99"), Some(&Json::Num(90.0)));
+        let protos = match json::get(&back, "protocols") {
+            Some(Json::Arr(p)) => p,
+            other => panic!("bad protocols {other:?}"),
+        };
+        assert_eq!(
+            json::get(&protos[0], "name"),
+            Some(&Json::Str("Π1/honest".into()))
+        );
+        assert_eq!(json::get(&protos[0], "aborts"), Some(&Json::Num(3.0)));
+        let rounds = json::get(&protos[0], "rounds").unwrap();
+        assert_eq!(json::get(rounds, "total"), Some(&Json::Num(500.0)));
         let reports = match json::get(&back, "reports") {
             Some(Json::Arr(r)) => r,
             other => panic!("bad reports {other:?}"),

@@ -1,0 +1,164 @@
+//! The process-global transcript collector.
+//!
+//! The estimator's hot path cannot thread a capture handle through every
+//! call site (scenarios, tiles, worker closures), so capture is a small
+//! process-global switched on around a recording run: `begin` installs a
+//! filter, the estimator asks [`active`] (one relaxed atomic load — the
+//! only cost trials pay when capture is off) and then [`wants`] per trial
+//! seed, submits finished transcripts, and [`end`] returns everything
+//! collected and disarms the collector.
+//!
+//! Determinism: [`CaptureFilter::Seeds`] selects trials by their seed, a
+//! pure function of the trial index, so it collects the same transcripts
+//! under any worker count. [`CaptureFilter::FirstN`] depends on trial
+//! completion order and is only deterministic under `jobs = 1`; the
+//! `fair-trace record` CLI forces single-job scheduling for exactly this
+//! reason.
+
+use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use crate::transcript::Transcript;
+
+/// Default ring-buffer capacity for captured transcripts (events kept per
+/// trial before eviction).
+pub const DEFAULT_RING: usize = 4096;
+
+/// Which trials to capture.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CaptureFilter {
+    /// The first `n` trials to finish (deterministic only under one job).
+    FirstN(usize),
+    /// Trials with exactly these seeds (deterministic under any jobs).
+    Seeds(BTreeSet<u64>),
+}
+
+struct State {
+    filter: CaptureFilter,
+    seen: BTreeSet<u64>,
+    transcripts: Vec<Transcript>,
+}
+
+static ACTIVE: AtomicBool = AtomicBool::new(false);
+static RING_CAP: AtomicUsize = AtomicUsize::new(DEFAULT_RING);
+static STATE: Mutex<Option<State>> = Mutex::new(None);
+
+fn state() -> std::sync::MutexGuard<'static, Option<State>> {
+    STATE.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Arms the collector with a filter and per-trial ring capacity,
+/// discarding anything a previous run left behind.
+pub fn begin(filter: CaptureFilter, ring_capacity: usize) {
+    let mut guard = state();
+    *guard = Some(State {
+        filter,
+        seen: BTreeSet::new(),
+        transcripts: Vec::new(),
+    });
+    RING_CAP.store(ring_capacity, Ordering::Relaxed);
+    ACTIVE.store(true, Ordering::Relaxed);
+}
+
+/// Whether a capture is in progress — the estimator's per-trial fast
+/// check.
+pub fn active() -> bool {
+    ACTIVE.load(Ordering::Relaxed)
+}
+
+/// The ring capacity captured transcripts should use.
+pub fn ring_capacity() -> usize {
+    RING_CAP.load(Ordering::Relaxed)
+}
+
+/// Whether the active capture wants the trial with this seed. Each seed is
+/// claimed at most once (`FirstN` also stops after `n` claims).
+pub fn wants(seed: u64) -> bool {
+    let mut guard = state();
+    let Some(st) = guard.as_mut() else {
+        return false;
+    };
+    let want = match &st.filter {
+        CaptureFilter::FirstN(n) => st.seen.len() < *n && !st.seen.contains(&seed),
+        CaptureFilter::Seeds(set) => set.contains(&seed) && !st.seen.contains(&seed),
+    };
+    if want {
+        st.seen.insert(seed);
+    }
+    want
+}
+
+/// Submits a finished transcript (dropped silently if no capture is
+/// active).
+pub fn submit(t: Transcript) {
+    if let Some(st) = state().as_mut() {
+        st.transcripts.push(t);
+    }
+}
+
+/// Disarms the collector and returns the captured transcripts sorted by
+/// seed (submission order is schedule-dependent; seed order is not).
+pub fn end() -> Vec<Transcript> {
+    ACTIVE.store(false, Ordering::Relaxed);
+    let mut out = match state().take() {
+        Some(st) => st.transcripts,
+        None => Vec::new(),
+    };
+    out.sort_by_key(|t| t.seed);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::ExecStats;
+
+    fn transcript(seed: u64) -> Transcript {
+        Transcript {
+            seed,
+            stats: ExecStats::default(),
+            dropped: 0,
+            events: Vec::new(),
+        }
+    }
+
+    // One test fn: the collector is process-global and the test harness
+    // runs #[test] fns concurrently.
+    #[test]
+    fn capture_lifecycle() {
+        // Inactive: nothing wanted, submissions dropped.
+        assert!(!active());
+        assert!(!wants(1));
+        submit(transcript(1));
+        assert!(end().is_empty());
+
+        // FirstN claims each seed once, up to n.
+        begin(CaptureFilter::FirstN(2), 16);
+        assert!(active());
+        assert_eq!(ring_capacity(), 16);
+        assert!(wants(10));
+        assert!(!wants(10), "a seed is claimed at most once");
+        assert!(wants(7));
+        assert!(!wants(3), "FirstN stops after n claims");
+        submit(transcript(10));
+        submit(transcript(7));
+        let got = end();
+        assert!(!active());
+        assert_eq!(
+            got.iter().map(|t| t.seed).collect::<Vec<_>>(),
+            vec![7, 10],
+            "end() returns transcripts sorted by seed"
+        );
+
+        // Seeds filter selects by membership, independent of order.
+        begin(CaptureFilter::Seeds([4u64, 8].into_iter().collect()), 0);
+        assert!(!wants(5));
+        assert!(wants(8));
+        assert!(wants(4));
+        assert!(!wants(8));
+        submit(transcript(8));
+        submit(transcript(4));
+        assert_eq!(end().iter().map(|t| t.seed).collect::<Vec<_>>(), vec![4, 8]);
+    }
+}

@@ -1,0 +1,147 @@
+//! The [`Tracer`] trait and its two canonical implementations: the
+//! statically-dispatched no-op (the engine's default) and the recording
+//! tracer that feeds transcripts and metrics.
+
+use std::collections::VecDeque;
+
+use crate::event::TraceEvent;
+use crate::metrics::ExecStats;
+use crate::transcript::Transcript;
+
+/// A sink for engine events.
+///
+/// The engine is generic over the tracer and guards every emission site
+/// with `if T::ENABLED`, a compile-time constant — with [`NoopTracer`]
+/// (the plain `execute` path) all tracing code folds away: no event is
+/// constructed, no set is cloned, no message is measured.
+pub trait Tracer {
+    /// Whether this tracer observes events. `false` turns every emission
+    /// site into dead code at monomorphization time.
+    const ENABLED: bool = true;
+
+    /// Receives one event.
+    fn event(&mut self, e: &TraceEvent);
+}
+
+/// The do-nothing tracer behind the plain `execute` path.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoopTracer;
+
+impl Tracer for NoopTracer {
+    const ENABLED: bool = false;
+
+    #[inline(always)]
+    fn event(&mut self, _: &TraceEvent) {}
+}
+
+/// A tracer that aggregates per-execution [`ExecStats`] and (optionally)
+/// keeps the most recent events in a bounded ring buffer.
+///
+/// With ring capacity 0 it is a pure counter — the metrics path. With a
+/// positive capacity it retains the last `capacity` events (evicting the
+/// oldest and counting them as `dropped`), which bounds transcript memory
+/// on runaway executions while keeping the interesting tail.
+#[derive(Clone, Debug, Default)]
+pub struct RecordingTracer {
+    stats: ExecStats,
+    capacity: usize,
+    dropped: u64,
+    ring: VecDeque<TraceEvent>,
+}
+
+impl RecordingTracer {
+    /// A stats-only tracer (no event retention).
+    pub fn new() -> RecordingTracer {
+        RecordingTracer::default()
+    }
+
+    /// A tracer retaining the last `capacity` events.
+    pub fn with_ring(capacity: usize) -> RecordingTracer {
+        RecordingTracer {
+            capacity,
+            ring: VecDeque::with_capacity(capacity.min(1024)),
+            ..RecordingTracer::default()
+        }
+    }
+
+    /// The per-execution counters accumulated so far.
+    pub fn stats(&self) -> ExecStats {
+        self.stats
+    }
+
+    /// Finalizes into a [`Transcript`] keyed by the trial seed.
+    pub fn into_transcript(self, seed: u64) -> Transcript {
+        Transcript {
+            seed,
+            stats: self.stats,
+            dropped: self.dropped,
+            events: self.ring.into_iter().collect(),
+        }
+    }
+}
+
+impl Tracer for RecordingTracer {
+    fn event(&mut self, e: &TraceEvent) {
+        self.stats.absorb(e);
+        if self.capacity > 0 {
+            if self.ring.len() == self.capacity {
+                self.ring.pop_front();
+                self.dropped += 1;
+            }
+            self.ring.push_back(*e);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Dst, Src};
+
+    fn send(len: usize) -> TraceEvent {
+        TraceEvent::Send {
+            from: Src::Party(0),
+            to: Dst::Party(1),
+            len,
+        }
+    }
+
+    #[test]
+    fn noop_tracer_is_statically_disabled() {
+        // Read through a generic fn so the flags are checked the way the
+        // engine reads them (and clippy sees a non-constant assertion).
+        fn enabled<T: Tracer>(_: &T) -> bool {
+            T::ENABLED
+        }
+        assert!(!enabled(&NoopTracer));
+        assert!(enabled(&RecordingTracer::new()));
+    }
+
+    #[test]
+    fn recording_tracer_counts_and_rings() {
+        let mut t = RecordingTracer::with_ring(2);
+        for i in 0..5 {
+            t.event(&send(i));
+        }
+        t.event(&TraceEvent::End { rounds: 3 });
+        let stats = t.stats();
+        assert_eq!(stats.msgs, 5);
+        assert_eq!(stats.bytes, 10); // 0+1+2+3+4
+        assert_eq!(stats.rounds, 3);
+        let tr = t.into_transcript(0xabcd);
+        // Capacity 2: only the last two events survive; four were evicted.
+        assert_eq!(tr.events, vec![send(4), TraceEvent::End { rounds: 3 }]);
+        assert_eq!(tr.dropped, 4);
+        assert_eq!(tr.seed, 0xabcd);
+    }
+
+    #[test]
+    fn stats_only_tracer_retains_no_events() {
+        let mut t = RecordingTracer::new();
+        t.event(&send(10));
+        let tr = t.into_transcript(1);
+        assert!(tr.events.is_empty());
+        assert_eq!(tr.dropped, 0);
+        assert_eq!(tr.stats.msgs, 1);
+    }
+}

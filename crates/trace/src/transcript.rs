@@ -1,0 +1,168 @@
+//! Per-trial transcripts: the recorded event stream of one engine
+//! execution, keyed by its splitmix64 trial seed, with a deterministic
+//! text rendering and a first-divergence diff.
+//!
+//! Because every trial is a pure function of its seed, a transcript is
+//! re-derivable at any time: replay runs the same `(experiment, seed)`
+//! pair through the engine with a fresh recording tracer and byte-compares
+//! the renderings. An empty diff extends simlab's determinism guarantee
+//! from final tallies down to individual engine events.
+
+use crate::metrics::ExecStats;
+use crate::TraceEvent;
+
+/// The recorded event stream of one trial.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Transcript {
+    /// The splitmix64 trial seed that generated this execution.
+    pub seed: u64,
+    /// Aggregate counters over the *entire* execution (including events
+    /// evicted from the ring).
+    pub stats: ExecStats,
+    /// Events evicted from the ring buffer (0 when the ring never filled).
+    pub dropped: u64,
+    /// The retained events, oldest first.
+    pub events: Vec<TraceEvent>,
+}
+
+impl Transcript {
+    /// Renders the transcript as deterministic text: a seed line, a stats
+    /// line, a dropped line, then one line per retained event. This is the
+    /// byte representation `record`/`replay`/`diff` compare.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("seed 0x{:016x}\n", self.seed));
+        let s = &self.stats;
+        out.push_str(&format!(
+            "stats rounds={} msgs={} bytes={} funcs={} corruptions={} outputs={} bots={}\n",
+            s.rounds, s.msgs, s.bytes, s.func_calls, s.corruptions, s.outputs, s.bots
+        ));
+        out.push_str(&format!("dropped {}\n", self.dropped));
+        for e in &self.events {
+            out.push_str(&e.render());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// The first divergence between two texts, as 1-based line coordinates.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Diff {
+    /// 1-based number of the first differing line.
+    pub line: usize,
+    /// That line on the left side (empty if the left side ended).
+    pub left: String,
+    /// That line on the right side (empty if the right side ended).
+    pub right: String,
+}
+
+impl core::fmt::Display for Diff {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        writeln!(f, "first divergence at line {}", self.line)?;
+        writeln!(f, "- {}", self.left)?;
+        write!(f, "+ {}", self.right)
+    }
+}
+
+/// Compares two renderings line by line; `None` means byte-identical.
+pub fn diff_text(a: &str, b: &str) -> Option<Diff> {
+    if a == b {
+        return None;
+    }
+    let mut left = a.lines();
+    let mut right = b.lines();
+    let mut line = 0usize;
+    loop {
+        line += 1;
+        match (left.next(), right.next()) {
+            (Some(l), Some(r)) if l == r => continue,
+            (l, r) => {
+                return Some(Diff {
+                    line,
+                    left: l.unwrap_or_default().to_string(),
+                    right: r.unwrap_or_default().to_string(),
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Dst, Src};
+
+    fn sample() -> Transcript {
+        Transcript {
+            seed: 0xdead_beef,
+            stats: ExecStats {
+                rounds: 2,
+                msgs: 1,
+                bytes: 4,
+                func_calls: 0,
+                corruptions: 1,
+                outputs: 2,
+                bots: 1,
+            },
+            dropped: 0,
+            events: vec![
+                TraceEvent::Corrupt { party: 1, round: 0 },
+                TraceEvent::RoundStart { round: 0 },
+                TraceEvent::Send {
+                    from: Src::Party(0),
+                    to: Dst::Party(1),
+                    len: 4,
+                },
+                TraceEvent::End { rounds: 2 },
+            ],
+        }
+    }
+
+    #[test]
+    fn render_is_pinned() {
+        assert_eq!(
+            sample().render(),
+            "seed 0x00000000deadbeef\n\
+             stats rounds=2 msgs=1 bytes=4 funcs=0 corruptions=1 outputs=2 bots=1\n\
+             dropped 0\n\
+             corrupt p1 round=0\n\
+             round 0\n\
+             send from=p0 to=p1 len=4\n\
+             end rounds=2\n"
+        );
+    }
+
+    #[test]
+    fn identical_texts_have_no_diff() {
+        let r = sample().render();
+        assert_eq!(diff_text(&r, &r), None);
+    }
+
+    #[test]
+    fn diff_reports_the_first_divergent_line() {
+        let a = sample();
+        let mut b = sample();
+        b.events[2] = TraceEvent::Send {
+            from: Src::Party(0),
+            to: Dst::Party(1),
+            len: 5,
+        };
+        let d = diff_text(&a.render(), &b.render()).unwrap();
+        // Lines 1–3 are the header; events start at line 4.
+        assert_eq!(d.line, 6);
+        assert_eq!(d.left, "send from=p0 to=p1 len=4");
+        assert_eq!(d.right, "send from=p0 to=p1 len=5");
+    }
+
+    #[test]
+    fn diff_reports_truncation() {
+        let a = sample();
+        let mut b = sample();
+        b.events.pop();
+        let d = diff_text(&a.render(), &b.render()).unwrap();
+        assert_eq!(d.line, 7);
+        assert_eq!(d.left, "end rounds=2");
+        assert_eq!(d.right, "");
+    }
+}
