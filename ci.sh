@@ -28,4 +28,26 @@ echo "== fair-trace selfcheck (record + replay + diff)"
 echo "== reproduce smoke run (parallel, JSON records)"
 FAIR_TRIALS=100 ./target/release/reproduce --jobs 2 --trace --json BENCH_reproduce.json e1 e4 e13
 
+echo "== fair-serve smoke (ephemeral boot, fair-load --check, graceful shutdown)"
+SERVE_OUT="$(mktemp)"
+./target/release/fair-serve --addr 127.0.0.1:0 --workers 2 \
+  --metrics-out target/simlab/serve_metrics.json > "$SERVE_OUT" &
+SERVE_PID=$!
+ADDR=""
+for _ in $(seq 100); do
+  ADDR="$(sed -n 's/^ADDR=//p' "$SERVE_OUT")"
+  [ -n "$ADDR" ] && break
+  sleep 0.1
+done
+[ -n "$ADDR" ] || { echo "fair-serve never reported its address"; kill "$SERVE_PID"; exit 1; }
+# --check fails on any request error or a cold cache (warm hit rate must be > 0).
+./target/release/fair-load --addr "$ADDR" --exp e2 --trials 200 \
+  --clients 2 --points 4 --repeat 4 --out target/simlab/serve_load_smoke.json \
+  --bench-out target/simlab/serve_bench_smoke.json --check
+# Graceful shutdown: the server drains, flushes metrics, and exits cleanly.
+./target/release/fair-load shutdown --addr "$ADDR"
+wait "$SERVE_PID"
+rm -f "$SERVE_OUT"
+test -s target/simlab/serve_metrics.json
+
 echo "== ci.sh: all green"

@@ -1,0 +1,133 @@
+#![allow(clippy::print_stdout)]
+//! `fair-load` — closed-loop load generator for a `fair-serve` instance.
+//!
+//! Usage:
+//!   `fair-load --addr 127.0.0.1:<port> [FLAGS]`
+//!   `fair-load shutdown --addr 127.0.0.1:<port>`
+//!
+//! Flags:
+//!   `--clients N`   concurrent closed-loop clients (default 4)
+//!   `--points N`    distinct parameter points, seeds `0..N` (default 6)
+//!   `--repeat N`    warm sweeps over the point set per client (default 8)
+//!   `--exp ID`      experiment to query (default `e1`)
+//!   `--trials N`    trials per estimate (default 50)
+//!   `--out PATH`    load record path (default `target/simlab/serve_load.json`)
+//!   `--bench-out PATH`  benchmark record path (default `BENCH_serve.json`)
+//!   `--check`       exit nonzero unless the run had 0 errors and a
+//!                   nonzero warm cache hit rate (the CI smoke gate)
+//!
+//! The run is two-phase: a sequential cold sweep (each point computed
+//! once), then `clients × repeat × points` warm requests that must be
+//! served from the cache. Both records carry rps and cold/warm latency
+//! quantiles; `p50_speedup` is the cold-vs-warm median ratio.
+
+use std::net::SocketAddr;
+use std::path::PathBuf;
+
+use fair_bench::servecli::{load_json, run_load, LoadOptions, BENCH_SERVE_PATH, LOAD_RECORD_PATH};
+use fair_serve::client;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: fair-load --addr A [--clients N] [--points N] [--repeat N] [--exp ID]\n\
+         \x20                [--trials N] [--out PATH] [--bench-out PATH] [--check]\n\
+         \x20      fair-load shutdown --addr A"
+    );
+    std::process::exit(2);
+}
+
+fn parsed<T: std::str::FromStr>(flag: &str, value: Option<String>) -> T {
+    let raw = value.unwrap_or_else(|| {
+        eprintln!("error: {flag} needs a value");
+        usage()
+    });
+    raw.parse().unwrap_or_else(|_| {
+        eprintln!("error: invalid {flag} value {raw:?}");
+        usage()
+    })
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let shutdown = args.first().map(|a| a == "shutdown").unwrap_or(false);
+    if shutdown {
+        args.remove(0);
+    }
+
+    let mut opts = LoadOptions::default();
+    let mut addr: Option<SocketAddr> = None;
+    let mut out = PathBuf::from(LOAD_RECORD_PATH);
+    let mut bench_out = PathBuf::from(BENCH_SERVE_PATH);
+    let mut check = false;
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => addr = Some(parsed("--addr", it.next())),
+            "--clients" => opts.clients = parsed("--clients", it.next()),
+            "--points" => opts.points = parsed("--points", it.next()),
+            "--repeat" => opts.repeat = parsed("--repeat", it.next()),
+            "--exp" => opts.exp = parsed("--exp", it.next()),
+            "--trials" => opts.trials = parsed("--trials", it.next()),
+            "--out" => out = parsed("--out", it.next()),
+            "--bench-out" => bench_out = parsed("--bench-out", it.next()),
+            "--check" => check = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("error: unknown argument {other:?}");
+                usage()
+            }
+        }
+    }
+    let Some(addr) = addr else {
+        eprintln!("error: --addr is required");
+        usage()
+    };
+    opts.addr = addr;
+
+    if shutdown {
+        match client::post(addr, "/shutdown") {
+            Ok(reply) if reply.status == 200 => {
+                eprintln!("[load] {addr} acknowledged shutdown");
+            }
+            Ok(reply) => {
+                eprintln!("error: shutdown got HTTP {}", reply.status);
+                std::process::exit(1);
+            }
+            Err(e) => {
+                eprintln!("error: shutdown unreachable: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    let report = run_load(&opts);
+    let doc = load_json(&opts, &report).render_pretty() + "\n";
+    for path in [&out, &bench_out] {
+        if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        match std::fs::write(path, &doc) {
+            Ok(()) => eprintln!("[load] wrote {}", path.display()),
+            Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+        }
+    }
+    println!(
+        "load: {} requests, {} errors, warm hit rate {:.0}%, {:.0} rps warm, \
+         cold p50 {:.2}ms vs warm p50 {:.3}ms ({:.0}x)",
+        report.total_requests,
+        report.errors,
+        report.warm_hit_rate() * 100.0,
+        report.warm_rps,
+        report.cold_ns.p50 as f64 / 1e6,
+        report.warm_ns.p50 as f64 / 1e6,
+        report.p50_speedup(),
+    );
+    if check && (report.errors > 0 || report.warm_hits == 0) {
+        eprintln!(
+            "error: --check failed ({} errors, {} warm hits)",
+            report.errors, report.warm_hits
+        );
+        std::process::exit(1);
+    }
+}

@@ -8,6 +8,7 @@
 pub mod experiments;
 pub mod partial_exp;
 pub mod runner;
+pub mod servecli;
 pub mod table;
 pub mod tracecli;
 

@@ -1,0 +1,275 @@
+//! Glue between the experiment registry and `fair-serve`: the
+//! [`ExperimentBackend`] the `fair-serve` binary hosts, and the
+//! closed-loop load generator behind `fair-load`.
+//!
+//! The backend renders the **deterministic result document**
+//! ([`fair_simlab::result_json`]) — the same canonical subset the batch
+//! runner persists — so a served body for `(exp, trials, seed)` is
+//! byte-identical to the corresponding batch record, cold or cached.
+
+use std::net::SocketAddr;
+use std::time::Instant;
+
+use fair_serve::service::Backend;
+use fair_serve::{client, HttpReply};
+use fair_simlab::json::Json;
+use fair_trace::QuantileSummary;
+
+/// Where `fair-load` persists its full run record.
+pub const LOAD_RECORD_PATH: &str = "target/simlab/serve_load.json";
+
+/// The repo-root serving benchmark record (rps + latency quantiles,
+/// cold vs warm), tracked across commits like `BENCH_reproduce.json`.
+pub const BENCH_SERVE_PATH: &str = "BENCH_serve.json";
+
+/// The real registry as a serve backend.
+pub struct ExperimentBackend;
+
+impl Backend for ExperimentBackend {
+    fn experiments(&self) -> Vec<(String, String)> {
+        crate::experiment_listing()
+            .into_iter()
+            .map(|(id, title)| (id.to_string(), title.to_string()))
+            .collect()
+    }
+
+    fn estimate(&self, exp: &str, trials: usize, seed: u64) -> Option<String> {
+        rendered_result(exp, trials, seed)
+    }
+}
+
+/// Runs `(exp, trials, seed)` and renders its canonical result document —
+/// the exact bytes both the serve path and the byte-identity tests use.
+pub fn rendered_result(exp: &str, trials: usize, seed: u64) -> Option<String> {
+    let reports = crate::run_experiment(exp, trials, seed)?;
+    let records = crate::runner::to_report_records(&reports);
+    Some(fair_simlab::result_json(exp, trials, seed, &records).render_pretty() + "\n")
+}
+
+/// Parameters of one `fair-load` run.
+#[derive(Clone, Debug)]
+pub struct LoadOptions {
+    /// Server address.
+    pub addr: SocketAddr,
+    /// Concurrent closed-loop clients in the warm phase.
+    pub clients: usize,
+    /// Distinct parameter points (seeds `0..points`).
+    pub points: usize,
+    /// Warm passes over the whole point set per client.
+    pub repeat: usize,
+    /// Experiment id to query.
+    pub exp: String,
+    /// Trials per estimate.
+    pub trials: usize,
+}
+
+impl Default for LoadOptions {
+    fn default() -> LoadOptions {
+        LoadOptions {
+            addr: SocketAddr::from(([127, 0, 0, 1], 0)),
+            clients: 4,
+            points: 6,
+            repeat: 8,
+            exp: "e1".to_string(),
+            trials: 50,
+        }
+    }
+}
+
+/// What a load run measured.
+#[derive(Clone, Debug)]
+pub struct LoadReport {
+    /// Latency quantiles of the cold phase (nanoseconds per request).
+    pub cold_ns: QuantileSummary,
+    /// Latency quantiles of the warm phase (nanoseconds per request).
+    pub warm_ns: QuantileSummary,
+    /// Requests that failed (transport error or non-200).
+    pub errors: u64,
+    /// Warm responses served from the cache (`X-Cache: hit`/`wait`).
+    pub warm_hits: u64,
+    /// Warm requests issued.
+    pub warm_requests: u64,
+    /// Warm-phase throughput, requests per second.
+    pub warm_rps: f64,
+    /// Total requests issued across both phases.
+    pub total_requests: u64,
+}
+
+impl LoadReport {
+    /// Warm cache hit rate in `[0, 1]`.
+    pub fn warm_hit_rate(&self) -> f64 {
+        if self.warm_requests == 0 {
+            0.0
+        } else {
+            self.warm_hits as f64 / self.warm_requests as f64
+        }
+    }
+
+    /// How many times faster the warm median is than the cold median.
+    pub fn p50_speedup(&self) -> f64 {
+        if self.warm_ns.p50 == 0 {
+            f64::INFINITY
+        } else {
+            self.cold_ns.p50 as f64 / self.warm_ns.p50 as f64
+        }
+    }
+}
+
+fn timed_get(addr: SocketAddr, target: &str) -> (u64, Option<HttpReply>) {
+    let t0 = Instant::now();
+    let reply = client::get(addr, target);
+    let ns = t0.elapsed().as_nanos() as u64;
+    (ns, reply.ok())
+}
+
+/// Drives the closed-loop load: a sequential **cold phase** touching each
+/// point once (every request a miss on a fresh server), then a concurrent
+/// **warm phase** where `clients` threads each sweep the same points
+/// `repeat` times (every request a cache hit). Closed-loop means each
+/// client issues its next request only after the previous one completes,
+/// so offered load adapts to service rate instead of overrunning it.
+pub fn run_load(opts: &LoadOptions) -> LoadReport {
+    let target_for = |seed: usize| {
+        format!(
+            "/estimate?exp={}&trials={}&seed={seed}",
+            opts.exp, opts.trials
+        )
+    };
+
+    let mut errors = 0u64;
+    let mut cold_samples = Vec::with_capacity(opts.points);
+    for seed in 0..opts.points {
+        let (ns, reply) = timed_get(opts.addr, &target_for(seed));
+        match reply {
+            Some(r) if r.status == 200 => cold_samples.push(ns),
+            _ => errors += 1,
+        }
+    }
+
+    let warm_t0 = Instant::now();
+    let per_client: Vec<(Vec<u64>, u64, u64)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..opts.clients.max(1))
+            .map(|_| {
+                let target_for = &target_for;
+                scope.spawn(move || {
+                    let mut samples = Vec::with_capacity(opts.repeat * opts.points);
+                    let mut hits = 0u64;
+                    let mut errors = 0u64;
+                    for _ in 0..opts.repeat {
+                        for seed in 0..opts.points {
+                            let (ns, reply) = timed_get(opts.addr, &target_for(seed));
+                            match reply {
+                                Some(r) if r.status == 200 => {
+                                    samples.push(ns);
+                                    if matches!(r.header("x-cache"), Some("hit") | Some("wait")) {
+                                        hits += 1;
+                                    }
+                                }
+                                _ => errors += 1,
+                            }
+                        }
+                    }
+                    (samples, hits, errors)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or((Vec::new(), 0, 1)))
+            .collect()
+    });
+    let warm_wall_s = warm_t0.elapsed().as_secs_f64().max(1e-9);
+
+    let mut warm_samples = Vec::new();
+    let mut warm_hits = 0u64;
+    for (samples, hits, errs) in per_client {
+        warm_samples.extend(samples);
+        warm_hits += hits;
+        errors += errs;
+    }
+    let warm_requests = (opts.clients.max(1) * opts.repeat * opts.points) as u64;
+    LoadReport {
+        cold_ns: QuantileSummary::from_samples(cold_samples),
+        warm_ns: QuantileSummary::from_samples(warm_samples),
+        errors,
+        warm_hits,
+        warm_requests,
+        warm_rps: warm_requests as f64 / warm_wall_s,
+        total_requests: opts.points as u64 + warm_requests,
+    }
+}
+
+fn quantile_fields(q: &QuantileSummary) -> Json {
+    Json::obj()
+        .field("count", Json::num(q.count as f64))
+        .field("min_ns", Json::num(q.min as f64))
+        .field("p50_ns", Json::num(q.p50 as f64))
+        .field("p99_ns", Json::num(q.p99 as f64))
+        .field("max_ns", Json::num(q.max as f64))
+}
+
+/// The persisted load-run document (canonical keys).
+pub fn load_json(opts: &LoadOptions, report: &LoadReport) -> Json {
+    Json::obj()
+        .field("suite", Json::str("serve_load"))
+        .field("exp", Json::str(&opts.exp))
+        .field("trials", Json::num(opts.trials as f64))
+        .field("clients", Json::num(opts.clients as f64))
+        .field("points", Json::num(opts.points as f64))
+        .field("repeat", Json::num(opts.repeat as f64))
+        .field("errors", Json::num(report.errors as f64))
+        .field("total_requests", Json::num(report.total_requests as f64))
+        .field("warm_requests", Json::num(report.warm_requests as f64))
+        .field("warm_hits", Json::num(report.warm_hits as f64))
+        .field("warm_hit_rate", Json::Num(report.warm_hit_rate()))
+        .field("warm_rps", Json::Num(round1(report.warm_rps)))
+        .field("p50_speedup", Json::Num(round1(report.p50_speedup())))
+        .field("cold", quantile_fields(&report.cold_ns))
+        .field("warm", quantile_fields(&report.warm_ns))
+        .canonical()
+}
+
+fn round1(x: f64) -> f64 {
+    if x.is_finite() {
+        (x * 10.0).round() / 10.0
+    } else {
+        x
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backend_serves_the_registry_listing() {
+        let listing = ExperimentBackend.experiments();
+        assert_eq!(listing.len(), crate::ALL_EXPERIMENTS.len());
+        assert_eq!(listing[0].0, "e1");
+        assert!(ExperimentBackend.estimate("e99", 10, 1).is_none());
+    }
+
+    #[test]
+    fn rendered_result_matches_the_batch_record_document() {
+        let body = rendered_result("e1", 15, 7).expect("e1 exists");
+        let (_, record) = crate::runner::run_recorded("e1", 15, 7).expect("e1 exists");
+        assert_eq!(body, record.result_json().render_pretty() + "\n");
+    }
+
+    #[test]
+    fn load_report_derives_rates_safely() {
+        let report = LoadReport {
+            cold_ns: QuantileSummary::from_samples(vec![1000, 2000]),
+            warm_ns: QuantileSummary::from_samples(vec![100]),
+            errors: 0,
+            warm_hits: 9,
+            warm_requests: 10,
+            warm_rps: 123.4,
+            total_requests: 12,
+        };
+        assert!((report.warm_hit_rate() - 0.9).abs() < 1e-12);
+        assert!((report.p50_speedup() - 20.0).abs() < 1e-12);
+        let doc = load_json(&LoadOptions::default(), &report).render();
+        assert!(doc.contains("\"warm_hit_rate\":0.9"));
+    }
+}

@@ -1,0 +1,132 @@
+//! The serving layer's central contract, end-to-end over the real
+//! registry: for a fixed `(experiment, params, trials, seed)` the served
+//! JSON is **byte-identical** to the batch run's deterministic result
+//! document — on the cold path and on the cached path.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use fair_bench::servecli::{rendered_result, run_load, ExperimentBackend, LoadOptions};
+use fair_serve::{client, Server, ServerConfig};
+
+fn boot() -> (
+    std::net::SocketAddr,
+    std::thread::JoinHandle<std::io::Result<()>>,
+) {
+    let server =
+        Server::bind(ServerConfig::default(), Arc::new(ExperimentBackend)).expect("ephemeral bind");
+    let addr = server.local_addr();
+    let handle = std::thread::spawn(move || server.run());
+    (addr, handle)
+}
+
+fn stop(addr: std::net::SocketAddr, handle: std::thread::JoinHandle<std::io::Result<()>>) {
+    assert_eq!(
+        client::post(addr, "/shutdown").expect("reachable").status,
+        200
+    );
+    handle.join().expect("server thread").expect("clean exit");
+}
+
+#[test]
+fn served_bytes_equal_batch_record_bytes_cold_and_cached() {
+    let (addr, handle) = boot();
+    let (exp, trials, seed) = ("e1", 25, 7u64);
+
+    // The batch side: the result document a `reproduce` run records.
+    let (_, record) =
+        fair_bench::runner::run_recorded(exp, trials, seed).expect("known experiment");
+    let batch = record.result_json().render_pretty() + "\n";
+    // Registry determinism: an independent run renders the same bytes.
+    assert_eq!(rendered_result(exp, trials, seed).expect("known"), batch);
+
+    let target = format!("/estimate?exp={exp}&trials={trials}&seed={seed}");
+    let cold = client::get(addr, &target).expect("cold");
+    assert_eq!(cold.status, 200);
+    assert_eq!(cold.header("x-cache"), Some("miss"));
+    assert_eq!(
+        String::from_utf8_lossy(&cold.body),
+        batch,
+        "cold served bytes == batch record bytes"
+    );
+
+    let warm = client::get(addr, &target).expect("warm");
+    assert_eq!(warm.header("x-cache"), Some("hit"));
+    assert_eq!(warm.body, cold.body, "cached bytes == cold bytes");
+    stop(addr, handle);
+}
+
+#[test]
+fn load_generator_measures_a_live_server() {
+    let (addr, handle) = boot();
+    let opts = LoadOptions {
+        addr,
+        clients: 2,
+        points: 3,
+        repeat: 2,
+        exp: "e1".to_string(),
+        trials: 10,
+    };
+    let report = run_load(&opts);
+    assert_eq!(report.errors, 0, "no request failed");
+    assert_eq!(report.total_requests, 3 + 2 * 2 * 3);
+    assert_eq!(
+        report.warm_hits, report.warm_requests,
+        "warm phase all cached"
+    );
+    assert!(report.warm_rps > 0.0);
+    assert!(
+        report.cold_ns.p50 >= report.warm_ns.p50,
+        "cache is not slower"
+    );
+    stop(addr, handle);
+}
+
+#[test]
+fn overloaded_live_server_sheds_load_within_bounds() {
+    // Tiny pool + nontrivial estimations: concurrent distinct points must
+    // yield some 429s, every connection answered promptly.
+    let config = ServerConfig {
+        workers: 1,
+        queue_cap: 1,
+        ..ServerConfig::default()
+    };
+    let server = Server::bind(config, Arc::new(ExperimentBackend)).expect("ephemeral bind");
+    let addr = server.local_addr();
+    let handle = std::thread::spawn(move || server.run());
+
+    let replies: Vec<_> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..10)
+            .map(|i| {
+                scope.spawn(move || {
+                    let target = format!("/estimate?exp=e2&trials=800&seed={i}");
+                    let t0 = std::time::Instant::now();
+                    let reply = client::get(addr, &target).expect("answered");
+                    (reply, t0.elapsed())
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("no panic"))
+            .collect()
+    });
+    let ok = replies.iter().filter(|(r, _)| r.status == 200).count();
+    let rejected = replies.iter().filter(|(r, _)| r.status == 429).count();
+    assert_eq!(
+        ok + rejected,
+        replies.len(),
+        "only 200 or 429 under overload"
+    );
+    assert!(rejected >= 1, "the bounded queue shed load");
+    // Rejections are bounded: answered fast, not after the queue drains.
+    for (reply, elapsed) in &replies {
+        if reply.status == 429 {
+            assert!(
+                *elapsed < Duration::from_secs(5),
+                "429 answered within bounds, took {elapsed:?}"
+            );
+        }
+    }
+    stop(addr, handle);
+}

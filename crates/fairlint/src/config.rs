@@ -106,6 +106,9 @@ pub struct Config {
     /// Crates that must emit diagnostics via the fair-trace Tracer
     /// rather than stdout/stderr (rule T1).
     pub trace_crates: Vec<String>,
+    /// Workspace members exempt from rule R5's coverage requirement
+    /// (vendored stand-ins, the linter itself, harness-side crates).
+    pub r5_allow_crates: Vec<String>,
 }
 
 impl Default for Config {
@@ -128,6 +131,7 @@ impl Default for Config {
             unsafe_allow_crates: vec![],
             env_allow_paths: vec![],
             trace_crates: v(&["runtime", "protocols"]),
+            r5_allow_crates: vec![],
         }
     }
 }
@@ -158,6 +162,7 @@ impl Config {
                 "rules.S1.extra_types" => self.extra_secret_types = items.clone(),
                 "rules.S2.paths" => self.engine_paths = items.clone(),
                 "rules.R2.allow_crates" => self.unsafe_allow_crates = items.clone(),
+                "rules.R5.allow_crates" => self.r5_allow_crates = items.clone(),
                 "rules.T1.crates" => self.trace_crates = items.clone(),
                 "allow.R4.paths" => self.env_allow_paths = items.clone(),
                 _ => {}

@@ -12,7 +12,7 @@
 //! the shared runner's `ALL_EXPERIMENTS` registry, and the
 //! EXPERIMENTS.md summary table stay in lockstep).
 //!
-//! fairlint enforces those as rules `D1`–`D2`, `S1`–`S2`, `R1`–`R4`,
+//! fairlint enforces those as rules `D1`–`D2`, `S1`–`S2`, `R1`–`R5`,
 //! plus `L1` policing its own suppression comments. It is a token-level
 //! analysis over a scrubbing lexer ([`lexer`]) — comments and string
 //! literals are blanked before matching, so prose never trips a rule —

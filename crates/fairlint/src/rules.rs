@@ -51,6 +51,10 @@ pub const RULES: &[RuleInfo] = &[
         summary: "environment reads only via the sanctioned config entry point",
     },
     RuleInfo {
+        id: "R5",
+        summary: "every workspace member is covered by a fairlint.toml crate scope or allowlisted",
+    },
+    RuleInfo {
         id: "L1",
         summary: "fairlint::allow suppressions must name a known rule and carry a reason",
     },
@@ -81,6 +85,7 @@ pub fn check_all(ws: &Workspace) -> Vec<Diagnostic> {
     }
     check_r1(ws, &mut diags);
     check_r2(ws, &mut diags);
+    check_r5(ws, &mut diags);
 
     // Apply suppressions (L1 polices the suppressions themselves and is
     // not itself suppressible).
@@ -546,6 +551,36 @@ fn check_r4(ws: &Workspace, f: &SourceFile, out: &mut Vec<Diagnostic>) {
                     ),
                 ));
             }
+        }
+    }
+}
+
+/// R5 — scope coverage: every workspace member declared in the root
+/// `Cargo.toml` is named by at least one `fairlint.toml` crate scope
+/// (the D1 boundary, D2 float crates, S1 secret crates, T1 trace
+/// crates) or by the explicit `[rules.R5] allow_crates` list. New
+/// crates cannot slip into the workspace unsupervised.
+fn check_r5(ws: &Workspace, out: &mut Vec<Diagnostic>) {
+    let scoped = |m: &String| {
+        ws.config.boundary_crates.contains(m)
+            || ws.config.float_crates.contains(m)
+            || ws.config.secret_crates.contains(m)
+            || ws.config.trace_crates.contains(m)
+            || ws.config.r5_allow_crates.contains(m)
+    };
+    for member in &ws.members {
+        if !scoped(member) {
+            out.push(Diagnostic {
+                rule: "R5",
+                severity: Severity::Error,
+                rel: "Cargo.toml".to_string(),
+                line: ws.members_line,
+                message: format!(
+                    "workspace member `{member}` (crates/{member}) appears in no fairlint.toml \
+                     crate scope; place it under a rule's scope or list it in [rules.R5] \
+                     allow_crates"
+                ),
+            });
         }
     }
 }

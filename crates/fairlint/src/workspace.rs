@@ -4,7 +4,7 @@
 use std::io;
 use std::path::{Path, PathBuf};
 
-use crate::config::Config;
+use crate::config::{parse_toml_subset, Config, TomlValue};
 use crate::diag::Diagnostic;
 use crate::rules;
 use crate::source::SourceFile;
@@ -24,6 +24,13 @@ pub struct Workspace {
     pub config: Config,
     /// Raw `EXPERIMENTS.md`, when present (rule R1's third leg).
     pub experiments_md: Option<String>,
+    /// Workspace member crate names (directory basenames), expanded from
+    /// the root `Cargo.toml` `members` globs. Empty when the root has no
+    /// workspace manifest. Rule R5's subject.
+    pub members: Vec<String>,
+    /// 1-based line of the `members = [...]` declaration in the root
+    /// `Cargo.toml` (1 when absent) — where R5 diagnostics anchor.
+    pub members_line: usize,
 }
 
 impl Workspace {
@@ -46,11 +53,15 @@ impl Workspace {
             .collect::<io::Result<Vec<_>>>()?;
         let config = Config::load(&root);
         let experiments_md = std::fs::read_to_string(root.join("EXPERIMENTS.md")).ok();
+        let manifest = std::fs::read_to_string(root.join("Cargo.toml")).unwrap_or_default();
+        let (members, members_line) = expand_members(&root, &manifest);
         Ok(Workspace {
             root,
             files,
             config,
             experiments_md,
+            members,
+            members_line,
         })
     }
 
@@ -63,6 +74,45 @@ impl Workspace {
     pub fn analyze(&self) -> Vec<Diagnostic> {
         rules::check_all(self)
     }
+}
+
+/// Expands the root manifest's `[workspace] members` patterns into crate
+/// names. A trailing `/*` globs over subdirectories; a directory counts
+/// as a member only when it actually contains a `Cargo.toml`. The crate
+/// name is the directory basename — the same attribution
+/// [`SourceFile::krate`] uses, so R5 and the path-scoped rules agree.
+fn expand_members(root: &Path, manifest: &str) -> (Vec<String>, usize) {
+    let line = 1 + manifest
+        .lines()
+        .position(|l| l.trim_start().starts_with("members"))
+        .unwrap_or(0);
+    let patterns: Vec<String> = parse_toml_subset(manifest)
+        .into_iter()
+        .find_map(|(k, v)| match (k.as_str(), v) {
+            ("workspace.members", TomlValue::List(items)) => Some(items),
+            _ => None,
+        })
+        .unwrap_or_default();
+    let mut members = Vec::new();
+    for pattern in &patterns {
+        if let Some(prefix) = pattern.strip_suffix("/*") {
+            let Ok(entries) = std::fs::read_dir(root.join(prefix)) else {
+                continue;
+            };
+            for entry in entries.flatten() {
+                if entry.path().join("Cargo.toml").is_file() {
+                    members.push(entry.file_name().to_string_lossy().into_owned());
+                }
+            }
+        } else if root.join(pattern).join("Cargo.toml").is_file() {
+            if let Some(name) = Path::new(pattern).file_name() {
+                members.push(name.to_string_lossy().into_owned());
+            }
+        }
+    }
+    members.sort();
+    members.dedup();
+    (members, line)
 }
 
 fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
@@ -94,5 +144,29 @@ mod tests {
         assert!(ws.files.iter().any(|f| f.rel == "src/workspace.rs"));
         // The walker never picks up fixture inputs.
         assert!(ws.files.iter().all(|f| !f.rel.contains("fixtures/")));
+        // This crate's own manifest declares no workspace.
+        assert!(ws.members.is_empty());
+    }
+
+    #[test]
+    fn member_globs_expand_against_the_real_workspace() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .canonicalize()
+            .expect("workspace root");
+        let (members, line) = expand_members(&root, "[workspace]\nmembers = [\"crates/*\"]\n");
+        assert_eq!(line, 2);
+        for expected in ["core", "serve", "fairlint", "rand"] {
+            assert!(
+                members.iter().any(|m| m == expected),
+                "missing {expected} in {members:?}"
+            );
+        }
+        // Only directories holding a Cargo.toml count.
+        let (none, _) = expand_members(&root, "[workspace]\nmembers = [\"docs/*\"]\n");
+        assert!(none.is_empty());
+        // Literal (non-glob) member paths resolve too.
+        let (one, _) = expand_members(&root, "[workspace]\nmembers = [\"crates/core\"]\n");
+        assert_eq!(one, vec!["core".to_string()]);
     }
 }

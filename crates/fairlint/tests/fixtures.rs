@@ -50,9 +50,28 @@ fn ws_bad_diagnostics_land_on_the_right_lines() {
     assert!(has("S2", "crates/runtime/src/engine.rs", 3)); // .unwrap(
     assert!(has("T1", "crates/runtime/src/engine.rs", 9)); // eprintln!
     assert!(has("R2", "crates/norust/src/lib.rs", 1));
+    // R5 anchors on the root manifest's `members = [...]` line.
+    assert!(has("R5", "Cargo.toml", 5));
     // L1: the reasonless allow and the unknown-rule allow.
     assert!(has("L1", "crates/core/src/lib.rs", 6));
     assert!(has("L1", "crates/core/src/lib.rs", 15));
+}
+
+#[test]
+fn ws_bad_unscoped_member_names_the_crate() {
+    let diags = analyze("ws_bad");
+    let r5: Vec<&str> = diags
+        .iter()
+        .filter(|d| d.rule == "R5")
+        .map(|d| d.message.as_str())
+        .collect();
+    assert!(
+        r5.iter().any(|m| m.contains("`norust`")),
+        "R5 should flag the unscoped member: {r5:?}"
+    );
+    // The scoped members (bench/core/crypto/runtime under the default
+    // config) are covered and stay quiet.
+    assert!(!r5.iter().any(|m| m.contains("`core`")), "{r5:?}");
 }
 
 #[test]

@@ -56,4 +56,18 @@ fn the_workspace_config_scopes_the_boundary() {
         .iter()
         .any(|p| p == "crates/simlab/src/config.rs"));
     assert!(ws.config.extra_secret_types.iter().any(|t| t == "Prg"));
+    // The serving layer is supervised: its request parser and handler
+    // are S2 (panic-free) paths, the library itself is T1 (no direct
+    // stdout/stderr), and every workspace member is either scoped or
+    // deliberately allowlisted for R5.
+    for path in ["crates/serve/src/http.rs", "crates/serve/src/service.rs"] {
+        assert!(
+            ws.config.engine_paths.iter().any(|p| p == path),
+            "{path} missing from rules.S2.paths"
+        );
+    }
+    assert!(ws.config.trace_crates.iter().any(|c| c == "serve"));
+    assert!(ws.config.boundary_crates.iter().any(|c| c == "sfe"));
+    assert!(ws.members.iter().any(|m| m == "serve"));
+    assert!(ws.config.r5_allow_crates.iter().any(|c| c == "rand"));
 }

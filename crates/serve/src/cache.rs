@@ -1,0 +1,314 @@
+//! A sharded LRU result cache with **single-flight** deduplication.
+//!
+//! Keys are canonicalized request points (`exp=e1&seed=7&trials=100`);
+//! values are fully rendered response bodies, shared as `Arc<Vec<u8>>` so
+//! a hit clones a pointer, never the bytes — which is also what makes the
+//! hit path *byte-identical* to the cold path by construction.
+//!
+//! Single-flight: when N requests race on the same absent key, exactly one
+//! computes; the rest block on the flight and receive the same `Arc`. A
+//! thundering herd on one parameter point costs one estimation, not N.
+//! Failed computations are **not** cached (the pending entry is removed so
+//! a later request retries), and a panicking computation is caught and
+//! converted into a failure so waiters never hang.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// The outcome of a cache lookup.
+#[derive(Clone, Debug)]
+pub enum Lookup {
+    /// The key was cached; bytes served without computing.
+    Hit(Arc<Vec<u8>>),
+    /// This caller computed the value (cold path).
+    Computed(Arc<Vec<u8>>),
+    /// Another caller was computing; this one waited and shares the bytes.
+    Waited(Arc<Vec<u8>>),
+    /// The computation failed; nothing was cached.
+    Failed(String),
+}
+
+impl Lookup {
+    /// The shared bytes, unless the computation failed.
+    pub fn bytes(&self) -> Option<&Arc<Vec<u8>>> {
+        match self {
+            Lookup::Hit(b) | Lookup::Computed(b) | Lookup::Waited(b) => Some(b),
+            Lookup::Failed(_) => None,
+        }
+    }
+}
+
+struct Flight {
+    result: Mutex<Option<Result<Arc<Vec<u8>>, String>>>,
+    done: Condvar,
+}
+
+enum Entry {
+    Ready { bytes: Arc<Vec<u8>>, last_used: u64 },
+    Pending(Arc<Flight>),
+}
+
+#[derive(Default)]
+struct Shard {
+    map: HashMap<String, Entry>,
+    tick: u64,
+}
+
+impl Shard {
+    fn ready_len(&self) -> usize {
+        self.map
+            .values()
+            .filter(|e| matches!(e, Entry::Ready { .. }))
+            .count()
+    }
+
+    /// Evicts least-recently-used ready entries down to `cap`. Pending
+    /// entries are never evicted (their flight owns the key).
+    fn evict_to(&mut self, cap: usize) {
+        while self.ready_len() > cap {
+            let victim = self
+                .map
+                .iter()
+                .filter_map(|(k, e)| match e {
+                    Entry::Ready { last_used, .. } => Some((*last_used, k.clone())),
+                    Entry::Pending(_) => None,
+                })
+                .min();
+            match victim {
+                Some((_, key)) => {
+                    self.map.remove(&key);
+                }
+                None => break,
+            }
+        }
+    }
+}
+
+/// A fixed-shard-count cache; see the module docs.
+pub struct ShardedCache {
+    shards: Vec<Mutex<Shard>>,
+    cap_per_shard: usize,
+}
+
+impl ShardedCache {
+    /// A cache of at most `entries` ready values across `shards` shards
+    /// (both floored at 1). Sharding bounds lock contention: two requests
+    /// for different points rarely touch the same mutex.
+    pub fn new(entries: usize, shards: usize) -> ShardedCache {
+        let shards = shards.max(1);
+        ShardedCache {
+            shards: (0..shards).map(|_| Mutex::new(Shard::default())).collect(),
+            cap_per_shard: (entries.max(1)).div_ceil(shards),
+        }
+    }
+
+    /// Total ready entries currently cached.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| self.lock(s).ready_len()).sum()
+    }
+
+    /// Whether the cache holds no ready entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn lock<'s>(&self, shard: &'s Mutex<Shard>) -> std::sync::MutexGuard<'s, Shard> {
+        shard.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn shard_for(&self, key: &str) -> &Mutex<Shard> {
+        // FNV-1a; shards is non-empty by construction.
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in key.bytes() {
+            h = (h ^ b as u64).wrapping_mul(0x1000_0000_01b3);
+        }
+        let idx = (h % self.shards.len() as u64) as usize;
+        self.shards.get(idx).unwrap_or_else(|| {
+            // Unreachable (idx < len); kept total for defensiveness.
+            &self.shards[0]
+        })
+    }
+
+    /// Returns the cached bytes for `key`, or runs `compute` exactly once
+    /// across all concurrent callers of the same key.
+    pub fn get_or_compute(
+        &self,
+        key: &str,
+        compute: impl FnOnce() -> Result<Vec<u8>, String>,
+    ) -> Lookup {
+        let shard = self.shard_for(key);
+        let flight = {
+            let mut guard = self.lock(shard);
+            guard.tick += 1;
+            let tick = guard.tick;
+            match guard.map.get_mut(key) {
+                Some(Entry::Ready { bytes, last_used }) => {
+                    *last_used = tick;
+                    return Lookup::Hit(Arc::clone(bytes));
+                }
+                Some(Entry::Pending(flight)) => {
+                    let flight = Arc::clone(flight);
+                    drop(guard);
+                    return wait_for(&flight);
+                }
+                None => {
+                    let flight = Arc::new(Flight {
+                        result: Mutex::new(None),
+                        done: Condvar::new(),
+                    });
+                    guard
+                        .map
+                        .insert(key.to_string(), Entry::Pending(Arc::clone(&flight)));
+                    flight
+                }
+            }
+        };
+
+        // Cold path: compute outside any shard lock. Panics become
+        // failures so flight waiters are always released.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(compute))
+            .unwrap_or_else(|_| Err("computation panicked".to_string()))
+            .map(Arc::new);
+        {
+            let mut slot = flight.result.lock().unwrap_or_else(|e| e.into_inner());
+            *slot = Some(result.clone());
+            flight.done.notify_all();
+        }
+        let mut guard = self.lock(shard);
+        match &result {
+            Ok(bytes) => {
+                let tick = guard.tick;
+                guard.map.insert(
+                    key.to_string(),
+                    Entry::Ready {
+                        bytes: Arc::clone(bytes),
+                        last_used: tick,
+                    },
+                );
+                guard.evict_to(self.cap_per_shard);
+                Lookup::Computed(Arc::clone(bytes))
+            }
+            Err(e) => {
+                guard.map.remove(key);
+                Lookup::Failed(e.clone())
+            }
+        }
+    }
+}
+
+fn wait_for(flight: &Flight) -> Lookup {
+    let mut slot = flight.result.lock().unwrap_or_else(|e| e.into_inner());
+    loop {
+        match slot.as_ref() {
+            Some(Ok(bytes)) => return Lookup::Waited(Arc::clone(bytes)),
+            Some(Err(e)) => return Lookup::Failed(e.clone()),
+            None => {
+                slot = flight.done.wait(slot).unwrap_or_else(|e| e.into_inner());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn cold_then_hit_share_identical_bytes() {
+        let cache = ShardedCache::new(8, 2);
+        let cold = cache.get_or_compute("k", || Ok(b"payload".to_vec()));
+        let hit = cache.get_or_compute("k", || Ok(b"DIFFERENT".to_vec()));
+        let (cold, hit) = match (&cold, &hit) {
+            (Lookup::Computed(c), Lookup::Hit(h)) => (c, h),
+            other => panic!("unexpected outcomes {other:?}"),
+        };
+        assert_eq!(cold, hit);
+        assert!(Arc::ptr_eq(cold, hit));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn failures_are_not_cached_and_retry() {
+        let cache = ShardedCache::new(8, 1);
+        let calls = AtomicUsize::new(0);
+        let fail = cache.get_or_compute("k", || {
+            calls.fetch_add(1, Ordering::SeqCst);
+            Err("nope".to_string())
+        });
+        assert!(matches!(fail, Lookup::Failed(ref e) if e == "nope"));
+        assert_eq!(cache.len(), 0);
+        let ok = cache.get_or_compute("k", || {
+            calls.fetch_add(1, Ordering::SeqCst);
+            Ok(b"v".to_vec())
+        });
+        assert!(matches!(ok, Lookup::Computed(_)));
+        assert_eq!(calls.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn panicking_computation_fails_cleanly() {
+        let cache = ShardedCache::new(8, 1);
+        let out = cache.get_or_compute("k", || panic!("boom"));
+        assert!(matches!(out, Lookup::Failed(_)));
+        // The pending entry was removed; the key is computable again.
+        let ok = cache.get_or_compute("k", || Ok(b"v".to_vec()));
+        assert!(matches!(ok, Lookup::Computed(_)));
+    }
+
+    #[test]
+    fn lru_evicts_the_least_recently_used_entry() {
+        let cache = ShardedCache::new(2, 1);
+        cache.get_or_compute("a", || Ok(b"1".to_vec()));
+        cache.get_or_compute("b", || Ok(b"2".to_vec()));
+        // Touch `a` so `b` is the LRU victim.
+        assert!(matches!(
+            cache.get_or_compute("a", || Ok(b"X".to_vec())),
+            Lookup::Hit(_)
+        ));
+        cache.get_or_compute("c", || Ok(b"3".to_vec()));
+        assert_eq!(cache.len(), 2);
+        assert!(matches!(
+            cache.get_or_compute("a", || Ok(b"recompute-a".to_vec())),
+            Lookup::Hit(_)
+        ));
+        assert!(matches!(
+            cache.get_or_compute("b", || Ok(b"recompute-b".to_vec())),
+            Lookup::Computed(_)
+        ));
+    }
+
+    #[test]
+    fn single_flight_computes_once_under_contention() {
+        let cache = Arc::new(ShardedCache::new(8, 4));
+        let calls = Arc::new(AtomicUsize::new(0));
+        let results: Vec<Lookup> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    let cache = Arc::clone(&cache);
+                    let calls = Arc::clone(&calls);
+                    scope.spawn(move || {
+                        cache.get_or_compute("point", move || {
+                            calls.fetch_add(1, Ordering::SeqCst);
+                            std::thread::sleep(std::time::Duration::from_millis(20));
+                            Ok(b"shared-bytes".to_vec())
+                        })
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert_eq!(calls.load(Ordering::SeqCst), 1, "compute ran once");
+        let first = results[0].bytes().expect("no failure");
+        for r in &results {
+            assert!(Arc::ptr_eq(first, r.bytes().expect("no failure")));
+        }
+        assert_eq!(
+            results
+                .iter()
+                .filter(|r| matches!(r, Lookup::Computed(_)))
+                .count(),
+            1
+        );
+    }
+}

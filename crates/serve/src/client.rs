@@ -1,0 +1,113 @@
+//! A minimal blocking HTTP/1.1 client over `std::net::TcpStream` —
+//! just enough for `fair-load`, CI smoke checks, and the e2e tests to
+//! talk to a `fair-serve` instance without any external dependency.
+//!
+//! The server always answers `Connection: close`, so a reply is simply
+//! "everything until EOF" split at the first blank line.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// One parsed HTTP reply.
+#[derive(Clone, Debug)]
+pub struct HttpReply {
+    /// Status code from the status line.
+    pub status: u16,
+    /// Header `(name, value)` pairs in order of appearance.
+    pub headers: Vec<(String, String)>,
+    /// Body bytes (everything after the blank line).
+    pub body: Vec<u8>,
+}
+
+impl HttpReply {
+    /// First header named `name` (ASCII case-insensitive).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The body as UTF-8 text (lossy).
+    pub fn text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+/// Issues `GET <target>` against `addr` and reads the full reply.
+pub fn get(addr: SocketAddr, target: &str) -> std::io::Result<HttpReply> {
+    request(addr, "GET", target, Duration::from_secs(30))
+}
+
+/// Issues `POST <target>` against `addr` and reads the full reply.
+pub fn post(addr: SocketAddr, target: &str) -> std::io::Result<HttpReply> {
+    request(addr, "POST", target, Duration::from_secs(30))
+}
+
+/// Issues one request with an explicit socket timeout.
+pub fn request(
+    addr: SocketAddr,
+    method: &str,
+    target: &str,
+    timeout: Duration,
+) -> std::io::Result<HttpReply> {
+    let mut stream = TcpStream::connect_timeout(&addr, timeout)?;
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))?;
+    stream.set_nodelay(true)?;
+    let head = format!("{method} {target} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n");
+    stream.write_all(head.as_bytes())?;
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw)?;
+    parse_reply(&raw)
+}
+
+fn parse_reply(raw: &[u8]) -> std::io::Result<HttpReply> {
+    let bad = |msg: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_string());
+    let head_end = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .ok_or_else(|| bad("reply has no head terminator"))?;
+    let head = String::from_utf8_lossy(raw.get(..head_end).unwrap_or_default());
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next().ok_or_else(|| bad("empty reply"))?;
+    let status = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| bad("malformed status line"))?;
+    let headers = lines
+        .filter_map(|line| {
+            line.split_once(':')
+                .map(|(k, v)| (k.trim().to_string(), v.trim().to_string()))
+        })
+        .collect();
+    let body = raw.get(head_end + 4..).unwrap_or_default().to_vec();
+    Ok(HttpReply {
+        status,
+        headers,
+        body,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_full_reply() {
+        let raw =
+            b"HTTP/1.1 200 OK\r\nContent-Type: application/json\r\nX-Cache: hit\r\n\r\n{\"a\":1}\n";
+        let reply = parse_reply(raw).unwrap();
+        assert_eq!(reply.status, 200);
+        assert_eq!(reply.header("x-cache"), Some("hit"));
+        assert_eq!(reply.text(), "{\"a\":1}\n");
+    }
+
+    #[test]
+    fn rejects_malformed_replies() {
+        assert!(parse_reply(b"not http").is_err());
+        assert!(parse_reply(b"HTTP/1.1 abc\r\n\r\n").is_err());
+    }
+}

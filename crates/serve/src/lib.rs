@@ -1,0 +1,43 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+//! `fair-serve` — a zero-dependency HTTP/1.1 estimation service over the
+//! experiment registry.
+//!
+//! The batch entry point (`reproduce`) answers "run everything, write
+//! records"; this crate answers *queries*: `GET
+//! /estimate?exp=e5&trials=1000&seed=7` runs that one Monte-Carlo
+//! estimation through the same deterministic machinery and returns the
+//! canonical result document — **byte-identical** to what a batch run
+//! records for the same point, whether the response was computed cold or
+//! served from the cache.
+//!
+//! Layers (bottom-up):
+//! - [`http`]: a defensive request parser / response serializer over
+//!   `std` only; total on arbitrary bytes (fairlint S2 scope).
+//! - [`cache`]: a sharded LRU of rendered bodies with single-flight
+//!   deduplication — a thundering herd on one point computes once.
+//! - [`service`]: routing, parameter validation, the [`service::Backend`]
+//!   trait the bench crate implements, and the `/metrics` document.
+//! - [`server`]: the accept loop — bounded [`fair_simlab::WorkerPool`]
+//!   admission (429 when the queue is full), per-request deadlines (503),
+//!   and graceful drain-then-flush shutdown.
+//! - [`client`]: a minimal blocking client for `fair-load` and tests.
+//!
+//! The crate depends only on `fair-simlab` (pool, JSON) and `fair-trace`
+//! (metrics export); the experiment registry arrives through the
+//! [`service::Backend`] trait, keeping `fair-serve` below `fair-bench` in
+//! the dependency order.
+
+pub mod cache;
+pub mod client;
+pub mod http;
+pub mod server;
+pub mod service;
+pub mod stats;
+
+pub use cache::{Lookup, ShardedCache};
+pub use client::HttpReply;
+pub use http::{Request, Response};
+pub use server::{Server, ServerConfig};
+pub use service::{Backend, Service, ServiceConfig};
+pub use stats::ServerStats;

@@ -1,0 +1,214 @@
+//! The TCP accept loop: bounded worker pool, admission control, and
+//! graceful shutdown.
+//!
+//! One request per connection (`Connection: close`), which keeps the
+//! concurrency model trivial: a connection **is** a job. The accept loop
+//! never executes work itself — it hands each accepted stream to the
+//! [`WorkerPool`], and when the bounded queue refuses the job it writes
+//! the `429`/`503` itself so overload is answered within the deadline
+//! rather than by a hanging socket. Shutdown (the `POST /shutdown` latch
+//! or [`Server::shutdown_handle`]) stops admissions, drains every
+//! in-flight job, flushes a final metrics snapshot, and returns from
+//! [`Server::run`].
+
+use std::io::Write;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use fair_simlab::{SubmitError, WorkerPool};
+
+use crate::http::{read_request, ParseError, Response};
+use crate::service::{Backend, Service, ServiceConfig};
+use crate::stats::ServerStats;
+
+/// Tunables for the accept loop and worker pool.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Bind address; use port 0 for an ephemeral port.
+    pub addr: String,
+    /// Worker threads executing requests.
+    pub workers: usize,
+    /// Bounded job-queue capacity; beyond it requests get `429`.
+    pub queue_cap: usize,
+    /// Per-request deadline measured from accept; a job that waited in
+    /// the queue past it is answered `503` instead of being served late.
+    pub deadline: Duration,
+    /// Socket read timeout while parsing the request head.
+    pub read_timeout: Duration,
+    /// Where to flush the final metrics snapshot on shutdown (optional).
+    pub metrics_path: Option<PathBuf>,
+    /// Service-layer tunables (defaults, caps, cache geometry).
+    pub service: ServiceConfig,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+            queue_cap: 64,
+            deadline: Duration::from_secs(30),
+            read_timeout: Duration::from_secs(5),
+            metrics_path: None,
+            service: ServiceConfig::default(),
+        }
+    }
+}
+
+/// A bound-but-not-yet-running server.
+pub struct Server {
+    listener: TcpListener,
+    service: Arc<Service>,
+    config: ServerConfig,
+    shutdown: Arc<AtomicBool>,
+    local_addr: SocketAddr,
+}
+
+impl Server {
+    /// Binds the listener and builds the service. The socket is
+    /// nonblocking so the accept loop can poll the shutdown latch.
+    pub fn bind(config: ServerConfig, backend: Arc<dyn Backend>) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let service = Arc::new(Service::new(backend, config.service, Arc::clone(&shutdown)));
+        Ok(Server {
+            listener,
+            service,
+            config,
+            shutdown,
+            local_addr,
+        })
+    }
+
+    /// The bound address (resolves port 0 to the actual ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The shared service (stats access for embedding tests/tools).
+    pub fn service(&self) -> &Arc<Service> {
+        &self.service
+    }
+
+    /// A latch that stops the server when stored `true` — the programmatic
+    /// equivalent of `POST /shutdown`.
+    pub fn shutdown_handle(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.shutdown)
+    }
+
+    /// Serves until shutdown is requested, then drains and returns.
+    pub fn run(self) -> std::io::Result<()> {
+        let pool = WorkerPool::new(self.config.workers, self.config.queue_cap);
+        while !self.shutdown.load(Ordering::SeqCst) {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => self.dispatch(&pool, stream),
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                Err(_) => std::thread::sleep(Duration::from_millis(2)),
+            }
+        }
+        // Graceful: stop accepting (loop exited), drain every admitted
+        // job, then flush the final snapshot.
+        pool.shutdown();
+        self.flush_metrics();
+        Ok(())
+    }
+
+    fn dispatch(&self, pool: &WorkerPool, stream: TcpStream) {
+        ServerStats::bump(&self.service.stats.accepted);
+        let _ = stream.set_read_timeout(Some(self.config.read_timeout));
+        let _ = stream.set_nodelay(true);
+        let accepted_at = Instant::now();
+        let deadline = self.config.deadline;
+        let service = Arc::clone(&self.service);
+        // `try_submit` consumes its closure even on failure, so the stream
+        // rides in a shared slot the accept loop can take back to answer
+        // the rejection itself.
+        let slot = Arc::new(Mutex::new(Some(stream)));
+        let job_slot = Arc::clone(&slot);
+        let submitted = pool.try_submit(move || {
+            let taken = job_slot.lock().unwrap_or_else(|e| e.into_inner()).take();
+            if let Some(mut stream) = taken {
+                handle_connection(&service, &mut stream, accepted_at, deadline);
+            }
+        });
+        if let Err(err) = submitted {
+            let taken = slot.lock().unwrap_or_else(|e| e.into_inner()).take();
+            let Some(mut stream) = taken else { return };
+            let resp = match err {
+                SubmitError::QueueFull => {
+                    ServerStats::bump(&self.service.stats.rejected_queue_full);
+                    Response::error(429, "server overloaded, retry later")
+                        .with_header("Retry-After", "1")
+                }
+                SubmitError::ShuttingDown => {
+                    ServerStats::bump(&self.service.stats.rejected_shutdown);
+                    Response::error(503, "server is shutting down")
+                }
+            };
+            self.service.stats.count_status(resp.status);
+            // Answer off the accept loop: the request head must be read
+            // before the socket closes (dropping unread bytes RSTs the
+            // response away), and that read can block up to the read
+            // timeout — never stall accepts on a rejected client.
+            std::thread::spawn(move || {
+                let _ = read_request(&mut stream);
+                let _ = stream.write_all(&resp.to_bytes());
+            });
+        }
+    }
+
+    fn flush_metrics(&self) {
+        let Some(path) = &self.config.metrics_path else {
+            return;
+        };
+        if let Some(dir) = path.parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        let body = self.service.metrics_document().render_pretty() + "\n";
+        let _ = std::fs::write(path, body);
+    }
+}
+
+/// Worker-side handling of one accepted connection: deadline check, head
+/// parse, route, respond. Every failure is answered; nothing panics.
+fn handle_connection(
+    service: &Service,
+    stream: &mut TcpStream,
+    accepted_at: Instant,
+    deadline: Duration,
+) {
+    // The head is read unconditionally (even for deadline rejections):
+    // closing a socket with unread bytes sends RST, which can destroy the
+    // response before the client reads it.
+    let parsed = read_request(stream);
+    let resp = if accepted_at.elapsed() > deadline {
+        // The job sat in the queue past its deadline: answer a bounded
+        // 503 instead of serving a response nobody is waiting for.
+        ServerStats::bump(&service.stats.deadline_expired);
+        let resp =
+            Response::error(503, "deadline expired before service").with_header("Retry-After", "1");
+        service.stats.count_status(resp.status);
+        resp
+    } else {
+        match parsed {
+            Ok(req) => service.handle(&req),
+            Err(err) => {
+                let status = match err {
+                    ParseError::HeadTooLarge => 431,
+                    _ => 400,
+                };
+                service.stats.count_status(status);
+                Response::error(status, &err.to_string())
+            }
+        }
+    };
+    let _ = stream.write_all(&resp.to_bytes());
+    let _ = stream.flush();
+}

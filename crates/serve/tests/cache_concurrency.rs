@@ -1,0 +1,99 @@
+//! Concurrency contract of the result cache: under 8 racing threads the
+//! hit path serves bytes identical to the cold path, and single-flight
+//! means one computation per key no matter how many threads collide.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Barrier};
+
+use fair_serve::cache::{Lookup, ShardedCache};
+
+/// Deterministic payload for a key (what a backend would render).
+fn body_for(key: &str) -> Vec<u8> {
+    format!("{{\"key\":\"{key}\",\"len\":{}}}\n", key.len()).into_bytes()
+}
+
+#[test]
+fn hit_path_bytes_equal_cold_path_bytes_under_contention() {
+    let cache = Arc::new(ShardedCache::new(64, 8));
+    let computes = Arc::new(AtomicUsize::new(0));
+    let keys: Vec<String> = (0..4)
+        .map(|i| format!("exp=e{i}&seed=7&trials=100"))
+        .collect();
+
+    // Phase 1: populate every key cold, remembering the exact bytes.
+    let cold: Vec<Vec<u8>> = keys
+        .iter()
+        .map(
+            |key| match cache.get_or_compute(key, || Ok(body_for(key))) {
+                Lookup::Computed(b) => b.as_ref().clone(),
+                other => panic!("expected cold computation, got {other:?}"),
+            },
+        )
+        .collect();
+
+    // Phase 2: 8 threads hammer all keys; every lookup must be a hit with
+    // bytes equal to the cold copy, and nothing recomputes.
+    let barrier = Arc::new(Barrier::new(8));
+    std::thread::scope(|scope| {
+        for t in 0..8 {
+            let cache = Arc::clone(&cache);
+            let computes = Arc::clone(&computes);
+            let barrier = Arc::clone(&barrier);
+            let keys = &keys;
+            let cold = &cold;
+            scope.spawn(move || {
+                barrier.wait();
+                for round in 0..50 {
+                    let i = (t + round) % keys.len();
+                    let lookup = cache.get_or_compute(&keys[i], || {
+                        computes.fetch_add(1, Ordering::SeqCst);
+                        Ok(b"should never recompute".to_vec())
+                    });
+                    match lookup {
+                        Lookup::Hit(b) => assert_eq!(b.as_ref(), &cold[i]),
+                        other => panic!("expected hit, got {other:?}"),
+                    }
+                }
+            });
+        }
+    });
+    assert_eq!(
+        computes.load(Ordering::SeqCst),
+        0,
+        "warm phase never computed"
+    );
+}
+
+#[test]
+fn racing_cold_lookups_compute_once_and_agree() {
+    let cache = Arc::new(ShardedCache::new(64, 8));
+    let computes = Arc::new(AtomicUsize::new(0));
+    let barrier = Arc::new(Barrier::new(8));
+    let bodies: Vec<Vec<u8>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let cache = Arc::clone(&cache);
+                let computes = Arc::clone(&computes);
+                let barrier = Arc::clone(&barrier);
+                scope.spawn(move || {
+                    barrier.wait();
+                    let lookup = cache.get_or_compute("exp=e1&seed=7&trials=100", || {
+                        computes.fetch_add(1, Ordering::SeqCst);
+                        std::thread::sleep(std::time::Duration::from_millis(10));
+                        Ok(body_for("exp=e1&seed=7&trials=100"))
+                    });
+                    lookup.bytes().expect("no failure").as_ref().clone()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("no panic"))
+            .collect()
+    });
+    assert_eq!(computes.load(Ordering::SeqCst), 1, "single flight");
+    let expected = body_for("exp=e1&seed=7&trials=100");
+    for body in &bodies {
+        assert_eq!(body, &expected, "every racer saw the same bytes");
+    }
+}

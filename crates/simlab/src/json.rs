@@ -46,6 +46,30 @@ impl Json {
         self
     }
 
+    /// Returns the canonical form of the value: every object's fields
+    /// sorted by key (recursively; arrays keep their order). Rendering a
+    /// canonical value is deterministic and diff-friendly — two documents
+    /// with the same content produce byte-identical output regardless of
+    /// the order their builders appended fields in, so persisted records
+    /// (`BENCH_reproduce.json`, `target/simlab/*.json`, served estimate
+    /// bodies) churn only when their *content* changes.
+    pub fn canonical(self) -> Json {
+        match self {
+            Json::Arr(items) => Json::Arr(items.into_iter().map(Json::canonical).collect()),
+            Json::Obj(fields) => {
+                let mut fields: Vec<(String, Json)> = fields
+                    .into_iter()
+                    .map(|(k, v)| (k, v.canonical()))
+                    .collect();
+                // Stable: duplicate keys (which the builder never emits,
+                // but the parser accepts) keep their relative order.
+                fields.sort_by(|a, b| a.0.cmp(&b.0));
+                Json::Obj(fields)
+            }
+            leaf => leaf,
+        }
+    }
+
     /// Renders compact JSON.
     pub fn render(&self) -> String {
         let mut out = String::new();
@@ -325,6 +349,45 @@ mod tests {
         let s = Json::str("\u{1}tab\there").render();
         assert_eq!(s, "\"\\u0001tab\\there\"");
         assert_eq!(parse(&s).unwrap(), Json::Str("\u{1}tab\there".to_string()));
+    }
+
+    #[test]
+    fn canonical_sorts_object_keys_recursively() {
+        let doc = Json::obj()
+            .field("zeta", Json::num(1u32))
+            .field(
+                "alpha",
+                Json::Arr(vec![Json::obj()
+                    .field("b", Json::Null)
+                    .field("a", Json::Bool(true))]),
+            )
+            .field(
+                "mid",
+                Json::obj()
+                    .field("y", Json::num(2u32))
+                    .field("x", Json::num(3u32)),
+            );
+        let canon = doc.canonical();
+        assert_eq!(
+            canon.render(),
+            "{\"alpha\":[{\"a\":true,\"b\":null}],\"mid\":{\"x\":3,\"y\":2},\"zeta\":1}"
+        );
+        // Idempotent: canonicalizing a canonical value is the identity.
+        assert_eq!(canon.clone().canonical(), canon);
+    }
+
+    #[test]
+    fn canonical_rendering_is_field_order_independent() {
+        let ab = Json::obj()
+            .field("a", Json::num(1u32))
+            .field("b", Json::str("x"));
+        let ba = Json::obj()
+            .field("b", Json::str("x"))
+            .field("a", Json::num(1u32));
+        assert_eq!(
+            ab.canonical().render_pretty(),
+            ba.canonical().render_pretty()
+        );
     }
 
     #[test]

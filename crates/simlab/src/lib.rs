@@ -25,11 +25,13 @@
 pub mod config;
 pub mod json;
 pub mod metrics;
+pub mod pool;
 pub mod record;
 pub mod scheduler;
 pub mod seed;
 
 pub use metrics::{BatchTimer, LatencySummary, Progress};
-pub use record::{ExpRecord, ReportRecord, RowRecord, SuiteRecord};
+pub use pool::{SubmitError, WorkerPool};
+pub use record::{proto_json, result_json, ExpRecord, ReportRecord, RowRecord, SuiteRecord};
 pub use scheduler::{effective_jobs, run_tiled, set_jobs, with_jobs, TILE};
 pub use seed::trial_seed;

@@ -67,40 +67,66 @@ pub struct ExpRecord {
     pub reports: Vec<ReportRecord>,
 }
 
+/// The deterministic **result document** of one estimation point: the
+/// canonicalized `(experiment, trials, seed, pass, reports)` subset of a
+/// record — everything a run produces that is a pure function of its
+/// inputs, with the volatile observability fields (wall clock, latency)
+/// excluded. This is the single source of truth shared by the batch
+/// writers and `fair-serve`: for a fixed point the served body is
+/// byte-identical to the batch record's result, cold or cached.
+pub fn result_json(id: &str, trials: usize, seed: u64, reports: &[ReportRecord]) -> Json {
+    let pass = reports.iter().all(ReportRecord::pass);
+    Json::obj()
+        .field("experiment", Json::str(id))
+        .field("trials", Json::num(trials as f64))
+        .field("seed", Json::num(seed as f64))
+        .field("pass", Json::Bool(pass))
+        .field(
+            "reports",
+            Json::Arr(reports.iter().map(report_json).collect()),
+        )
+        .canonical()
+}
+
+fn report_json(rep: &ReportRecord) -> Json {
+    Json::obj()
+        .field("id", Json::str(&rep.id))
+        .field("title", Json::str(&rep.title))
+        .field("pass", Json::Bool(rep.pass()))
+        .field(
+            "rows",
+            Json::Arr(
+                rep.rows
+                    .iter()
+                    .map(|row| {
+                        Json::obj()
+                            .field("label", Json::str(&row.label))
+                            .field("paper", row.paper.map_or(Json::Null, Json::Num))
+                            .field("measured", Json::Num(row.measured))
+                            .field("ci", Json::Num(row.ci))
+                            .field("pass", Json::Bool(row.pass))
+                    })
+                    .collect(),
+            ),
+        )
+}
+
 impl ExpRecord {
+    /// The deterministic result document for this record's point — see
+    /// [`result_json`].
+    pub fn result_json(&self) -> Json {
+        result_json(&self.id, self.trials, self.seed, &self.reports)
+    }
+
     /// The full per-experiment JSON document.
     pub fn to_json(&self) -> Json {
-        let mut doc = self
+        let doc = self
             .summary_fields()
             .field("seed", Json::num(self.seed as f64));
-        let reports = self
-            .reports
-            .iter()
-            .map(|rep| {
-                Json::obj()
-                    .field("id", Json::str(&rep.id))
-                    .field("title", Json::str(&rep.title))
-                    .field("pass", Json::Bool(rep.pass()))
-                    .field(
-                        "rows",
-                        Json::Arr(
-                            rep.rows
-                                .iter()
-                                .map(|row| {
-                                    Json::obj()
-                                        .field("label", Json::str(&row.label))
-                                        .field("paper", row.paper.map_or(Json::Null, Json::Num))
-                                        .field("measured", Json::Num(row.measured))
-                                        .field("ci", Json::Num(row.ci))
-                                        .field("pass", Json::Bool(row.pass))
-                                })
-                                .collect(),
-                        ),
-                    )
-            })
-            .collect();
-        doc = doc.field("reports", Json::Arr(reports));
-        doc
+        doc.field(
+            "reports",
+            Json::Arr(self.reports.iter().map(report_json).collect()),
+        )
     }
 
     /// The summary object embedded in the aggregate suite record:
@@ -133,10 +159,11 @@ impl ExpRecord {
     }
 
     /// Writes `dir/<id>.json` (creating `dir`), returning the path.
+    /// Rendered canonically (sorted keys), so reruns diff content-only.
     pub fn write(&self, dir: &std::path::Path) -> std::io::Result<std::path::PathBuf> {
         std::fs::create_dir_all(dir)?;
         let path = dir.join(format!("{}.json", self.id));
-        std::fs::write(&path, self.to_json().render_pretty() + "\n")?;
+        std::fs::write(&path, self.to_json().canonical().render_pretty() + "\n")?;
         Ok(path)
     }
 }
@@ -181,9 +208,10 @@ impl SuiteRecord {
             )
     }
 
-    /// Writes the aggregate record to `path`.
+    /// Writes the aggregate record to `path`. Rendered canonically
+    /// (sorted keys), so reruns diff content-only.
     pub fn write(&self, path: &std::path::Path) -> std::io::Result<()> {
-        std::fs::write(path, self.to_json().render_pretty() + "\n")
+        std::fs::write(path, self.to_json().canonical().render_pretty() + "\n")
     }
 }
 
@@ -191,7 +219,9 @@ fn round3(x: f64) -> f64 {
     (x * 1000.0).round() / 1000.0
 }
 
-fn quantile_json(q: &QuantileSummary) -> Json {
+/// Renders one quantile summary block (shared by records and the serve
+/// `/metrics` export, so both surfaces agree on the field names).
+pub fn quantile_json(q: &QuantileSummary) -> Json {
     Json::obj()
         .field("total", Json::num(q.total as f64))
         .field("min", Json::num(q.min as f64))
@@ -200,7 +230,9 @@ fn quantile_json(q: &QuantileSummary) -> Json {
         .field("max", Json::num(q.max as f64))
 }
 
-fn proto_json(p: &ProtoSummary) -> Json {
+/// Renders one per-protocol metrics summary (shared by records and the
+/// serve `/metrics` export).
+pub fn proto_json(p: &ProtoSummary) -> Json {
     Json::obj()
         .field("name", Json::str(&p.name))
         .field("trials", Json::num(p.trials as f64))
@@ -333,5 +365,55 @@ mod tests {
         let text = std::fs::read_to_string(&path).unwrap();
         assert!(json::parse(&text).is_ok());
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn persisted_records_have_sorted_keys() {
+        let dir = std::env::temp_dir().join(format!("simlab-canon-{}", std::process::id()));
+        let path = sample().write(&dir).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        // Every object in the persisted document has sorted keys.
+        fn assert_sorted(v: &Json, text: &str) {
+            match v {
+                Json::Obj(fields) => {
+                    assert!(
+                        fields.windows(2).all(|w| w[0].0 <= w[1].0),
+                        "unsorted object in: {text}"
+                    );
+                    fields.iter().for_each(|(_, v)| assert_sorted(v, text));
+                }
+                Json::Arr(items) => items.iter().for_each(|v| assert_sorted(v, text)),
+                _ => {}
+            }
+        }
+        assert_sorted(&json::parse(&text).unwrap(), &text);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn result_json_is_the_deterministic_subset() {
+        let record = sample();
+        let doc = record.result_json();
+        let back = json::parse(&doc.render_pretty()).unwrap();
+        // Volatile observability fields are excluded...
+        assert!(json::get(&back, "wall_clock_ms").is_none());
+        assert!(json::get(&back, "trial_latency_ns").is_none());
+        assert!(json::get(&back, "jobs").is_none());
+        // ...the point identification and measurements are present.
+        assert_eq!(
+            json::get(&back, "experiment"),
+            Some(&Json::Str("e1".into()))
+        );
+        assert_eq!(json::get(&back, "trials"), Some(&Json::Num(100.0)));
+        assert_eq!(json::get(&back, "seed"), Some(&Json::Num(0xfa1e as f64)));
+        assert_eq!(json::get(&back, "pass"), Some(&Json::Bool(true)));
+        assert!(json::get(&back, "reports").is_some());
+        // Already canonical: rendering is stable under canonicalization.
+        assert_eq!(doc.clone().canonical().render_pretty(), doc.render_pretty());
+        // The free function and the method agree.
+        assert_eq!(
+            result_json(&record.id, record.trials, record.seed, &record.reports),
+            doc
+        );
     }
 }

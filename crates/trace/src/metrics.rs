@@ -168,8 +168,19 @@ pub fn record_batch(name: &str, batch: ProtoBatch) {
 /// sorted by name. The output is a pure function of the recorded trial
 /// multiset — identical for every worker count.
 pub fn drain() -> Vec<ProtoSummary> {
-    let drained = std::mem::take(&mut *store());
-    drained
+    summarize(std::mem::take(&mut *store()))
+}
+
+/// Summarizes everything collected so far **without draining** — the
+/// live export behind `fair-serve`'s `/metrics` endpoint, which must be
+/// able to report accumulated per-protocol counters while the server
+/// keeps collecting across requests.
+pub fn snapshot() -> Vec<ProtoSummary> {
+    summarize(store().clone())
+}
+
+fn summarize(batches: BTreeMap<String, ProtoBatch>) -> Vec<ProtoSummary> {
+    batches
         .into_iter()
         .map(|(name, b)| ProtoSummary {
             name,
@@ -238,6 +249,24 @@ mod tests {
         assert_eq!((p.rounds.min, p.rounds.max, p.rounds.total), (3, 9, 18));
         assert_eq!(p.msgs.total, 14);
         assert_eq!(p.bytes.total, 140);
+    }
+
+    #[test]
+    fn snapshot_reports_without_draining() {
+        let mut b = ProtoBatch::default();
+        b.record(&stats(3, 5, 50, 0));
+        set_enabled(true);
+        record_batch("pi", b.clone());
+        let snap = snapshot();
+        assert_eq!(snap.len(), 1);
+        assert_eq!(snap[0].trials, 1);
+        // The store still holds the batch: a later batch accumulates on
+        // top of it, and drain sees both.
+        record_batch("pi", b);
+        let drained = drain();
+        assert_eq!(drained[0].trials, 2);
+        assert!(snapshot().is_empty());
+        set_enabled(false);
     }
 
     #[test]

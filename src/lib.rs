@@ -11,4 +11,5 @@ pub use fair_crypto as crypto;
 pub use fair_field as field;
 pub use fair_protocols as protocols;
 pub use fair_runtime as runtime;
+pub use fair_serve as serve;
 pub use fair_sfe as sfe;
