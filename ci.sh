@@ -50,4 +50,48 @@ wait "$SERVE_PID"
 rm -f "$SERVE_OUT"
 test -s target/simlab/serve_metrics.json
 
+echo "== tile-store restart smoke (warm-from-disk byte identity + /stream)"
+TILES_DIR="$(mktemp -d)"
+BODY_COLD="$(mktemp)"
+BODY_WARM="$(mktemp)"
+TSERVE_OUT="$(mktemp)"
+TMETRICS="$(mktemp)"
+boot_tiles_server() {
+  : > "$TSERVE_OUT"
+  ./target/release/fair-serve --addr 127.0.0.1:0 --workers 2 \
+    --tiles-dir "$TILES_DIR" > "$TSERVE_OUT" &
+  TSERVE_PID=$!
+  TADDR=""
+  for _ in $(seq 100); do
+    TADDR="$(sed -n 's/^ADDR=//p' "$TSERVE_OUT")"
+    [ -n "$TADDR" ] && break
+    sleep 0.1
+  done
+  [ -n "$TADDR" ] || { echo "fair-serve (tiles) never reported its address"; kill "$TSERVE_PID"; exit 1; }
+}
+# Cold boot: compute one point, and stream the same experiment with a
+# loose epsilon — the adaptive stopper must converge ("done":true).
+boot_tiles_server
+GET_OUT="$(./target/release/fair-load get --addr "$TADDR" \
+  --target '/estimate?exp=e2&trials=320&seed=9' --out "$BODY_COLD")"
+echo "$GET_OUT" | grep -q 'X-CACHE=miss'
+STREAM_OUT="$(./target/release/fair-load get --addr "$TADDR" \
+  --target '/stream?exp=e2&trials=5000&seed=9&epsilon=0.2')"
+echo "$STREAM_OUT" | grep -q '"done":true'
+./target/release/fair-load shutdown --addr "$TADDR"
+wait "$TSERVE_PID"
+# Reboot on the same directory: the point comes back warm from disk —
+# tiles loaded, lookups hit, and the body byte-identical to the cold one.
+boot_tiles_server
+./target/release/fair-load get --addr "$TADDR" \
+  --target '/estimate?exp=e2&trials=320&seed=9' --out "$BODY_WARM" > /dev/null
+cmp "$BODY_COLD" "$BODY_WARM"
+./target/release/fair-load get --addr "$TADDR" --target '/metrics' --out "$TMETRICS" > /dev/null
+grep -q '"loaded_records": [1-9]' "$TMETRICS"
+grep -q '"hits": [1-9]' "$TMETRICS"
+./target/release/fair-load shutdown --addr "$TADDR"
+wait "$TSERVE_PID"
+rm -rf "$TILES_DIR"
+rm -f "$BODY_COLD" "$BODY_WARM" "$TSERVE_OUT" "$TMETRICS"
+
 echo "== ci.sh: all green"

@@ -3,7 +3,14 @@
 //!
 //! Usage:
 //!   `fair-load --addr 127.0.0.1:<port> [FLAGS]`
+//!   `fair-load get --addr 127.0.0.1:<port> --target /estimate?exp=e1 [--out PATH]`
 //!   `fair-load shutdown --addr 127.0.0.1:<port>`
+//!
+//! The `get` subcommand issues one request and prints `STATUS=<code>` plus
+//! `X-CACHE=<flavor>` (when the header is present) on stdout; the body
+//! goes to `--out` when given (atomically), to stdout otherwise. Scripts
+//! use it to probe cache warmth and compare bodies byte-for-byte across
+//! server restarts.
 //!
 //! Flags:
 //!   `--clients N`   concurrent closed-loop clients (default 4)
@@ -31,6 +38,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: fair-load --addr A [--clients N] [--points N] [--repeat N] [--exp ID]\n\
          \x20                [--trials N] [--out PATH] [--bench-out PATH] [--check]\n\
+         \x20      fair-load get --addr A --target T [--out PATH]\n\
          \x20      fair-load shutdown --addr A"
     );
     std::process::exit(2);
@@ -49,15 +57,23 @@ fn parsed<T: std::str::FromStr>(flag: &str, value: Option<String>) -> T {
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let shutdown = args.first().map(|a| a == "shutdown").unwrap_or(false);
-    if shutdown {
-        args.remove(0);
-    }
+    let subcommand = match args.first().map(String::as_str) {
+        Some(sub @ ("shutdown" | "get")) => {
+            let sub = sub.to_string();
+            args.remove(0);
+            Some(sub)
+        }
+        _ => None,
+    };
+    let shutdown = subcommand.as_deref() == Some("shutdown");
+    let single_get = subcommand.as_deref() == Some("get");
 
     let mut opts = LoadOptions::default();
     let mut addr: Option<SocketAddr> = None;
     let mut out = PathBuf::from(LOAD_RECORD_PATH);
+    let mut out_given = false;
     let mut bench_out = PathBuf::from(BENCH_SERVE_PATH);
+    let mut target: Option<String> = None;
     let mut check = false;
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
@@ -68,8 +84,12 @@ fn main() {
             "--repeat" => opts.repeat = parsed("--repeat", it.next()),
             "--exp" => opts.exp = parsed("--exp", it.next()),
             "--trials" => opts.trials = parsed("--trials", it.next()),
-            "--out" => out = parsed("--out", it.next()),
+            "--out" => {
+                out = parsed("--out", it.next());
+                out_given = true;
+            }
             "--bench-out" => bench_out = parsed("--bench-out", it.next()),
+            "--target" => target = Some(parsed("--target", it.next())),
             "--check" => check = true,
             "--help" | "-h" => usage(),
             other => {
@@ -83,6 +103,39 @@ fn main() {
         usage()
     };
     opts.addr = addr;
+
+    if single_get {
+        let Some(target) = target else {
+            eprintln!("error: get needs --target");
+            usage()
+        };
+        let reply = match client::get(addr, &target) {
+            Ok(reply) => reply,
+            Err(e) => {
+                eprintln!("error: {addr}{target} unreachable: {e}");
+                std::process::exit(1);
+            }
+        };
+        println!("STATUS={}", reply.status);
+        if let Some(flavor) = reply.header("x-cache") {
+            println!("X-CACHE={flavor}");
+        }
+        if out_given {
+            match fair_tiles::atomic_write(&out, &reply.body) {
+                Ok(()) => eprintln!("[load] wrote {}", out.display()),
+                Err(e) => {
+                    eprintln!("error: could not write {}: {e}", out.display());
+                    std::process::exit(1);
+                }
+            }
+        } else {
+            print!("{}", String::from_utf8_lossy(&reply.body));
+        }
+        if reply.status != 200 {
+            std::process::exit(1);
+        }
+        return;
+    }
 
     if shutdown {
         match client::post(addr, "/shutdown") {
@@ -104,10 +157,7 @@ fn main() {
     let report = run_load(&opts);
     let doc = load_json(&opts, &report).render_pretty() + "\n";
     for path in [&out, &bench_out] {
-        if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
-            let _ = std::fs::create_dir_all(dir);
-        }
-        match std::fs::write(path, &doc) {
+        match fair_tiles::atomic_write(path, doc.as_bytes()) {
             Ok(()) => eprintln!("[load] wrote {}", path.display()),
             Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
         }

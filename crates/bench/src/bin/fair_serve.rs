@@ -12,6 +12,11 @@
 //!   `--max-trials N`    largest accepted `trials` (default 100000)
 //!   `--default-trials N` trials when the request omits them (default 200)
 //!   `--metrics-out P`   flush the final metrics snapshot to P on shutdown
+//!   `--tiles-dir P`     persistent tile-store directory (default
+//!                       `target/simlab/tiles`): full 64-trial tiles are
+//!                       warmed from disk at boot and flushed after cold
+//!                       computes, so estimates survive restarts
+//!   `--no-tiles`        run without a persistent tile store
 //!
 //! Prints `PORT=<n>` (then `ADDR=<addr>`) on stdout once bound, so
 //! scripts binding port 0 can discover the ephemeral port. Stop it with
@@ -28,7 +33,8 @@ use fair_serve::{Server, ServerConfig};
 fn usage() -> ! {
     eprintln!(
         "usage: fair-serve [--addr A] [--workers N] [--queue N] [--deadline-ms N]\n\
-         \x20                 [--max-trials N] [--default-trials N] [--metrics-out PATH]"
+         \x20                 [--max-trials N] [--default-trials N] [--metrics-out PATH]\n\
+         \x20                 [--tiles-dir PATH] [--no-tiles]"
     );
     std::process::exit(2);
 }
@@ -45,7 +51,12 @@ fn parsed<T: std::str::FromStr>(flag: &str, value: Option<String>) -> T {
 }
 
 fn main() {
-    let mut config = ServerConfig::default();
+    // The binary defaults to a persistent tile store (the library default
+    // is `None` so embedders opt in); `--no-tiles` opts back out.
+    let mut config = ServerConfig {
+        tiles_dir: Some(std::path::PathBuf::from(fair_tiles::DEFAULT_DIR)),
+        ..ServerConfig::default()
+    };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -63,6 +74,10 @@ fn main() {
                 config.metrics_path =
                     Some(parsed::<std::path::PathBuf>("--metrics-out", args.next()));
             }
+            "--tiles-dir" => {
+                config.tiles_dir = Some(parsed::<std::path::PathBuf>("--tiles-dir", args.next()));
+            }
+            "--no-tiles" => config.tiles_dir = None,
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("error: unknown argument {other:?}");
@@ -75,6 +90,7 @@ fn main() {
     // `/metrics` snapshots them live and shutdown flushes them.
     fair_trace::metrics::set_enabled(true);
 
+    let tiles_note = config.tiles_dir.as_ref().map(|p| p.display().to_string());
     let server = match Server::bind(config, Arc::new(ExperimentBackend)) {
         Ok(server) => server,
         Err(e) => {
@@ -87,6 +103,10 @@ fn main() {
     println!("ADDR={addr}");
     let _ = std::io::stdout().flush();
     eprintln!("[serve] listening on {addr}; stop with POST /shutdown");
+    match tiles_note {
+        Some(dir) => eprintln!("[serve] persistent tile store at {dir}"),
+        None => eprintln!("[serve] tile store disabled (--no-tiles)"),
+    }
 
     if let Err(e) = server.run() {
         eprintln!("error: server failed: {e}");

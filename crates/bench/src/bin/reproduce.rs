@@ -10,6 +10,12 @@
 //!   `--jobs N`      worker threads for trial sharding (default: 1, or
 //!                   `FAIR_JOBS`); tallies are bit-identical for every N
 //!   `--json PATH`   write the aggregate run record to PATH
+//!   `--epsilon F`   adaptive precision target: stop each estimate once
+//!                   its 95% CI half-width reaches F; records report
+//!                   trials used vs requested in their `adaptive` block
+//!   `--tiles`       persist full 64-trial tiles under
+//!                   `target/simlab/tiles/` and reuse any already there,
+//!                   so repeat runs only compute what is missing
 //!   `--list`        list experiment ids with descriptions and exit
 //!   `--markdown`    render tables as GitHub markdown
 //!   `--trace`       capture sample transcripts per experiment under
@@ -22,7 +28,8 @@ use fair_bench::runner::{run_suite, SuiteOptions, BASE_SEED};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: reproduce [--jobs N] [--json PATH] [--markdown] [--trace] [--list] [EXPERIMENT ...]\n\
+        "usage: reproduce [--jobs N] [--json PATH] [--epsilon F] [--tiles] [--markdown]\n\
+         \x20                [--trace] [--list] [EXPERIMENT ...]\n\
          experiment ids: e1 .. e17 (default: all); see --list"
     );
     std::process::exit(2);
@@ -32,7 +39,9 @@ fn main() {
     let mut args = std::env::args().skip(1);
     let mut markdown = false;
     let mut trace = false;
+    let mut tiles = false;
     let mut json = None;
+    let mut epsilon = None;
     let mut ids: Vec<String> = Vec::new();
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -69,6 +78,23 @@ fn main() {
                 });
                 json = Some(std::path::PathBuf::from(value));
             }
+            "--epsilon" => {
+                let value = args.next().unwrap_or_else(|| {
+                    eprintln!("error: --epsilon needs a value");
+                    usage()
+                });
+                match value.parse::<f64>() {
+                    Ok(e) if e.is_finite() && e >= 0.0 => epsilon = Some(e),
+                    _ => {
+                        eprintln!(
+                            "error: invalid --epsilon value {value:?} \
+                             (want a finite non-negative number)"
+                        );
+                        usage()
+                    }
+                }
+            }
+            "--tiles" => tiles = true,
             "--help" | "-h" => usage(),
             flag if flag.starts_with("--") => {
                 eprintln!("error: unknown flag {flag:?}");
@@ -83,6 +109,20 @@ fn main() {
             .map(|s| s.to_string())
             .collect();
     }
+    if tiles {
+        // Warm from whatever previous runs (or a serve instance sharing
+        // the directory) left behind; run_suite flushes new tiles at the
+        // end.
+        let store = fair_tiles::Store::persistent(fair_tiles::DEFAULT_DIR);
+        let loaded = store.load();
+        fair_tiles::cache::install(std::sync::Arc::new(store));
+        eprintln!(
+            "[simlab] tile store {}: {} record(s) loaded from {} file(s)",
+            fair_tiles::DEFAULT_DIR,
+            loaded.loaded_records,
+            loaded.files,
+        );
+    }
     let opts = SuiteOptions {
         ids,
         trials: fair_bench::default_trials(),
@@ -90,6 +130,7 @@ fn main() {
         markdown,
         json,
         trace,
+        epsilon,
     };
     let suite = match run_suite(&opts) {
         Ok(suite) => suite,

@@ -48,11 +48,43 @@ pub fn to_report_records(reports: &[Report]) -> Vec<ReportRecord> {
 /// per-protocol counters — returning the rendered reports and the
 /// structured execution record. `None` for an unknown id.
 pub fn run_recorded(id: &str, trials: usize, seed: u64) -> Option<(Vec<Report>, ExpRecord)> {
+    run_recorded_with(id, trials, seed, None)
+}
+
+/// [`run_recorded`] with an optional adaptive precision target. When
+/// `epsilon` is set, every `estimate()` call inside the experiment stops
+/// once its 95% half-width reaches it, and the record carries the
+/// trials-used vs trials-requested accounting in its `adaptive` block.
+/// Either way the run enters the `(id, seed)` tile-cache group, so a
+/// process with an installed tile store reuses every full tile it has
+/// already computed.
+pub fn run_recorded_with(
+    id: &str,
+    trials: usize,
+    seed: u64,
+    epsilon: Option<f64>,
+) -> Option<(Vec<Report>, ExpRecord)> {
     metrics::set_enabled(true);
     fair_trace::metrics::set_enabled(true);
     let progress = Progress::start(id, 0, Duration::from_secs(2));
     let t0 = Instant::now();
-    let reports = crate::run_experiment(id, trials, seed);
+    let run = || fair_tiles::with_group(id, seed, || crate::run_experiment(id, trials, seed));
+    let (reports, adaptive) = match epsilon {
+        None => (run(), None),
+        Some(eps) => {
+            let (reports, summary) = fair_core::progressive::scoped(eps, None, run);
+            (
+                reports,
+                Some(fair_simlab::AdaptiveSummary {
+                    epsilon: eps,
+                    estimates: summary.estimates,
+                    early_stops: summary.early_stops,
+                    trials_requested: summary.trials_requested,
+                    trials_used: summary.trials_used,
+                }),
+            )
+        }
+    };
     let wall_ms = t0.elapsed().as_secs_f64() * 1000.0;
     drop(progress);
     let latency = metrics::drain_latency();
@@ -69,6 +101,7 @@ pub fn run_recorded(id: &str, trials: usize, seed: u64) -> Option<(Vec<Report>, 
         latency,
         protocols,
         pass: reports.iter().all(Report::pass),
+        adaptive,
         reports: to_report_records(&reports),
     };
     Some((reports, record))
@@ -92,6 +125,10 @@ pub struct SuiteOptions {
     /// above 1 the sampled set may vary between runs; every captured
     /// transcript replays deterministically regardless.
     pub trace: bool,
+    /// Adaptive precision target (`--epsilon`): when set, each estimate
+    /// stops once its 95% half-width reaches it, and every record carries
+    /// the trials-used vs trials-requested accounting.
+    pub epsilon: Option<f64>,
 }
 
 /// Runs a suite of experiments, printing tables and progress, persisting
@@ -109,7 +146,7 @@ pub fn run_suite(opts: &SuiteOptions) -> Result<SuiteRecord, String> {
                 fair_trace::capture::DEFAULT_RING,
             );
         }
-        let run = run_recorded(id, opts.trials, opts.seed);
+        let run = run_recorded_with(id, opts.trials, opts.seed, opts.epsilon);
         let captured = opts.trace.then(fair_trace::capture::end);
         let (reports, record) = run.ok_or_else(|| format!("unknown experiment id: {id}"))?;
         if let Some(transcripts) = captured {
@@ -135,6 +172,12 @@ pub fn run_suite(opts: &SuiteOptions) -> Result<SuiteRecord, String> {
             .latency
             .map(|l| format!(", per-trial latency {l}"))
             .unwrap_or_default();
+        if let Some(a) = record.adaptive {
+            eprintln!(
+                "[simlab] {id}: adaptive ε={} spent {} of {} trials ({} of {} estimates stopped early)",
+                a.epsilon, a.trials_used, a.trials_requested, a.early_stops, a.estimates,
+            );
+        }
         let elapsed = t0.elapsed().as_secs_f64();
         let done = k + 1;
         let eta = if done < total {
@@ -168,6 +211,10 @@ pub fn run_suite(opts: &SuiteOptions) -> Result<SuiteRecord, String> {
             Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
         }
     }
+    // Persist whatever tiles the suite minted (no-op without a persistent
+    // store installed), so the next run — or a serve instance sharing the
+    // directory — starts warm.
+    fair_tiles::cache::flush();
     Ok(suite)
 }
 

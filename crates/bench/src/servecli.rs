@@ -8,10 +8,11 @@
 //! byte-identical to the corresponding batch record, cold or cached.
 
 use std::net::SocketAddr;
+use std::sync::mpsc;
 use std::time::Instant;
 
 use fair_serve::service::Backend;
-use fair_serve::{client, HttpReply};
+use fair_serve::{client, HttpReply, ProgressUpdate};
 use fair_simlab::json::Json;
 use fair_trace::QuantileSummary;
 
@@ -36,14 +37,85 @@ impl Backend for ExperimentBackend {
     fn estimate(&self, exp: &str, trials: usize, seed: u64) -> Option<String> {
         rendered_result(exp, trials, seed)
     }
+
+    fn estimate_progressive(
+        &self,
+        exp: &str,
+        trials: usize,
+        seed: u64,
+        epsilon: f64,
+        emit: &mut dyn FnMut(ProgressUpdate),
+    ) -> Option<String> {
+        progressive_result(exp, trials, seed, epsilon, emit)
+    }
 }
 
 /// Runs `(exp, trials, seed)` and renders its canonical result document —
 /// the exact bytes both the serve path and the byte-identity tests use.
+/// The run enters the `(exp, seed)` tile-cache group, so when a tile store
+/// is installed, previously computed 64-trial tiles are reused and newly
+/// computed ones are recorded.
 pub fn rendered_result(exp: &str, trials: usize, seed: u64) -> Option<String> {
-    let reports = crate::run_experiment(exp, trials, seed)?;
+    let reports = fair_tiles::with_group(exp, seed, || crate::run_experiment(exp, trials, seed))?;
     let records = crate::runner::to_report_records(&reports);
     Some(fair_simlab::result_json(exp, trials, seed, &records).render_pretty() + "\n")
+}
+
+/// Runs `(exp, trials, seed)` adaptively — each `estimate()` inside the
+/// experiment stops once its 95% half-width reaches `epsilon` — invoking
+/// `emit` with a progress frame per tile batch. Returns the wrapper
+/// document: the adaptive accounting plus the canonical result for the
+/// trials actually spent. The computation runs on a worker thread so the
+/// caller's `emit` (which may be writing to a live socket) observes frames
+/// as they happen.
+pub fn progressive_result(
+    exp: &str,
+    trials: usize,
+    seed: u64,
+    epsilon: f64,
+    emit: &mut dyn FnMut(ProgressUpdate),
+) -> Option<String> {
+    if !crate::experiment_listing().iter().any(|(id, _)| *id == exp) {
+        return None;
+    }
+    let (tx, rx) = mpsc::channel();
+    let (reports, summary) = std::thread::scope(|scope| {
+        let worker = scope.spawn(move || {
+            fair_core::progressive::scoped(epsilon, Some(tx), || {
+                fair_tiles::with_group(exp, seed, || crate::run_experiment(exp, trials, seed))
+            })
+        });
+        // Relay frames while the worker runs; the channel closes when the
+        // scoped context (and its Sender) drops.
+        for update in rx {
+            emit(ProgressUpdate {
+                scenario: update.scenario,
+                requested: update.requested,
+                trials: update.trials,
+                mean: update.mean,
+                ci: update.ci,
+                done: update.done,
+            });
+        }
+        worker.join().unwrap_or((None, Default::default()))
+    });
+    let reports = reports?;
+    let records = crate::runner::to_report_records(&reports);
+    let adaptive = fair_simlab::AdaptiveSummary {
+        epsilon,
+        estimates: summary.estimates,
+        early_stops: summary.early_stops,
+        trials_requested: summary.trials_requested,
+        trials_used: summary.trials_used,
+    };
+    let doc = Json::obj()
+        .field("adaptive", adaptive.to_json())
+        .field(
+            "result",
+            fair_simlab::result_json(exp, trials, seed, &records),
+        )
+        .canonical();
+    Some(doc.render_pretty() + "\n")
 }
 
 /// Parameters of one `fair-load` run.

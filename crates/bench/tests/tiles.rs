@@ -1,0 +1,143 @@
+//! Tile-store integration over the real registry: growing the trial
+//! budget for a fixed `(exp, seed)` must reuse every full 64-trial tile
+//! already computed and still render **byte-identical** result documents
+//! — for any worker count, across flush/reload cycles, and after on-disk
+//! corruption.
+//!
+//! These tests live in their own binary: the tile cache is process-global
+//! (`fair_tiles::cache::install`), and a store left installed would
+//! perturb the other serve/bench integration suites.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use fair_bench::servecli::rendered_result;
+
+/// All tests mutate the process-global store and the jobs knob; serialize
+/// them.
+static LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> MutexGuard<'static, ()> {
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("fair-tiles-bench-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+const PREFIXES: [usize; 3] = [64, 640, 2000];
+
+#[test]
+fn merged_tile_results_are_byte_identical_to_fresh_runs() {
+    let _guard = lock();
+    let (exp, seed) = ("e2", 0x7eedu64);
+
+    // Fresh baselines: no store installed, every run computes everything.
+    fair_tiles::cache::uninstall();
+    let mut fresh = BTreeMap::new();
+    for trials in PREFIXES {
+        fresh.insert(
+            trials,
+            rendered_result(exp, trials, seed).expect("e2 exists"),
+        );
+    }
+
+    for jobs in [1usize, 4] {
+        fair_simlab::set_jobs(jobs);
+        let store = Arc::new(fair_tiles::Store::in_memory());
+        fair_tiles::cache::install(Arc::clone(&store));
+        for trials in PREFIXES {
+            let body = rendered_result(exp, trials, seed).expect("e2 exists");
+            assert_eq!(
+                &body,
+                fresh.get(&trials).expect("baseline"),
+                "trials={trials} jobs={jobs}: cached-tile bytes == fresh bytes"
+            );
+        }
+        fair_tiles::cache::uninstall();
+
+        // Per estimate stream: 64 trials = 1 full tile (1 miss), 640 adds
+        // 9 (1 hit), 2000 adds 21 more plus a partial tail that is never
+        // cached (10 hits, 21 misses) — so hits:misses is 11:31 whatever
+        // the number of streams, and every miss became an insert.
+        let stats = store.stats();
+        assert!(stats.hits > 0, "jobs={jobs}: growing budgets reused tiles");
+        assert_eq!(
+            stats.hits * 31,
+            stats.misses * 11,
+            "jobs={jobs}: per-stream lookup pattern is 11 hits / 31 misses"
+        );
+        assert_eq!(stats.inserts, stats.misses, "every miss was recorded");
+    }
+    fair_simlab::set_jobs(1);
+}
+
+#[test]
+fn tile_files_survive_reload_and_tolerate_corruption() {
+    let _guard = lock();
+    let (exp, trials, seed) = ("e2", 640usize, 0x51eeu64);
+    let dir = temp_dir("recovery");
+    fair_tiles::cache::uninstall();
+    let fresh = rendered_result(exp, trials, seed).expect("e2 exists");
+
+    // First process: compute with a persistent store, flush to disk.
+    let store = Arc::new(fair_tiles::Store::persistent(&dir));
+    fair_tiles::cache::install(Arc::clone(&store));
+    assert_eq!(
+        rendered_result(exp, trials, seed).expect("e2 exists"),
+        fresh
+    );
+    assert!(
+        store.flush().expect("flush succeeds") > 0,
+        "dirty groups were flushed"
+    );
+    fair_tiles::cache::uninstall();
+
+    // Second process (simulated): warm from disk; the rerun recomputes no
+    // full tile and renders the same bytes.
+    let store = Arc::new(fair_tiles::Store::persistent(&dir));
+    let loaded = store.load();
+    assert!(loaded.loaded_records > 0, "tiles came back from disk");
+    assert_eq!(loaded.skipped_records, 0, "clean files load fully");
+    fair_tiles::cache::install(Arc::clone(&store));
+    assert_eq!(
+        rendered_result(exp, trials, seed).expect("e2 exists"),
+        fresh
+    );
+    let stats = store.stats();
+    assert!(stats.hits > 0, "disk-warm run hit the cache");
+    assert_eq!(stats.misses, 0, "disk-warm run recomputed no full tile");
+    fair_tiles::cache::uninstall();
+
+    // Flip a byte in the middle of every tile file: the damaged records
+    // are skipped (not fatal), the survivors still serve, and the rerun
+    // recomputes only what was lost — bytes identical throughout.
+    let mut corrupted = 0usize;
+    for entry in std::fs::read_dir(&dir).expect("tile dir exists") {
+        let path = entry.expect("dir entry").path();
+        if path.extension().is_some_and(|e| e == "tiles") {
+            let mut bytes = std::fs::read(&path).expect("readable");
+            let mid = bytes.len() / 2;
+            bytes[mid] ^= 0xff;
+            std::fs::write(&path, &bytes).expect("writable");
+            corrupted += 1;
+        }
+    }
+    assert!(corrupted > 0, "flush produced at least one .tiles file");
+    let store = Arc::new(fair_tiles::Store::persistent(&dir));
+    let loaded = store.load();
+    assert!(
+        loaded.skipped_records > 0,
+        "corruption was detected and skipped"
+    );
+    fair_tiles::cache::install(Arc::clone(&store));
+    assert_eq!(
+        rendered_result(exp, trials, seed).expect("e2 exists"),
+        fresh,
+        "post-corruption rerun still renders the fresh bytes"
+    );
+    fair_tiles::cache::uninstall();
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,207 @@
+//! Restart persistence, end to end: a `fair-serve` instance with a tile
+//! directory computes a point, a *new* instance on the same directory
+//! serves the same point warm from disk — byte-identical — and the
+//! `/metrics` tile counters expose exactly which tiles were reused.
+//!
+//! Own binary on purpose: `ServerConfig::tiles_dir` installs the
+//! process-global tile store, which must not leak into the other serve
+//! integration suites.
+
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use fair_bench::servecli::{rendered_result, ExperimentBackend};
+use fair_serve::{client, Server, ServerConfig};
+use fair_simlab::json::{self, Json};
+
+/// Both tests install process-global tile stores; serialize them.
+static LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> MutexGuard<'static, ()> {
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("fair-tiles-serve-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn boot(
+    dir: &std::path::Path,
+) -> (
+    std::net::SocketAddr,
+    std::thread::JoinHandle<std::io::Result<()>>,
+) {
+    let config = ServerConfig {
+        tiles_dir: Some(dir.to_path_buf()),
+        ..ServerConfig::default()
+    };
+    let server = Server::bind(config, Arc::new(ExperimentBackend)).expect("ephemeral bind");
+    let addr = server.local_addr();
+    let handle = std::thread::spawn(move || server.run());
+    (addr, handle)
+}
+
+fn stop(addr: std::net::SocketAddr, handle: std::thread::JoinHandle<std::io::Result<()>>) {
+    assert_eq!(
+        client::post(addr, "/shutdown").expect("reachable").status,
+        200
+    );
+    handle.join().expect("server thread").expect("clean exit");
+}
+
+/// The `tiles` block of `/metrics`, parsed.
+fn tile_counter(addr: std::net::SocketAddr, key: &str) -> f64 {
+    let metrics = client::get(addr, "/metrics").expect("metrics reachable");
+    assert_eq!(metrics.status, 200);
+    let doc = json::parse(&String::from_utf8_lossy(&metrics.body)).expect("metrics is JSON");
+    let tiles = json::get(&doc, "tiles").expect("tiles block present");
+    match json::get(tiles, key) {
+        Some(Json::Num(n)) => *n,
+        other => panic!("tiles.{key} missing or non-numeric: {other:?}"),
+    }
+}
+
+#[test]
+fn restarted_server_serves_warm_from_disk_byte_identical() {
+    let _guard = lock();
+    let dir = temp_dir("restart");
+    let (exp, seed) = ("e2", 11u64);
+
+    // Batch baselines with no store installed: what `reproduce` records.
+    fair_tiles::cache::uninstall();
+    let batch_640 = rendered_result(exp, 640, seed).expect("e2 exists");
+    let batch_2000 = rendered_result(exp, 2000, seed).expect("e2 exists");
+
+    // First server: cold 640, then grow the same point to 2000 — only
+    // the missing tail tiles are computed.
+    let (addr, handle) = boot(&dir);
+    let t640 = format!("/estimate?exp={exp}&trials=640&seed={seed}");
+    let t2000 = format!("/estimate?exp={exp}&trials=2000&seed={seed}");
+
+    let cold = client::get(addr, &t640).expect("cold 640");
+    assert_eq!(cold.status, 200);
+    assert_eq!(cold.header("x-cache"), Some("miss"));
+    assert_eq!(String::from_utf8_lossy(&cold.body), batch_640);
+
+    let grown = client::get(addr, &t2000).expect("grown 2000");
+    assert_eq!(
+        grown.header("x-cache"),
+        Some("miss"),
+        "a bigger budget is a different result-cache point"
+    );
+    assert_eq!(String::from_utf8_lossy(&grown.body), batch_2000);
+
+    // Per estimate stream: 640 = 10 full tiles (all cold), 2000 looks up
+    // 31 and finds the first 10 — so hits:misses is 10:31 regardless of
+    // how many streams the experiment runs.
+    let hits = tile_counter(addr, "hits");
+    let misses = tile_counter(addr, "misses");
+    assert!(hits > 0.0, "the grown request reused tiles");
+    assert!(
+        (hits * 31.0 - misses * 10.0).abs() < 0.5,
+        "640→2000 computes only tiles 10..31 per stream (hits={hits}, misses={misses})"
+    );
+    stop(addr, handle);
+
+    // Second server, same directory: the result cache is per-process
+    // (miss), but every full tile comes back from disk — the body is
+    // byte-identical to the pre-restart response.
+    let (addr, handle) = boot(&dir);
+    assert!(
+        tile_counter(addr, "loaded_records") > 0.0,
+        "restart warmed the store from disk"
+    );
+    let warm = client::get(addr, &t2000).expect("warm 2000");
+    assert_eq!(warm.status, 200);
+    assert_eq!(warm.header("x-cache"), Some("miss"));
+    assert_eq!(
+        warm.body, grown.body,
+        "disk-warm restart serves byte-identical results"
+    );
+    assert_eq!(
+        tile_counter(addr, "misses"),
+        0.0,
+        "the restarted server recomputed no full tile"
+    );
+    assert!(tile_counter(addr, "hits") > 0.0);
+    stop(addr, handle);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn stream_endpoint_emits_frames_and_warms_the_shared_store() {
+    let _guard = lock();
+    let dir = temp_dir("stream");
+    let (addr, handle) = boot(&dir);
+
+    // A huge budget with a loose epsilon: the adaptive stopper must quit
+    // early, and the wrapper must say so.
+    let reply = client::get(addr, "/stream?exp=e2&trials=10000&seed=3&epsilon=0.2")
+        .expect("stream reachable");
+    assert_eq!(reply.status, 200);
+    assert_eq!(reply.header("transfer-encoding"), Some("chunked"));
+    let text = reply.text();
+    assert!(
+        text.contains("\"done\":true"),
+        "final frame present: {text}"
+    );
+
+    // The body is NDJSON frames (compact, one per line) followed by the
+    // pretty-printed wrapper document, whose first line is a lone `{`.
+    let mut frames = Vec::new();
+    let mut wrapper = String::new();
+    for line in text.lines() {
+        if !wrapper.is_empty() || line == "{" {
+            wrapper.push_str(line);
+            wrapper.push('\n');
+        } else {
+            frames.push(line);
+        }
+    }
+    assert!(!frames.is_empty(), "at least one progress frame streamed");
+    for line in &frames {
+        let frame = json::parse(line).expect("frame is JSON");
+        for key in ["scenario", "requested", "trials", "mean", "ci", "done"] {
+            assert!(json::get(&frame, key).is_some(), "frame has {key}: {line}");
+        }
+    }
+
+    let doc = json::parse(&wrapper).expect("wrapper is JSON");
+    let adaptive = json::get(&doc, "adaptive").expect("adaptive block");
+    let used = match json::get(adaptive, "trials_used") {
+        Some(Json::Num(n)) => *n,
+        other => panic!("trials_used missing: {other:?}"),
+    };
+    let requested = match json::get(adaptive, "trials_requested") {
+        Some(Json::Num(n)) => *n,
+        other => panic!("trials_requested missing: {other:?}"),
+    };
+    assert!(
+        used < requested,
+        "epsilon=0.2 stops well before 10000 trials (used {used} of {requested})"
+    );
+    assert!(
+        json::get(&doc, "result").is_some(),
+        "wrapper carries the result"
+    );
+
+    // Streaming shares the tile store: the run minted tiles, and the
+    // early-stop counter ticked.
+    assert!(tile_counter(addr, "inserts") > 0.0);
+    let metrics = client::get(addr, "/metrics").expect("metrics");
+    let mdoc = json::parse(&String::from_utf8_lossy(&metrics.body)).expect("metrics JSON");
+    let server_block = json::get(&mdoc, "server").expect("server block");
+    assert_eq!(
+        json::get(server_block, "streams"),
+        Some(&Json::Num(1.0)),
+        "one stream served"
+    );
+    assert_eq!(
+        json::get(server_block, "stream_early_stops"),
+        Some(&Json::Num(1.0)),
+        "it stopped early"
+    );
+    stop(addr, handle);
+    let _ = std::fs::remove_dir_all(&dir);
+}

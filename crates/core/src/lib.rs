@@ -44,6 +44,7 @@ pub mod fairness;
 pub mod game;
 pub mod partial;
 pub mod payoff;
+pub mod progressive;
 pub mod reconstruction;
 pub mod stats;
 pub mod strategy;

@@ -242,10 +242,31 @@ pub fn run_once_traced<S: Scenario>(
     (res, event, pay, stats)
 }
 
+/// Tiles per adaptive batch: the stopper re-checks the confidence interval
+/// every `4 × TILE = 256` trials.
+const ADAPTIVE_CHUNK_TILES: usize = 4;
+
+/// Floor below which the adaptive stopper may not trigger — the normal
+/// approximation behind the interval is meaningless on a handful of trials.
+const ADAPTIVE_MIN_TRIALS: usize = 2 * fair_simlab::TILE;
+
 /// Estimates the attacker's utility for a scenario by Monte Carlo.
 ///
 /// Trials are sharded across the `fair-simlab` scheduler's workers; the
 /// result is bit-identical for every `--jobs` value (see the module docs).
+///
+/// Two ambient contexts refine the execution without changing the result
+/// for a full-budget run:
+///
+/// - when a tile store is live ([`fair_tiles::cache`] — a store installed
+///   *and* an `(exp, seed)` group entered), full 64-trial tiles are looked
+///   up before computing and recorded after, so repeat estimations only
+///   pay for tiles they have never seen; merged results stay byte-identical
+///   to a fresh run because the cache stores the same integer tallies the
+///   fresh run would fold;
+/// - when a progressive context is armed ([`crate::progressive::scoped`]),
+///   tiles run in chunks and the call stops early once the 95% half-width
+///   reaches the armed epsilon, emitting a progress frame per chunk.
 pub fn estimate<S: Scenario + Sync>(
     scenario: &S,
     payoff: &Payoff,
@@ -253,31 +274,162 @@ pub fn estimate<S: Scenario + Sync>(
     seed: u64,
 ) -> UtilityEstimate {
     assert!(trials > 0, "need at least one trial");
-    let tallies = fair_simlab::run_tiled(trials, |range| {
-        let mut tally = Tally::default();
-        // Per-tile protocol-metric batch, submitted once per tile (same
-        // one-mutex-touch-per-tile discipline as the latency batches).
-        let mut proto = fair_trace::metrics::enabled().then(ProtoBatch::default);
-        // Per-trial latency observation goes through simlab's timing
-        // facade: fair-core itself never reads the wall clock (rule D1).
-        let mut timer = fair_simlab::BatchTimer::start(range.len());
-        for t in range {
-            let (_, event, _, stats) = timer.time(|| {
-                run_once_traced(scenario, payoff, fair_simlab::trial_seed(seed, t as u64))
-            });
-            tally.record(event);
-            if let (Some(batch), Some(stats)) = (proto.as_mut(), stats) {
-                batch.record(&stats);
-            }
+    let name = scenario.name();
+    let total_tiles = trials.div_ceil(fair_simlab::TILE);
+    if let Some(epsilon) = crate::progressive::epsilon() {
+        return estimate_adaptive(scenario, payoff, trials, seed, &name, epsilon);
+    }
+    let tally = tally_tile_span(scenario, payoff, &name, seed, 0..total_tiles, trials);
+    tally.into_estimate(name, payoff)
+}
+
+/// The chunked, CI-bounded estimation path (armed via
+/// [`crate::progressive`]). The stop rule is a pure function of the
+/// integer tallies, so adaptive results are worker-count independent too.
+fn estimate_adaptive<S: Scenario + Sync>(
+    scenario: &S,
+    payoff: &Payoff,
+    trials: usize,
+    seed: u64,
+    name: &str,
+    epsilon: f64,
+) -> UtilityEstimate {
+    let total_tiles = trials.div_ceil(fair_simlab::TILE);
+    let mut tally = Tally::default();
+    let mut next = 0usize;
+    loop {
+        let hi = (next + ADAPTIVE_CHUNK_TILES).min(total_tiles);
+        tally = tally.merge(tally_tile_span(
+            scenario,
+            payoff,
+            name,
+            seed,
+            next..hi,
+            trials,
+        ));
+        next = hi;
+        let est = tally.into_estimate(name.to_string(), payoff);
+        let exhausted = next >= total_tiles;
+        let converged = est.trials >= ADAPTIVE_MIN_TRIALS && est.ci <= epsilon;
+        let done = exhausted || converged;
+        crate::progressive::emit(crate::progressive::Update {
+            scenario: name.to_string(),
+            requested: trials,
+            trials: est.trials,
+            mean: est.mean,
+            ci: est.ci,
+            done,
+        });
+        if done {
+            crate::progressive::note(trials, est.trials, est.trials < trials);
+            return est;
         }
-        timer.finish();
-        if let Some(batch) = proto {
-            fair_trace::metrics::record_batch(&scenario.name(), batch);
-        }
-        tally
+    }
+}
+
+/// Computes the merged tally of the tile span `tiles` of the fixed tiling
+/// of `[0, total)`: cached full tiles are resolved on the calling thread,
+/// only the missing ones are fanned out to scheduler workers, and freshly
+/// computed full tiles are recorded back. Partial tail tiles are never
+/// cached — their geometry depends on `total`.
+fn tally_tile_span<S: Scenario + Sync>(
+    scenario: &S,
+    payoff: &Payoff,
+    name: &str,
+    seed: u64,
+    tiles: core::ops::Range<usize>,
+    total: usize,
+) -> Tally {
+    const TILE: usize = fair_simlab::TILE;
+    let tile_range = |i: usize| i * TILE..((i + 1) * TILE).min(total);
+    let full = |i: usize| (i + 1) * TILE <= total;
+    // Transcript capture must observe every trial, so it bypasses the
+    // cache entirely (and records nothing, keeping stored tallies pure).
+    let cacheable = fair_tiles::cache::active() && !fair_trace::capture::active();
+    let mut slots: Vec<Option<Tally>> = tiles
+        .clone()
+        .map(|i| {
+            (cacheable && full(i))
+                .then(|| fair_tiles::cache::lookup(name, seed, i as u32))
+                .flatten()
+                .and_then(tally_from_cached)
+        })
+        .collect();
+    let missing: Vec<usize> = tiles
+        .clone()
+        .zip(slots.iter())
+        .filter(|(_, slot)| slot.is_none())
+        .map(|(i, _)| i)
+        .collect();
+    let computed = fair_simlab::run_indexed(missing.len(), |k| {
+        compute_tile(scenario, payoff, name, seed, tile_range(missing[k]))
     });
-    let tally = tallies.into_iter().fold(Tally::default(), Tally::merge);
-    tally.into_estimate(scenario.name(), payoff)
+    for (k, tally) in computed.into_iter().enumerate() {
+        let i = missing[k];
+        if cacheable && full(i) {
+            fair_tiles::cache::record(name, seed, i as u32, tally_to_cached(&tally));
+        }
+        slots[i - tiles.start] = Some(tally);
+    }
+    slots
+        .into_iter()
+        .flatten()
+        .fold(Tally::default(), Tally::merge)
+}
+
+/// Executes one tile of trials (the scheduler work unit).
+fn compute_tile<S: Scenario + Sync>(
+    scenario: &S,
+    payoff: &Payoff,
+    name: &str,
+    seed: u64,
+    range: core::ops::Range<usize>,
+) -> Tally {
+    let mut tally = Tally::default();
+    // Per-tile protocol-metric batch, submitted once per tile (same
+    // one-mutex-touch-per-tile discipline as the latency batches).
+    let mut proto = fair_trace::metrics::enabled().then(ProtoBatch::default);
+    // Per-trial latency observation goes through simlab's timing
+    // facade: fair-core itself never reads the wall clock (rule D1).
+    let mut timer = fair_simlab::BatchTimer::start(range.len());
+    for t in range {
+        let (_, event, _, stats) = timer
+            .time(|| run_once_traced(scenario, payoff, fair_simlab::trial_seed(seed, t as u64)));
+        tally.record(event);
+        if let (Some(batch), Some(stats)) = (proto.as_mut(), stats) {
+            batch.record(&stats);
+        }
+    }
+    timer.finish();
+    if let Some(batch) = proto {
+        fair_trace::metrics::record_batch(name, batch);
+    }
+    tally
+}
+
+/// Validates a cached tile before trusting it: exactly one full tile of
+/// consistent counts. Anything else is treated as a miss.
+fn tally_from_cached(cached: fair_tiles::TileTally) -> Option<Tally> {
+    if cached.trials as usize != fair_simlab::TILE {
+        return None;
+    }
+    let mut event_counts = [0usize; 4];
+    for (dst, src) in event_counts.iter_mut().zip(cached.counts) {
+        *dst = usize::try_from(src).ok()?;
+    }
+    let tally = Tally { event_counts };
+    (tally.trials() == fair_simlab::TILE).then_some(tally)
+}
+
+fn tally_to_cached(tally: &Tally) -> fair_tiles::TileTally {
+    let mut counts = [0u64; 4];
+    for (dst, src) in counts.iter_mut().zip(tally.event_counts) {
+        *dst = src as u64;
+    }
+    fair_tiles::TileTally {
+        trials: tally.trials() as u32,
+        counts,
+    }
 }
 
 /// Estimates the utility of the *best* strategy among several scenarios
@@ -378,5 +530,80 @@ mod tests {
         let s = est.to_string();
         assert!(s.contains("echo"));
         assert!(s.contains("0/4/0/0"));
+    }
+
+    /// Serializes the tests that install the process-global tile store.
+    static CACHE_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    #[test]
+    fn tile_cache_hits_reproduce_fresh_results() {
+        let _slot = CACHE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let fresh_640 = estimate(&EchoScenario, &Payoff::standard(), 640, 11);
+        let fresh_2000 = estimate(&EchoScenario, &Payoff::standard(), 2000, 11);
+        fair_tiles::cache::install(std::sync::Arc::new(fair_tiles::Store::in_memory()));
+        let (warm_640, warm_2000) = fair_tiles::cache::with_group("unit", 11, || {
+            (
+                estimate(&EchoScenario, &Payoff::standard(), 640, 11),
+                estimate(&EchoScenario, &Payoff::standard(), 2000, 11),
+            )
+        });
+        let stats = fair_tiles::cache::snapshot().expect("store installed");
+        fair_tiles::cache::uninstall();
+        // 640 trials = tiles 0..10 (all full, all cold): 10 misses.
+        // 2000 trials = tiles 0..32 (tile 31 partial): 10 prefix hits,
+        // 21 full misses, the partial tile never consulted.
+        assert_eq!((stats.hits, stats.misses, stats.inserts), (10, 31, 31));
+        for (warm, fresh) in [(&warm_640, &fresh_640), (&warm_2000, &fresh_2000)] {
+            assert_eq!(warm.event_counts, fresh.event_counts);
+            assert_eq!(warm.trials, fresh.trials);
+            assert_eq!(warm.mean.to_bits(), fresh.mean.to_bits());
+            assert_eq!(warm.ci.to_bits(), fresh.ci.to_bits());
+        }
+    }
+
+    #[test]
+    fn cache_is_inert_without_a_group() {
+        let _slot = CACHE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        fair_tiles::cache::install(std::sync::Arc::new(fair_tiles::Store::in_memory()));
+        let _ = estimate(&EchoScenario, &Payoff::standard(), 128, 5);
+        let stats = fair_tiles::cache::snapshot().expect("store installed");
+        fair_tiles::cache::uninstall();
+        assert_eq!((stats.hits, stats.misses, stats.inserts), (0, 0, 0));
+    }
+
+    #[test]
+    fn adaptive_stopper_converges_early_and_stays_exact() {
+        // Zero-variance scenario: the half-width is 0 after the first
+        // chunk, so a 1000-trial request stops at 256 trials.
+        let (tx, rx) = std::sync::mpsc::channel();
+        let (est, summary) = crate::progressive::scoped(0.05, Some(tx), || {
+            estimate(&EchoScenario, &Payoff::standard(), 1000, 13)
+        });
+        assert_eq!(est.trials, ADAPTIVE_CHUNK_TILES * fair_simlab::TILE);
+        assert_eq!(est.event_rate(Event::E01), 1.0);
+        assert_eq!(summary.estimates, 1);
+        assert_eq!(summary.early_stops, 1);
+        assert_eq!(summary.trials_requested, 1000);
+        assert_eq!(summary.trials_used, 256);
+        let frames: Vec<_> = rx.try_iter().collect();
+        assert_eq!(frames.len(), 1);
+        assert!(frames[0].done);
+        assert_eq!(frames[0].trials, 256);
+        assert_eq!(frames[0].requested, 1000);
+    }
+
+    #[test]
+    fn adaptive_exhaustion_matches_fixed_budget_bit_for_bit() {
+        // An unreachable epsilon forces the adaptive path to spend the
+        // whole budget; the result must equal the plain path exactly.
+        let fixed = estimate(&EchoScenario, &Payoff::standard(), 500, 17);
+        let (adaptive, summary) = crate::progressive::scoped(-1.0, None, || {
+            estimate(&EchoScenario, &Payoff::standard(), 500, 17)
+        });
+        assert_eq!(adaptive.event_counts, fixed.event_counts);
+        assert_eq!(adaptive.mean.to_bits(), fixed.mean.to_bits());
+        assert_eq!(adaptive.ci.to_bits(), fixed.ci.to_bits());
+        assert_eq!(summary.trials_used, 500);
+        assert_eq!(summary.early_stops, 0);
     }
 }

@@ -23,7 +23,8 @@ pub enum TomlValue {
 pub fn parse_toml_subset(src: &str) -> Vec<(String, TomlValue)> {
     let mut out = Vec::new();
     let mut section = String::new();
-    for raw_line in src.lines() {
+    let mut lines = src.lines();
+    while let Some(raw_line) = lines.next() {
         let line = strip_comment(raw_line).trim();
         if line.is_empty() {
             continue;
@@ -40,7 +41,14 @@ pub fn parse_toml_subset(src: &str) -> Vec<(String, TomlValue)> {
         } else {
             format!("{section}.{}", k.trim())
         };
-        if let Some(val) = parse_value(v.trim()) {
+        // A `[` with no closing `]` on the same line opens a multi-line
+        // array: keep consuming (comment-stripped) lines until it closes.
+        let mut value = v.trim().to_string();
+        while value.starts_with('[') && !value.ends_with(']') {
+            let Some(next) = lines.next() else { break };
+            value.push_str(strip_comment(next).trim());
+        }
+        if let Some(val) = parse_value(&value) {
             out.push((key, val));
         }
     }
@@ -189,6 +197,19 @@ mod tests {
             TomlValue::Str("the one entry point".into())
         )));
         assert!(pairs.contains(&("allow.R4.strict".into(), TomlValue::Bool(true))));
+    }
+
+    #[test]
+    fn parses_multi_line_arrays() {
+        let pairs = parse_toml_subset(
+            "[rules.S2]\npaths = [\n    \"a/b.rs\",  # why a/b is in scope\n    \"c/d.rs\",\n]\nnext = true\n",
+        );
+        assert!(pairs.contains(&(
+            "rules.S2.paths".into(),
+            TomlValue::List(vec!["a/b.rs".into(), "c/d.rs".into()])
+        )));
+        // Parsing resumes cleanly after the closing bracket.
+        assert!(pairs.contains(&("rules.S2.next".into(), TomlValue::Bool(true))));
     }
 
     #[test]

@@ -3,7 +3,10 @@
 //! talk to a `fair-serve` instance without any external dependency.
 //!
 //! The server always answers `Connection: close`, so a reply is simply
-//! "everything until EOF" split at the first blank line.
+//! "everything until EOF" split at the first blank line. Streaming
+//! replies (`/stream`) arrive with `Transfer-Encoding: chunked`; the
+//! parser strips the chunk framing so [`HttpReply::body`] is always the
+//! logical payload.
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
@@ -77,18 +80,59 @@ fn parse_reply(raw: &[u8]) -> std::io::Result<HttpReply> {
         .nth(1)
         .and_then(|s| s.parse::<u16>().ok())
         .ok_or_else(|| bad("malformed status line"))?;
-    let headers = lines
+    let headers: Vec<(String, String)> = lines
         .filter_map(|line| {
             line.split_once(':')
                 .map(|(k, v)| (k.trim().to_string(), v.trim().to_string()))
         })
         .collect();
-    let body = raw.get(head_end + 4..).unwrap_or_default().to_vec();
+    let wire = raw.get(head_end + 4..).unwrap_or_default();
+    let chunked = headers.iter().any(|(k, v)| {
+        k.eq_ignore_ascii_case("transfer-encoding") && v.eq_ignore_ascii_case("chunked")
+    });
+    let body = if chunked {
+        dechunk(wire)
+    } else {
+        wire.to_vec()
+    };
     Ok(HttpReply {
         status,
         headers,
         body,
     })
+}
+
+/// Strips chunked-transfer framing: hex size line, payload, CRLF, repeated
+/// until the terminal zero-size chunk. Lenient on malformed framing — the
+/// decoded prefix is returned rather than an error, so a stream cut
+/// mid-chunk still yields every complete frame received.
+fn dechunk(wire: &[u8]) -> Vec<u8> {
+    let mut body = Vec::with_capacity(wire.len());
+    let mut pos = 0usize;
+    loop {
+        let rest = match wire.get(pos..) {
+            Some(r) if !r.is_empty() => r,
+            _ => return body,
+        };
+        let Some(line_end) = rest.windows(2).position(|w| w == b"\r\n") else {
+            return body;
+        };
+        let size_line = String::from_utf8_lossy(&rest[..line_end]);
+        // Chunk extensions (`;` suffix) are allowed by the grammar.
+        let size_hex = size_line.split(';').next().unwrap_or("").trim();
+        let Ok(size) = usize::from_str_radix(size_hex, 16) else {
+            return body;
+        };
+        if size == 0 {
+            return body;
+        }
+        let data_start = pos + line_end + 2;
+        let Some(data) = wire.get(data_start..data_start + size) else {
+            return body;
+        };
+        body.extend_from_slice(data);
+        pos = data_start + size + 2; // skip the chunk's trailing CRLF
+    }
 }
 
 #[cfg(test)]
@@ -109,5 +153,29 @@ mod tests {
     fn rejects_malformed_replies() {
         assert!(parse_reply(b"not http").is_err());
         assert!(parse_reply(b"HTTP/1.1 abc\r\n\r\n").is_err());
+    }
+
+    #[test]
+    fn dechunks_streaming_replies() {
+        let raw = b"HTTP/1.1 200 OK\r\nContent-Type: application/x-ndjson\r\n\
+                    Transfer-Encoding: chunked\r\n\r\n\
+                    b\r\n{\"a\":true}\n\r\n7\r\n{\"b\":1}\r\n0\r\n\r\n";
+        let reply = parse_reply(raw).unwrap();
+        assert_eq!(reply.status, 200);
+        assert_eq!(reply.text(), "{\"a\":true}\n{\"b\":1}");
+    }
+
+    #[test]
+    fn truncated_chunk_stream_keeps_complete_frames() {
+        // Cut mid-chunk: the complete first chunk survives, the torn
+        // second one is dropped.
+        let raw = b"HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n\
+                    5\r\nhello\r\nff\r\ntorn";
+        let reply = parse_reply(raw).unwrap();
+        assert_eq!(reply.text(), "hello");
+        // Garbage size line: decoded prefix only, no panic.
+        let raw = b"HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n\
+                    5\r\nhello\r\nzz\r\nx\r\n0\r\n\r\n";
+        assert_eq!(parse_reply(raw).unwrap().text(), "hello");
     }
 }

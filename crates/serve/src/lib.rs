@@ -21,7 +21,14 @@
 //! - [`server`]: the accept loop — bounded [`fair_simlab::WorkerPool`]
 //!   admission (429 when the queue is full), per-request deadlines (503),
 //!   and graceful drain-then-flush shutdown.
+//! - [`streaming`]: the chunked `GET /stream` endpoint — progressive
+//!   estimation frames with CI-bounded early stop (`epsilon=`).
 //! - [`client`]: a minimal blocking client for `fair-load` and tests.
+//!
+//! Estimation work is additionally keyed through the `fair-tiles` store
+//! when one is configured ([`ServerConfig::tiles_dir`]): full 64-trial
+//! tiles persist across requests *and* restarts, so growing `trials` for
+//! a known `(exp, seed)` only computes the missing tail tiles.
 //!
 //! The crate depends only on `fair-simlab` (pool, JSON) and `fair-trace`
 //! (metrics export); the experiment registry arrives through the
@@ -34,10 +41,11 @@ pub mod http;
 pub mod server;
 pub mod service;
 pub mod stats;
+pub mod streaming;
 
 pub use cache::{Lookup, ShardedCache};
 pub use client::HttpReply;
 pub use http::{Request, Response};
 pub use server::{Server, ServerConfig};
-pub use service::{Backend, Service, ServiceConfig};
+pub use service::{Backend, ProgressUpdate, Service, ServiceConfig};
 pub use stats::ServerStats;

@@ -40,6 +40,12 @@ pub struct ServerConfig {
     pub read_timeout: Duration,
     /// Where to flush the final metrics snapshot on shutdown (optional).
     pub metrics_path: Option<PathBuf>,
+    /// Directory for the persistent tile store. When set, `bind` installs
+    /// a process-global `fair_tiles::Store` there, warms it from whatever
+    /// the directory already holds, and the server flushes it after cold
+    /// computes and on shutdown — so estimates survive restarts. `None`
+    /// (the default) leaves whatever store is already installed untouched.
+    pub tiles_dir: Option<PathBuf>,
     /// Service-layer tunables (defaults, caps, cache geometry).
     pub service: ServiceConfig,
 }
@@ -53,6 +59,7 @@ impl Default for ServerConfig {
             deadline: Duration::from_secs(30),
             read_timeout: Duration::from_secs(5),
             metrics_path: None,
+            tiles_dir: None,
             service: ServiceConfig::default(),
         }
     }
@@ -71,6 +78,13 @@ impl Server {
     /// Binds the listener and builds the service. The socket is
     /// nonblocking so the accept loop can poll the shutdown latch.
     pub fn bind(config: ServerConfig, backend: Arc<dyn Backend>) -> std::io::Result<Server> {
+        if let Some(dir) = &config.tiles_dir {
+            // Install-and-warm before the first request: every tile the
+            // previous process flushed serves this one from disk.
+            let store = fair_tiles::Store::persistent(dir);
+            store.load();
+            fair_tiles::cache::install(Arc::new(store));
+        }
         let listener = TcpListener::bind(&config.addr)?;
         listener.set_nonblocking(true)?;
         let local_addr = listener.local_addr()?;
@@ -114,9 +128,10 @@ impl Server {
             }
         }
         // Graceful: stop accepting (loop exited), drain every admitted
-        // job, then flush the final snapshot.
+        // job, then flush the final snapshots (metrics and warm tiles).
         pool.shutdown();
         self.flush_metrics();
+        fair_tiles::cache::flush();
         Ok(())
     }
 
@@ -168,11 +183,8 @@ impl Server {
         let Some(path) = &self.config.metrics_path else {
             return;
         };
-        if let Some(dir) = path.parent() {
-            let _ = std::fs::create_dir_all(dir);
-        }
         let body = self.service.metrics_document().render_pretty() + "\n";
-        let _ = std::fs::write(path, body);
+        let _ = fair_tiles::atomic_write(path, body.as_bytes());
     }
 }
 
@@ -198,6 +210,12 @@ fn handle_connection(
         resp
     } else {
         match parsed {
+            Ok(req) if req.path == "/stream" => {
+                // Streaming writes its body live while the estimation
+                // runs — it needs the socket, not a buffered Response.
+                crate::streaming::handle(service, stream, &req);
+                return;
+            }
             Ok(req) => service.handle(&req),
             Err(err) => {
                 let status = match err {

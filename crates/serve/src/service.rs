@@ -31,6 +31,43 @@ pub trait Backend: Send + Sync + 'static {
     /// rendered canonical result document (the exact bytes to serve),
     /// or `None` if the experiment is unknown or the run failed.
     fn estimate(&self, exp: &str, trials: usize, seed: u64) -> Option<String>;
+
+    /// Runs the estimation adaptively: every `estimate()` call inside the
+    /// experiment stops once its 95% half-width reaches `epsilon` (or its
+    /// budget runs out), invoking `emit` with a progress frame per tile
+    /// batch. Returns the final wrapper document (adaptive accounting plus
+    /// the result for the trials actually spent), or `None` on failure.
+    /// The default implementation reports "unsupported" by returning
+    /// `None` without emitting.
+    fn estimate_progressive(
+        &self,
+        _exp: &str,
+        _trials: usize,
+        _seed: u64,
+        _epsilon: f64,
+        _emit: &mut dyn FnMut(ProgressUpdate),
+    ) -> Option<String> {
+        None
+    }
+}
+
+/// One progress frame of an adaptive estimation, as surfaced to HTTP
+/// streaming consumers (mirrors `fair_core::progressive::Update` without
+/// depending on `fair-core` — serve stays below it in the crate order).
+#[derive(Clone, Debug, PartialEq)]
+pub struct ProgressUpdate {
+    /// Scenario name of the reporting `estimate()` call.
+    pub scenario: String,
+    /// Trials that call was asked for.
+    pub requested: usize,
+    /// Trials tallied so far.
+    pub trials: usize,
+    /// Running mean payoff.
+    pub mean: f64,
+    /// Running 95% confidence half-width.
+    pub ci: f64,
+    /// Whether this is the call's final frame.
+    pub done: bool,
 }
 
 /// Tunables for the service layer.
@@ -93,6 +130,22 @@ impl Service {
     /// Whether shutdown has been requested.
     pub fn shutting_down(&self) -> bool {
         self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// The experiment backend (the streaming endpoint drives it directly —
+    /// progressive responses are not cacheable bodies).
+    pub fn backend(&self) -> &Arc<dyn Backend> {
+        &self.backend
+    }
+
+    /// The service tunables (streaming shares the parameter envelope).
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    /// Whether `exp` is a registered experiment id.
+    pub fn knows_experiment(&self, exp: &str) -> bool {
+        self.backend.experiments().iter().any(|(id, _)| id == exp)
     }
 
     /// Handles one parsed request, counting it and its response status.
@@ -175,6 +228,11 @@ impl Service {
             Lookup::Waited(b) => (b, "wait", &self.stats.cache_waits),
             Lookup::Failed(e) => return Response::error(500, e),
         };
+        if matches!(lookup, Lookup::Computed(_)) {
+            // A cold compute may have minted new tiles; persist them now
+            // so a later restart serves this point warm from disk.
+            fair_tiles::cache::flush();
+        }
         ServerStats::bump(counter);
         Response::json(200, bytes.as_ref().clone()).with_header("X-Cache", flavor)
     }
@@ -191,6 +249,7 @@ impl Service {
                 Json::Arr(protocols.iter().map(proto_json).collect()),
             )
             .field("server", self.stats.to_json())
+            .field("tiles", tiles_json())
             .canonical()
     }
 
@@ -205,6 +264,23 @@ impl Service {
     }
 }
 
+/// The tile-store block of `/metrics`: hit/miss/insert counters plus
+/// occupancy, or `null` when no store is installed.
+fn tiles_json() -> Json {
+    let Some(stats) = fair_tiles::cache::snapshot() else {
+        return Json::Null;
+    };
+    Json::obj()
+        .field("hits", Json::num(stats.hits as f64))
+        .field("misses", Json::num(stats.misses as f64))
+        .field("inserts", Json::num(stats.inserts as f64))
+        .field("loaded_records", Json::num(stats.loaded_records as f64))
+        .field("skipped_records", Json::num(stats.skipped_records as f64))
+        .field("flushed_files", Json::num(stats.flushed_files as f64))
+        .field("groups", Json::num(stats.groups as f64))
+        .field("entries", Json::num(stats.entries as f64))
+}
+
 fn get_only(req: &Request, f: impl FnOnce(&Request) -> Response) -> Response {
     if req.method == "GET" {
         f(req)
@@ -213,7 +289,7 @@ fn get_only(req: &Request, f: impl FnOnce(&Request) -> Response) -> Response {
     }
 }
 
-fn parse_trials(req: &Request, default: usize, max: usize) -> Result<usize, Response> {
+pub(crate) fn parse_trials(req: &Request, default: usize, max: usize) -> Result<usize, Response> {
     let raw = match req.query_param("trials") {
         None => return Ok(default),
         Some(raw) => raw,
@@ -228,7 +304,7 @@ fn parse_trials(req: &Request, default: usize, max: usize) -> Result<usize, Resp
     }
 }
 
-fn parse_seed(req: &Request, default: u64) -> Result<u64, Response> {
+pub(crate) fn parse_seed(req: &Request, default: u64) -> Result<u64, Response> {
     let raw = match req.query_param("seed") {
         None => return Ok(default),
         Some(raw) => raw,

@@ -39,6 +39,10 @@ pub struct ServerStats {
     pub deadline_expired: AtomicU64,
     /// `POST /shutdown` requests honoured.
     pub shutdown_requests: AtomicU64,
+    /// `/stream` responses started.
+    pub streams: AtomicU64,
+    /// Streamed estimations that converged before their trial budget.
+    pub stream_early_stops: AtomicU64,
 }
 
 impl ServerStats {
@@ -80,6 +84,8 @@ impl ServerStats {
             ("status_404".into(), read(&self.status_404)),
             ("status_429".into(), read(&self.status_429)),
             ("status_503".into(), read(&self.status_503)),
+            ("stream_early_stops".into(), read(&self.stream_early_stops)),
+            ("streams".into(), read(&self.streams)),
         ])
     }
 }
@@ -114,7 +120,7 @@ mod tests {
         match doc {
             Json::Obj(fields) => {
                 assert!(fields.windows(2).all(|w| w[0].0 < w[1].0), "keys sorted");
-                assert_eq!(fields.len(), 14);
+                assert_eq!(fields.len(), 16);
             }
             other => panic!("expected object, got {other:?}"),
         }

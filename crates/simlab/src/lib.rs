@@ -32,6 +32,8 @@ pub mod seed;
 
 pub use metrics::{BatchTimer, LatencySummary, Progress};
 pub use pool::{SubmitError, WorkerPool};
-pub use record::{proto_json, result_json, ExpRecord, ReportRecord, RowRecord, SuiteRecord};
-pub use scheduler::{effective_jobs, run_tiled, set_jobs, with_jobs, TILE};
+pub use record::{
+    proto_json, result_json, AdaptiveSummary, ExpRecord, ReportRecord, RowRecord, SuiteRecord,
+};
+pub use scheduler::{effective_jobs, run_indexed, run_tiled, set_jobs, with_jobs, TILE};
 pub use seed::trial_seed;

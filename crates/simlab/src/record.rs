@@ -41,6 +41,38 @@ impl ReportRecord {
     }
 }
 
+/// Summary of an adaptive (CI-bounded) run: how many trials the epsilon
+/// stopper actually spent versus what was requested, aggregated over every
+/// `estimate()` call of the experiment. Deterministic — the stop rule is a
+/// pure function of the integer tallies, so `trials_used` is bit-stable
+/// across worker counts.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct AdaptiveSummary {
+    /// The CI half-width target that gates early stop.
+    pub epsilon: f64,
+    /// Number of `estimate()` calls that ran adaptively.
+    pub estimates: u64,
+    /// How many of them stopped before exhausting their budget.
+    pub early_stops: u64,
+    /// Total trials the experiment asked for.
+    pub trials_requested: u64,
+    /// Total trials actually executed.
+    pub trials_used: u64,
+}
+
+impl AdaptiveSummary {
+    /// Renders the record block (shared by batch records and the serve
+    /// streaming wrapper, so both surfaces agree on field names).
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .field("epsilon", Json::Num(self.epsilon))
+            .field("estimates", Json::num(self.estimates as f64))
+            .field("early_stops", Json::num(self.early_stops as f64))
+            .field("trials_requested", Json::num(self.trials_requested as f64))
+            .field("trials_used", Json::num(self.trials_used as f64))
+    }
+}
+
 /// A complete record of one experiment execution.
 #[derive(Clone, Debug, PartialEq)]
 pub struct ExpRecord {
@@ -63,6 +95,9 @@ pub struct ExpRecord {
     pub protocols: Vec<ProtoSummary>,
     /// Whether every report row passed.
     pub pass: bool,
+    /// Adaptive-stopper accounting when the run used `--epsilon`
+    /// (trials-used vs trials-requested); `None` for fixed-budget runs.
+    pub adaptive: Option<AdaptiveSummary>,
     /// The full measurement tables.
     pub reports: Vec<ReportRecord>,
 }
@@ -155,15 +190,20 @@ impl ExpRecord {
                 Json::Arr(self.protocols.iter().map(proto_json).collect()),
             );
         }
+        if let Some(adaptive) = &self.adaptive {
+            doc = doc.field("adaptive", adaptive.to_json());
+        }
         doc
     }
 
     /// Writes `dir/<id>.json` (creating `dir`), returning the path.
-    /// Rendered canonically (sorted keys), so reruns diff content-only.
+    /// Rendered canonically (sorted keys), so reruns diff content-only;
+    /// written atomically (temp + rename), so a killed run never leaves a
+    /// truncated record.
     pub fn write(&self, dir: &std::path::Path) -> std::io::Result<std::path::PathBuf> {
-        std::fs::create_dir_all(dir)?;
         let path = dir.join(format!("{}.json", self.id));
-        std::fs::write(&path, self.to_json().canonical().render_pretty() + "\n")?;
+        let body = self.to_json().canonical().render_pretty() + "\n";
+        fair_tiles::atomic_write(&path, body.as_bytes())?;
         Ok(path)
     }
 }
@@ -209,9 +249,11 @@ impl SuiteRecord {
     }
 
     /// Writes the aggregate record to `path`. Rendered canonically
-    /// (sorted keys), so reruns diff content-only.
+    /// (sorted keys), so reruns diff content-only; written atomically
+    /// (temp + rename), so a killed run never leaves a truncated record.
     pub fn write(&self, path: &std::path::Path) -> std::io::Result<()> {
-        std::fs::write(path, self.to_json().canonical().render_pretty() + "\n")
+        let body = self.to_json().canonical().render_pretty() + "\n";
+        fair_tiles::atomic_write(path, body.as_bytes())
     }
 }
 
@@ -281,6 +323,7 @@ mod tests {
                 bytes: QuantileSummary::default(),
             }],
             pass: true,
+            adaptive: None,
             reports: vec![ReportRecord {
                 id: "E1".into(),
                 title: "contract signing".into(),
@@ -388,6 +431,39 @@ mod tests {
         }
         assert_sorted(&json::parse(&text).unwrap(), &text);
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn adaptive_block_appears_only_when_present() {
+        let mut record = sample();
+        assert!(json::get(
+            &json::parse(&record.to_json().render()).unwrap(),
+            "adaptive"
+        )
+        .is_none());
+        record.adaptive = Some(AdaptiveSummary {
+            epsilon: 0.05,
+            estimates: 3,
+            early_stops: 2,
+            trials_requested: 3000,
+            trials_used: 1280,
+        });
+        let back = json::parse(&record.to_json().render()).unwrap();
+        let adaptive = json::get(&back, "adaptive").expect("adaptive block");
+        assert_eq!(json::get(adaptive, "epsilon"), Some(&Json::Num(0.05)));
+        assert_eq!(json::get(adaptive, "trials_used"), Some(&Json::Num(1280.0)));
+        assert_eq!(
+            json::get(adaptive, "trials_requested"),
+            Some(&Json::Num(3000.0))
+        );
+        assert_eq!(json::get(adaptive, "early_stops"), Some(&Json::Num(2.0)));
+        // The deterministic result document stays adaptive-free: its bytes
+        // identify the estimation point, not the budget that reached it.
+        assert!(json::get(
+            &json::parse(&record.result_json().render()).unwrap(),
+            "adaptive"
+        )
+        .is_none());
     }
 
     #[test]

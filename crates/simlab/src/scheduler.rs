@@ -79,12 +79,26 @@ where
 {
     let tiles = total.div_ceil(TILE);
     let tile_range = |i: usize| i * TILE..((i + 1) * TILE).min(total);
-    let jobs = effective_jobs().clamp(1, tiles.max(1));
+    run_indexed(tiles, |i| f(tile_range(i)))
+}
+
+/// Maps `f` over `0..count` and returns the results in index order — the
+/// work-distribution core under [`run_tiled`], exposed so callers with a
+/// *sparse* work list (e.g. the tile-cache path computing only missing
+/// tiles) get the same claim-from-an-atomic-counter scheduling without
+/// inventing a dense range. Determinism contract: results depend only on
+/// `f` and `count`, never on the worker count.
+pub fn run_indexed<T, F>(count: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let jobs = effective_jobs().clamp(1, count.max(1));
     if jobs <= 1 {
-        return (0..tiles).map(|i| f(tile_range(i))).collect();
+        return (0..count).map(f).collect();
     }
     let next = AtomicUsize::new(0);
-    let mut slots: Vec<Option<T>> = (0..tiles).map(|_| None).collect();
+    let mut slots: Vec<Option<T>> = (0..count).map(|_| None).collect();
     thread::scope(|scope| {
         let handles: Vec<_> = (0..jobs)
             .map(|_| {
@@ -92,10 +106,10 @@ where
                     let mut mine = Vec::new();
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= tiles {
+                        if i >= count {
                             break;
                         }
-                        mine.push((i, f(tile_range(i))));
+                        mine.push((i, f(i)));
                     }
                     mine
                 })
@@ -109,7 +123,7 @@ where
     });
     slots
         .into_iter()
-        .map(|s| s.expect("every tile computed"))
+        .map(|s| s.expect("every index computed"))
         .collect()
 }
 
@@ -155,5 +169,18 @@ mod tests {
     #[test]
     fn zero_total_yields_no_tiles() {
         assert!(run_tiled(0, |_| 0u8).is_empty());
+    }
+
+    #[test]
+    fn run_indexed_is_in_order_for_any_job_count() {
+        for jobs in [1, 2, 4, 8] {
+            let out = with_jobs(jobs, || run_indexed(37, |i| i * i));
+            assert_eq!(
+                out,
+                (0..37).map(|i| i * i).collect::<Vec<_>>(),
+                "jobs {jobs}"
+            );
+        }
+        assert!(run_indexed(0, |i| i).is_empty());
     }
 }
