@@ -10,8 +10,23 @@ cargo fmt --check
 echo "== cargo clippy (deny warnings)"
 cargo clippy --workspace -- -D warnings
 
-echo "== fairlint (strict)"
-cargo run -q -p fairlint -- --strict
+echo "== fairlint (strict + graph)"
+mkdir -p target/fairlint
+# Gate: zero non-baselined diagnostics, machine-readable report on disk.
+cargo run -q -p fairlint -- --strict --baseline check --json \
+  > target/fairlint/report.json
+grep -q '"violations":\[\]' target/fairlint/report.json
+# The exported call graph must cover the workspace and be deterministic:
+# two consecutive runs are byte-identical, and the payload parses enough
+# to name every member crate.
+cargo run -q -p fairlint -- --graph json > target/fairlint/graph.json
+cargo run -q -p fairlint -- --graph json > target/fairlint/graph.2.json
+cmp target/fairlint/graph.json target/fairlint/graph.2.json
+rm -f target/fairlint/graph.2.json
+grep -q '"crates"' target/fairlint/graph.json
+grep -q '"edges"' target/fairlint/graph.json
+cargo run -q -p fairlint -- --graph dot > target/fairlint/graph.dot
+grep -q '^digraph fairlint' target/fairlint/graph.dot
 
 echo "== cargo build --release (workspace: libs + reproduce/exp_*/fair-trace bins)"
 cargo build --release --workspace

@@ -57,9 +57,12 @@ pub const ALL_EXPERIMENTS: [&str; 17] = [
 /// order — the single listing behind `reproduce --list` and
 /// `fair-trace list`, so the two tools name experiments identically.
 pub fn experiment_listing() -> Vec<(&'static str, &'static str)> {
+    // Total: an id missing a title (rule R1 keeps the registry and the
+    // titles in lockstep) lists as untitled rather than panicking in
+    // the serve path that calls this on every /experiments request.
     ALL_EXPERIMENTS
         .iter()
-        .map(|id| (*id, experiment_title(id).expect("title for every id")))
+        .map(|id| (*id, experiment_title(id).unwrap_or("(untitled)")))
         .collect()
 }
 

@@ -1,0 +1,121 @@
+//! Committed-baseline mechanism: adopt a stricter rule incrementally.
+//!
+//! `fairlint --baseline write` records the current violation counts per
+//! `(rule, path)` into `fairlint.baseline` at the workspace root;
+//! `--baseline check` subtracts those counts from a run's diagnostics,
+//! so only *new* findings (or old ones in files whose count grew) fail
+//! `--strict`. Counts — not line numbers — keep the file stable under
+//! unrelated edits; fixing a baselined violation shrinks the allowance
+//! the next time the baseline is rewritten.
+
+use std::collections::BTreeMap;
+
+use crate::diag::Diagnostic;
+
+/// Name of the baseline file at the workspace root.
+pub const BASELINE_FILE: &str = "fairlint.baseline";
+
+/// Per-`(rule, path)` allowed violation counts.
+pub type Baseline = BTreeMap<(String, String), usize>;
+
+/// Renders diagnostics as a baseline file (sorted, tab-separated).
+pub fn render(diags: &[Diagnostic]) -> String {
+    let mut counts: Baseline = BTreeMap::new();
+    for d in diags {
+        *counts
+            .entry((d.rule.to_string(), d.rel.clone()))
+            .or_default() += 1;
+    }
+    let mut out = String::from(
+        "# fairlint baseline — accepted pre-existing violations, counted per (rule, path).\n\
+         # Regenerate with `cargo run -p fairlint -- --strict --baseline write`.\n\
+         # Format: rule<TAB>path<TAB>count\n",
+    );
+    for ((rule, path), n) in &counts {
+        out.push_str(&format!("{rule}\t{path}\t{n}\n"));
+    }
+    out
+}
+
+/// Parses a baseline file; unparseable lines are ignored.
+pub fn parse(src: &str) -> Baseline {
+    let mut out = Baseline::new();
+    for line in src.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split('\t');
+        let (Some(rule), Some(path), Some(count)) = (parts.next(), parts.next(), parts.next())
+        else {
+            continue;
+        };
+        if let Ok(n) = count.trim().parse::<usize>() {
+            out.insert((rule.to_string(), path.to_string()), n);
+        }
+    }
+    out
+}
+
+/// Filters out up to the baselined number of diagnostics per
+/// `(rule, path)`, keeping the rest. Diagnostics are consumed in input
+/// order (sorted by line), so the earliest occurrences are absorbed
+/// first — deterministic either way.
+pub fn filter(diags: Vec<Diagnostic>, baseline: &Baseline) -> Vec<Diagnostic> {
+    let mut used: BTreeMap<(String, String), usize> = BTreeMap::new();
+    diags
+        .into_iter()
+        .filter(|d| {
+            let key = (d.rule.to_string(), d.rel.clone());
+            let allowed = baseline.get(&key).copied().unwrap_or(0);
+            let u = used.entry(key).or_default();
+            if *u < allowed {
+                *u += 1;
+                false
+            } else {
+                true
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::Severity;
+
+    fn d(rule: &'static str, rel: &str, line: usize) -> Diagnostic {
+        Diagnostic {
+            rule,
+            severity: Severity::Error,
+            rel: rel.to_string(),
+            line,
+            message: "m".to_string(),
+        }
+    }
+
+    #[test]
+    fn round_trip_filters_to_zero() {
+        let diags = vec![d("C1", "a.rs", 3), d("C1", "a.rs", 9), d("C3", "b.rs", 1)];
+        let base = parse(&render(&diags));
+        assert_eq!(base.get(&("C1".into(), "a.rs".into())), Some(&2));
+        assert!(filter(diags, &base).is_empty());
+    }
+
+    #[test]
+    fn new_findings_survive_the_filter() {
+        let base = parse("C1\ta.rs\t1\n");
+        let remaining = filter(vec![d("C1", "a.rs", 3), d("C1", "a.rs", 9)], &base);
+        assert_eq!(remaining.len(), 1);
+        assert_eq!(remaining[0].line, 9, "earliest occurrence absorbed");
+        // A different rule or file is untouched by the entry.
+        assert_eq!(filter(vec![d("C2", "a.rs", 3)], &base).len(), 1);
+    }
+
+    #[test]
+    fn comments_and_garbage_are_ignored() {
+        let base = parse("# comment\n\nnot a line\nC1\ta.rs\tnope\nC1\ta.rs\t2\n");
+        assert_eq!(base.len(), 1);
+        assert_eq!(base.get(&("C1".into(), "a.rs".into())), Some(&2));
+    }
+}

@@ -16,6 +16,8 @@ pub enum TomlValue {
     List(Vec<String>),
     /// `key = true`
     Bool(bool),
+    /// `key = 3`
+    Int(i64),
 }
 
 /// Flat `section.key → value` view of the file (sections joined with
@@ -75,6 +77,9 @@ fn parse_value(v: &str) -> Option<TomlValue> {
     if v == "false" {
         return Some(TomlValue::Bool(false));
     }
+    if let Ok(n) = v.parse::<i64>() {
+        return Some(TomlValue::Int(n));
+    }
     if let Some(inner) = v.strip_prefix('[').and_then(|x| x.strip_suffix(']')) {
         let items = inner
             .split(',')
@@ -117,6 +122,18 @@ pub struct Config {
     /// Workspace members exempt from rule R5's coverage requirement
     /// (vendored stand-ins, the linter itself, harness-side crates).
     pub r5_allow_crates: Vec<String>,
+    /// Crates rule C1 (blocking-under-lock) covers; empty = all.
+    pub c1_crates: Vec<String>,
+    /// Function names treated as guard-returning lock helpers by the
+    /// concurrency scans (`lock(shard)`-style wrappers).
+    pub c1_guard_helpers: Vec<String>,
+    /// Crates rule C2 (lock-order consistency) covers; empty = all.
+    pub c2_crates: Vec<String>,
+    /// Call-graph depth rule C3 (panic reachability) traverses.
+    pub c3_depth: usize,
+    /// Fully qualified names of proven-total functions C3 may not
+    /// flag or traverse into.
+    pub c3_allow_fns: Vec<String>,
 }
 
 impl Default for Config {
@@ -140,6 +157,11 @@ impl Default for Config {
             env_allow_paths: vec![],
             trace_crates: v(&["runtime", "protocols"]),
             r5_allow_crates: vec![],
+            c1_crates: vec![],
+            c1_guard_helpers: v(&["lock"]),
+            c2_crates: vec![],
+            c3_depth: 2,
+            c3_allow_fns: vec![],
         }
     }
 }
@@ -159,6 +181,10 @@ impl Config {
     /// Applies parsed key/value pairs over the current settings.
     pub fn apply(&mut self, pairs: &[(String, TomlValue)]) {
         for (key, value) in pairs {
+            if let (&"rules.C3.depth", TomlValue::Int(n)) = (&key.as_str(), value) {
+                self.c3_depth = usize::try_from(*n).unwrap_or(1).max(1);
+                continue;
+            }
             let TomlValue::List(items) = value else {
                 continue;
             };
@@ -172,6 +198,10 @@ impl Config {
                 "rules.R2.allow_crates" => self.unsafe_allow_crates = items.clone(),
                 "rules.R5.allow_crates" => self.r5_allow_crates = items.clone(),
                 "rules.T1.crates" => self.trace_crates = items.clone(),
+                "rules.C1.crates" => self.c1_crates = items.clone(),
+                "rules.C1.guard_helpers" => self.c1_guard_helpers = items.clone(),
+                "rules.C2.crates" => self.c2_crates = items.clone(),
+                "rules.C3.allow_fns" => self.c3_allow_fns = items.clone(),
                 "allow.R4.paths" => self.env_allow_paths = items.clone(),
                 _ => {}
             }
@@ -216,6 +246,17 @@ mod tests {
     fn hash_inside_quotes_is_not_a_comment() {
         let pairs = parse_toml_subset("k = \"a#b\"\n");
         assert_eq!(pairs, vec![("k".into(), TomlValue::Str("a#b".into()))]);
+    }
+
+    #[test]
+    fn parses_integers() {
+        let pairs = parse_toml_subset("[rules.C3]\ndepth = 3\nallow_fns = [\"a::b\"]\n");
+        assert!(pairs.contains(&("rules.C3.depth".into(), TomlValue::Int(3))));
+        let mut cfg = Config::default();
+        assert_eq!(cfg.c3_depth, 2);
+        cfg.apply(&pairs);
+        assert_eq!(cfg.c3_depth, 3);
+        assert_eq!(cfg.c3_allow_fns, vec!["a::b".to_string()]);
     }
 
     #[test]

@@ -1,0 +1,433 @@
+//! Scope-aware item extraction: functions with brace-matched bodies and
+//! crate-qualified names, parsed from scrubbed text.
+//!
+//! This is the layer between the token scanner and the call graph. It
+//! walks a file once, maintaining a stack of named scopes (`mod`,
+//! `impl`, `trait`, `fn`) so every function gets a stable qualified
+//! name like `serve::cache::ShardedCache::get_or_compute`, plus the
+//! byte span of its body for the interprocedural rules to scan.
+//!
+//! The parser is deliberately syntactic: it runs on scrubbed text (no
+//! strings or comments can confuse it), counts braces exactly, and
+//! treats everything it cannot classify as an anonymous block. That is
+//! enough for call-edge extraction and guard-liveness scanning; it is
+//! not a Rust parser.
+
+use crate::source::SourceFile;
+
+/// One extracted `fn` item.
+#[derive(Clone, Debug)]
+pub struct FnItem {
+    /// Fully qualified name: module path (derived from the file's
+    /// workspace-relative path) joined with enclosing scope names and
+    /// the function name, `::`-separated.
+    pub qname: String,
+    /// Bare function name (last segment of `qname`).
+    pub name: String,
+    /// Enclosing `impl`/`trait` type name, when the fn is a method.
+    pub owner: Option<String>,
+    /// Crate attribution (directory basename), mirroring
+    /// [`SourceFile::krate`].
+    pub krate: Option<String>,
+    /// Workspace-relative path of the defining file.
+    pub rel: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: usize,
+    /// Byte offset of the body's opening `{` in the scrubbed text.
+    pub body_start: usize,
+    /// Byte offset of the body's closing `}` (exclusive end of body).
+    pub body_end: usize,
+    /// Whether the item starts on test-attributed code.
+    pub is_test: bool,
+}
+
+impl FnItem {
+    /// The body text (between, not including, the outer braces).
+    pub fn body<'t>(&self, text: &'t str) -> &'t str {
+        &text[self.body_start + 1..self.body_end.min(text.len())]
+    }
+}
+
+/// What kind of scope a `{` opened.
+#[derive(Clone, Debug)]
+enum Frame {
+    /// Block with no item name (expression, `match` arm, macro body…).
+    Anon,
+    /// `mod`/`trait` scope contributing a path segment.
+    Named(String),
+    /// `impl` scope: contributes the type name and marks methods.
+    Impl(String),
+    /// A function body: index into the output vec, to patch `body_end`.
+    Fn(usize),
+}
+
+/// Pending item keyword seen, waiting for its `{` (or a cancelling `;`).
+#[derive(Clone, Debug)]
+enum Pending {
+    Mod(String),
+    Trait(String),
+    /// `impl` records where its signature started; the type name is
+    /// extracted from the text between `impl` and the opening brace.
+    Impl(usize),
+    Fn {
+        name: String,
+        line: usize,
+    },
+}
+
+/// Extracts every `fn` item from a file's scrubbed text.
+pub fn extract_fns(f: &SourceFile) -> Vec<FnItem> {
+    let text = &f.text;
+    let b = text.as_bytes();
+    let module = module_path(&f.rel);
+    let mut out: Vec<FnItem> = Vec::new();
+    let mut stack: Vec<Frame> = Vec::new();
+    let mut pending: Option<Pending> = None;
+    let mut line = 1usize;
+    let mut paren = 0usize; // () and [] nesting, so `;` in `[u8; 3]`
+    let mut i = 0usize;
+
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => line += 1,
+            b'(' | b'[' => paren += 1,
+            b')' | b']' => paren = paren.saturating_sub(1),
+            b';' if paren == 0 => pending = None, // `mod x;`, trait fn decl
+            b'{' => {
+                let frame = match pending.take() {
+                    Some(Pending::Mod(n)) | Some(Pending::Trait(n)) => Frame::Named(n),
+                    Some(Pending::Impl(sig_start)) => {
+                        Frame::Impl(impl_type_name(&text[sig_start..i]))
+                    }
+                    Some(Pending::Fn { name, line: fl }) => {
+                        let (scope, owner) = scope_names(&stack);
+                        let mut segs = module.clone();
+                        segs.extend(scope);
+                        segs.push(name.clone());
+                        out.push(FnItem {
+                            qname: segs.join("::"),
+                            name,
+                            owner,
+                            krate: f.krate.clone(),
+                            rel: f.rel.clone(),
+                            line: fl,
+                            body_start: i,
+                            body_end: b.len(),
+                            is_test: f.is_test_path || f.is_test_line(fl),
+                        });
+                        Frame::Fn(out.len() - 1)
+                    }
+                    None => Frame::Anon,
+                };
+                stack.push(frame);
+            }
+            b'}' => {
+                if let Some(Frame::Fn(idx)) = stack.pop() {
+                    out[idx].body_end = i;
+                }
+            }
+            _ if is_ident_start(c) && !prev_is_ident(b, i) => {
+                let word = read_ident(text, i);
+                let after = i + word.len();
+                match word {
+                    "mod" | "trait" if pending.is_none() => {
+                        if let Some(name) = next_ident(text, after) {
+                            pending = Some(if word == "mod" {
+                                Pending::Mod(name)
+                            } else {
+                                Pending::Trait(name)
+                            });
+                        }
+                    }
+                    // `impl Trait` in type position follows a pending
+                    // `fn` (return type) — only a bare `impl` opens one.
+                    "impl" if pending.is_none() => pending = Some(Pending::Impl(after)),
+                    "fn" => {
+                        // `fn(` is a function-pointer type, not an item.
+                        if let Some(name) = next_ident(text, after) {
+                            pending = Some(Pending::Fn { name, line });
+                        }
+                    }
+                    _ => {}
+                }
+                i = after;
+                continue;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Scope path segments (and the innermost impl/trait type, if any)
+/// from the current frame stack.
+fn scope_names(stack: &[Frame]) -> (Vec<String>, Option<String>) {
+    let mut segs = Vec::new();
+    let mut owner = None;
+    for fr in stack {
+        match fr {
+            Frame::Named(n) => {
+                segs.push(n.clone());
+                owner = None;
+            }
+            Frame::Impl(n) => {
+                segs.push(n.clone());
+                owner = Some(n.clone());
+            }
+            Frame::Anon | Frame::Fn(_) => {}
+        }
+    }
+    (segs, owner)
+}
+
+/// Module path segments derived from the workspace-relative file path.
+///
+/// `crates/serve/src/cache.rs` → `["serve", "cache"]`;
+/// `crates/serve/src/lib.rs` → `["serve"]`; binaries keep their `bin`
+/// segment so same-crate names cannot collide with the library's.
+pub fn module_path(rel: &str) -> Vec<String> {
+    let mut parts: Vec<&str> = rel.split('/').collect();
+    let Some(last) = parts.pop() else {
+        return vec![];
+    };
+    let stem = last.strip_suffix(".rs").unwrap_or(last);
+    let mut segs: Vec<String> = Vec::new();
+    // `crates/<name>/src/...` → crate dir name, then path under src.
+    if parts.first() == Some(&"crates") && parts.len() >= 2 {
+        segs.push(parts[1].to_string());
+        for p in parts.iter().skip(2).filter(|p| **p != "src") {
+            segs.push((*p).to_string());
+        }
+    } else {
+        for p in parts.iter().filter(|p| **p != "src") {
+            segs.push((*p).to_string());
+        }
+    }
+    if !matches!(stem, "lib" | "main" | "mod") {
+        segs.push(stem.to_string());
+    }
+    if segs.is_empty() {
+        segs.push("root".to_string());
+    }
+    segs
+}
+
+/// The implemented type's name from an `impl` signature (text between
+/// the `impl` keyword and the opening brace): the segment after a
+/// top-level ` for ` when present (trait impls), otherwise the first
+/// type path; generics and references are stripped.
+fn impl_type_name(sig: &str) -> String {
+    // Cut an optional `where` clause, then take the target after `for`.
+    let sig = split_top_level_keyword(sig, "where").0;
+    let (head, tail) = split_top_level_keyword(sig, "for");
+    let target = tail.unwrap_or(head);
+    last_path_segment(target).unwrap_or_else(|| "_".to_string())
+}
+
+/// Splits `sig` at the first occurrence of a bare `kw` outside angle
+/// brackets; returns the head and the optional tail.
+fn split_top_level_keyword<'s>(sig: &'s str, kw: &str) -> (&'s str, Option<&'s str>) {
+    let b = sig.as_bytes();
+    let mut depth = 0i32;
+    let mut i = 0usize;
+    while i < b.len() {
+        match b[i] {
+            b'<' => depth += 1,
+            b'>' => depth -= 1,
+            c if depth == 0 && is_ident_start(c) && !prev_is_ident(b, i) => {
+                let word = read_ident(sig, i);
+                if word == kw {
+                    return (&sig[..i], Some(&sig[i + kw.len()..]));
+                }
+                i += word.len();
+                continue;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    (sig, None)
+}
+
+/// Last identifier of the leading type path in `s` (`a::b::C<T>` → `C`).
+fn last_path_segment(s: &str) -> Option<String> {
+    let s = s.trim_start_matches(|c: char| c.is_whitespace() || c == '&' || c == '\'');
+    let mut last = None;
+    let b = s.as_bytes();
+    let mut i = 0usize;
+    while i < b.len() {
+        let c = b[i];
+        if is_ident_start(c) {
+            let word = read_ident(s, i);
+            // `mut` / `dyn` prefixes are not path segments.
+            if word != "mut" && word != "dyn" {
+                last = Some(word.to_string());
+            }
+            i += word.len();
+            // `::` continues the path; anything else ends it.
+            if s[i..].starts_with("::") {
+                i += 2;
+                continue;
+            }
+            break;
+        }
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        break;
+    }
+    last
+}
+
+pub(crate) fn is_ident_start(c: u8) -> bool {
+    c.is_ascii_alphabetic() || c == b'_'
+}
+
+pub(crate) fn is_ident(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_'
+}
+
+pub(crate) fn prev_is_ident(b: &[u8], i: usize) -> bool {
+    i > 0 && is_ident(b[i - 1])
+}
+
+/// Reads the identifier starting at byte `i`.
+pub(crate) fn read_ident(text: &str, i: usize) -> &str {
+    let b = text.as_bytes();
+    let mut j = i;
+    while j < b.len() && is_ident(b[j]) {
+        j += 1;
+    }
+    &text[i..j]
+}
+
+/// The next identifier after offset `i`, skipping whitespace; `None`
+/// when the next non-space token is not an identifier.
+fn next_ident(text: &str, i: usize) -> Option<String> {
+    let b = text.as_bytes();
+    let mut j = i;
+    while j < b.len() && (b[j] == b' ' || b[j] == b'\n' || b[j] == b'\t') {
+        j += 1;
+    }
+    if j < b.len() && is_ident_start(b[j]) {
+        let w = read_ident(text, j);
+        // Reserved words never name items.
+        if matches!(w, "for" | "where" | "impl" | "fn") {
+            return None;
+        }
+        Some(w.to_string())
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::Path;
+
+    fn file(rel: &str, src: &str) -> SourceFile {
+        SourceFile::from_contents(
+            Path::new("/ws"),
+            Path::new(&format!("/ws/{rel}")),
+            src.into(),
+        )
+    }
+
+    #[test]
+    fn module_paths_from_rel() {
+        assert_eq!(module_path("crates/serve/src/cache.rs"), ["serve", "cache"]);
+        assert_eq!(module_path("crates/serve/src/lib.rs"), ["serve"]);
+        assert_eq!(
+            module_path("crates/bench/src/bin/exp_e1.rs"),
+            ["bench", "bin", "exp_e1"]
+        );
+        assert_eq!(module_path("src/lib.rs"), ["root"]);
+    }
+
+    #[test]
+    fn free_fns_and_methods_are_qualified() {
+        let f = file(
+            "crates/serve/src/cache.rs",
+            "pub fn free() { x(); }\n\
+             pub struct C;\n\
+             impl C {\n    pub fn m(&self) -> u8 { 1 }\n}\n\
+             impl core::fmt::Display for C {\n    fn fmt(&self) {}\n}\n\
+             mod inner {\n    fn helper() {}\n}\n",
+        );
+        let fns = extract_fns(&f);
+        let names: Vec<&str> = fns.iter().map(|i| i.qname.as_str()).collect();
+        assert_eq!(
+            names,
+            [
+                "serve::cache::free",
+                "serve::cache::C::m",
+                "serve::cache::C::fmt",
+                "serve::cache::inner::helper"
+            ]
+        );
+        assert_eq!(fns[1].owner.as_deref(), Some("C"));
+        assert!(fns[0].owner.is_none());
+        assert_eq!(fns[0].line, 1);
+    }
+
+    #[test]
+    fn bodies_are_brace_matched() {
+        let f = file(
+            "crates/core/src/x.rs",
+            "fn a() { if x { y(); } z(); }\nfn b() { w(); }\n",
+        );
+        let fns = extract_fns(&f);
+        assert_eq!(fns.len(), 2);
+        let body_a = fns[0].body(&f.text);
+        assert!(body_a.contains("z();") && !body_a.contains("w();"));
+        assert!(fns[1].body(&f.text).contains("w();"));
+    }
+
+    #[test]
+    fn trait_impls_use_the_target_type() {
+        assert_eq!(impl_type_name("<T: Copy> Backend for Exp<T> "), "Exp");
+        assert_eq!(impl_type_name(" Store "), "Store");
+        assert_eq!(impl_type_name(" Drop for WorkerPool "), "WorkerPool");
+        assert_eq!(
+            impl_type_name("<'a> Iterator for Cursor<'a> where Self: Sized "),
+            "Cursor"
+        );
+    }
+
+    #[test]
+    fn declarations_do_not_open_scopes() {
+        let f = file(
+            "crates/core/src/x.rs",
+            "mod other;\ntrait T {\n    fn decl(&self) -> u8;\n    fn with_default(&self) -> u8 { 0 }\n}\nfn after() {}\n",
+        );
+        let fns = extract_fns(&f);
+        let names: Vec<&str> = fns.iter().map(|i| i.qname.as_str()).collect();
+        assert_eq!(names, ["core::x::T::with_default", "core::x::after"]);
+    }
+
+    #[test]
+    fn impl_trait_return_type_is_not_an_impl_scope() {
+        let f = file(
+            "crates/core/src/x.rs",
+            "fn make() -> impl Iterator<Item = u8> { std::iter::empty() }\nfn next_one() {}\n",
+        );
+        let fns = extract_fns(&f);
+        let names: Vec<&str> = fns.iter().map(|i| i.qname.as_str()).collect();
+        assert_eq!(names, ["core::x::make", "core::x::next_one"]);
+    }
+
+    #[test]
+    fn cfg_test_items_are_marked() {
+        let f = file(
+            "crates/core/src/x.rs",
+            "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn t() {}\n}\n",
+        );
+        let fns = extract_fns(&f);
+        assert!(!fns[0].is_test);
+        assert!(fns[1].is_test);
+    }
+}

@@ -7,7 +7,8 @@
 //!
 //! The lexer understands exactly enough Rust: line comments, nested block
 //! comments, string literals with escapes, raw strings (`r"…"`,
-//! `r#"…"#`, any hash depth), byte and raw-byte strings, and the
+//! `r#"…"#`, any hash depth), byte and raw-byte strings (`b"…"`,
+//! `br#"…"#`), byte char literals (`b'x'`), and the
 //! char-literal/lifetime ambiguity (`'a'` vs `'a`).
 
 /// A suppression comment, parsed but not yet validated.
@@ -174,6 +175,26 @@ pub fn scrub(src: &str) -> Scrubbed {
             }
             continue;
         }
+        // Byte char literal (`b'x'`, `b'\"'`). The leading `b` makes
+        // the quote look identifier-preceded, so the generic
+        // char-literal case below never sees it — and an unhandled
+        // `b'"'` would leave a bare `"` that derails string detection
+        // for the rest of the file.
+        if c == b'b' && i + 1 < b.len() && b[i + 1] == b'\'' && !prev_is_ident(b, i) {
+            if let Some(len) = char_literal_len(&b[i + 1..]) {
+                push_raw!(b[i]); // the `b`
+                i += 1;
+                for _ in 0..len {
+                    if b[i] == b'\'' {
+                        push_raw!(b[i]);
+                    } else {
+                        push_blank!(b[i]);
+                    }
+                    i += 1;
+                }
+                continue;
+            }
+        }
         // Char literal vs lifetime.
         if c == b'\'' && !prev_is_ident(b, i) {
             if let Some(len) = char_literal_len(&b[i..]) {
@@ -326,6 +347,35 @@ mod tests {
         let s = scrub(src);
         assert!(!s.text.contains("todo"));
         assert!(s.text.contains("after();"));
+    }
+
+    #[test]
+    fn multi_hash_raw_strings() {
+        // The `"#` inside does not close an `r##`-delimited string.
+        let src = "let s = r##\"panic!() \"# still inside\"##; after();";
+        let s = scrub(src);
+        assert!(!s.text.contains("panic"), "text: {}", s.text);
+        assert!(!s.text.contains("inside"));
+        assert!(s.text.contains("after();"));
+    }
+
+    #[test]
+    fn byte_and_raw_byte_strings() {
+        let s = scrub("let a = b\"todo!()\"; let b = br#\"dbg!() \" q\"#; tail();");
+        assert!(!s.text.contains("todo"), "text: {}", s.text);
+        assert!(!s.text.contains("dbg"), "text: {}", s.text);
+        assert!(s.text.contains("tail();"));
+    }
+
+    #[test]
+    fn byte_char_literals_are_blanked() {
+        // `b'"'` must not open a phantom string that swallows the rest
+        // of the file.
+        let s = scrub("let q = b'\"'; let n = b'\\n'; let x = b'x'; after();");
+        assert!(s.text.contains("after();"), "text: {}", s.text);
+        assert!(!s.text.contains("b'x'"), "content blanked: {}", s.text);
+        // Delimiters (and the b prefix) survive for offset stability.
+        assert!(s.text.contains("b' '"));
     }
 
     #[test]

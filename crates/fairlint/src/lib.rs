@@ -24,11 +24,35 @@
 //! ```
 //!
 //! The reason is mandatory; a reasonless suppression is inert and
-//! itself a violation. Run `cargo run -p fairlint -- --list-rules` for
-//! the rule table; `ci.sh` runs `--strict` on every push.
+//! itself a violation.
+//!
+//! On top of the token pass, fairlint builds a workspace **symbol
+//! index and call graph** ([`items`], [`graph`]): a scope-aware item
+//! parser assigns every `fn` a qualified name
+//! (`crate::module::Type::method`), and a call-edge extractor links
+//! call sites to candidate definitions, marking an edge *certain* when
+//! it resolves to exactly one. Three concurrency-discipline rules
+//! ([`concurrency`]) traverse that graph: `C1` (no blocking operation
+//! while a `Mutex`/`RwLock` guard is live, directly or one certain
+//! call deep), `C2` (lock sites must be acquired in one consistent
+//! order workspace-wide), and `C3` (panic-free `S2` paths must not
+//! call workspace functions that can panic, transitively to a
+//! configured depth, modulo a proven-total allowlist). The graph
+//! itself exports via `--graph json|dot` with deterministic ordering,
+//! and `--baseline write|check` ([`baseline`]) ratchets adoption on a
+//! brownfield tree.
+//!
+//! Run `cargo run -p fairlint -- --list-rules` for the rule table and
+//! `--explain <RULE>` for any rule's rationale and suggested fix;
+//! `ci.sh` runs `--strict --baseline check` plus a graph-determinism
+//! gate on every push.
 
+pub mod baseline;
+pub mod concurrency;
 pub mod config;
 pub mod diag;
+pub mod graph;
+pub mod items;
 pub mod lexer;
 pub mod rules;
 pub mod source;
@@ -36,6 +60,7 @@ pub mod workspace;
 
 pub use config::Config;
 pub use diag::{render_json_report, Diagnostic, Severity};
+pub use graph::Graph;
 pub use rules::{known_rule, RULES};
 pub use source::SourceFile;
 pub use workspace::Workspace;

@@ -14,6 +14,11 @@ pub struct RuleInfo {
     pub id: &'static str,
     /// One-line summary for `--list-rules`.
     pub summary: &'static str,
+    /// Why the rule exists — shown by `--explain`.
+    pub rationale: &'static str,
+    /// How to fix (or legitimately silence) a finding — shown by
+    /// `--explain`.
+    pub fix: &'static str,
 }
 
 /// Every rule fairlint knows about.
@@ -21,46 +26,86 @@ pub const RULES: &[RuleInfo] = &[
     RuleInfo {
         id: "D1",
         summary: "no wall-clock, ambient entropy, or iteration-order hazards inside the determinism boundary",
+        rationale: "Served and batch estimates must be bit-identical for any worker count; a single Instant::now, thread_rng, or HashMap iteration inside the protocol/estimator layers silently breaks that.",
+        fix: "Route timing through fair-simlab (BatchTimer), randomness through seeded rngs, and use BTreeMap/BTreeSet. Scope the boundary in fairlint.toml [boundary] crates.",
     },
     RuleInfo {
         id: "D2",
         summary: "no direct ==/!= against float literals in estimator/statistics code (use stats::approx_eq)",
+        rationale: "Exact float equality flips verdicts on rounding differences between otherwise-identical runs.",
+        fix: "Compare through fair_core::stats::approx_eq / approx_zero with an explicit tolerance.",
     },
     RuleInfo {
         id: "S1",
         summary: "no derived Debug/PartialEq on secret-bearing crypto types (redact + constant-time eq)",
+        rationale: "Derived Debug prints key/share material into logs and panics; derived PartialEq short-circuits, leaking positions through timing.",
+        fix: "Implement a redacted Debug and constant-time equality via crypto::ct. Name secret types by suffix or exact name in fairlint.toml [rules.S1].",
     },
     RuleInfo {
         id: "S2",
         summary: "no unwrap/expect/panic in engine message-handling paths (adversarial input => typed errors)",
+        rationale: "Files listed in [rules.S2] paths process adversary-controlled bytes; a panic there is a denial of service an attacker can trigger at will.",
+        fix: "Return a typed error (EngineError, ParseError) instead. Add newly exposed files to [rules.S2] paths so they inherit the contract.",
     },
     RuleInfo {
         id: "R1",
         summary: "experiment bins, the shared-runner registry, and EXPERIMENTS.md must agree",
+        rationale: "An experiment that exists in only two of the three places is either unrunnable, unreproducible, or undocumented.",
+        fix: "Add/remove the exp_* bin, the ALL_EXPERIMENTS entry, and the EXPERIMENTS.md row together.",
     },
     RuleInfo {
         id: "R2",
         summary: "every crate root carries #![forbid(unsafe_code)] (or an explicit allowlist entry)",
+        rationale: "The whole workspace builds without unsafe; keeping the forbid in every crate root makes that a checked invariant instead of a habit.",
+        fix: "Add #![forbid(unsafe_code)] to the crate root, or list the crate in fairlint.toml [rules.R2] allow_crates with a comment saying why.",
     },
     RuleInfo {
         id: "R3",
         summary: "no todo!/unimplemented! outside test code",
+        rationale: "Placeholder panics ship as runtime crashes.",
+        fix: "Finish the code path or return a typed error.",
     },
     RuleInfo {
         id: "R4",
         summary: "environment reads only via the sanctioned config entry point",
+        rationale: "Scattered env reads make runs irreproducible and knobs undiscoverable; FAIR_* variables are parsed once, with errors naming the variable.",
+        fix: "Read knobs through fair_simlab::config::env_usize, or allowlist a new entry point in fairlint.toml [allow.R4] paths.",
     },
     RuleInfo {
         id: "R5",
         summary: "every workspace member is covered by a fairlint.toml crate scope or allowlisted",
+        rationale: "A crate outside every rule scope is invisible to the linter — new code would join the tree unsupervised.",
+        fix: "Place the crate under a rule's scope (boundary, D2, S1, T1) or list it in [rules.R5] allow_crates with a justification comment.",
     },
     RuleInfo {
         id: "L1",
         summary: "fairlint::allow suppressions must name a known rule and carry a reason",
+        rationale: "A suppression without a reason is unreviewable; one naming an unknown rule silences nothing and rots.",
+        fix: "Write // fairlint::allow(RULE, reason = \"why this occurrence is sound\"). L1 itself cannot be suppressed.",
     },
     RuleInfo {
         id: "T1",
         summary: "engine/protocol crates emit diagnostics only through the fair-trace Tracer (no print!/eprintln!/dbg!)",
+        rationale: "Recorded transcripts are the single source of diagnostic truth; stray prints bypass them and corrupt piped JSON output.",
+        fix: "Emit through the fair_trace::Tracer threaded by execute_traced, or move the printing front-end outside the T1 crates.",
+    },
+    RuleInfo {
+        id: "C1",
+        summary: "no blocking operation (socket/file IO, recv, join, sleep) while a Mutex/RwLock guard is live",
+        rationale: "A lock held across a blocking call serializes every other thread behind one slow socket or disk — the single-flight cache, worker pool, and tile store all depend on guards dying before IO starts.",
+        fix: "drop(guard) before the blocking call (encode under the lock, write outside it), or move the IO out of the critical section. Checked directly and one call deep through the workspace call graph; condvar waits are exempt (they release the guard).",
+    },
+    RuleInfo {
+        id: "C2",
+        summary: "lock sites must be acquired in one consistent order workspace-wide",
+        rationale: "Two threads taking the same pair of locks in opposite orders can deadlock; the conflict is invisible per-function and only appears across the workspace.",
+        fix: "Pick one global acquisition order for the named sites (document it where the locks are declared) and reorder the offending function; both conflicting sites are flagged.",
+    },
+    RuleInfo {
+        id: "C3",
+        summary: "panic-free (S2) paths must not call workspace functions that can panic, transitively",
+        rationale: "S2 keeps panics out of message-handling files token-by-token, but a call into a helper that unwraps or indexes re-introduces the same denial of service one hop away.",
+        fix: "Return a typed error from the callee, or — for helpers that are total by construction (bounds checked, non-empty by invariant) — allowlist the qualified name in fairlint.toml [rules.C3] allow_fns. Traversal depth is [rules.C3] depth.",
     },
 ];
 
@@ -70,7 +115,7 @@ pub fn known_rule(id: &str) -> bool {
 }
 
 /// Runs every rule over the workspace, applies suppressions, and
-/// returns diagnostics sorted by `(path, line, rule)`.
+/// returns diagnostics sorted by `(path, line, rule, message)`.
 pub fn check_all(ws: &Workspace) -> Vec<Diagnostic> {
     let mut diags = Vec::new();
     for f in &ws.files {
@@ -87,6 +132,11 @@ pub fn check_all(ws: &Workspace) -> Vec<Diagnostic> {
     check_r2(ws, &mut diags);
     check_r5(ws, &mut diags);
 
+    // Concurrency discipline (C1–C3) runs over the workspace call graph
+    // rather than per-file tokens.
+    let graph = crate::graph::build(ws);
+    crate::concurrency::check(ws, &graph, &mut diags);
+
     // Apply suppressions (L1 polices the suppressions themselves and is
     // not itself suppressible).
     diags.retain(|d| {
@@ -95,7 +145,9 @@ pub fn check_all(ws: &Workspace) -> Vec<Diagnostic> {
                 .file_by_rel(&d.rel)
                 .is_some_and(|f| f.suppressed(d.rule, d.line))
     });
-    diags.sort_by(|a, b| (&a.rel, a.line, a.rule).cmp(&(&b.rel, b.line, b.rule)));
+    diags.sort_by(|a, b| {
+        (&a.rel, a.line, a.rule, &a.message).cmp(&(&b.rel, b.line, b.rule, &b.message))
+    });
     diags
 }
 
@@ -703,5 +755,42 @@ mod tests {
         ids.sort_unstable();
         ids.dedup();
         assert_eq!(ids.len(), RULES.len());
+    }
+
+    #[test]
+    fn every_rule_documents_rationale_and_fix() {
+        for r in RULES {
+            assert!(!r.rationale.is_empty(), "{} lacks a rationale", r.id);
+            assert!(!r.fix.is_empty(), "{} lacks a fix", r.id);
+        }
+    }
+
+    #[test]
+    fn diagnostic_order_is_total() {
+        // Same (path, line, rule) still orders deterministically via the
+        // message tiebreak, so shuffled inputs sort identically.
+        use crate::diag::Severity;
+        let mk = |line: usize, rule: &'static str, msg: &str| Diagnostic {
+            rule,
+            severity: Severity::Error,
+            rel: "a.rs".to_string(),
+            line,
+            message: msg.to_string(),
+        };
+        let mut a = vec![
+            mk(3, "C2", "site `b` then `a`"),
+            mk(3, "C2", "site `a` then `b`"),
+            mk(1, "D1", "x"),
+        ];
+        let mut b: Vec<_> = a.iter().cloned().rev().collect();
+        for v in [&mut a, &mut b] {
+            v.sort_by(|x, y| {
+                (&x.rel, x.line, x.rule, &x.message).cmp(&(&y.rel, y.line, y.rule, &y.message))
+            });
+        }
+        let render = |v: &[Diagnostic]| v.iter().map(|d| d.message.clone()).collect::<Vec<_>>();
+        assert_eq!(render(&a), render(&b));
+        assert_eq!(a[0].rule, "D1");
+        assert_eq!(a[1].message, "site `a` then `b`");
     }
 }

@@ -55,6 +55,47 @@ fn ws_bad_diagnostics_land_on_the_right_lines() {
     // L1: the reasonless allow and the unknown-rule allow.
     assert!(has("L1", "crates/core/src/lib.rs", 6));
     assert!(has("L1", "crates/core/src/lib.rs", 15));
+    // C1: a direct blocking write under the `jobs` guard, and a call
+    // one hop into a helper that does file IO.
+    assert!(has("C1", "crates/runtime/src/pool.rs", 13));
+    assert!(has("C1", "crates/runtime/src/pool.rs", 18));
+    // C2: both directions of the jobs/done conflict, each at its
+    // nested-acquisition line.
+    assert!(has("C2", "crates/runtime/src/pool.rs", 23));
+    assert!(has("C2", "crates/runtime/src/pool.rs", 28));
+    // C3: the engine's panic-free file reaches `helpers::pick` (depth
+    // 1) and `helpers::inner` via `deep` (depth 2), both flagged at
+    // the root call line.
+    assert!(has("C3", "crates/runtime/src/engine.rs", 13));
+}
+
+#[test]
+fn ws_bad_c_rules_report_both_reach_depths() {
+    let diags = analyze("ws_bad");
+    let c3: Vec<&str> = diags
+        .iter()
+        .filter(|d| d.rule == "C3")
+        .map(|d| d.message.as_str())
+        .collect();
+    assert!(
+        c3.iter().any(|m| m.contains("`runtime::helpers::pick`")),
+        "{c3:?}"
+    );
+    assert!(
+        c3.iter().any(|m| m.contains("`runtime::helpers::inner`")
+            && m.contains("via `runtime::helpers::deep`")),
+        "depth-2 finding should cite its call chain: {c3:?}"
+    );
+    let c1: Vec<&str> = diags
+        .iter()
+        .filter(|d| d.rule == "C1")
+        .map(|d| d.message.as_str())
+        .collect();
+    assert!(
+        c1.iter()
+            .any(|m| m.contains("`runtime::pool::persist`") && m.contains("file write")),
+        "one-call-deep C1 should name the blocking callee: {c1:?}"
+    );
 }
 
 #[test]
@@ -187,4 +228,93 @@ fn binary_json_flag_emits_the_report() {
     assert_eq!(code, Some(0));
     assert!(stdout.trim_start().starts_with("{\"version\":1,"));
     assert!(stdout.contains("\"rule\":\"D1\""));
+}
+
+#[test]
+fn binary_explain_covers_every_rule_and_rejects_unknown() {
+    for rule in RULES {
+        let (code, stdout) = run_bin(&["--explain", rule.id]);
+        assert_eq!(code, Some(0), "--explain {} failed", rule.id);
+        assert!(stdout.contains(rule.summary), "{stdout}");
+        assert!(stdout.contains("why:"), "{stdout}");
+        assert!(stdout.contains("fix:"), "{stdout}");
+    }
+    // Case-insensitive lookup, unknown rules are usage errors.
+    assert_eq!(run_bin(&["--explain", "c1"]).0, Some(0));
+    assert_eq!(run_bin(&["--explain", "Z9"]).0, Some(2));
+}
+
+#[test]
+fn binary_graph_is_deterministic_and_covers_the_fixture() {
+    let bad = fixture("ws_bad");
+    let root = bad.to_str().unwrap();
+    let (code, first) = run_bin(&["--root", root, "--graph", "json"]);
+    assert_eq!(code, Some(0));
+    let (_, second) = run_bin(&["--root", root, "--graph", "json"]);
+    assert_eq!(first, second, "graph JSON must be byte-identical");
+    assert!(first.starts_with("{\"version\":1,"));
+    for needle in [
+        "\"runtime::helpers::pick\"",
+        "\"runtime::pool::Pool::drain\"",
+        "\"what\":\"indexing\"",
+        "\"what\":\"socket/file write\"",
+        "\"certain\":true",
+    ] {
+        assert!(first.contains(needle), "missing {needle} in graph JSON");
+    }
+    let (code, dot) = run_bin(&["--root", root, "--graph", "dot"]);
+    assert_eq!(code, Some(0));
+    assert!(dot.starts_with("digraph fairlint {"));
+    assert!(dot.contains("\"runtime::engine::settle\" -> \"runtime::helpers::pick\""));
+    // Bad format is a usage error.
+    assert_eq!(run_bin(&["--graph", "svg"]).0, Some(2));
+}
+
+#[test]
+fn binary_baseline_write_then_check_absorbs_existing_findings() {
+    // Copy ws_bad into a temp dir so the committed fixture stays
+    // pristine while the baseline file is written next to it.
+    let src = fixture("ws_bad");
+    let dir = std::env::temp_dir().join("fairlint_baseline_test_ws");
+    let _ = std::fs::remove_dir_all(&dir);
+    copy_tree(&src, &dir);
+    let root = dir.to_str().unwrap();
+
+    // Strict fails before the baseline exists...
+    assert_eq!(run_bin(&["--root", root, "--strict"]).0, Some(1));
+    // ...writing one records every current violation...
+    assert_eq!(run_bin(&["--root", root, "--baseline", "write"]).0, Some(0));
+    let recorded = std::fs::read_to_string(dir.join("fairlint.baseline")).expect("baseline file");
+    assert!(recorded.contains("C1\tcrates/runtime/src/pool.rs\t2"));
+    // ...after which strict+check passes, reporting zero new findings.
+    assert_eq!(
+        run_bin(&["--root", root, "--strict", "--baseline", "check"]).0,
+        Some(0)
+    );
+    let (_, stdout) = run_bin(&["--root", root, "--baseline", "check", "--json"]);
+    assert!(stdout.contains("\"count\":0"), "{stdout}");
+
+    // A brand-new violation still fails strict under the old baseline.
+    let lib = dir.join("crates/core/src/lib.rs");
+    let mut text = std::fs::read_to_string(&lib).expect("fixture file");
+    text.push_str("\npub fn fresh() { std::thread::sleep(std::time::Duration::from_millis(1)); let _ = std::time::Instant::now(); }\n");
+    std::fs::write(&lib, text).expect("writable temp fixture");
+    assert_eq!(
+        run_bin(&["--root", root, "--strict", "--baseline", "check"]).0,
+        Some(1)
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+fn copy_tree(src: &Path, dst: &Path) {
+    std::fs::create_dir_all(dst).expect("mkdir");
+    for entry in std::fs::read_dir(src).expect("readdir") {
+        let entry = entry.expect("entry");
+        let to = dst.join(entry.file_name());
+        if entry.file_type().expect("file type").is_dir() {
+            copy_tree(&entry.path(), &to);
+        } else {
+            std::fs::copy(entry.path(), &to).expect("copy");
+        }
+    }
 }

@@ -1,0 +1,14 @@
+//! C3 fixture: panicky helpers reachable from the engine's
+//! panic-free file, directly (`pick`) and two hops out (`inner`).
+
+pub fn pick(xs: &[u8]) -> u8 {
+    xs[0]
+}
+
+pub fn deep(xs: &[u8]) -> u8 {
+    inner(xs)
+}
+
+fn inner(xs: &[u8]) -> u8 {
+    xs.first().copied().expect("non-empty")
+}

@@ -1,2 +1,4 @@
 #![forbid(unsafe_code)]
 pub mod engine;
+pub mod helpers;
+pub mod pool;

@@ -1,0 +1,34 @@
+//! C1/C2 fixture: blocking ops under live guards, opposite lock orders.
+use std::io::Write;
+use std::sync::Mutex;
+
+pub struct Pool {
+    jobs: Mutex<Vec<u8>>,
+    done: Mutex<u8>,
+}
+
+impl Pool {
+    pub fn drain(&self, out: &mut std::net::TcpStream) {
+        let g = self.jobs.lock().unwrap();
+        let _ = out.write_all(&g); // C1: blocking write while `jobs` is held
+    }
+
+    pub fn checkpoint(&self) {
+        let g = self.jobs.lock().unwrap();
+        persist(&g); // C1: one call deep into a blocking helper
+    }
+
+    pub fn forward(&self) {
+        let _jobs = self.jobs.lock().unwrap();
+        let _done = self.done.lock().unwrap(); // C2: jobs, then done
+    }
+
+    pub fn backward(&self) {
+        let _done = self.done.lock().unwrap();
+        let _jobs = self.jobs.lock().unwrap(); // C2: done, then jobs
+    }
+}
+
+fn persist(bytes: &[u8]) {
+    let _ = std::fs::write("target/pool.bin", bytes);
+}

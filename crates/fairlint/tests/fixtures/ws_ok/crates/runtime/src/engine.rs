@@ -10,6 +10,12 @@ pub fn trace_fallback(round: usize) {
     eprintln!("round {round}");
 }
 
+pub fn settle(xs: &[u8]) -> u8 {
+    // `total::pick` has an indexing fact but is allowlisted as proven
+    // total in this fixture's fairlint.toml, so C3 stays quiet.
+    crate::total::pick(xs)
+}
+
 #[cfg(test)]
 mod tests {
     #[test]

@@ -1,0 +1,37 @@
+//! Mirrors ws_bad's pool: the blocking write is either restructured
+//! (guard dropped before IO) or inline-suppressed, and the opposite
+//! lock orders carry documented suppressions.
+use std::io::Write;
+use std::sync::Mutex;
+
+pub struct Pool {
+    jobs: Mutex<Vec<u8>>,
+    done: Mutex<u8>,
+}
+
+impl Pool {
+    pub fn drain(&self, out: &mut std::net::TcpStream) {
+        let g = self.jobs.lock().unwrap();
+        let snapshot = g.clone();
+        drop(g);
+        let _ = out.write_all(&snapshot); // guard already dead: no C1
+    }
+
+    pub fn flush_hot(&self, out: &mut std::net::TcpStream) {
+        let g = self.jobs.lock().unwrap();
+        // fairlint::allow(C1, reason = "fixture: single-threaded harness, nothing contends for jobs")
+        let _ = out.write_all(&g);
+    }
+
+    pub fn forward(&self) {
+        let _jobs = self.jobs.lock().unwrap();
+        // fairlint::allow(C2, reason = "fixture: documented global order is jobs before done")
+        let _done = self.done.lock().unwrap();
+    }
+
+    pub fn backward(&self) {
+        let _done = self.done.lock().unwrap();
+        // fairlint::allow(C2, reason = "fixture: shutdown path, the jobs lock is free by then")
+        let _jobs = self.jobs.lock().unwrap();
+    }
+}

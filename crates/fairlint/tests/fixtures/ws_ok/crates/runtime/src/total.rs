@@ -1,0 +1,10 @@
+//! A helper that can panic syntactically (the indexing) but is total
+//! by invariant — the empty case returns early. Allowlisted in this
+//! fixture's fairlint.toml under [rules.C3] allow_fns.
+
+pub fn pick(xs: &[u8]) -> u8 {
+    if xs.is_empty() {
+        return 0;
+    }
+    xs[0]
+}

@@ -60,7 +60,11 @@ fn the_workspace_config_scopes_the_boundary() {
     // are S2 (panic-free) paths, the library itself is T1 (no direct
     // stdout/stderr), and every workspace member is either scoped or
     // deliberately allowlisted for R5.
-    for path in ["crates/serve/src/http.rs", "crates/serve/src/service.rs"] {
+    for path in [
+        "crates/serve/src/http.rs",
+        "crates/serve/src/server.rs",
+        "crates/serve/src/service.rs",
+    ] {
         assert!(
             ws.config.engine_paths.iter().any(|p| p == path),
             "{path} missing from rules.S2.paths"
@@ -70,4 +74,43 @@ fn the_workspace_config_scopes_the_boundary() {
     assert!(ws.config.boundary_crates.iter().any(|c| c == "sfe"));
     assert!(ws.members.iter().any(|m| m == "serve"));
     assert!(ws.config.r5_allow_crates.iter().any(|c| c == "rand"));
+    // Concurrency rules are configured: the guard-helper idiom is
+    // known, C3 walks two hops, and each proven-total allowlist entry
+    // names a real qualified function.
+    assert!(ws.config.c1_guard_helpers.iter().any(|h| h == "lock"));
+    assert_eq!(ws.config.c3_depth, 2);
+    assert!(ws
+        .config
+        .c3_allow_fns
+        .iter()
+        .any(|f| f == "serve::cache::ShardedCache::shard_for"));
+    let g = fairlint::graph::build(&ws);
+    for allowed in &ws.config.c3_allow_fns {
+        assert!(
+            g.by_qname(allowed).is_some(),
+            "[rules.C3] allow_fns entry `{allowed}` matches no workspace function"
+        );
+    }
+}
+
+#[test]
+fn the_workspace_graph_covers_every_member_crate() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root exists");
+    let ws = Workspace::load(&root).expect("workspace loads");
+    let g = fairlint::graph::build(&ws);
+    for member in &ws.members {
+        assert!(
+            g.symbols
+                .iter()
+                .any(|s| s.item.krate.as_deref() == Some(member)),
+            "crate `{member}` contributes no symbols to the call graph"
+        );
+    }
+    assert!(
+        !g.edges.is_empty(),
+        "the workspace graph resolved no call edges at all"
+    );
 }
