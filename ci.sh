@@ -59,6 +59,23 @@ done
 ./target/release/fair-load --addr "$ADDR" --exp e2 --trials 200 \
   --clients 2 --points 4 --repeat 4 --out target/simlab/serve_load_smoke.json \
   --bench-out target/simlab/serve_bench_smoke.json --check
+# Keep-alive path: the same gate over persistent pipelined connections,
+# plus a conservative warm-throughput floor (release build on one core
+# sustains tens of thousands of rps; 5k catches an event-loop regression
+# without being flaky on slow CI hosts).
+./target/release/fair-load --addr "$ADDR" --exp e2 --trials 200 \
+  --connections 4 --pipeline 8 --points 4 --repeat 50 \
+  --out target/simlab/serve_load_keepalive_smoke.json \
+  --bench-out target/simlab/serve_bench_keepalive_smoke.json --check
+python3 - <<'EOF'
+import json
+with open("target/simlab/serve_load_keepalive_smoke.json") as fh:
+    doc = json.load(fh)
+assert doc["mode"] == "persistent", doc["mode"]
+rps = doc["achieved_rps"]
+assert rps >= 5000, f"keep-alive warm path too slow: {rps} rps < 5000 floor"
+print(f"keep-alive warm path: {rps} rps (floor 5000)")
+EOF
 # Graceful shutdown: the server drains, flushes metrics, and exits cleanly.
 ./target/release/fair-load shutdown --addr "$ADDR"
 wait "$SERVE_PID"

@@ -1,0 +1,33 @@
+//! `fair-aio` — a zero-dependency readiness-polling event loop core.
+//!
+//! The serving layer needs three primitives to run many connections on one
+//! thread: an OS readiness poller, a cross-thread waker, and a coarse timer.
+//! This crate provides exactly those, and nothing else:
+//!
+//! * [`Poller`] — a thin epoll wrapper (level- or edge-triggered) speaking
+//!   `std::os::fd` borrowed/owned descriptors.
+//! * [`Waker`] — an `eventfd`-backed doorbell so worker threads can nudge a
+//!   loop blocked in [`Poller::wait`].
+//! * [`TimerWheel`] — a hashed wheel of coarse deadlines (connection
+//!   idle/read timeouts), advanced lazily from the loop.
+//!
+//! The crate is FFI-free: the four syscalls it needs (`epoll_create1`,
+//! `epoll_ctl`, `epoll_pwait`, `eventfd2`) are invoked through inline-asm
+//! shims in the private `sys` module — the only module in the workspace
+//! allowed to contain `unsafe` (fairlint rule R2 carries the exemption).
+//! Everything the shims return is immediately wrapped in owned descriptors
+//! (`OwnedFd`, `File`), so resource cleanup is ordinary RAII.
+//!
+//! Like the rest of the serve stack, the API is total: nothing here panics
+//! on adversarial input — errors surface as `io::Result`.
+
+#[allow(unsafe_code)]
+mod sys;
+
+mod poll;
+mod wake;
+mod wheel;
+
+pub use poll::{Event, Interest, Poller, Token};
+pub use wake::Waker;
+pub use wheel::TimerWheel;

@@ -1,0 +1,173 @@
+//! Safe readiness poller over the `sys` epoll shims.
+
+use std::io;
+use std::os::fd::{AsFd, AsRawFd, BorrowedFd, OwnedFd};
+use std::time::Duration;
+
+use crate::sys::{self, EpollEvent};
+
+/// Opaque registration key echoed back on every readiness event.
+///
+/// The loop encodes whatever it likes in the 64 bits (slab index plus a
+/// generation counter is the usual scheme, so stale events for a recycled
+/// slot can be detected and dropped).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Token(pub u64);
+
+/// What a registration wants to hear about, and how.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Interest {
+    /// Deliver read-readiness (and peer half-close).
+    pub readable: bool,
+    /// Deliver write-readiness.
+    pub writable: bool,
+    /// Edge-triggered delivery (one event per transition) instead of the
+    /// level-triggered default.
+    pub edge: bool,
+}
+
+impl Interest {
+    /// Read-readiness only, level-triggered.
+    pub const READ: Interest = Interest {
+        readable: true,
+        writable: false,
+        edge: false,
+    };
+    /// Write-readiness only, level-triggered.
+    pub const WRITE: Interest = Interest {
+        readable: false,
+        writable: true,
+        edge: false,
+    };
+    /// Both directions, level-triggered.
+    pub const READ_WRITE: Interest = Interest {
+        readable: true,
+        writable: true,
+        edge: false,
+    };
+    /// No readiness at all — errors and hangups still fire, which is how a
+    /// loop keeps watching a parked connection for abort.
+    pub const NONE: Interest = Interest {
+        readable: false,
+        writable: false,
+        edge: false,
+    };
+
+    /// Switches this interest to edge-triggered delivery.
+    pub fn edge_triggered(self) -> Interest {
+        Interest { edge: true, ..self }
+    }
+
+    fn bits(self) -> u32 {
+        let mut bits = 0;
+        if self.readable {
+            bits |= sys::EPOLLIN | sys::EPOLLRDHUP;
+        }
+        if self.writable {
+            bits |= sys::EPOLLOUT;
+        }
+        if self.edge {
+            bits |= sys::EPOLLET;
+        }
+        bits
+    }
+}
+
+/// One readiness notification out of [`Poller::wait`].
+#[derive(Clone, Copy, Debug)]
+pub struct Event {
+    /// The token the descriptor was registered with.
+    pub token: Token,
+    /// Data (or a FIN) can be read.
+    pub readable: bool,
+    /// The socket can accept more bytes.
+    pub writable: bool,
+    /// Error or hangup: the descriptor is dead or the peer is gone.
+    pub closed: bool,
+}
+
+/// An epoll instance plus its reusable kernel event buffer.
+pub struct Poller {
+    ep: OwnedFd,
+    buf: Vec<EpollEvent>,
+}
+
+impl Poller {
+    /// Opens a new epoll instance.
+    pub fn new() -> io::Result<Poller> {
+        Ok(Poller {
+            ep: sys::epoll_create()?,
+            buf: vec![EpollEvent::default(); 256],
+        })
+    }
+
+    /// Starts watching `fd` under `token`.
+    pub fn register(&self, fd: BorrowedFd<'_>, token: Token, interest: Interest) -> io::Result<()> {
+        self.ctl(sys::EPOLL_CTL_ADD, fd, token, interest)
+    }
+
+    /// Replaces the interest set of an already-registered `fd`.
+    pub fn reregister(
+        &self,
+        fd: BorrowedFd<'_>,
+        token: Token,
+        interest: Interest,
+    ) -> io::Result<()> {
+        self.ctl(sys::EPOLL_CTL_MOD, fd, token, interest)
+    }
+
+    /// Stops watching `fd`.
+    pub fn deregister(&self, fd: BorrowedFd<'_>) -> io::Result<()> {
+        self.ctl(sys::EPOLL_CTL_DEL, fd, Token(0), Interest::NONE)
+    }
+
+    fn ctl(
+        &self,
+        op: usize,
+        fd: BorrowedFd<'_>,
+        token: Token,
+        interest: Interest,
+    ) -> io::Result<()> {
+        let event = EpollEvent {
+            events: interest.bits(),
+            data: token.0,
+        };
+        sys::epoll_ctl(self.ep.as_fd(), op, fd.as_raw_fd(), event)
+    }
+
+    /// Blocks until readiness or timeout, appending decoded events to `out`
+    /// (which is cleared first). `None` blocks indefinitely. A signal
+    /// interruption is reported as zero events, not an error.
+    pub fn wait(&mut self, timeout: Option<Duration>, out: &mut Vec<Event>) -> io::Result<()> {
+        out.clear();
+        let ms = match timeout {
+            None => -1i32,
+            Some(d) => {
+                let ms = d.as_millis().min(i32::MAX as u128) as i32;
+                // Round sub-millisecond timeouts up so a tiny positive
+                // timeout never degenerates into a busy spin.
+                if ms == 0 && !d.is_zero() {
+                    1
+                } else {
+                    ms
+                }
+            }
+        };
+        let n = match sys::epoll_wait(self.ep.as_fd(), &mut self.buf, ms) {
+            Ok(n) => n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => 0,
+            Err(e) => return Err(e),
+        };
+        for raw in self.buf.iter().take(n) {
+            let bits = raw.events;
+            let data = raw.data;
+            out.push(Event {
+                token: Token(data),
+                readable: bits & sys::EPOLLIN != 0,
+                writable: bits & sys::EPOLLOUT != 0,
+                closed: bits & (sys::EPOLLERR | sys::EPOLLHUP | sys::EPOLLRDHUP) != 0,
+            });
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,211 @@
+//! Raw Linux syscall shims — the one `unsafe` module in the workspace.
+//!
+//! Readiness polling cannot be expressed in safe std Rust (there is no
+//! epoll in the standard library), and the build is offline, so no FFI
+//! bindings are available either. The shims below invoke the four syscalls
+//! we need via inline assembly and immediately convert results into safe
+//! owned types; every `unsafe` block is confined to this file and carries
+//! its safety argument inline. Callers only ever see `io::Result`.
+
+use std::io;
+use std::os::fd::{AsRawFd, BorrowedFd, FromRawFd, OwnedFd, RawFd};
+
+// Syscall numbers differ per architecture; both 64-bit Linux ABIs the
+// workspace targets are covered. `epoll_pwait` (not `epoll_wait`) is used
+// because aarch64 never had the non-p variant — with a null sigmask the two
+// are equivalent, so one code path serves both arches.
+#[cfg(target_arch = "x86_64")]
+mod nr {
+    pub const EPOLL_CTL: usize = 233;
+    pub const EPOLL_PWAIT: usize = 281;
+    pub const EVENTFD2: usize = 290;
+    pub const EPOLL_CREATE1: usize = 291;
+}
+
+#[cfg(target_arch = "aarch64")]
+mod nr {
+    pub const EVENTFD2: usize = 19;
+    pub const EPOLL_CREATE1: usize = 20;
+    pub const EPOLL_CTL: usize = 21;
+    pub const EPOLL_PWAIT: usize = 22;
+}
+
+/// `epoll_ctl` op: add a new descriptor.
+pub const EPOLL_CTL_ADD: usize = 1;
+/// `epoll_ctl` op: remove a descriptor.
+pub const EPOLL_CTL_DEL: usize = 2;
+/// `epoll_ctl` op: change an existing registration.
+pub const EPOLL_CTL_MOD: usize = 3;
+
+/// Readiness bit: readable.
+pub const EPOLLIN: u32 = 0x001;
+/// Readiness bit: writable.
+pub const EPOLLOUT: u32 = 0x004;
+/// Readiness bit: error condition.
+pub const EPOLLERR: u32 = 0x008;
+/// Readiness bit: hangup.
+pub const EPOLLHUP: u32 = 0x010;
+/// Readiness bit: peer closed its writing half.
+pub const EPOLLRDHUP: u32 = 0x2000;
+/// Registration flag: edge-triggered delivery.
+pub const EPOLLET: u32 = 1 << 31;
+
+const EPOLL_CLOEXEC: usize = 0x80000;
+const EFD_NONBLOCK: usize = 0x800;
+const EFD_CLOEXEC: usize = 0x80000;
+
+/// The kernel's epoll event record. On x86_64 the ABI packs it (no padding
+/// between the 32-bit mask and the 64-bit payload); other arches use
+/// natural alignment.
+#[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+#[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+#[derive(Clone, Copy, Default)]
+pub struct EpollEvent {
+    /// Readiness/registration bit mask (`EPOLL*` constants).
+    pub events: u32,
+    /// Caller-owned payload, echoed back verbatim on readiness.
+    pub data: u64,
+}
+
+/// Invokes a six-argument syscall and returns the raw kernel result
+/// (negative errno on failure).
+///
+/// # Safety
+/// The caller must pass a valid syscall number and arguments that satisfy
+/// that syscall's contract (e.g. pointers must be valid for the kernel to
+/// read/write for the duration of the call).
+#[cfg(target_arch = "x86_64")]
+unsafe fn syscall6(
+    nr: usize,
+    a1: usize,
+    a2: usize,
+    a3: usize,
+    a4: usize,
+    a5: usize,
+    a6: usize,
+) -> isize {
+    let ret: isize;
+    // SAFETY: delegated to the caller — this block only encodes the Linux
+    // x86_64 syscall ABI (args in rdi/rsi/rdx/r10/r8/r9, number in rax,
+    // rcx/r11 clobbered by the `syscall` instruction).
+    unsafe {
+        core::arch::asm!(
+            "syscall",
+            inlateout("rax") nr as isize => ret,
+            in("rdi") a1,
+            in("rsi") a2,
+            in("rdx") a3,
+            in("r10") a4,
+            in("r8") a5,
+            in("r9") a6,
+            lateout("rcx") _,
+            lateout("r11") _,
+            options(nostack),
+        );
+    }
+    ret
+}
+
+/// See the x86_64 variant; same contract, aarch64 ABI.
+///
+/// # Safety
+/// As for the x86_64 variant.
+#[cfg(target_arch = "aarch64")]
+unsafe fn syscall6(
+    nr: usize,
+    a1: usize,
+    a2: usize,
+    a3: usize,
+    a4: usize,
+    a5: usize,
+    a6: usize,
+) -> isize {
+    let ret: isize;
+    // SAFETY: delegated to the caller — this block only encodes the Linux
+    // aarch64 syscall ABI (args in x0..x5, number in x8).
+    unsafe {
+        core::arch::asm!(
+            "svc 0",
+            inlateout("x0") a1 as isize => ret,
+            in("x1") a2,
+            in("x2") a3,
+            in("x3") a4,
+            in("x4") a5,
+            in("x5") a6,
+            in("x8") nr,
+            options(nostack),
+        );
+    }
+    ret
+}
+
+/// Converts a raw kernel return value into `io::Result`.
+fn check(ret: isize) -> io::Result<usize> {
+    if ret < 0 {
+        Err(io::Error::from_raw_os_error(-ret as i32))
+    } else {
+        Ok(ret as usize)
+    }
+}
+
+/// Creates a close-on-exec epoll instance.
+pub fn epoll_create() -> io::Result<OwnedFd> {
+    // SAFETY: epoll_create1 takes one flag argument and reads no memory.
+    let fd = check(unsafe { syscall6(nr::EPOLL_CREATE1, EPOLL_CLOEXEC, 0, 0, 0, 0, 0) })?;
+    // SAFETY: on success the kernel returned a fresh descriptor that
+    // nothing else owns, so wrapping it in OwnedFd is sound.
+    Ok(unsafe { OwnedFd::from_raw_fd(fd as RawFd) })
+}
+
+/// Adds, modifies, or removes (`EPOLL_CTL_*`) a descriptor's registration.
+pub fn epoll_ctl(ep: BorrowedFd<'_>, op: usize, fd: RawFd, event: EpollEvent) -> io::Result<()> {
+    let ptr = &event as *const EpollEvent as usize;
+    // SAFETY: `event` is a live stack value for the duration of the call
+    // and both descriptors are valid (BorrowedFd guarantees ep; fd comes
+    // from a live socket owned by the caller). The kernel only reads the
+    // event record.
+    check(unsafe {
+        syscall6(
+            nr::EPOLL_CTL,
+            ep.as_raw_fd() as usize,
+            op,
+            fd as usize,
+            ptr,
+            0,
+            0,
+        )
+    })?;
+    Ok(())
+}
+
+/// Waits for readiness, filling `events`; returns how many fired.
+/// `timeout_ms` follows epoll convention: `-1` blocks indefinitely.
+pub fn epoll_wait(
+    ep: BorrowedFd<'_>,
+    events: &mut [EpollEvent],
+    timeout_ms: i32,
+) -> io::Result<usize> {
+    // SAFETY: `events` is a live, exclusively borrowed slice; its pointer
+    // and length describe exactly the memory the kernel may write. The
+    // sigmask argument is null (no signal-mask swap), making epoll_pwait
+    // behave as plain epoll_wait.
+    check(unsafe {
+        syscall6(
+            nr::EPOLL_PWAIT,
+            ep.as_raw_fd() as usize,
+            events.as_mut_ptr() as usize,
+            events.len(),
+            timeout_ms as usize,
+            0,
+            8,
+        )
+    })
+}
+
+/// Creates a nonblocking, close-on-exec eventfd with counter zero.
+pub fn eventfd() -> io::Result<OwnedFd> {
+    // SAFETY: eventfd2 takes an initial counter and flags; no memory.
+    let fd = check(unsafe { syscall6(nr::EVENTFD2, 0, EFD_CLOEXEC | EFD_NONBLOCK, 0, 0, 0, 0) })?;
+    // SAFETY: fresh descriptor owned by no one else, as in epoll_create.
+    Ok(unsafe { OwnedFd::from_raw_fd(fd as RawFd) })
+}

@@ -1,0 +1,57 @@
+//! Cross-thread doorbell for a loop parked in `Poller::wait`.
+
+use std::fs::File;
+use std::io::{Read, Write};
+use std::os::fd::{AsFd, BorrowedFd};
+use std::sync::Arc;
+
+use crate::sys;
+
+/// An `eventfd`-backed waker.
+///
+/// Register [`Waker::as_fd`] with the poller (edge-triggered read interest
+/// is the natural choice); any thread holding a clone can then
+/// [`wake`](Waker::wake) the loop out of its wait. Wakes coalesce: N wakes
+/// before the loop runs deliver one readiness event, and
+/// [`drain`](Waker::drain) resets the counter so the next wake fires again.
+///
+/// The descriptor is wrapped in a `File`, so signalling and draining are
+/// plain safe `read`/`write` calls.
+#[derive(Clone)]
+pub struct Waker {
+    file: Arc<File>,
+}
+
+impl Waker {
+    /// Creates a new waker (nonblocking eventfd, counter zero).
+    pub fn new() -> std::io::Result<Waker> {
+        Ok(Waker {
+            file: Arc::new(File::from(sys::eventfd()?)),
+        })
+    }
+
+    /// Signals the loop. Never blocks; a full counter (which already means
+    /// "wake pending") is deliberately ignored.
+    pub fn wake(&self) {
+        let _ = (&*self.file).write(&1u64.to_ne_bytes());
+    }
+
+    /// Clears pending wake signals so the next [`wake`](Waker::wake) edge
+    /// fires anew. Call this from the loop when the waker's token shows up.
+    pub fn drain(&self) {
+        let mut buf = [0u8; 8];
+        // A nonblocking eventfd read returns the whole counter and resets
+        // it; the follow-up read returns WouldBlock and ends the loop.
+        while let Ok(n) = (&*self.file).read(&mut buf) {
+            if n == 0 {
+                break;
+            }
+        }
+    }
+}
+
+impl AsFd for Waker {
+    fn as_fd(&self) -> BorrowedFd<'_> {
+        self.file.as_fd()
+    }
+}

@@ -1,0 +1,191 @@
+//! Hashed timer wheel for coarse connection deadlines.
+
+use std::time::{Duration, Instant};
+
+use crate::poll::Token;
+
+struct Entry {
+    token: Token,
+    gen: u64,
+    at: u64,
+}
+
+/// A fixed-resolution timer wheel.
+///
+/// Deadlines are quantized to ticks of the configured resolution and hashed
+/// into `slots` buckets by tick number; [`advance`](TimerWheel::advance)
+/// walks the cursor forward and fires every entry whose tick has passed.
+/// Entries cannot be cancelled — the loop stamps each with a generation and
+/// simply ignores fires whose generation is stale. That makes arming O(1),
+/// firing amortized O(1), and the wheel entirely allocation-light, which is
+/// what a per-connection idle timeout wants: accuracy of one tick is plenty
+/// when the timeouts themselves are hundreds of milliseconds.
+///
+/// The wheel never reads the clock itself; callers pass `now` in, so tests
+/// can drive it deterministically.
+pub struct TimerWheel {
+    slots: Vec<Vec<Entry>>,
+    tick: Duration,
+    origin: Instant,
+    cursor: u64,
+    len: usize,
+}
+
+impl TimerWheel {
+    /// Creates a wheel with the given tick resolution (floored to 1 ms) and
+    /// slot count (floored to 1), anchored at `now`.
+    pub fn new(now: Instant, tick: Duration, slots: usize) -> TimerWheel {
+        let tick = if tick < Duration::from_millis(1) {
+            Duration::from_millis(1)
+        } else {
+            tick
+        };
+        TimerWheel {
+            slots: (0..slots.max(1)).map(|_| Vec::new()).collect(),
+            tick,
+            origin: now,
+            cursor: 0,
+            len: 0,
+        }
+    }
+
+    fn tick_of(&self, at: Instant) -> u64 {
+        let elapsed = at.saturating_duration_since(self.origin);
+        (elapsed.as_nanos() / self.tick.as_nanos().max(1)) as u64
+    }
+
+    /// Arms a deadline `after` from `now` for `(token, gen)`. The entry
+    /// fires on the first [`advance`](TimerWheel::advance) whose `now` has
+    /// passed the deadline's tick — never on the current tick, so a zero
+    /// `after` still fires strictly later.
+    pub fn arm(&mut self, now: Instant, after: Duration, token: Token, gen: u64) {
+        // Round up one tick: quantization may never fire an entry early,
+        // only up to one tick late.
+        let at = (self.tick_of(now + after) + 1).max(self.cursor + 1);
+        let idx = (at as usize) % self.slots.len().max(1);
+        if let Some(slot) = self.slots.get_mut(idx) {
+            slot.push(Entry { token, gen, at });
+            self.len += 1;
+        }
+    }
+
+    /// Number of armed (not yet fired) entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when nothing is armed.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Moves the cursor up to `now`, invoking `fire(token, gen)` for every
+    /// entry whose tick has passed. Fires within one call are ordered by
+    /// tick; entries sharing a tick fire in arming order.
+    pub fn advance(&mut self, now: Instant, mut fire: impl FnMut(Token, u64)) {
+        let target = self.tick_of(now);
+        while self.cursor < target {
+            if self.len == 0 {
+                // Nothing armed: skip the cursor ahead instead of walking
+                // every empty tick after an idle stretch.
+                self.cursor = target;
+                return;
+            }
+            self.cursor += 1;
+            let cursor = self.cursor;
+            let nslots = self.slots.len().max(1);
+            if let Some(slot) = self.slots.get_mut((cursor as usize) % nslots) {
+                let before = slot.len();
+                let mut kept = Vec::new();
+                for entry in slot.drain(..) {
+                    if entry.at <= cursor {
+                        fire(entry.token, entry.gen);
+                    } else {
+                        kept.push(entry);
+                    }
+                }
+                *slot = kept;
+                self.len -= before - slot.len();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t0() -> Instant {
+        Instant::now()
+    }
+
+    #[test]
+    fn fires_after_its_deadline_not_before() {
+        let start = t0();
+        let mut wheel = TimerWheel::new(start, Duration::from_millis(10), 16);
+        wheel.arm(start, Duration::from_millis(35), Token(7), 1);
+        let mut fired = Vec::new();
+        wheel.advance(start + Duration::from_millis(30), |t, g| fired.push((t, g)));
+        assert!(fired.is_empty(), "deadline not reached yet");
+        wheel.advance(start + Duration::from_millis(50), |t, g| fired.push((t, g)));
+        assert_eq!(fired, vec![(Token(7), 1)]);
+        assert!(wheel.is_empty());
+    }
+
+    #[test]
+    fn zero_delay_fires_on_next_advance() {
+        let start = t0();
+        let mut wheel = TimerWheel::new(start, Duration::from_millis(10), 4);
+        wheel.arm(start, Duration::ZERO, Token(1), 0);
+        let mut fired = 0;
+        wheel.advance(start + Duration::from_millis(15), |_, _| fired += 1);
+        assert_eq!(fired, 1);
+    }
+
+    #[test]
+    fn far_deadlines_survive_wheel_wraparound() {
+        let start = t0();
+        // 4 slots x 10ms: a 100ms deadline wraps the wheel twice.
+        let mut wheel = TimerWheel::new(start, Duration::from_millis(10), 4);
+        wheel.arm(start, Duration::from_millis(100), Token(9), 3);
+        let mut fired = Vec::new();
+        wheel.advance(start + Duration::from_millis(60), |t, _| fired.push(t));
+        assert!(fired.is_empty(), "survives the first lap");
+        wheel.advance(start + Duration::from_millis(120), |t, _| fired.push(t));
+        assert_eq!(fired, vec![Token(9)]);
+    }
+
+    #[test]
+    fn idle_stretch_skips_straight_to_now() {
+        let start = t0();
+        let mut wheel = TimerWheel::new(start, Duration::from_millis(1), 8);
+        // An hour of empty ticks must not require an hour of iterations —
+        // this completes instantly because the wheel is empty.
+        wheel.advance(start + Duration::from_secs(3600), |_, _| {});
+        wheel.arm(
+            start + Duration::from_secs(3600),
+            Duration::from_millis(5),
+            Token(2),
+            0,
+        );
+        let mut fired = 0;
+        wheel.advance(
+            start + Duration::from_secs(3600) + Duration::from_millis(10),
+            |_, _| fired += 1,
+        );
+        assert_eq!(fired, 1);
+    }
+
+    #[test]
+    fn multiple_entries_fire_in_tick_order() {
+        let start = t0();
+        let mut wheel = TimerWheel::new(start, Duration::from_millis(10), 16);
+        wheel.arm(start, Duration::from_millis(40), Token(2), 0);
+        wheel.arm(start, Duration::from_millis(20), Token(1), 0);
+        wheel.arm(start, Duration::from_millis(40), Token(3), 0);
+        let mut fired = Vec::new();
+        wheel.advance(start + Duration::from_millis(60), |t, _| fired.push(t));
+        assert_eq!(fired, vec![Token(1), Token(2), Token(3)]);
+        assert_eq!(wheel.len(), 0);
+    }
+}

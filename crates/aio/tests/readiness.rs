@@ -1,0 +1,139 @@
+//! End-to-end readiness tests against real loopback sockets.
+
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::fd::AsFd;
+use std::time::{Duration, Instant};
+
+use fair_aio::{Event, Interest, Poller, Token, Waker};
+
+fn wait_for(poller: &mut Poller, token: Token, deadline: Duration) -> Vec<Event> {
+    let start = Instant::now();
+    let mut events = Vec::new();
+    while start.elapsed() < deadline {
+        poller
+            .wait(Some(Duration::from_millis(50)), &mut events)
+            .expect("poller wait");
+        if events.iter().any(|e| e.token == token) {
+            return events;
+        }
+    }
+    panic!("no event for {token:?} within {deadline:?}");
+}
+
+#[test]
+fn listener_becomes_readable_on_connect() {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    listener.set_nonblocking(true).expect("nonblocking");
+    let mut poller = Poller::new().expect("poller");
+    poller
+        .register(listener.as_fd(), Token(1), Interest::READ)
+        .expect("register");
+
+    let addr = listener.local_addr().expect("addr");
+    let _client = TcpStream::connect(addr).expect("connect");
+
+    let events = wait_for(&mut poller, Token(1), Duration::from_secs(5));
+    let ev = events.iter().find(|e| e.token == Token(1)).expect("event");
+    assert!(ev.readable, "pending accept reads as readiness");
+    let (stream, _) = listener.accept().expect("accept");
+    drop(stream);
+}
+
+#[test]
+fn data_and_peer_close_are_observable() {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let mut client = TcpStream::connect(addr).expect("connect");
+    let (server, _) = listener.accept().expect("accept");
+    server.set_nonblocking(true).expect("nonblocking");
+
+    let mut poller = Poller::new().expect("poller");
+    poller
+        .register(server.as_fd(), Token(42), Interest::READ)
+        .expect("register");
+
+    client.write_all(b"ping").expect("write");
+    let events = wait_for(&mut poller, Token(42), Duration::from_secs(5));
+    assert!(events.iter().any(|e| e.token == Token(42) && e.readable));
+    let mut buf = [0u8; 8];
+    let mut server_reader = &server;
+    let n = server_reader.read(&mut buf).expect("read");
+    assert_eq!(&buf[..n], b"ping");
+
+    drop(client);
+    let events = wait_for(&mut poller, Token(42), Duration::from_secs(5));
+    let ev = events.iter().find(|e| e.token == Token(42)).expect("event");
+    assert!(
+        ev.closed || ev.readable,
+        "peer close surfaces as hangup or a zero-byte read"
+    );
+}
+
+#[test]
+fn write_interest_fires_and_reregister_silences_it() {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let client = TcpStream::connect(addr).expect("connect");
+    client.set_nonblocking(true).expect("nonblocking");
+    let (_server, _) = listener.accept().expect("accept");
+
+    let mut poller = Poller::new().expect("poller");
+    poller
+        .register(client.as_fd(), Token(5), Interest::READ_WRITE)
+        .expect("register");
+    let events = wait_for(&mut poller, Token(5), Duration::from_secs(5));
+    assert!(
+        events.iter().any(|e| e.token == Token(5) && e.writable),
+        "an idle socket is immediately writable"
+    );
+
+    // Drop write interest: the level-triggered writable storm must stop.
+    poller
+        .reregister(client.as_fd(), Token(5), Interest::READ)
+        .expect("reregister");
+    let mut events = Vec::new();
+    poller
+        .wait(Some(Duration::from_millis(100)), &mut events)
+        .expect("wait");
+    assert!(
+        !events.iter().any(|e| e.token == Token(5) && e.writable),
+        "writable events stop after interest is dropped"
+    );
+
+    poller.deregister(client.as_fd()).expect("deregister");
+    poller
+        .wait(Some(Duration::from_millis(100)), &mut events)
+        .expect("wait");
+    assert!(events.is_empty(), "no events after deregistration");
+}
+
+#[test]
+fn waker_rouses_a_blocked_wait_and_coalesces() {
+    let mut poller = Poller::new().expect("poller");
+    let waker = Waker::new().expect("waker");
+    poller
+        .register(waker.as_fd(), Token(0), Interest::READ.edge_triggered())
+        .expect("register");
+
+    // Several wakes from another thread coalesce into at least one event.
+    let remote = waker.clone();
+    let handle = std::thread::spawn(move || {
+        for _ in 0..3 {
+            remote.wake();
+        }
+    });
+    let events = wait_for(&mut poller, Token(0), Duration::from_secs(5));
+    assert!(events.iter().any(|e| e.token == Token(0) && e.readable));
+    handle.join().expect("waker thread");
+    waker.drain();
+
+    // Drained: no stale event. Then a fresh wake fires a fresh edge.
+    let mut events = Vec::new();
+    poller
+        .wait(Some(Duration::from_millis(50)), &mut events)
+        .expect("wait");
+    assert!(events.is_empty(), "drained waker stays quiet");
+    waker.wake();
+    wait_for(&mut poller, Token(0), Duration::from_secs(5));
+}

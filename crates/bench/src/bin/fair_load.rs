@@ -14,6 +14,13 @@
 //!
 //! Flags:
 //!   `--clients N`   concurrent closed-loop clients (default 4)
+//!   `--connections N`  persistent keep-alive connections for the warm
+//!                   phase (default 0 = fresh connection per request)
+//!   `--pipeline N`  requests pipelined per batch on each persistent
+//!                   connection (default 1 = strict request/reply)
+//!   `--rate R`      open-loop offered rate, requests/second across all
+//!                   connections (default 0 = closed loop); latency is
+//!                   measured from the scheduled send instant
 //!   `--points N`    distinct parameter points, seeds `0..N` (default 6)
 //!   `--repeat N`    warm sweeps over the point set per client (default 8)
 //!   `--exp ID`      experiment to query (default `e1`)
@@ -24,9 +31,11 @@
 //!                   nonzero warm cache hit rate (the CI smoke gate)
 //!
 //! The run is two-phase: a sequential cold sweep (each point computed
-//! once), then `clients × repeat × points` warm requests that must be
-//! served from the cache. Both records carry rps and cold/warm latency
-//! quantiles; `p50_speedup` is the cold-vs-warm median ratio.
+//! once), then `threads × repeat × points` warm requests that must be
+//! served from the cache (threads = `--clients` in one-shot mode,
+//! `--connections` otherwise). Both records carry offered/achieved rps
+//! and cold/warm latency quantiles; `p50_speedup` is the cold-vs-warm
+//! median ratio.
 
 use std::net::SocketAddr;
 use std::path::PathBuf;
@@ -36,7 +45,8 @@ use fair_serve::client;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: fair-load --addr A [--clients N] [--points N] [--repeat N] [--exp ID]\n\
+        "usage: fair-load --addr A [--clients N] [--connections N] [--pipeline N]\n\
+         \x20                [--rate R] [--points N] [--repeat N] [--exp ID]\n\
          \x20                [--trials N] [--out PATH] [--bench-out PATH] [--check]\n\
          \x20      fair-load get --addr A --target T [--out PATH]\n\
          \x20      fair-load shutdown --addr A"
@@ -80,6 +90,9 @@ fn main() {
         match arg.as_str() {
             "--addr" => addr = Some(parsed("--addr", it.next())),
             "--clients" => opts.clients = parsed("--clients", it.next()),
+            "--connections" => opts.connections = parsed("--connections", it.next()),
+            "--pipeline" => opts.pipeline = parsed("--pipeline", it.next()),
+            "--rate" => opts.rate = parsed("--rate", it.next()),
             "--points" => opts.points = parsed("--points", it.next()),
             "--repeat" => opts.repeat = parsed("--repeat", it.next()),
             "--exp" => opts.exp = parsed("--exp", it.next()),
@@ -162,13 +175,20 @@ fn main() {
             Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
         }
     }
+    let offered = if report.offered_rps > 0.0 {
+        format!(" (offered {:.0})", report.offered_rps)
+    } else {
+        String::new()
+    };
     println!(
-        "load: {} requests, {} errors, warm hit rate {:.0}%, {:.0} rps warm, \
+        "load[{}]: {} requests, {} errors, warm hit rate {:.0}%, {:.0} rps warm{}, \
          cold p50 {:.2}ms vs warm p50 {:.3}ms ({:.0}x)",
+        report.mode,
         report.total_requests,
         report.errors,
         report.warm_hit_rate() * 100.0,
         report.warm_rps,
+        offered,
         report.cold_ns.p50 as f64 / 1e6,
         report.warm_ns.p50 as f64 / 1e6,
         report.p50_speedup(),

@@ -9,6 +9,7 @@
 //!   `--workers N`       worker threads (default 4)
 //!   `--queue N`         bounded job-queue capacity (default 64)
 //!   `--deadline-ms N`   per-request deadline (default 30000)
+//!   `--keepalive-ms N`  idle keep-alive connection timeout (default 10000)
 //!   `--max-trials N`    largest accepted `trials` (default 100000)
 //!   `--default-trials N` trials when the request omits them (default 200)
 //!   `--metrics-out P`   flush the final metrics snapshot to P on shutdown
@@ -33,6 +34,7 @@ use fair_serve::{Server, ServerConfig};
 fn usage() -> ! {
     eprintln!(
         "usage: fair-serve [--addr A] [--workers N] [--queue N] [--deadline-ms N]\n\
+         \x20                 [--keepalive-ms N]\n\
          \x20                 [--max-trials N] [--default-trials N] [--metrics-out PATH]\n\
          \x20                 [--tiles-dir PATH] [--no-tiles]"
     );
@@ -65,6 +67,10 @@ fn main() {
             "--queue" => config.queue_cap = parsed("--queue", args.next()),
             "--deadline-ms" => {
                 config.deadline = Duration::from_millis(parsed("--deadline-ms", args.next()));
+            }
+            "--keepalive-ms" => {
+                config.keepalive_timeout =
+                    Duration::from_millis(parsed("--keepalive-ms", args.next()));
             }
             "--max-trials" => config.service.max_trials = parsed("--max-trials", args.next()),
             "--default-trials" => {

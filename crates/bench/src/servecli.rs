@@ -9,10 +9,10 @@
 
 use std::net::SocketAddr;
 use std::sync::mpsc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use fair_serve::service::Backend;
-use fair_serve::{client, HttpReply, ProgressUpdate};
+use fair_serve::{client, Conn, HttpReply, ProgressUpdate};
 use fair_simlab::json::Json;
 use fair_trace::QuantileSummary;
 
@@ -133,6 +133,33 @@ pub struct LoadOptions {
     pub exp: String,
     /// Trials per estimate.
     pub trials: usize,
+    /// Persistent keep-alive connections for the warm phase. `0` keeps
+    /// the legacy mode: a fresh connection per request, `clients`
+    /// threads. Nonzero switches the warm phase onto `connections`
+    /// long-lived sockets.
+    pub connections: usize,
+    /// Requests pipelined per batch on each persistent connection
+    /// (ignored in the legacy mode; `1` = strict request/reply).
+    pub pipeline: usize,
+    /// Open-loop offered rate in requests/second across all connections.
+    /// `0.0` = closed loop (each client waits for its reply). Nonzero
+    /// sends on a fixed schedule regardless of reply latency, and
+    /// latency is measured from the *scheduled* send time, so queueing
+    /// delay under overload is not hidden (no coordinated omission).
+    pub rate: f64,
+}
+
+impl LoadOptions {
+    /// The warm-phase mode this option set selects.
+    pub fn mode(&self) -> &'static str {
+        if self.rate > 0.0 {
+            "openloop"
+        } else if self.connections > 0 {
+            "persistent"
+        } else {
+            "oneshot"
+        }
+    }
 }
 
 impl Default for LoadOptions {
@@ -144,6 +171,9 @@ impl Default for LoadOptions {
             repeat: 8,
             exp: "e1".to_string(),
             trials: 50,
+            connections: 0,
+            pipeline: 1,
+            rate: 0.0,
         }
     }
 }
@@ -151,9 +181,13 @@ impl Default for LoadOptions {
 /// What a load run measured.
 #[derive(Clone, Debug)]
 pub struct LoadReport {
+    /// Which warm-phase mode ran (`oneshot`, `persistent`, `openloop`).
+    pub mode: String,
     /// Latency quantiles of the cold phase (nanoseconds per request).
     pub cold_ns: QuantileSummary,
     /// Latency quantiles of the warm phase (nanoseconds per request).
+    /// In open-loop mode these are measured from each request's
+    /// *scheduled* send time.
     pub warm_ns: QuantileSummary,
     /// Requests that failed (transport error or non-200).
     pub errors: u64,
@@ -161,8 +195,10 @@ pub struct LoadReport {
     pub warm_hits: u64,
     /// Warm requests issued.
     pub warm_requests: u64,
-    /// Warm-phase throughput, requests per second.
+    /// Warm-phase achieved throughput, requests per second.
     pub warm_rps: f64,
+    /// Open-loop offered rate (`0.0` in closed-loop modes).
+    pub offered_rps: f64,
     /// Total requests issued across both phases.
     pub total_requests: u64,
 }
@@ -194,12 +230,137 @@ fn timed_get(addr: SocketAddr, target: &str) -> (u64, Option<HttpReply>) {
     (ns, reply.ok())
 }
 
-/// Drives the closed-loop load: a sequential **cold phase** touching each
-/// point once (every request a miss on a fresh server), then a concurrent
-/// **warm phase** where `clients` threads each sweep the same points
-/// `repeat` times (every request a cache hit). Closed-loop means each
-/// client issues its next request only after the previous one completes,
-/// so offered load adapts to service rate instead of overrunning it.
+/// Socket timeout for the warm-phase persistent connections.
+const CONN_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// One warm worker's tally: latency samples, cache hits, errors.
+type WorkerTally = (Vec<u64>, u64, u64);
+
+fn tally_reply(
+    reply: Option<&HttpReply>,
+    ns: u64,
+    samples: &mut Vec<u64>,
+    hits: &mut u64,
+    errors: &mut u64,
+) {
+    match reply {
+        Some(r) if r.status == 200 => {
+            samples.push(ns);
+            if matches!(r.header("x-cache"), Some("hit") | Some("wait")) {
+                *hits += 1;
+            }
+        }
+        _ => *errors += 1,
+    }
+}
+
+/// One-shot warm worker: a fresh connection per request (the legacy
+/// closed-loop mode).
+fn oneshot_sweep(opts: &LoadOptions, target_for: &dyn Fn(usize) -> String) -> WorkerTally {
+    let mut samples = Vec::with_capacity(opts.repeat * opts.points);
+    let mut hits = 0u64;
+    let mut errors = 0u64;
+    for _ in 0..opts.repeat {
+        for seed in 0..opts.points {
+            let (ns, reply) = timed_get(opts.addr, &target_for(seed));
+            tally_reply(reply.as_ref(), ns, &mut samples, &mut hits, &mut errors);
+        }
+    }
+    (samples, hits, errors)
+}
+
+/// Persistent closed-loop worker: one keep-alive connection sweeping the
+/// point set `repeat` times, `pipeline` requests per batch. Per-request
+/// latency is measured from the batch send, so deeper pipelines trade
+/// individual latency for throughput — exactly what the mode measures.
+fn persistent_sweep(opts: &LoadOptions, target_for: &dyn Fn(usize) -> String) -> WorkerTally {
+    let total = opts.repeat * opts.points;
+    let mut samples = Vec::with_capacity(total);
+    let mut hits = 0u64;
+    let mut errors = 0u64;
+    let Ok(mut conn) = Conn::connect(opts.addr, CONN_TIMEOUT) else {
+        return (samples, hits, total as u64);
+    };
+    let targets: Vec<String> = (0..total).map(|i| target_for(i % opts.points)).collect();
+    let mut sent = 0usize;
+    for batch in targets.chunks(opts.pipeline.max(1)) {
+        let refs: Vec<&str> = batch.iter().map(String::as_str).collect();
+        let t0 = Instant::now();
+        if conn.send_many(&refs).is_err() {
+            errors += (total - sent) as u64;
+            return (samples, hits, errors);
+        }
+        for _ in batch {
+            sent += 1;
+            match conn.recv() {
+                Ok(reply) => {
+                    let ns = t0.elapsed().as_nanos() as u64;
+                    tally_reply(Some(&reply), ns, &mut samples, &mut hits, &mut errors);
+                }
+                Err(_) => {
+                    errors += (total - sent + 1) as u64;
+                    return (samples, hits, errors);
+                }
+            }
+        }
+    }
+    (samples, hits, errors)
+}
+
+/// Open-loop worker: sends on a fixed schedule over one persistent
+/// connection. When the server falls behind, sends are issued as soon as
+/// the connection frees up but latency still counts from the *scheduled*
+/// instant — the classic coordinated-omission correction, so the report
+/// shows the queueing delay an arrival-rate-faithful client would see.
+fn open_loop_sweep(
+    opts: &LoadOptions,
+    target_for: &dyn Fn(usize) -> String,
+    start: Instant,
+    interval: Duration,
+    phase: Duration,
+) -> WorkerTally {
+    let total = opts.repeat * opts.points;
+    let mut samples = Vec::with_capacity(total);
+    let mut hits = 0u64;
+    let mut errors = 0u64;
+    let Ok(mut conn) = Conn::connect(opts.addr, CONN_TIMEOUT) else {
+        return (samples, hits, total as u64);
+    };
+    for i in 0..total {
+        let scheduled = start + phase + interval.mul_f64(i as f64);
+        let now = Instant::now();
+        if scheduled > now {
+            std::thread::sleep(scheduled - now);
+        }
+        let target = target_for(i % opts.points);
+        if conn.send(&target).is_err() {
+            errors += (total - i) as u64;
+            return (samples, hits, errors);
+        }
+        match conn.recv() {
+            Ok(reply) => {
+                let ns = scheduled.elapsed().as_nanos() as u64;
+                tally_reply(Some(&reply), ns, &mut samples, &mut hits, &mut errors);
+            }
+            Err(_) => {
+                errors += (total - i) as u64;
+                return (samples, hits, errors);
+            }
+        }
+    }
+    (samples, hits, errors)
+}
+
+/// Drives the load: a sequential **cold phase** touching each point once
+/// (every request a miss on a fresh server), then a concurrent **warm
+/// phase** in the mode [`LoadOptions::mode`] selects:
+///
+/// - `oneshot` — `clients` threads, fresh connection per request,
+///   closed loop (the next request waits for the previous reply).
+/// - `persistent` — `connections` keep-alive sockets, optionally
+///   pipelined `pipeline`-deep, closed loop per batch.
+/// - `openloop` — `connections` keep-alive sockets offered a fixed
+///   aggregate `rate`; achieved vs offered rate is reported.
 pub fn run_load(opts: &LoadOptions) -> LoadReport {
     let target_for = |seed: usize| {
         format!(
@@ -218,30 +379,34 @@ pub fn run_load(opts: &LoadOptions) -> LoadReport {
         }
     }
 
+    let mode = opts.mode();
+    let threads = match mode {
+        "oneshot" => opts.clients.max(1),
+        _ => opts.connections.max(1),
+    };
+    let interval = if opts.rate > 0.0 {
+        Duration::from_secs_f64(threads as f64 / opts.rate)
+    } else {
+        Duration::ZERO
+    };
+
     let warm_t0 = Instant::now();
-    let per_client: Vec<(Vec<u64>, u64, u64)> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..opts.clients.max(1))
-            .map(|_| {
+    let per_client: Vec<WorkerTally> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|thread| {
                 let target_for = &target_for;
                 scope.spawn(move || {
-                    let mut samples = Vec::with_capacity(opts.repeat * opts.points);
-                    let mut hits = 0u64;
-                    let mut errors = 0u64;
-                    for _ in 0..opts.repeat {
-                        for seed in 0..opts.points {
-                            let (ns, reply) = timed_get(opts.addr, &target_for(seed));
-                            match reply {
-                                Some(r) if r.status == 200 => {
-                                    samples.push(ns);
-                                    if matches!(r.header("x-cache"), Some("hit") | Some("wait")) {
-                                        hits += 1;
-                                    }
-                                }
-                                _ => errors += 1,
-                            }
+                    let target_for = |seed: usize| target_for(seed);
+                    match mode {
+                        "persistent" => persistent_sweep(opts, &target_for),
+                        "openloop" => {
+                            // Stagger thread schedules so aggregate sends
+                            // spread evenly instead of arriving in bursts.
+                            let phase = interval.mul_f64(thread as f64 / threads as f64);
+                            open_loop_sweep(opts, &target_for, warm_t0, interval, phase)
                         }
+                        _ => oneshot_sweep(opts, &target_for),
                     }
-                    (samples, hits, errors)
                 })
             })
             .collect();
@@ -254,19 +419,23 @@ pub fn run_load(opts: &LoadOptions) -> LoadReport {
 
     let mut warm_samples = Vec::new();
     let mut warm_hits = 0u64;
+    let mut warm_ok = 0u64;
     for (samples, hits, errs) in per_client {
+        warm_ok += samples.len() as u64;
         warm_samples.extend(samples);
         warm_hits += hits;
         errors += errs;
     }
-    let warm_requests = (opts.clients.max(1) * opts.repeat * opts.points) as u64;
+    let warm_requests = (threads * opts.repeat * opts.points) as u64;
     LoadReport {
+        mode: mode.to_string(),
         cold_ns: QuantileSummary::from_samples(cold_samples),
         warm_ns: QuantileSummary::from_samples(warm_samples),
         errors,
         warm_hits,
         warm_requests,
-        warm_rps: warm_requests as f64 / warm_wall_s,
+        warm_rps: warm_ok as f64 / warm_wall_s,
+        offered_rps: opts.rate,
         total_requests: opts.points as u64 + warm_requests,
     }
 }
@@ -284,9 +453,12 @@ fn quantile_fields(q: &QuantileSummary) -> Json {
 pub fn load_json(opts: &LoadOptions, report: &LoadReport) -> Json {
     Json::obj()
         .field("suite", Json::str("serve_load"))
+        .field("mode", Json::str(&report.mode))
         .field("exp", Json::str(&opts.exp))
         .field("trials", Json::num(opts.trials as f64))
         .field("clients", Json::num(opts.clients as f64))
+        .field("connections", Json::num(opts.connections as f64))
+        .field("pipeline", Json::num(opts.pipeline as f64))
         .field("points", Json::num(opts.points as f64))
         .field("repeat", Json::num(opts.repeat as f64))
         .field("errors", Json::num(report.errors as f64))
@@ -294,6 +466,8 @@ pub fn load_json(opts: &LoadOptions, report: &LoadReport) -> Json {
         .field("warm_requests", Json::num(report.warm_requests as f64))
         .field("warm_hits", Json::num(report.warm_hits as f64))
         .field("warm_hit_rate", Json::Num(report.warm_hit_rate()))
+        .field("offered_rps", Json::Num(round1(report.offered_rps)))
+        .field("achieved_rps", Json::Num(round1(report.warm_rps)))
         .field("warm_rps", Json::Num(round1(report.warm_rps)))
         .field("p50_speedup", Json::Num(round1(report.p50_speedup())))
         .field("cold", quantile_fields(&report.cold_ns))
@@ -331,17 +505,31 @@ mod tests {
     #[test]
     fn load_report_derives_rates_safely() {
         let report = LoadReport {
+            mode: "persistent".to_string(),
             cold_ns: QuantileSummary::from_samples(vec![1000, 2000]),
             warm_ns: QuantileSummary::from_samples(vec![100]),
             errors: 0,
             warm_hits: 9,
             warm_requests: 10,
             warm_rps: 123.4,
+            offered_rps: 0.0,
             total_requests: 12,
         };
         assert!((report.warm_hit_rate() - 0.9).abs() < 1e-12);
         assert!((report.p50_speedup() - 20.0).abs() < 1e-12);
         let doc = load_json(&LoadOptions::default(), &report).render();
         assert!(doc.contains("\"warm_hit_rate\":0.9"));
+        assert!(doc.contains("\"mode\":\"persistent\""));
+        assert!(doc.contains("\"achieved_rps\":123.4"));
+    }
+
+    #[test]
+    fn mode_selection_follows_rate_then_connections() {
+        let mut opts = LoadOptions::default();
+        assert_eq!(opts.mode(), "oneshot");
+        opts.connections = 4;
+        assert_eq!(opts.mode(), "persistent");
+        opts.rate = 1000.0;
+        assert_eq!(opts.mode(), "openloop");
     }
 }

@@ -66,8 +66,10 @@ fn load_generator_measures_a_live_server() {
         repeat: 2,
         exp: "e1".to_string(),
         trials: 10,
+        ..LoadOptions::default()
     };
     let report = run_load(&opts);
+    assert_eq!(report.mode, "oneshot");
     assert_eq!(report.errors, 0, "no request failed");
     assert_eq!(report.total_requests, 3 + 2 * 2 * 3);
     assert_eq!(
@@ -79,6 +81,75 @@ fn load_generator_measures_a_live_server() {
         report.cold_ns.p50 >= report.warm_ns.p50,
         "cache is not slower"
     );
+
+    // The same point set over persistent pipelined connections: still
+    // zero errors, still all cached (the cache was warmed above).
+    let persistent = LoadOptions {
+        connections: 2,
+        pipeline: 3,
+        ..opts.clone()
+    };
+    let report = run_load(&persistent);
+    assert_eq!(report.mode, "persistent");
+    assert_eq!(report.errors, 0, "no request failed on keep-alive path");
+    assert_eq!(
+        report.warm_hits, report.warm_requests,
+        "persistent warm phase all cached"
+    );
+
+    // Open loop at a modest offered rate: every scheduled request is
+    // answered, and the achieved rate is positive.
+    let openloop = LoadOptions {
+        connections: 2,
+        rate: 200.0,
+        ..opts
+    };
+    let report = run_load(&openloop);
+    assert_eq!(report.mode, "openloop");
+    assert_eq!(report.errors, 0, "no request failed in open loop");
+    assert!(report.warm_rps > 0.0);
+    assert!((report.offered_rps - 200.0).abs() < 1e-9);
+    stop(addr, handle);
+}
+
+#[test]
+fn pipelined_warm_bytes_equal_fresh_connection_bytes() {
+    // The pipelining byte-identity contract over the REAL registry: N
+    // warm requests pipelined down one keep-alive connection return
+    // exactly the bytes N fresh-connection requests return — which are
+    // themselves the batch runner's deterministic result documents.
+    let (addr, handle) = boot();
+    let points: Vec<(usize, u64)> = vec![(20, 1), (20, 2), (25, 3), (20, 1), (25, 3)];
+    let targets: Vec<String> = points
+        .iter()
+        .map(|(trials, seed)| format!("/estimate?exp=e1&trials={trials}&seed={seed}"))
+        .collect();
+
+    let fresh: Vec<Vec<u8>> = targets
+        .iter()
+        .map(|t| {
+            let reply = client::get(addr, t).expect("fresh connection");
+            assert_eq!(reply.status, 200);
+            reply.body
+        })
+        .collect();
+
+    let mut conn =
+        fair_serve::Conn::connect(addr, Duration::from_secs(30)).expect("persistent connect");
+    let refs: Vec<&str> = targets.iter().map(String::as_str).collect();
+    conn.send_many(&refs).expect("pipelined batch");
+    for (i, ((trials, seed), fresh_body)) in points.iter().zip(&fresh).enumerate() {
+        let reply = conn.recv().expect("in-order reply");
+        assert_eq!(reply.status, 200, "reply {i}");
+        assert_eq!(reply.header("x-cache"), Some("hit"), "reply {i} cached");
+        assert_eq!(&reply.body, fresh_body, "pipelined bytes, reply {i}");
+        let batch = rendered_result("e1", *trials, *seed).expect("known");
+        assert_eq!(
+            String::from_utf8_lossy(&reply.body),
+            batch,
+            "pipelined bytes == batch record bytes, reply {i}"
+        );
+    }
     stop(addr, handle);
 }
 

@@ -129,6 +129,26 @@ impl ShardedCache {
         })
     }
 
+    /// Nonblocking peek: the cached bytes for `key` if they are ready
+    /// right now, else `None`. Pending flights are *not* waited on — this
+    /// is the event loop's warm-path probe, which must never block; a
+    /// `None` sends the request to the worker pool where
+    /// [`get_or_compute`](ShardedCache::get_or_compute) may legitimately
+    /// wait. A ready hit refreshes LRU recency exactly like a blocking hit.
+    pub fn get_if_ready(&self, key: &str) -> Option<Arc<Vec<u8>>> {
+        let shard = self.shard_for(key);
+        let mut guard = self.lock(shard);
+        guard.tick += 1;
+        let tick = guard.tick;
+        match guard.map.get_mut(key) {
+            Some(Entry::Ready { bytes, last_used }) => {
+                *last_used = tick;
+                Some(Arc::clone(bytes))
+            }
+            _ => None,
+        }
+    }
+
     /// Returns the cached bytes for `key`, or runs `compute` exactly once
     /// across all concurrent callers of the same key.
     pub fn get_or_compute(
@@ -276,6 +296,47 @@ mod tests {
             cache.get_or_compute("b", || Ok(b"recompute-b".to_vec())),
             Lookup::Computed(_)
         ));
+    }
+
+    #[test]
+    fn get_if_ready_peeks_without_computing_and_refreshes_recency() {
+        let cache = ShardedCache::new(2, 1);
+        assert!(cache.get_if_ready("a").is_none(), "empty cache: not ready");
+        cache.get_or_compute("a", || Ok(b"1".to_vec()));
+        cache.get_or_compute("b", || Ok(b"2".to_vec()));
+        // The peek refreshes `a`'s recency, so inserting `c` evicts `b`.
+        assert_eq!(
+            cache.get_if_ready("a").map(|v| v.to_vec()),
+            Some(b"1".to_vec())
+        );
+        cache.get_or_compute("c", || Ok(b"3".to_vec()));
+        assert!(cache.get_if_ready("a").is_some());
+        assert!(cache.get_if_ready("b").is_none());
+    }
+
+    #[test]
+    fn get_if_ready_ignores_pending_flights() {
+        let cache = Arc::new(ShardedCache::new(8, 1));
+        let (release_tx, release_rx) = std::sync::mpsc::channel::<()>();
+        let (started_tx, started_rx) = std::sync::mpsc::channel::<()>();
+        let worker = {
+            let cache = Arc::clone(&cache);
+            std::thread::spawn(move || {
+                cache.get_or_compute("k", move || {
+                    started_tx.send(()).ok();
+                    release_rx.recv().ok();
+                    Ok(b"v".to_vec())
+                })
+            })
+        };
+        started_rx.recv().unwrap();
+        assert!(
+            cache.get_if_ready("k").is_none(),
+            "a pending flight must not block or count as ready"
+        );
+        release_tx.send(()).unwrap();
+        worker.join().unwrap();
+        assert!(cache.get_if_ready("k").is_some());
     }
 
     #[test]

@@ -2,11 +2,15 @@
 //! just enough for `fair-load`, CI smoke checks, and the e2e tests to
 //! talk to a `fair-serve` instance without any external dependency.
 //!
-//! The server always answers `Connection: close`, so a reply is simply
-//! "everything until EOF" split at the first blank line. Streaming
-//! replies (`/stream`) arrive with `Transfer-Encoding: chunked`; the
-//! parser strips the chunk framing so [`HttpReply::body`] is always the
-//! logical payload.
+//! Two modes:
+//! - One-shot ([`get`] / [`post`] / [`request`]): sends `Connection:
+//!   close`, so a reply is simply "everything until EOF" split at the
+//!   first blank line. Streaming replies (`/stream`) arrive with
+//!   `Transfer-Encoding: chunked`; the parser strips the chunk framing
+//!   so [`HttpReply::body`] is always the logical payload.
+//! - Persistent ([`Conn`]): keep-alive requests on one socket, including
+//!   pipelined batches ([`Conn::send_many`]); replies are framed by
+//!   `Content-Length` and leftover bytes carry over between reads.
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
@@ -66,13 +70,110 @@ pub fn request(
     parse_reply(&raw)
 }
 
-fn parse_reply(raw: &[u8]) -> std::io::Result<HttpReply> {
+/// A persistent keep-alive connection to one server.
+///
+/// Requests go out with `Connection: keep-alive` semantics (HTTP/1.1
+/// default); [`recv`](Conn::recv) frames each reply by its
+/// `Content-Length` header, so the socket stays usable for the next
+/// request. [`send_many`](Conn::send_many) writes a whole pipelined batch
+/// in one syscall; call `recv` once per request, in order. Not suitable
+/// for `/stream` (chunked replies close the connection) — use the
+/// one-shot [`request`] for those.
+pub struct Conn {
+    stream: TcpStream,
+    addr: SocketAddr,
+    /// Bytes read past the end of the previous reply.
+    buf: Vec<u8>,
+}
+
+impl Conn {
+    /// Connects with `timeout` applied to connect, reads, and writes.
+    pub fn connect(addr: SocketAddr, timeout: Duration) -> std::io::Result<Conn> {
+        let stream = TcpStream::connect_timeout(&addr, timeout)?;
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_write_timeout(Some(timeout))?;
+        stream.set_nodelay(true)?;
+        Ok(Conn {
+            stream,
+            addr,
+            buf: Vec::new(),
+        })
+    }
+
+    /// Sends one `GET <target>` without waiting for the reply.
+    pub fn send(&mut self, target: &str) -> std::io::Result<()> {
+        let head = format!(
+            "GET {target} HTTP/1.1\r\nHost: {addr}\r\n\r\n",
+            addr = self.addr
+        );
+        self.stream.write_all(head.as_bytes())
+    }
+
+    /// Pipelines a batch: every request head in one write. The server
+    /// answers them in order; call [`recv`](Conn::recv) once per target.
+    pub fn send_many(&mut self, targets: &[&str]) -> std::io::Result<()> {
+        let mut batch = String::new();
+        for target in targets {
+            batch.push_str(&format!(
+                "GET {target} HTTP/1.1\r\nHost: {addr}\r\n\r\n",
+                addr = self.addr
+            ));
+        }
+        self.stream.write_all(batch.as_bytes())
+    }
+
+    /// Reads exactly one `Content-Length`-framed reply, keeping any bytes
+    /// past it for the next call.
+    pub fn recv(&mut self) -> std::io::Result<HttpReply> {
+        let bad = |msg: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_string());
+        let head_end = loop {
+            if let Some(pos) = self.buf.windows(4).position(|w| w == b"\r\n\r\n") {
+                break pos;
+            }
+            self.fill()?;
+        };
+        let (status, headers) = parse_reply_head(self.buf.get(..head_end).unwrap_or_default())?;
+        let content_length: usize = headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case("content-length"))
+            .and_then(|(_, v)| v.parse().ok())
+            .ok_or_else(|| bad("persistent reply lacks a Content-Length"))?;
+        let body_start = head_end + 4;
+        while self.buf.len() < body_start + content_length {
+            self.fill()?;
+        }
+        let body = self
+            .buf
+            .get(body_start..body_start + content_length)
+            .unwrap_or_default()
+            .to_vec();
+        self.buf.drain(..body_start + content_length);
+        Ok(HttpReply {
+            status,
+            headers,
+            body,
+        })
+    }
+
+    fn fill(&mut self) -> std::io::Result<()> {
+        let mut chunk = [0u8; 16 * 1024];
+        let n = self.stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "connection closed mid-reply",
+            ));
+        }
+        self.buf
+            .extend_from_slice(chunk.get(..n).unwrap_or_default());
+        Ok(())
+    }
+}
+
+/// Parses a reply head (status line + headers, no terminator).
+fn parse_reply_head(head: &[u8]) -> std::io::Result<(u16, Vec<(String, String)>)> {
     let bad = |msg: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_string());
-    let head_end = raw
-        .windows(4)
-        .position(|w| w == b"\r\n\r\n")
-        .ok_or_else(|| bad("reply has no head terminator"))?;
-    let head = String::from_utf8_lossy(raw.get(..head_end).unwrap_or_default());
+    let head = String::from_utf8_lossy(head);
     let mut lines = head.split("\r\n");
     let status_line = lines.next().ok_or_else(|| bad("empty reply"))?;
     let status = status_line
@@ -86,6 +187,16 @@ fn parse_reply(raw: &[u8]) -> std::io::Result<HttpReply> {
                 .map(|(k, v)| (k.trim().to_string(), v.trim().to_string()))
         })
         .collect();
+    Ok((status, headers))
+}
+
+fn parse_reply(raw: &[u8]) -> std::io::Result<HttpReply> {
+    let bad = |msg: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_string());
+    let head_end = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .ok_or_else(|| bad("reply has no head terminator"))?;
+    let (status, headers) = parse_reply_head(raw.get(..head_end).unwrap_or_default())?;
     let wire = raw.get(head_end + 4..).unwrap_or_default();
     let chunked = headers.iter().any(|(k, v)| {
         k.eq_ignore_ascii_case("transfer-encoding") && v.eq_ignore_ascii_case("chunked")

@@ -9,6 +9,7 @@
 //! fast with a typed error the server maps to `400`/`431`.
 
 use std::io::Read;
+use std::sync::Arc;
 
 /// Maximum bytes of request head (request line + headers) accepted.
 pub const MAX_HEAD_BYTES: usize = 16 * 1024;
@@ -62,6 +63,9 @@ pub struct Request {
     pub query: Vec<(String, String)>,
     /// Header `(name, value)` pairs in order of appearance.
     pub headers: Vec<(String, String)>,
+    /// Whether the request line claimed HTTP/1.1 or later (anything but
+    /// `HTTP/1.0`); drives the keep-alive default.
+    pub version_11: bool,
 }
 
 impl Request {
@@ -79,6 +83,37 @@ impl Request {
             .iter()
             .find(|(k, _)| k.eq_ignore_ascii_case(name))
             .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the client asked (or defaulted) to keep the connection
+    /// open after the response. `Connection: close` always wins; an
+    /// explicit `keep-alive` token opts in; otherwise HTTP/1.1 defaults
+    /// to keep-alive and HTTP/1.0 to close.
+    pub fn wants_keep_alive(&self) -> bool {
+        match self.header("connection") {
+            Some(value) => {
+                let mut close = false;
+                let mut keep = false;
+                for token in value.split(',') {
+                    let token = token.trim();
+                    close |= token.eq_ignore_ascii_case("close");
+                    keep |= token.eq_ignore_ascii_case("keep-alive");
+                }
+                !close && (keep || self.version_11)
+            }
+            None => self.version_11,
+        }
+    }
+
+    /// Whether the request claims to carry a body. Bodies are not modeled
+    /// (no endpoint takes one), so the connection layer uses this to fall
+    /// back to close-after-response rather than desynchronize the stream.
+    pub fn has_body(&self) -> bool {
+        let length = self
+            .header("content-length")
+            .map(|v| v.trim() != "0")
+            .unwrap_or(false);
+        length || self.header("transfer-encoding").is_some()
     }
 }
 
@@ -109,9 +144,38 @@ pub fn read_request(stream: &mut impl Read) -> Result<Request, ParseError> {
 
 /// Byte offset of the first `\r\n\r\n` (or lenient `\n\n`) terminator.
 fn find_head_end(buf: &[u8]) -> Option<usize> {
-    buf.windows(4)
+    split_head(buf).map(|(head_len, _)| head_len)
+}
+
+/// Locates the first complete request head in `buf`, returning
+/// `(head_len, consumed)`: the head's byte length (terminator excluded)
+/// and the total bytes consumed including the terminator. This is the
+/// pipelining primitive — the connection layer parses `buf[..head_len]`,
+/// drops `consumed` bytes, and repeats while more full heads are buffered.
+///
+/// Both `\r\n\r\n` and the lenient bare `\n\n` terminate a head; whichever
+/// ends *earliest* wins, so a strictly-terminated head queued behind a
+/// leniently-terminated one is never swallowed into its predecessor.
+pub fn split_head(buf: &[u8]) -> Option<(usize, usize)> {
+    let crlf = buf
+        .windows(4)
         .position(|w| w == b"\r\n\r\n")
-        .or_else(|| buf.windows(2).position(|w| w == b"\n\n"))
+        .map(|p| (p, p + 4));
+    let lf = buf
+        .windows(2)
+        .position(|w| w == b"\n\n")
+        .map(|p| (p, p + 2));
+    match (crlf, lf) {
+        (Some((h4, c4)), Some((h2, c2))) => {
+            if c2 < c4 {
+                Some((h2, c2))
+            } else {
+                Some((h4, c4))
+            }
+        }
+        (Some(found), None) | (None, Some(found)) => Some(found),
+        (None, None) => None,
+    }
 }
 
 /// Parses a request head (request line + header lines, no body).
@@ -166,6 +230,7 @@ pub fn parse_request(head: &[u8]) -> Result<Request, ParseError> {
         path,
         query,
         headers,
+        version_11: version != "HTTP/1.0",
     })
 }
 
@@ -222,21 +287,95 @@ fn hex_val(b: Option<&u8>) -> Option<u8> {
     }
 }
 
-/// An HTTP response ready to serialize. Always sent with
-/// `Connection: close`; the server handles one request per connection.
+/// A response body: either owned bytes (per-request documents) or a
+/// shared reference into the result cache. The shared form is what makes
+/// the warm path copy-free — the connection layer serializes the head and
+/// hands the `Arc`'d body to a vectored write, so a cache hit never
+/// duplicates the payload.
+#[derive(Clone, Debug)]
+pub enum Body {
+    /// Owned bytes.
+    Bytes(Vec<u8>),
+    /// A shared immutable cached body, served without copying.
+    Shared(Arc<Vec<u8>>),
+}
+
+impl Body {
+    /// The body bytes, whichever representation holds them.
+    pub fn as_slice(&self) -> &[u8] {
+        match self {
+            Body::Bytes(v) => v,
+            Body::Shared(a) => a,
+        }
+    }
+
+    /// Body length in bytes.
+    pub fn len(&self) -> usize {
+        self.as_slice().len()
+    }
+
+    /// Whether the body is empty.
+    pub fn is_empty(&self) -> bool {
+        self.as_slice().is_empty()
+    }
+
+    /// Extracts owned bytes (clones only when the cache still shares them).
+    pub fn into_vec(self) -> Vec<u8> {
+        match self {
+            Body::Bytes(v) => v,
+            Body::Shared(a) => Arc::try_unwrap(a).unwrap_or_else(|a| a.as_ref().clone()),
+        }
+    }
+}
+
+impl PartialEq for Body {
+    fn eq(&self, other: &Body) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Body {}
+
+impl From<Vec<u8>> for Body {
+    fn from(v: Vec<u8>) -> Body {
+        Body::Bytes(v)
+    }
+}
+
+impl From<String> for Body {
+    fn from(s: String) -> Body {
+        Body::Bytes(s.into_bytes())
+    }
+}
+
+impl From<&str> for Body {
+    fn from(s: &str) -> Body {
+        Body::Bytes(s.as_bytes().to_vec())
+    }
+}
+
+impl From<Arc<Vec<u8>>> for Body {
+    fn from(a: Arc<Vec<u8>>) -> Body {
+        Body::Shared(a)
+    }
+}
+
+/// An HTTP response ready to serialize. The `Connection` header is chosen
+/// at serialization time ([`Response::head_bytes`]) — the same response
+/// value can close a one-shot connection or ride a keep-alive stream.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Response {
     /// Status code (200, 400, 404, 429, 503, …).
     pub status: u16,
     /// Extra headers beyond the always-present set.
     pub headers: Vec<(String, String)>,
-    /// Response body bytes.
-    pub body: Vec<u8>,
+    /// Response body.
+    pub body: Body,
 }
 
 impl Response {
     /// A JSON response with the given status.
-    pub fn json(status: u16, body: impl Into<Vec<u8>>) -> Response {
+    pub fn json(status: u16, body: impl Into<Body>) -> Response {
         Response {
             status,
             headers: vec![("Content-Type".to_string(), "application/json".to_string())],
@@ -274,9 +413,12 @@ impl Response {
         }
     }
 
-    /// Serializes status line, headers (with `Content-Length` and
-    /// `Connection: close`), and body.
-    pub fn to_bytes(&self) -> Vec<u8> {
+    /// Serializes the status line and headers only — custom headers in
+    /// order, then `Content-Length`, then the `Connection` disposition,
+    /// then the blank line. The body is deliberately absent so the
+    /// connection layer can gather head + shared body in one vectored
+    /// write without copying cached bytes.
+    pub fn head_bytes(&self, keep_alive: bool) -> Vec<u8> {
         let mut out = format!("HTTP/1.1 {} {}\r\n", self.status, self.reason()).into_bytes();
         for (name, value) in &self.headers {
             out.extend_from_slice(name.as_bytes());
@@ -285,8 +427,19 @@ impl Response {
             out.extend_from_slice(b"\r\n");
         }
         out.extend_from_slice(format!("Content-Length: {}\r\n", self.body.len()).as_bytes());
-        out.extend_from_slice(b"Connection: close\r\n\r\n");
-        out.extend_from_slice(&self.body);
+        if keep_alive {
+            out.extend_from_slice(b"Connection: keep-alive\r\n\r\n");
+        } else {
+            out.extend_from_slice(b"Connection: close\r\n\r\n");
+        }
+        out
+    }
+
+    /// Serializes status line, headers (with `Content-Length` and
+    /// `Connection: close`), and body.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = self.head_bytes(false);
+        out.extend_from_slice(self.body.as_slice());
         out
     }
 }
@@ -385,6 +538,73 @@ mod tests {
         let err = Response::error(429, "overloaded");
         assert_eq!(err.status, 429);
         assert_eq!(err.reason(), "Too Many Requests");
-        assert!(String::from_utf8(err.body).unwrap().contains("overloaded"));
+        assert!(String::from_utf8(err.body.into_vec())
+            .unwrap()
+            .contains("overloaded"));
+    }
+
+    #[test]
+    fn keep_alive_serialization_differs_only_in_connection() {
+        let resp = Response::json(200, "{}\n");
+        let close = String::from_utf8(resp.head_bytes(false)).unwrap();
+        let keep = String::from_utf8(resp.head_bytes(true)).unwrap();
+        assert!(close.ends_with("Connection: close\r\n\r\n"));
+        assert!(keep.ends_with("Connection: keep-alive\r\n\r\n"));
+        assert_eq!(
+            close.replace("Connection: close", "Connection: keep-alive"),
+            keep
+        );
+    }
+
+    #[test]
+    fn shared_and_owned_bodies_serialize_identically() {
+        let bytes = b"{\"v\":1}\n".to_vec();
+        let owned = Response::json(200, bytes.clone());
+        let shared = Response::json(200, Arc::new(bytes));
+        assert_eq!(owned.to_bytes(), shared.to_bytes());
+        assert_eq!(owned.body, shared.body);
+        assert_eq!(shared.body.len(), 8);
+    }
+
+    #[test]
+    fn split_head_finds_each_pipelined_head_in_turn() {
+        let buf = b"GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\nHost: x\r\n\r\ntail";
+        let (head_len, consumed) = split_head(buf).unwrap();
+        assert_eq!(&buf[..head_len], b"GET /a HTTP/1.1");
+        let rest = &buf[consumed..];
+        let (head2, consumed2) = split_head(rest).unwrap();
+        assert_eq!(&rest[..head2], b"GET /b HTTP/1.1\r\nHost: x");
+        assert_eq!(&rest[consumed2..], b"tail");
+        assert_eq!(split_head(b"GET / HTTP/1.1\r\nHost"), None);
+    }
+
+    #[test]
+    fn split_head_prefers_the_earlier_terminator() {
+        // A lenient \n\n head queued before a strict \r\n\r\n head must
+        // split at the \n\n, not swallow both requests into one head.
+        let buf = b"GET /a HTTP/1.1\n\nGET /b HTTP/1.1\r\n\r\n";
+        let (head_len, consumed) = split_head(buf).unwrap();
+        assert_eq!(&buf[..head_len], b"GET /a HTTP/1.1");
+        assert_eq!(consumed, head_len + 2);
+    }
+
+    #[test]
+    fn keep_alive_detection_follows_version_and_header() {
+        let req = |head: &str| parse_request(head.as_bytes()).unwrap();
+        assert!(req("GET / HTTP/1.1\r\n").wants_keep_alive());
+        assert!(!req("GET / HTTP/1.0\r\n").wants_keep_alive());
+        assert!(!req("GET / HTTP/1.1\r\nConnection: close\r\n").wants_keep_alive());
+        assert!(req("GET / HTTP/1.0\r\nConnection: keep-alive\r\n").wants_keep_alive());
+        assert!(!req("GET / HTTP/1.1\r\nConnection: keep-alive, close\r\n").wants_keep_alive());
+        assert!(!req("GET / HTTP/1.1\r\nConnection: CLOSE\r\n").wants_keep_alive());
+    }
+
+    #[test]
+    fn body_detection_flags_nonzero_length_and_chunked() {
+        let req = |head: &str| parse_request(head.as_bytes()).unwrap();
+        assert!(!req("GET / HTTP/1.1\r\n").has_body());
+        assert!(!req("GET / HTTP/1.1\r\nContent-Length: 0\r\n").has_body());
+        assert!(req("GET / HTTP/1.1\r\nContent-Length: 3\r\n").has_body());
+        assert!(req("GET / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n").has_body());
     }
 }

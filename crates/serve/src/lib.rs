@@ -13,14 +13,22 @@
 //!
 //! Layers (bottom-up):
 //! - [`http`]: a defensive request parser / response serializer over
-//!   `std` only; total on arbitrary bytes (fairlint S2 scope).
+//!   `std` only; total on arbitrary bytes (fairlint S2 scope). Supplies
+//!   the pipelining primitive ([`http::split_head`]) and copy-free
+//!   shared response bodies ([`http::Body`]).
 //! - [`cache`]: a sharded LRU of rendered bodies with single-flight
-//!   deduplication — a thundering herd on one point computes once.
+//!   deduplication — a thundering herd on one point computes once. The
+//!   nonblocking [`cache::ShardedCache::get_if_ready`] peek serves the
+//!   event loop's warm path.
 //! - [`service`]: routing, parameter validation, the [`service::Backend`]
-//!   trait the bench crate implements, and the `/metrics` document.
-//! - [`server`]: the accept loop — bounded [`fair_simlab::WorkerPool`]
-//!   admission (429 when the queue is full), per-request deadlines (503),
-//!   and graceful drain-then-flush shutdown.
+//!   trait the bench crate implements, and the `/metrics` document. The
+//!   [`service::Verdict`] split (`Reply` inline vs `Offload` ticket)
+//!   decides what runs on the loop and what goes to a worker.
+//! - [`server`]: the event-loop serving core on [`fair_aio`] — readiness
+//!   polling, HTTP/1.1 keep-alive and pipelining, vectored writes —
+//!   with cold work on a bounded [`fair_simlab::WorkerPool`] (429 when
+//!   the queue is full), per-request deadlines (503), and graceful
+//!   drain-then-flush shutdown.
 //! - [`streaming`]: the chunked `GET /stream` endpoint — progressive
 //!   estimation frames with CI-bounded early stop (`epsilon=`).
 //! - [`client`]: a minimal blocking client for `fair-load` and tests.
@@ -44,8 +52,8 @@ pub mod stats;
 pub mod streaming;
 
 pub use cache::{Lookup, ShardedCache};
-pub use client::HttpReply;
-pub use http::{Request, Response};
+pub use client::{Conn, HttpReply};
+pub use http::{Body, Request, Response};
 pub use server::{Server, ServerConfig};
 pub use service::{Backend, ProgressUpdate, Service, ServiceConfig};
 pub use stats::ServerStats;

@@ -98,12 +98,36 @@ impl Default for ServiceConfig {
     }
 }
 
+/// The service's verdict on one parsed request, split for the event loop:
+/// cheap routes, errors, and warm cache hits produce a [`Response`] right
+/// away (served inline on the loop); a cold `/estimate` yields a
+/// [`ComputeTicket`] to run on a worker via
+/// [`Service::estimate_finish`].
+pub enum Verdict {
+    /// Answer immediately; the status is already tallied.
+    Reply(Response),
+    /// Run the estimation off-loop, then finish the ticket.
+    Offload(ComputeTicket),
+}
+
+/// A validated cold `/estimate` awaiting worker-side computation.
+pub struct ComputeTicket {
+    key: String,
+    exp: String,
+    trials: usize,
+    seed: u64,
+}
+
 /// The routing core: owns the backend, the result cache, the tallies, and
 /// the shutdown latch. Shared across worker threads behind an `Arc`.
 pub struct Service {
     backend: Arc<dyn Backend>,
     config: ServiceConfig,
     cache: ShardedCache,
+    /// Registered experiment ids, snapshotted at construction — the
+    /// registry is static, and the warm path must not rebuild the full
+    /// `(id, title)` listing per request just to validate `exp`.
+    known: Vec<String>,
     /// Server tallies, shared with the accept loop (which counts
     /// admission-control rejections itself).
     pub stats: Arc<ServerStats>,
@@ -118,10 +142,16 @@ impl Service {
         config: ServiceConfig,
         shutdown: Arc<AtomicBool>,
     ) -> Service {
+        let known = backend
+            .experiments()
+            .into_iter()
+            .map(|(id, _)| id)
+            .collect();
         Service {
             backend,
             cache: ShardedCache::new(config.cache_entries, config.cache_shards),
             config,
+            known,
             stats: Arc::new(ServerStats::default()),
             shutdown,
         }
@@ -145,22 +175,42 @@ impl Service {
 
     /// Whether `exp` is a registered experiment id.
     pub fn knows_experiment(&self, exp: &str) -> bool {
-        self.backend.experiments().iter().any(|(id, _)| id == exp)
+        self.known.iter().any(|id| id == exp)
     }
 
     /// Handles one parsed request, counting it and its response status.
+    /// Blocking entry point: a cold `/estimate` computes right here (and
+    /// may wait on another caller's single-flight).
     pub fn handle(&self, req: &Request) -> Response {
+        match self.begin(req) {
+            Verdict::Reply(resp) => resp,
+            Verdict::Offload(ticket) => self.estimate_finish(ticket),
+        }
+    }
+
+    /// First half of request handling, cheap enough for the event loop:
+    /// counts the request, routes everything except a cold `/estimate` to
+    /// a finished (status-tallied) response, and returns a ticket for the
+    /// cold path. The warm probe is [`ShardedCache::get_if_ready`] — a
+    /// pending single-flight is treated as cold so the loop never blocks.
+    pub fn begin(&self, req: &Request) -> Verdict {
         ServerStats::bump(&self.stats.requests);
-        let resp = self.route(req);
-        self.stats.count_status(resp.status);
-        resp
+        if req.path == "/estimate" && req.method == "GET" {
+            self.estimate_begin(req)
+        } else {
+            let resp = self.route(req);
+            self.stats.count_status(resp.status);
+            Verdict::Reply(resp)
+        }
     }
 
     fn route(&self, req: &Request) -> Response {
         match req.path.as_str() {
             "/healthz" => get_only(req, |_| Response::json(200, "{\"status\":\"ok\"}\n")),
             "/experiments" => get_only(req, |_| self.experiments()),
-            "/estimate" => get_only(req, |req| self.estimate(req)),
+            // GET /estimate is intercepted by `begin`; only other methods
+            // fall through to here.
+            "/estimate" => Response::error(405, "use GET /estimate"),
             "/metrics" => get_only(req, |_| self.metrics()),
             "/shutdown" => {
                 if req.method == "POST" {
@@ -195,26 +245,64 @@ impl Service {
         Response::json(200, doc.canonical().render_pretty() + "\n")
     }
 
-    fn estimate(&self, req: &Request) -> Response {
+    /// Tallies and returns a response (the `Reply` finisher).
+    fn counted(&self, resp: Response) -> Response {
+        self.stats.count_status(resp.status);
+        resp
+    }
+
+    fn estimate_begin(&self, req: &Request) -> Verdict {
         let exp = match req.query_param("exp") {
             Some(e) if !e.is_empty() => e.to_string(),
-            _ => return Response::error(400, "missing required query parameter `exp`"),
+            _ => {
+                return Verdict::Reply(self.counted(Response::error(
+                    400,
+                    "missing required query parameter `exp`",
+                )))
+            }
         };
         let trials = match parse_trials(req, self.config.default_trials, self.config.max_trials) {
             Ok(t) => t,
-            Err(resp) => return resp,
+            Err(resp) => return Verdict::Reply(self.counted(resp)),
         };
         let seed = match parse_seed(req, self.config.default_seed) {
             Ok(s) => s,
-            Err(resp) => return resp,
+            Err(resp) => return Verdict::Reply(self.counted(resp)),
         };
-        if !self.backend.experiments().iter().any(|(id, _)| *id == exp) {
-            return Response::error(404, &format!("unknown experiment `{exp}`"));
+        if !self.knows_experiment(&exp) {
+            return Verdict::Reply(
+                self.counted(Response::error(404, &format!("unknown experiment `{exp}`"))),
+            );
         }
         // The canonical point key: defaults applied, fixed field order —
         // `?trials=100&exp=e1` and `?exp=e1&trials=100&seed=<default>`
         // coalesce to one cache entry and one computation.
         let key = format!("exp={exp}&seed={seed}&trials={trials}");
+        if let Some(bytes) = self.cache.get_if_ready(&key) {
+            ServerStats::bump(&self.stats.cache_hits);
+            return Verdict::Reply(
+                self.counted(Response::json(200, bytes).with_header("X-Cache", "hit")),
+            );
+        }
+        Verdict::Offload(ComputeTicket {
+            key,
+            exp,
+            trials,
+            seed,
+        })
+    }
+
+    /// Second half of a cold `/estimate`: computes (or joins a
+    /// single-flight, or finds the value another caller just cached) and
+    /// builds the tallied response. Blocking — run on a worker, never on
+    /// the event loop.
+    pub fn estimate_finish(&self, ticket: ComputeTicket) -> Response {
+        let ComputeTicket {
+            key,
+            exp,
+            trials,
+            seed,
+        } = ticket;
         let backend = Arc::clone(&self.backend);
         let lookup = self.cache.get_or_compute(&key, move || {
             backend
@@ -226,7 +314,7 @@ impl Service {
             Lookup::Hit(b) => (b, "hit", &self.stats.cache_hits),
             Lookup::Computed(b) => (b, "miss", &self.stats.cache_misses),
             Lookup::Waited(b) => (b, "wait", &self.stats.cache_waits),
-            Lookup::Failed(e) => return Response::error(500, e),
+            Lookup::Failed(e) => return self.counted(Response::error(500, e)),
         };
         if matches!(lookup, Lookup::Computed(_)) {
             // A cold compute may have minted new tiles; persist them now
@@ -234,7 +322,7 @@ impl Service {
             fair_tiles::cache::flush();
         }
         ServerStats::bump(counter);
-        Response::json(200, bytes.as_ref().clone()).with_header("X-Cache", flavor)
+        self.counted(Response::json(200, Arc::clone(bytes)).with_header("X-Cache", flavor))
     }
 
     /// The `/metrics` document: server tallies, cache occupancy, and the
@@ -371,7 +459,7 @@ mod tests {
         let svc = service();
         let resp = get(&svc, "/experiments");
         assert_eq!(resp.status, 200);
-        let body = String::from_utf8(resp.body).expect("utf8 body");
+        let body = String::from_utf8(resp.body.into_vec()).expect("utf8 body");
         assert!(body.contains("\"e1\""));
         assert!(body.contains("mock experiment"));
     }
@@ -427,7 +515,7 @@ mod tests {
         get(&svc, "/estimate?exp=e1");
         let resp = get(&svc, "/metrics");
         assert_eq!(resp.status, 200);
-        let body = String::from_utf8(resp.body).expect("utf8 body");
+        let body = String::from_utf8(resp.body.into_vec()).expect("utf8 body");
         assert!(body.contains("\"cache_misses\": 1"));
         assert!(body.contains("\"cache_entries\": 1"));
         assert!(!svc.shutting_down());

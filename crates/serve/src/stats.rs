@@ -43,6 +43,14 @@ pub struct ServerStats {
     pub streams: AtomicU64,
     /// Streamed estimations that converged before their trial budget.
     pub stream_early_stops: AtomicU64,
+    /// Requests served on a reused (keep-alive) connection — every fully
+    /// parsed request after a connection's first.
+    pub keepalive_reuses: AtomicU64,
+    /// Requests parsed while an earlier response on the same connection
+    /// was still queued or being written (HTTP pipelining).
+    pub pipelined_requests: AtomicU64,
+    /// Connections closed by the idle/read timeout wheel.
+    pub conn_timeouts: AtomicU64,
 }
 
 impl ServerStats {
@@ -71,7 +79,10 @@ impl ServerStats {
             ("cache_hits".into(), read(&self.cache_hits)),
             ("cache_misses".into(), read(&self.cache_misses)),
             ("cache_waits".into(), read(&self.cache_waits)),
+            ("conn_timeouts".into(), read(&self.conn_timeouts)),
             ("deadline_expired".into(), read(&self.deadline_expired)),
+            ("keepalive_reuses".into(), read(&self.keepalive_reuses)),
+            ("pipelined_requests".into(), read(&self.pipelined_requests)),
             (
                 "rejected_queue_full".into(),
                 read(&self.rejected_queue_full),
@@ -120,7 +131,7 @@ mod tests {
         match doc {
             Json::Obj(fields) => {
                 assert!(fields.windows(2).all(|w| w[0].0 < w[1].0), "keys sorted");
-                assert_eq!(fields.len(), 16);
+                assert_eq!(fields.len(), 19);
             }
             other => panic!("expected object, got {other:?}"),
         }

@@ -1,8 +1,11 @@
 //! Property tests for the HTTP request parser: it faces raw network
 //! bytes, so the properties that matter are *totality* (never panics, for
-//! any input) and *faithfulness* (well-formed requests round-trip).
+//! any input), *faithfulness* (well-formed requests round-trip), and —
+//! for the pipelining primitive `split_head` — that walking a buffer of
+//! concatenated requests recovers each one exactly, regardless of how
+//! the bytes were chopped into reads.
 
-use fair_serve::http::{parse_request, read_request, MAX_HEAD_BYTES};
+use fair_serve::http::{parse_request, read_request, split_head, MAX_HEAD_BYTES};
 use proptest::collection;
 use proptest::prelude::*;
 
@@ -83,5 +86,54 @@ proptest! {
         prop_assert!(parse_request(&head).is_err());
         let mut stream = std::io::Cursor::new(head);
         prop_assert!(read_request(&mut stream).is_err());
+    }
+
+    /// Totality of the pipelining splitter on arbitrary bytes, plus its
+    /// progress invariants: the consumed prefix always covers the head,
+    /// never exceeds the buffer, and always advances.
+    #[test]
+    fn split_head_is_total_and_always_advances(buf in collection::vec(any::<u8>(), 0..2048)) {
+        if let Some((head_len, consumed)) = split_head(&buf) {
+            prop_assert!(head_len < consumed, "terminator is consumed but not in the head");
+            prop_assert!(consumed <= buf.len());
+            prop_assert!(consumed >= 2, "a terminator is at least \\n\\n");
+        }
+    }
+
+    /// Pipelining: N well-formed requests concatenated into one buffer
+    /// split back into exactly N parseable heads with the right targets,
+    /// however the batch is composed — the parser-state-reuse property
+    /// the event loop's per-connection buffer relies on.
+    #[test]
+    fn concatenated_requests_split_back_into_each_head(
+        seeds in collection::vec(0..1000u32, 1..8),
+        trailing in collection::vec(any::<u8>(), 0..10),
+    ) {
+        let mut wire = Vec::new();
+        for seed in &seeds {
+            wire.extend_from_slice(
+                format!("GET /estimate?seed={seed} HTTP/1.1\r\nHost: x\r\n\r\n").as_bytes(),
+            );
+        }
+        // A torn tail (the next request still in flight) must not
+        // disturb the complete heads before it.
+        wire.extend_from_slice(b"GET /tor");
+        wire.extend_from_slice(&trailing);
+
+        let mut rest: &[u8] = &wire;
+        for (i, seed) in seeds.iter().enumerate() {
+            let (head_len, consumed) = split_head(rest)
+                .unwrap_or_else(|| panic!("request {i} has a complete head"));
+            let req = parse_request(&rest[..head_len]).expect("well-formed");
+            prop_assert_eq!(&req.path, "/estimate");
+            prop_assert_eq!(req.query_param("seed"), Some(seed.to_string().as_str()));
+            prop_assert!(req.wants_keep_alive());
+            rest = &rest[consumed..];
+        }
+        // The torn tail never yields a head unless the random bytes
+        // happened to complete one; if they did, it must parse totally.
+        if let Some((head_len, _)) = split_head(rest) {
+            let _ = parse_request(&rest[..head_len]);
+        }
     }
 }

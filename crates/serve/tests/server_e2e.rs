@@ -8,7 +8,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use fair_serve::service::Backend;
-use fair_serve::{client, Server, ServerConfig, ServiceConfig};
+use fair_serve::{client, Conn, Server, ServerConfig};
 
 /// A deterministic backend: renders a canonical-looking document and
 /// counts invocations; optionally sleeps to simulate slow estimations.
@@ -122,6 +122,94 @@ fn cold_and_warm_responses_are_byte_identical() {
     let metrics = client::get(addr, "/metrics").expect("metrics");
     assert_eq!(metrics.status, 200);
     assert!(metrics.text().contains("\"cache_hits\": 2"));
+    shutdown(addr, handle);
+}
+
+#[test]
+fn keep_alive_connections_reuse_parser_state_across_requests() {
+    let backend = Arc::new(MockBackend::instant());
+    let (addr, handle, _latch) = boot(Arc::clone(&backend), ServerConfig::default());
+    let target = "/estimate?exp=e1&trials=100&seed=3";
+
+    // Several sequential requests on ONE socket: the first computes, the
+    // rest are cache hits served by the same connection's parser state.
+    let mut conn = Conn::connect(addr, Duration::from_secs(10)).expect("connect");
+    let mut bodies = Vec::new();
+    for i in 0..4 {
+        conn.send(target).expect("send");
+        let reply = conn.recv().expect("reply on reused connection");
+        assert_eq!(reply.status, 200);
+        let expected = if i == 0 { "miss" } else { "hit" };
+        assert_eq!(reply.header("x-cache"), Some(expected), "request {i}");
+        bodies.push(reply.body);
+    }
+    assert!(bodies.windows(2).all(|w| w[0] == w[1]), "stable bytes");
+    assert_eq!(backend.calls.load(Ordering::SeqCst), 1, "one computation");
+
+    // A different route on the same still-open connection parses fine —
+    // per-request state fully resets between requests.
+    conn.send("/healthz").expect("send healthz");
+    let health = conn.recv().expect("healthz on reused connection");
+    assert_eq!(health.status, 200);
+    assert_eq!(health.body, b"{\"status\":\"ok\"}\n");
+
+    let metrics = client::get(addr, "/metrics").expect("metrics");
+    let text = metrics.text();
+    assert!(
+        text.contains("\"keepalive_reuses\": 4"),
+        "4 reused requests counted, got: {text}"
+    );
+    shutdown(addr, handle);
+}
+
+#[test]
+fn pipelined_requests_answer_in_order_with_identical_bytes() {
+    let backend = Arc::new(MockBackend::instant());
+    let (addr, handle, _latch) = boot(Arc::clone(&backend), ServerConfig::default());
+    let targets: Vec<String> = (0..5)
+        .map(|seed| format!("/estimate?exp=e1&trials=50&seed={seed}"))
+        .collect();
+
+    // Warm every point with fresh one-shot connections first.
+    let fresh: Vec<Vec<u8>> = targets
+        .iter()
+        .map(|t| {
+            let reply = client::get(addr, t).expect("warmup");
+            assert_eq!(reply.status, 200);
+            reply.body
+        })
+        .collect();
+
+    // Now pipeline the whole batch down one connection in a single write;
+    // replies must come back in request order, each byte-identical to its
+    // fresh-connection counterpart. A cold point in the middle of the
+    // batch (handed to the worker pool) must not reorder anything.
+    let mut conn = Conn::connect(addr, Duration::from_secs(10)).expect("connect");
+    let mut batch: Vec<&str> = targets.iter().map(String::as_str).collect();
+    let cold = "/estimate?exp=e1&trials=50&seed=99";
+    batch.insert(2, cold);
+    conn.send_many(&batch).expect("pipelined send");
+    for (i, target) in batch.iter().enumerate() {
+        let reply = conn.recv().expect("pipelined reply");
+        assert_eq!(reply.status, 200, "reply {i}");
+        if *target == cold {
+            assert_eq!(reply.header("x-cache"), Some("miss"), "cold mid-batch");
+        } else {
+            assert_eq!(reply.header("x-cache"), Some("hit"), "warm reply {i}");
+            let fresh_body = &fresh[targets.iter().position(|t| t == target).expect("known")];
+            assert_eq!(&reply.body, fresh_body, "bytes for {target}");
+        }
+    }
+
+    let metrics = client::get(addr, "/metrics").expect("metrics");
+    let text = metrics.text();
+    let doc = fair_simlab::json::parse(text.trim_end()).expect("metrics parse");
+    let server = fair_simlab::json::get(&doc, "server").expect("server block");
+    let pipelined = match fair_simlab::json::get(server, "pipelined_requests") {
+        Some(fair_simlab::json::Json::Num(n)) => *n,
+        other => panic!("pipelined_requests missing: {other:?}"),
+    };
+    assert!(pipelined >= 1.0, "pipelining was observed, got {pipelined}");
     shutdown(addr, handle);
 }
 
