@@ -44,8 +44,10 @@ echo "== reproduce smoke run (parallel, JSON records)"
 FAIR_TRIALS=100 ./target/release/reproduce --jobs 2 --trace --json BENCH_reproduce.json e1 e4 e13
 
 echo "== fair-serve smoke (ephemeral boot, fair-load --check, graceful shutdown)"
+# Perf gate pinned to --loops 1: the 5k rps floor below measures the
+# single-loop event loop, so sharding changes can't mask a regression.
 SERVE_OUT="$(mktemp)"
-./target/release/fair-serve --addr 127.0.0.1:0 --workers 2 \
+./target/release/fair-serve --addr 127.0.0.1:0 --workers 2 --loops 1 \
   --metrics-out target/simlab/serve_metrics.json > "$SERVE_OUT" &
 SERVE_PID=$!
 ADDR=""
@@ -81,6 +83,32 @@ EOF
 wait "$SERVE_PID"
 rm -f "$SERVE_OUT"
 test -s target/simlab/serve_metrics.json
+
+echo "== fair-serve sharded smoke (--loops 2, correctness-only gate)"
+# Correctness only — no throughput floor: both gates (0 errors, warm
+# cache hits) must hold when accepts are sharded across two event loops,
+# and the group must still drain cleanly on shutdown.
+SHARD_OUT="$(mktemp)"
+SHARD_METRICS="$(mktemp)"
+./target/release/fair-serve --addr 127.0.0.1:0 --workers 2 --loops 2 \
+  --metrics-out "$SHARD_METRICS" > "$SHARD_OUT" &
+SHARD_PID=$!
+SADDR=""
+for _ in $(seq 100); do
+  SADDR="$(sed -n 's/^ADDR=//p' "$SHARD_OUT")"
+  [ -n "$SADDR" ] && break
+  sleep 0.1
+done
+[ -n "$SADDR" ] || { echo "fair-serve (sharded) never reported its address"; kill "$SHARD_PID"; exit 1; }
+./target/release/fair-load --addr "$SADDR" --exp e2 --trials 200 \
+  --connections 4 --pipeline 4 --points 4 --repeat 8 --server-loops 2 \
+  --out target/simlab/serve_load_sharded_smoke.json \
+  --bench-out target/simlab/serve_bench_sharded_smoke.json --check
+./target/release/fair-load shutdown --addr "$SADDR"
+wait "$SHARD_PID"
+# The aggregated snapshot reports both loops.
+grep -q '"loops": 2' "$SHARD_METRICS"
+rm -f "$SHARD_OUT" "$SHARD_METRICS"
 
 echo "== tile-store restart smoke (warm-from-disk byte identity + /stream)"
 TILES_DIR="$(mktemp -d)"

@@ -10,13 +10,18 @@
 //!   loop blocked in [`Poller::wait`].
 //! * [`TimerWheel`] — a hashed wheel of coarse deadlines (connection
 //!   idle/read timeouts), advanced lazily from the loop.
+//! * [`net::reuseport_listener`] — a `SO_REUSEPORT` TCP listener, so N
+//!   event loops can each own a listener on the same address and the kernel
+//!   shards accepted connections across them.
 //!
-//! The crate is FFI-free: the four syscalls it needs (`epoll_create1`,
-//! `epoll_ctl`, `epoll_pwait`, `eventfd2`) are invoked through inline-asm
-//! shims in the private `sys` module — the only module in the workspace
-//! allowed to contain `unsafe` (fairlint rule R2 carries the exemption).
-//! Everything the shims return is immediately wrapped in owned descriptors
-//! (`OwnedFd`, `File`), so resource cleanup is ordinary RAII.
+//! The crate is FFI-free: the syscalls it needs (`epoll_create1`,
+//! `epoll_ctl`, `epoll_pwait`, `eventfd2`, and the `socket`/`setsockopt`/
+//! `bind`/`listen` quartet behind reuseport listeners) are invoked through
+//! inline-asm shims in the private `sys` module — the only module in the
+//! workspace allowed to contain `unsafe` (fairlint rule R2 carries the
+//! exemption). Everything the shims return is immediately wrapped in owned
+//! descriptors (`OwnedFd`, `File`, `TcpListener`), so resource cleanup is
+//! ordinary RAII.
 //!
 //! Like the rest of the serve stack, the API is total: nothing here panics
 //! on adversarial input — errors surface as `io::Result`.
@@ -24,6 +29,7 @@
 #[allow(unsafe_code)]
 mod sys;
 
+pub mod net;
 mod poll;
 mod wake;
 mod wheel;

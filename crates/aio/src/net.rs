@@ -1,0 +1,99 @@
+//! `SO_REUSEPORT` listener construction for multi-loop accept sharding.
+//!
+//! With reuseport, each event loop binds its *own* listener on the same
+//! address; the kernel hashes incoming flows across the group, so accepts
+//! shard without any user-space coordination (no lock, no hand-off, no
+//! thundering herd). std cannot build such a listener — `SO_REUSEPORT`
+//! must be set after `socket()` but before `bind()`, a window
+//! `TcpListener::bind` never exposes — so the descriptor is assembled from
+//! the raw syscall shims in [`crate::sys`] and handed to std as an
+//! `OwnedFd`, after which it is an ordinary `TcpListener`.
+
+use std::io;
+use std::net::{SocketAddr, TcpListener};
+use std::os::fd::AsFd;
+
+use crate::sys;
+
+/// Listen backlog for reuseport listeners. Matches the kernel's usual
+/// `somaxconn` default; overload beyond it is the admission layer's job.
+const BACKLOG: usize = 1024;
+
+/// Binds a TCP listener on `addr` with `SO_REUSEADDR` + `SO_REUSEPORT` set,
+/// so further calls with the same (resolved) address join the reuseport
+/// group and share the accept load.
+///
+/// Bind with port 0 once, read back `local_addr()`, and pass the resolved
+/// address to the remaining calls — every member must name the same port.
+pub fn reuseport_listener(addr: SocketAddr) -> io::Result<TcpListener> {
+    let fd = sys::tcp_socket(addr.is_ipv6())?;
+    sys::set_reuse_port(fd.as_fd())?;
+    sys::bind(fd.as_fd(), &addr)?;
+    sys::listen(fd.as_fd(), BACKLOG)?;
+    Ok(TcpListener::from(fd))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::TcpStream;
+
+    #[test]
+    fn reuseport_group_binds_one_port_and_accepts_on_some_member() {
+        let first = reuseport_listener("127.0.0.1:0".parse().expect("literal addr"))
+            .expect("first reuseport bind");
+        let addr = first.local_addr().expect("bound addr");
+        assert_ne!(addr.port(), 0, "ephemeral port resolved");
+        let second = reuseport_listener(addr).expect("second bind joins the group");
+        assert_eq!(second.local_addr().expect("addr").port(), addr.port());
+
+        // The kernel hashes flows across the group; with both listeners
+        // drained nonblockingly, every connection must land on exactly one.
+        first.set_nonblocking(true).expect("nonblocking");
+        second.set_nonblocking(true).expect("nonblocking");
+        let total = 16;
+        let mut clients = Vec::new();
+        for _ in 0..total {
+            let mut c = TcpStream::connect(addr).expect("connect");
+            c.write_all(b"x").expect("write");
+            clients.push(c);
+        }
+        let mut accepted = Vec::new();
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        while accepted.len() < total && std::time::Instant::now() < deadline {
+            for listener in [&first, &second] {
+                while let Ok((conn, _)) = listener.accept() {
+                    accepted.push(conn);
+                }
+            }
+            std::thread::yield_now();
+        }
+        assert_eq!(
+            accepted.len(),
+            total,
+            "every connection accepted exactly once"
+        );
+        // The sockets are real duplex streams, not just accept records.
+        let mut byte = [0u8; 1];
+        for conn in &mut accepted {
+            conn.set_nonblocking(false).expect("blocking");
+            conn.read_exact(&mut byte).expect("client byte arrives");
+            assert_eq!(byte, [b'x']);
+        }
+    }
+
+    #[test]
+    fn plain_port_zero_listener_is_usable_without_a_group() {
+        let listener =
+            reuseport_listener("127.0.0.1:0".parse().expect("literal addr")).expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let client = TcpStream::connect(addr).expect("connect");
+        let (server_side, peer) = listener.accept().expect("accept");
+        assert_eq!(peer.ip(), addr.ip());
+        assert_eq!(
+            server_side.local_addr().expect("local").port(),
+            client.peer_addr().expect("peer").port()
+        );
+    }
+}

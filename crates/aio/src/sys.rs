@@ -2,9 +2,11 @@
 //!
 //! Readiness polling cannot be expressed in safe std Rust (there is no
 //! epoll in the standard library), and the build is offline, so no FFI
-//! bindings are available either. The shims below invoke the four syscalls
-//! we need via inline assembly and immediately convert results into safe
-//! owned types; every `unsafe` block is confined to this file and carries
+//! bindings are available either. The same constraint hits listener setup:
+//! `SO_REUSEPORT` must be set between `socket()` and `bind()`, a window std
+//! never exposes. The shims below invoke the syscalls we need via inline
+//! assembly and immediately convert results into safe owned types; every
+//! `unsafe` block is confined to this file and carries
 //! its safety argument inline. Callers only ever see `io::Result`.
 
 use std::io;
@@ -16,6 +18,10 @@ use std::os::fd::{AsRawFd, BorrowedFd, FromRawFd, OwnedFd, RawFd};
 // are equivalent, so one code path serves both arches.
 #[cfg(target_arch = "x86_64")]
 mod nr {
+    pub const SOCKET: usize = 41;
+    pub const BIND: usize = 49;
+    pub const LISTEN: usize = 50;
+    pub const SETSOCKOPT: usize = 54;
     pub const EPOLL_CTL: usize = 233;
     pub const EPOLL_PWAIT: usize = 281;
     pub const EVENTFD2: usize = 290;
@@ -28,6 +34,10 @@ mod nr {
     pub const EPOLL_CREATE1: usize = 20;
     pub const EPOLL_CTL: usize = 21;
     pub const EPOLL_PWAIT: usize = 22;
+    pub const SOCKET: usize = 198;
+    pub const BIND: usize = 200;
+    pub const LISTEN: usize = 201;
+    pub const SETSOCKOPT: usize = 208;
 }
 
 /// `epoll_ctl` op: add a new descriptor.
@@ -53,6 +63,14 @@ pub const EPOLLET: u32 = 1 << 31;
 const EPOLL_CLOEXEC: usize = 0x80000;
 const EFD_NONBLOCK: usize = 0x800;
 const EFD_CLOEXEC: usize = 0x80000;
+
+const AF_INET: usize = 2;
+const AF_INET6: usize = 10;
+const SOCK_STREAM: usize = 1;
+const SOCK_CLOEXEC: usize = 0x80000;
+const SOL_SOCKET: usize = 1;
+const SO_REUSEADDR: usize = 2;
+const SO_REUSEPORT: usize = 15;
 
 /// The kernel's epoll event record. On x86_64 the ABI packs it (no padding
 /// between the 32-bit mask and the 64-bit payload); other arches use
@@ -208,4 +226,84 @@ pub fn eventfd() -> io::Result<OwnedFd> {
     let fd = check(unsafe { syscall6(nr::EVENTFD2, 0, EFD_CLOEXEC | EFD_NONBLOCK, 0, 0, 0, 0) })?;
     // SAFETY: fresh descriptor owned by no one else, as in epoll_create.
     Ok(unsafe { OwnedFd::from_raw_fd(fd as RawFd) })
+}
+
+/// Creates a close-on-exec TCP stream socket for the address family of
+/// `ipv6`. Needed because std offers no hook to set socket options between
+/// `socket()` and `bind()` — which is exactly where `SO_REUSEPORT` must go.
+pub fn tcp_socket(ipv6: bool) -> io::Result<OwnedFd> {
+    let domain = if ipv6 { AF_INET6 } else { AF_INET };
+    // SAFETY: socket(2) takes three scalar arguments and reads no memory.
+    let fd =
+        check(unsafe { syscall6(nr::SOCKET, domain, SOCK_STREAM | SOCK_CLOEXEC, 0, 0, 0, 0) })?;
+    // SAFETY: fresh descriptor owned by no one else, as in epoll_create.
+    Ok(unsafe { OwnedFd::from_raw_fd(fd as RawFd) })
+}
+
+/// Enables `SO_REUSEADDR` + `SO_REUSEPORT` on a not-yet-bound socket, so N
+/// listeners can bind the same address and the kernel shards accepted
+/// connections across them by flow hash.
+pub fn set_reuse_port(fd: BorrowedFd<'_>) -> io::Result<()> {
+    for opt in [SO_REUSEADDR, SO_REUSEPORT] {
+        let one: u32 = 1;
+        let ptr = &one as *const u32 as usize;
+        // SAFETY: `one` is a live stack value for the duration of the call;
+        // the kernel reads exactly `optlen` (4) bytes from it.
+        check(unsafe {
+            syscall6(
+                nr::SETSOCKOPT,
+                fd.as_raw_fd() as usize,
+                SOL_SOCKET,
+                opt,
+                ptr,
+                4,
+                0,
+            )
+        })?;
+    }
+    Ok(())
+}
+
+/// Binds a socket to `addr` (v4 `sockaddr_in` / v6 `sockaddr_in6` encoded
+/// by hand — no libc in this workspace).
+pub fn bind(fd: BorrowedFd<'_>, addr: &std::net::SocketAddr) -> io::Result<()> {
+    // `sockaddr_in` is 16 bytes, `sockaddr_in6` 28; one buffer covers both.
+    let mut buf = [0u8; 28];
+    let len: usize = match addr {
+        std::net::SocketAddr::V4(v4) => {
+            buf[0..2].copy_from_slice(&(AF_INET as u16).to_ne_bytes());
+            buf[2..4].copy_from_slice(&v4.port().to_be_bytes());
+            buf[4..8].copy_from_slice(&v4.ip().octets());
+            16
+        }
+        std::net::SocketAddr::V6(v6) => {
+            buf[0..2].copy_from_slice(&(AF_INET6 as u16).to_ne_bytes());
+            buf[2..4].copy_from_slice(&v6.port().to_be_bytes());
+            buf[4..8].copy_from_slice(&v6.flowinfo().to_be_bytes());
+            buf[8..24].copy_from_slice(&v6.ip().octets());
+            buf[24..28].copy_from_slice(&v6.scope_id().to_ne_bytes());
+            28
+        }
+    };
+    // SAFETY: `buf` is a live stack array and `len` never exceeds its size;
+    // the kernel only reads the sockaddr.
+    check(unsafe {
+        syscall6(
+            nr::BIND,
+            fd.as_raw_fd() as usize,
+            buf.as_ptr() as usize,
+            len,
+            0,
+            0,
+            0,
+        )
+    })?;
+    Ok(())
+}
+
+/// Marks a bound socket as a passive listener with the given backlog.
+pub fn listen(fd: BorrowedFd<'_>, backlog: usize) -> io::Result<()> {
+    // SAFETY: listen(2) takes two scalar arguments and reads no memory.
+    check(unsafe { syscall6(nr::LISTEN, fd.as_raw_fd() as usize, backlog, 0, 0, 0, 0) })?;
+    Ok(())
 }

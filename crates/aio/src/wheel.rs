@@ -29,6 +29,11 @@ pub struct TimerWheel {
     origin: Instant,
     cursor: u64,
     len: usize,
+    /// Earliest armed tick (`u64::MAX` when empty). Invariant outside
+    /// [`advance`](TimerWheel::advance): `next_at > cursor` or the wheel is
+    /// empty — which is what lets the cursor jump over idle stretches
+    /// instead of walking them tick by tick.
+    next_at: u64,
 }
 
 impl TimerWheel {
@@ -46,6 +51,7 @@ impl TimerWheel {
             origin: now,
             cursor: 0,
             len: 0,
+            next_at: u64::MAX,
         }
     }
 
@@ -66,6 +72,7 @@ impl TimerWheel {
         if let Some(slot) = self.slots.get_mut(idx) {
             slot.push(Entry { token, gen, at });
             self.len += 1;
+            self.next_at = self.next_at.min(at);
         }
     }
 
@@ -91,6 +98,17 @@ impl TimerWheel {
                 self.cursor = target;
                 return;
             }
+            if self.next_at > self.cursor + 1 {
+                // Nothing armed before `next_at`: jump straight to the tick
+                // before the earliest entry. A *non-empty* wheel must skip
+                // too — a single far-out deadline must not force a
+                // tick-by-tick walk across an idle stretch (an idle hour at
+                // 1 ms ticks would otherwise be 3.6M iterations).
+                self.cursor = (self.next_at - 1).min(target);
+                if self.cursor >= target {
+                    return;
+                }
+            }
             self.cursor += 1;
             let cursor = self.cursor;
             let nslots = self.slots.len().max(1);
@@ -106,6 +124,27 @@ impl TimerWheel {
                 }
                 *slot = kept;
                 self.len -= before - slot.len();
+            }
+            if self.cursor >= self.next_at {
+                // The earliest tick was just processed (its entries fired or
+                // were re-bucketed); rescan for the new minimum so the skip
+                // invariant `next_at > cursor` holds again.
+                self.recompute_next();
+            }
+        }
+    }
+
+    /// Rescans the slots for the earliest armed tick. O(entries), but only
+    /// runs when the previous minimum has been consumed — so the cost
+    /// amortizes against the fire that consumed it.
+    fn recompute_next(&mut self) {
+        self.next_at = u64::MAX;
+        if self.len == 0 {
+            return;
+        }
+        for slot in &self.slots {
+            for entry in slot {
+                self.next_at = self.next_at.min(entry.at);
             }
         }
     }
@@ -174,6 +213,60 @@ mod tests {
             |_, _| fired += 1,
         );
         assert_eq!(fired, 1);
+    }
+
+    #[test]
+    fn one_far_entry_does_not_force_a_tick_walk() {
+        let start = t0();
+        let wall = Instant::now();
+        let mut wheel = TimerWheel::new(start, Duration::from_millis(1), 8);
+        // A single entry a day out, then ten days of idle advances. Before
+        // the skip-ahead fix a *non-empty* wheel walked every tick — ~864M
+        // iterations here, minutes of work; with the fix each advance is a
+        // handful of jumps.
+        wheel.arm(start, Duration::from_secs(86_400), Token(5), 2);
+        let mut fired = Vec::new();
+        wheel.advance(start + Duration::from_secs(86_399), |t, g| {
+            fired.push((t, g))
+        });
+        assert!(fired.is_empty(), "deadline not reached yet");
+        assert_eq!(wheel.len(), 1, "the far entry is still armed");
+        wheel.advance(start + Duration::from_secs(86_401), |t, g| {
+            fired.push((t, g))
+        });
+        assert_eq!(fired, vec![(Token(5), 2)]);
+        // Re-arming after a skip still fires exactly once, another day out.
+        wheel.arm(
+            start + Duration::from_secs(86_401),
+            Duration::from_secs(86_400),
+            Token(6),
+            3,
+        );
+        wheel.advance(start + Duration::from_secs(10 * 86_400), |t, g| {
+            fired.push((t, g))
+        });
+        assert_eq!(fired, vec![(Token(5), 2), (Token(6), 3)]);
+        assert!(
+            wall.elapsed() < Duration::from_secs(5),
+            "idle stretches must be skipped, not walked tick by tick"
+        );
+    }
+
+    #[test]
+    fn skip_ahead_respects_entries_between_jumps() {
+        let start = t0();
+        let mut wheel = TimerWheel::new(start, Duration::from_millis(1), 8);
+        // Two entries far apart: the jump to the first must not overshoot,
+        // and after it fires the cursor must re-aim at the second.
+        wheel.arm(start, Duration::from_millis(50), Token(1), 0);
+        wheel.arm(start, Duration::from_secs(10), Token(2), 0);
+        let mut fired = Vec::new();
+        wheel.advance(
+            start + Duration::from_secs(10) + Duration::from_millis(5),
+            |t, _| fired.push(t),
+        );
+        assert_eq!(fired, vec![Token(1), Token(2)]);
+        assert!(wheel.is_empty());
     }
 
     #[test]

@@ -21,6 +21,10 @@
 //!   `--rate R`      open-loop offered rate, requests/second across all
 //!                   connections (default 0 = closed loop); latency is
 //!                   measured from the scheduled send instant
+//!   `--server-loops N`  event loops the server under test runs (default
+//!                   0 = unrecorded); with `--rate`, the benchmark
+//!                   record's per-loop-count `scaling` curve gains this
+//!                   run's offered-vs-achieved entry
 //!   `--points N`    distinct parameter points, seeds `0..N` (default 6)
 //!   `--repeat N`    warm sweeps over the point set per client (default 8)
 //!   `--exp ID`      experiment to query (default `e1`)
@@ -40,14 +44,18 @@
 use std::net::SocketAddr;
 use std::path::PathBuf;
 
-use fair_bench::servecli::{load_json, run_load, LoadOptions, BENCH_SERVE_PATH, LOAD_RECORD_PATH};
+use fair_bench::servecli::{
+    bench_serve_json, load_json, run_load, LoadOptions, BENCH_SERVE_PATH, LOAD_RECORD_PATH,
+};
 use fair_serve::client;
+use fair_simlab::json;
 
 fn usage() -> ! {
     eprintln!(
         "usage: fair-load --addr A [--clients N] [--connections N] [--pipeline N]\n\
-         \x20                [--rate R] [--points N] [--repeat N] [--exp ID]\n\
-         \x20                [--trials N] [--out PATH] [--bench-out PATH] [--check]\n\
+         \x20                [--rate R] [--server-loops N] [--points N] [--repeat N]\n\
+         \x20                [--exp ID] [--trials N] [--out PATH] [--bench-out PATH]\n\
+         \x20                [--check]\n\
          \x20      fair-load get --addr A --target T [--out PATH]\n\
          \x20      fair-load shutdown --addr A"
     );
@@ -93,6 +101,7 @@ fn main() {
             "--connections" => opts.connections = parsed("--connections", it.next()),
             "--pipeline" => opts.pipeline = parsed("--pipeline", it.next()),
             "--rate" => opts.rate = parsed("--rate", it.next()),
+            "--server-loops" => opts.server_loops = parsed("--server-loops", it.next()),
             "--points" => opts.points = parsed("--points", it.next()),
             "--repeat" => opts.repeat = parsed("--repeat", it.next()),
             "--exp" => opts.exp = parsed("--exp", it.next()),
@@ -169,8 +178,15 @@ fn main() {
 
     let report = run_load(&opts);
     let doc = load_json(&opts, &report).render_pretty() + "\n";
-    for path in [&out, &bench_out] {
-        match fair_tiles::atomic_write(path, doc.as_bytes()) {
+    // The benchmark record accumulates the per-loop-count scaling curve
+    // across runs; parse the previous record (if any) so this write
+    // carries it forward.
+    let previous = std::fs::read_to_string(&bench_out)
+        .ok()
+        .and_then(|raw| json::parse(&raw).ok());
+    let bench_doc = bench_serve_json(&opts, &report, previous.as_ref()).render_pretty() + "\n";
+    for (path, body) in [(&out, &doc), (&bench_out, &bench_doc)] {
+        match fair_tiles::atomic_write(path, body.as_bytes()) {
             Ok(()) => eprintln!("[load] wrote {}", path.display()),
             Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
         }

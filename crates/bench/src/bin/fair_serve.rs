@@ -6,6 +6,8 @@
 //!
 //! Flags:
 //!   `--addr A`          bind address (default `127.0.0.1:0` = ephemeral)
+//!   `--loops N`         event loops, accept-sharded via `SO_REUSEPORT`
+//!                       (default: available parallelism)
 //!   `--workers N`       worker threads (default 4)
 //!   `--queue N`         bounded job-queue capacity (default 64)
 //!   `--deadline-ms N`   per-request deadline (default 30000)
@@ -33,7 +35,7 @@ use fair_serve::{Server, ServerConfig};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: fair-serve [--addr A] [--workers N] [--queue N] [--deadline-ms N]\n\
+        "usage: fair-serve [--addr A] [--loops N] [--workers N] [--queue N] [--deadline-ms N]\n\
          \x20                 [--keepalive-ms N]\n\
          \x20                 [--max-trials N] [--default-trials N] [--metrics-out PATH]\n\
          \x20                 [--tiles-dir PATH] [--no-tiles]"
@@ -57,12 +59,16 @@ fn main() {
     // is `None` so embedders opt in); `--no-tiles` opts back out.
     let mut config = ServerConfig {
         tiles_dir: Some(std::path::PathBuf::from(fair_tiles::DEFAULT_DIR)),
+        loops: std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1),
         ..ServerConfig::default()
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--addr" => config.addr = parsed("--addr", args.next()),
+            "--loops" => config.loops = parsed("--loops", args.next()),
             "--workers" => config.workers = parsed("--workers", args.next()),
             "--queue" => config.queue_cap = parsed("--queue", args.next()),
             "--deadline-ms" => {
@@ -108,7 +114,12 @@ fn main() {
     println!("PORT={}", addr.port());
     println!("ADDR={addr}");
     let _ = std::io::stdout().flush();
-    eprintln!("[serve] listening on {addr}; stop with POST /shutdown");
+    eprintln!(
+        "[serve] listening on {addr}; {} event loop(s), accept sharding: {}; \
+         stop with POST /shutdown",
+        server.loops(),
+        server.sharding().name()
+    );
     match tiles_note {
         Some(dir) => eprintln!("[serve] persistent tile store at {dir}"),
         None => eprintln!("[serve] tile store disabled (--no-tiles)"),

@@ -13,7 +13,7 @@ use std::time::{Duration, Instant};
 
 use fair_serve::service::Backend;
 use fair_serve::{client, Conn, HttpReply, ProgressUpdate};
-use fair_simlab::json::Json;
+use fair_simlab::json::{self, Json};
 use fair_trace::QuantileSummary;
 
 /// Where `fair-load` persists its full run record.
@@ -147,6 +147,11 @@ pub struct LoadOptions {
     /// latency is measured from the *scheduled* send time, so queueing
     /// delay under overload is not hidden (no coordinated omission).
     pub rate: f64,
+    /// Event loops the *server* under test was started with (`--server-loops`).
+    /// `0` = unknown/not recorded. When set on an open-loop run, the
+    /// benchmark record's per-loop-count `scaling` curve gains this run's
+    /// offered-vs-achieved entry (see [`bench_serve_json`]).
+    pub server_loops: usize,
 }
 
 impl LoadOptions {
@@ -174,6 +179,7 @@ impl Default for LoadOptions {
             connections: 0,
             pipeline: 1,
             rate: 0.0,
+            server_loops: 0,
         }
     }
 }
@@ -470,9 +476,54 @@ pub fn load_json(opts: &LoadOptions, report: &LoadReport) -> Json {
         .field("achieved_rps", Json::Num(round1(report.warm_rps)))
         .field("warm_rps", Json::Num(round1(report.warm_rps)))
         .field("p50_speedup", Json::Num(round1(report.p50_speedup())))
+        .field("server_loops", Json::num(opts.server_loops as f64))
         .field("cold", quantile_fields(&report.cold_ns))
         .field("warm", quantile_fields(&report.warm_ns))
         .canonical()
+}
+
+/// One point of the per-loop-count scaling curve: how the achieved rate
+/// tracked the offered rate when the server ran `loops` event loops.
+fn scaling_entry(opts: &LoadOptions, report: &LoadReport) -> Json {
+    Json::obj()
+        .field("loops", Json::num(opts.server_loops as f64))
+        .field("offered_rps", Json::Num(round1(report.offered_rps)))
+        .field("achieved_rps", Json::Num(round1(report.warm_rps)))
+        .field("errors", Json::num(report.errors as f64))
+        .field("warm_p50_ns", Json::num(report.warm_ns.p50 as f64))
+        .field("warm_p99_ns", Json::num(report.warm_ns.p99 as f64))
+}
+
+/// The benchmark record (`BENCH_serve.json`): this run's load document,
+/// plus a `scaling` array accumulated *across* runs — one entry per
+/// server loop count, recording the open-loop offered-vs-achieved curve.
+///
+/// `previous` is the parsed prior record (if any): its `scaling` entries
+/// are always carried forward, so the headline run re-written last does
+/// not erase the curve. When this run was open-loop against a server with
+/// a known loop count (`--server-loops`), its entry replaces the one with
+/// the same `loops` value; entries stay sorted by `loops`.
+pub fn bench_serve_json(opts: &LoadOptions, report: &LoadReport, previous: Option<&Json>) -> Json {
+    let entry_loops = |entry: &Json| match json::get(entry, "loops") {
+        Some(Json::Num(n)) => *n,
+        _ => -1.0,
+    };
+    let mut scaling: Vec<Json> = match previous.and_then(|doc| json::get(doc, "scaling")) {
+        Some(Json::Arr(entries)) => entries.clone(),
+        _ => Vec::new(),
+    };
+    if opts.mode() == "openloop" && opts.server_loops > 0 {
+        let fresh = scaling_entry(opts, report);
+        scaling.retain(|entry| entry_loops(entry) != opts.server_loops as f64);
+        scaling.push(fresh);
+    }
+    scaling.sort_by(|a, b| entry_loops(a).total_cmp(&entry_loops(b)));
+    let doc = load_json(opts, report);
+    if scaling.is_empty() {
+        doc
+    } else {
+        doc.field("scaling", Json::Arr(scaling)).canonical()
+    }
 }
 
 fn round1(x: f64) -> f64 {
@@ -521,6 +572,72 @@ mod tests {
         assert!(doc.contains("\"warm_hit_rate\":0.9"));
         assert!(doc.contains("\"mode\":\"persistent\""));
         assert!(doc.contains("\"achieved_rps\":123.4"));
+    }
+
+    #[test]
+    fn bench_record_accumulates_a_scaling_curve_across_runs() {
+        let report = |offered: f64, achieved: f64| LoadReport {
+            mode: "openloop".to_string(),
+            cold_ns: QuantileSummary::from_samples(vec![1000]),
+            warm_ns: QuantileSummary::from_samples(vec![100, 200]),
+            errors: 0,
+            warm_hits: 10,
+            warm_requests: 10,
+            warm_rps: achieved,
+            offered_rps: offered,
+            total_requests: 12,
+        };
+        let opts = |loops: usize| LoadOptions {
+            rate: 5000.0,
+            connections: 2,
+            server_loops: loops,
+            ..LoadOptions::default()
+        };
+
+        // Three open-loop runs at different loop counts, out of order:
+        // each upserts its own entry and carries the others forward.
+        let one = bench_serve_json(&opts(1), &report(5000.0, 4800.0), None);
+        let four = bench_serve_json(&opts(4), &report(5000.0, 4990.0), Some(&one));
+        let two = bench_serve_json(&opts(2), &report(5000.0, 4900.0), Some(&four));
+        let Some(Json::Arr(curve)) = json::get(&two, "scaling") else {
+            panic!("scaling array present");
+        };
+        let loops: Vec<f64> = curve
+            .iter()
+            .map(|e| match json::get(e, "loops") {
+                Some(Json::Num(n)) => *n,
+                _ => panic!("entry has loops"),
+            })
+            .collect();
+        assert_eq!(loops, vec![1.0, 2.0, 4.0], "entries sorted by loop count");
+
+        // Re-running a loop count replaces its entry instead of duplicating.
+        let again = bench_serve_json(&opts(2), &report(6000.0, 5500.0), Some(&two));
+        let Some(Json::Arr(curve)) = json::get(&again, "scaling") else {
+            panic!("scaling array present");
+        };
+        assert_eq!(curve.len(), 3);
+        let entry = curve
+            .iter()
+            .find(|e| json::get(e, "loops") == Some(&Json::Num(2.0)))
+            .expect("loops=2 entry");
+        assert_eq!(json::get(entry, "offered_rps"), Some(&Json::Num(6000.0)));
+
+        // A closed-loop headline run (no --server-loops) still carries the
+        // whole curve forward, adding nothing.
+        let headline = LoadOptions {
+            connections: 2,
+            ..LoadOptions::default()
+        };
+        let final_doc = bench_serve_json(&headline, &report(0.0, 7000.0), Some(&again));
+        let Some(Json::Arr(carried)) = json::get(&final_doc, "scaling") else {
+            panic!("scaling carried forward");
+        };
+        assert_eq!(carried.len(), 3);
+
+        // And with no history and no loop count, there is no scaling key.
+        let bare = bench_serve_json(&headline, &report(0.0, 7000.0), None);
+        assert!(json::get(&bare, "scaling").is_none());
     }
 
     #[test]

@@ -10,7 +10,8 @@
 //!   so [`HttpReply::body`] is always the logical payload.
 //! - Persistent ([`Conn`]): keep-alive requests on one socket, including
 //!   pipelined batches ([`Conn::send_many`]); replies are framed by
-//!   `Content-Length` and leftover bytes carry over between reads.
+//!   `Content-Length` (or decoded incrementally by [`Conn::recv_chunked`]
+//!   for chunked streams) and leftover bytes carry over between reads.
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
@@ -76,9 +77,9 @@ pub fn request(
 /// default); [`recv`](Conn::recv) frames each reply by its
 /// `Content-Length` header, so the socket stays usable for the next
 /// request. [`send_many`](Conn::send_many) writes a whole pipelined batch
-/// in one syscall; call `recv` once per request, in order. Not suitable
-/// for `/stream` (chunked replies close the connection) — use the
-/// one-shot [`request`] for those.
+/// in one syscall; call `recv` once per request, in order — or
+/// [`recv_chunked`](Conn::recv_chunked) when the next reply is a
+/// `Transfer-Encoding: chunked` stream (`/stream`).
 pub struct Conn {
     stream: TcpStream,
     addr: SocketAddr,
@@ -155,6 +156,51 @@ impl Conn {
         })
     }
 
+    /// Reads exactly one `Transfer-Encoding: chunked` reply — the framing
+    /// `/stream` uses — decoding incrementally through a [`Dechunker`], so
+    /// the reply ends exactly at its terminal chunk rather than at EOF.
+    /// That makes it usable as the *last* reply of a pipelined batch:
+    /// earlier `Content-Length` replies are [`recv`](Conn::recv)'d first
+    /// and the stream's frames are consumed in order after them. Lenient
+    /// on a mid-stream close: every complete frame received is returned,
+    /// matching the one-shot [`request`] path.
+    pub fn recv_chunked(&mut self) -> std::io::Result<HttpReply> {
+        let bad = |msg: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_string());
+        let head_end = loop {
+            if let Some(pos) = self.buf.windows(4).position(|w| w == b"\r\n\r\n") {
+                break pos;
+            }
+            self.fill()?;
+        };
+        let (status, headers) = parse_reply_head(self.buf.get(..head_end).unwrap_or_default())?;
+        let chunked = headers.iter().any(|(k, v)| {
+            k.eq_ignore_ascii_case("transfer-encoding") && v.eq_ignore_ascii_case("chunked")
+        });
+        if !chunked {
+            return Err(bad("reply is not chunked; use recv for framed replies"));
+        }
+        self.buf.drain(..head_end + 4);
+        let mut decoder = Dechunker::new();
+        let mut body = Vec::new();
+        loop {
+            let consumed = decoder.push(&self.buf, &mut body);
+            self.buf.drain(..consumed);
+            if decoder.done() {
+                break;
+            }
+            match self.fill() {
+                Ok(()) => {}
+                Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => break,
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(HttpReply {
+            status,
+            headers,
+            body,
+        })
+    }
+
     fn fill(&mut self) -> std::io::Result<()> {
         let mut chunk = [0u8; 16 * 1024];
         let n = self.stream.read(&mut chunk)?;
@@ -213,37 +259,183 @@ fn parse_reply(raw: &[u8]) -> std::io::Result<HttpReply> {
     })
 }
 
+/// A size line (plus any chunk extensions) longer than this is treated as
+/// malformed framing; real size lines are a few bytes.
+const MAX_SIZE_LINE: usize = 256;
+
+enum ChunkState {
+    /// Accumulating a size line (hex count, optional `;ext` chunk
+    /// extensions, CRLF terminator) — possibly across several feeds.
+    Size,
+    /// Collecting the current chunk's payload; `remaining` bytes to go.
+    Data { remaining: usize },
+    /// Skipping the CRLF that closes a chunk's payload.
+    Skip { left: usize },
+    /// Saw the terminal zero-size chunk: consuming trailer lines until the
+    /// blank line that ends the message, so a keep-alive socket is left
+    /// positioned at the next reply.
+    Trailer,
+    /// The message (or decoding, on bad framing) is over.
+    Done,
+}
+
+/// An incremental chunked-transfer decoder.
+///
+/// Feed it wire bytes in arbitrary pieces with [`push`](Dechunker::push);
+/// every chunk that *completes* is appended to the caller's output. The
+/// decoder carries its state across feeds, so a size line torn at a read
+/// boundary (`"1a;ex"` now, `"t=1\r\n…"` later) or a payload spread over
+/// many reads decodes exactly as if the stream had arrived whole — the
+/// property the one-shot [`dechunk`] wrapper can never exercise on its own.
+///
+/// Lenient by design, like the rest of this client: chunk extensions after
+/// `;` are skipped, malformed framing ends decoding (keeping the decoded
+/// prefix) instead of erroring, and a stream cut mid-chunk yields every
+/// complete frame received — torn chunks are buffered internally and only
+/// flushed once their full payload has arrived.
+pub struct Dechunker {
+    state: ChunkState,
+    line: Vec<u8>,
+    chunk: Vec<u8>,
+}
+
+impl Default for Dechunker {
+    fn default() -> Dechunker {
+        Dechunker::new()
+    }
+}
+
+impl Dechunker {
+    /// A decoder at the start of a chunked body.
+    pub fn new() -> Dechunker {
+        Dechunker {
+            state: ChunkState::Size,
+            line: Vec::new(),
+            chunk: Vec::new(),
+        }
+    }
+
+    /// Whether the message is over: the terminal chunk and its trailer
+    /// section were consumed, or framing was unrecoverably malformed.
+    pub fn done(&self) -> bool {
+        matches!(self.state, ChunkState::Done)
+    }
+
+    /// Feeds `input`, appending every chunk that completes to `out`.
+    /// Returns how many input bytes were consumed — always the full input
+    /// unless decoding finished partway through it.
+    pub fn push(&mut self, input: &[u8], out: &mut Vec<u8>) -> usize {
+        let mut pos = 0usize;
+        while pos < input.len() {
+            match self.state {
+                ChunkState::Done => break,
+                ChunkState::Size => {
+                    let rest = input.get(pos..).unwrap_or_default();
+                    match rest.iter().position(|b| *b == b'\n') {
+                        Some(nl) => {
+                            self.line
+                                .extend_from_slice(rest.get(..nl).unwrap_or_default());
+                            pos += nl + 1;
+                            self.start_chunk();
+                        }
+                        None => {
+                            // The size line is torn at this read boundary;
+                            // buffer what we have and resume on the next
+                            // feed (bounded — garbage lines cap out).
+                            self.line.extend_from_slice(rest);
+                            pos = input.len();
+                            if self.line.len() > MAX_SIZE_LINE {
+                                self.state = ChunkState::Done;
+                            }
+                        }
+                    }
+                }
+                ChunkState::Data { remaining } => {
+                    let avail = input.len() - pos;
+                    let take = remaining.min(avail);
+                    self.chunk
+                        .extend_from_slice(input.get(pos..pos + take).unwrap_or_default());
+                    pos += take;
+                    if take == remaining {
+                        // Chunk complete: only now does it reach the
+                        // output, so truncation drops torn chunks whole.
+                        out.append(&mut self.chunk);
+                        self.state = ChunkState::Skip { left: 2 };
+                    } else {
+                        self.state = ChunkState::Data {
+                            remaining: remaining - take,
+                        };
+                    }
+                }
+                ChunkState::Skip { left } => {
+                    let avail = input.len() - pos;
+                    let take = left.min(avail);
+                    pos += take;
+                    if take == left {
+                        self.state = ChunkState::Size;
+                    } else {
+                        self.state = ChunkState::Skip { left: left - take };
+                    }
+                }
+                ChunkState::Trailer => {
+                    let rest = input.get(pos..).unwrap_or_default();
+                    match rest.iter().position(|b| *b == b'\n') {
+                        Some(nl) => {
+                            self.line
+                                .extend_from_slice(rest.get(..nl).unwrap_or_default());
+                            pos += nl + 1;
+                            // A blank line (bare CRLF) closes the trailer
+                            // section; anything else is a trailer header
+                            // we skip.
+                            if self.line.iter().all(|b| *b == b'\r') {
+                                self.state = ChunkState::Done;
+                            }
+                            self.line.clear();
+                        }
+                        None => {
+                            self.line.extend_from_slice(rest);
+                            pos = input.len();
+                            if self.line.len() > MAX_SIZE_LINE {
+                                self.state = ChunkState::Done;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        pos
+    }
+
+    /// Parses the accumulated size line and transitions accordingly.
+    fn start_chunk(&mut self) {
+        let size_line = String::from_utf8_lossy(&self.line);
+        // Chunk extensions (`;` suffix) are allowed by the grammar; the
+        // size is everything before the first `;`, sans whitespace/CR.
+        let size_hex = size_line.split(';').next().unwrap_or("").trim();
+        let state = match usize::from_str_radix(size_hex, 16) {
+            // Terminal chunk: swallow the trailer section too, leaving a
+            // keep-alive socket at the next reply's first byte.
+            Ok(0) => ChunkState::Trailer,
+            // Bad framing: stop immediately, keeping the decoded prefix.
+            Err(_) => ChunkState::Done,
+            Ok(size) => ChunkState::Data { remaining: size },
+        };
+        self.line.clear();
+        self.chunk.clear();
+        self.state = state;
+    }
+}
+
 /// Strips chunked-transfer framing: hex size line, payload, CRLF, repeated
 /// until the terminal zero-size chunk. Lenient on malformed framing — the
 /// decoded prefix is returned rather than an error, so a stream cut
-/// mid-chunk still yields every complete frame received.
+/// mid-chunk still yields every complete frame received. One-shot wrapper
+/// over the incremental [`Dechunker`].
 fn dechunk(wire: &[u8]) -> Vec<u8> {
     let mut body = Vec::with_capacity(wire.len());
-    let mut pos = 0usize;
-    loop {
-        let rest = match wire.get(pos..) {
-            Some(r) if !r.is_empty() => r,
-            _ => return body,
-        };
-        let Some(line_end) = rest.windows(2).position(|w| w == b"\r\n") else {
-            return body;
-        };
-        let size_line = String::from_utf8_lossy(&rest[..line_end]);
-        // Chunk extensions (`;` suffix) are allowed by the grammar.
-        let size_hex = size_line.split(';').next().unwrap_or("").trim();
-        let Ok(size) = usize::from_str_radix(size_hex, 16) else {
-            return body;
-        };
-        if size == 0 {
-            return body;
-        }
-        let data_start = pos + line_end + 2;
-        let Some(data) = wire.get(data_start..data_start + size) else {
-            return body;
-        };
-        body.extend_from_slice(data);
-        pos = data_start + size + 2; // skip the chunk's trailing CRLF
-    }
+    let mut decoder = Dechunker::new();
+    decoder.push(wire, &mut body);
+    body
 }
 
 #[cfg(test)]
@@ -274,6 +466,60 @@ mod tests {
         let reply = parse_reply(raw).unwrap();
         assert_eq!(reply.status, 200);
         assert_eq!(reply.text(), "{\"a\":true}\n{\"b\":1}");
+    }
+
+    #[test]
+    fn dechunks_size_lines_with_chunk_extensions() {
+        let wire = b"5;ext=1\r\nhello\r\n6 ; a=\"b\" \r\n world\r\n0;last\r\n\r\n";
+        assert_eq!(dechunk(wire), b"hello world");
+    }
+
+    #[test]
+    fn incremental_feed_matches_one_shot_at_every_split_point() {
+        // Splitting anywhere — mid size line, mid extension, mid payload,
+        // mid trailing CRLF — must decode identically to the whole wire.
+        let wire: &[u8] = b"b;x=y\r\n{\"a\":true}\n\r\n7\r\n{\"b\":1}\r\n1a\r\nabcdefghijklmnopqrstuvwxyz\r\n0\r\n\r\n";
+        let whole = dechunk(wire);
+        assert_eq!(whole, b"{\"a\":true}\n{\"b\":1}abcdefghijklmnopqrstuvwxyz");
+        for split in 0..=wire.len() {
+            let mut decoder = Dechunker::new();
+            let mut out = Vec::new();
+            let consumed = decoder.push(wire.get(..split).unwrap_or_default(), &mut out);
+            assert_eq!(consumed, split, "prefix fully consumed at split {split}");
+            decoder.push(wire.get(split..).unwrap_or_default(), &mut out);
+            assert_eq!(out, whole, "split at byte {split} diverged");
+            assert!(decoder.done(), "terminal chunk reached at split {split}");
+        }
+    }
+
+    #[test]
+    fn byte_at_a_time_feed_decodes_and_stops_at_terminal_chunk() {
+        let wire = b"3\r\nabc\r\n0\r\n\r\ntrailing-garbage";
+        let mut decoder = Dechunker::new();
+        let mut out = Vec::new();
+        let mut consumed = 0usize;
+        for b in wire {
+            let n = decoder.push(std::slice::from_ref(b), &mut out);
+            consumed += n;
+            if decoder.done() {
+                break;
+            }
+        }
+        assert_eq!(out, b"abc");
+        assert!(decoder.done());
+        // The terminal chunk's size line ends decoding; bytes past it are
+        // left for the caller (the keep-alive carryover buffer).
+        assert!(consumed <= wire.len() - b"trailing-garbage".len() + 1);
+    }
+
+    #[test]
+    fn oversized_size_line_ends_decoding_instead_of_buffering_forever() {
+        let mut decoder = Dechunker::new();
+        let mut out = Vec::new();
+        let garbage = vec![b'f'; 4096];
+        decoder.push(&garbage, &mut out);
+        assert!(decoder.done());
+        assert!(out.is_empty());
     }
 
     #[test]

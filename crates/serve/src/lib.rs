@@ -24,11 +24,17 @@
 //!   trait the bench crate implements, and the `/metrics` document. The
 //!   [`service::Verdict`] split (`Reply` inline vs `Offload` ticket)
 //!   decides what runs on the loop and what goes to a worker.
-//! - [`server`]: the event-loop serving core on [`fair_aio`] — readiness
-//!   polling, HTTP/1.1 keep-alive and pipelining, vectored writes —
-//!   with cold work on a bounded [`fair_simlab::WorkerPool`] (429 when
-//!   the queue is full), per-request deadlines (503), and graceful
-//!   drain-then-flush shutdown.
+//! - `event_loop` (internal): one shard of the serving core on
+//!   [`fair_aio`] — readiness polling, HTTP/1.1 keep-alive and
+//!   pipelining, vectored writes — with cold work on a bounded
+//!   [`fair_simlab::WorkerPool`] (429 when the queue is full),
+//!   per-request deadlines (503), and a coordinated drain-then-flush
+//!   shutdown.
+//! - [`server`]: the coordinator — binds one listener per event loop
+//!   ([`ServerConfig::loops`], `SO_REUSEPORT` accept sharding with a
+//!   dup-listener fallback), owns the shared worker pool, shutdown
+//!   latch, and drain barrier, and aggregates per-loop `/metrics`
+//!   counters.
 //! - [`streaming`]: the chunked `GET /stream` endpoint — progressive
 //!   estimation frames with CI-bounded early stop (`epsilon=`).
 //! - [`client`]: a minimal blocking client for `fair-load` and tests.
@@ -45,6 +51,7 @@
 
 pub mod cache;
 pub mod client;
+mod event_loop;
 pub mod http;
 pub mod server;
 pub mod service;
@@ -54,6 +61,6 @@ pub mod streaming;
 pub use cache::{Lookup, ShardedCache};
 pub use client::{Conn, HttpReply};
 pub use http::{Body, Request, Response};
-pub use server::{Server, ServerConfig};
+pub use server::{AcceptSharding, Server, ServerConfig};
 pub use service::{Backend, ProgressUpdate, Service, ServiceConfig};
 pub use stats::ServerStats;

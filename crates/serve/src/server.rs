@@ -1,49 +1,48 @@
-//! The event-loop serving core: readiness polling, HTTP/1.1 keep-alive,
-//! pipelining, and vectored writes — with cold work on the worker pool.
+//! The serving coordinator: listener setup, loop sharding, shutdown.
 //!
-//! One thread runs a `fair_aio::Poller` over the listener, a wake eventfd,
-//! and every live connection. The warm path never leaves the loop: parse a
-//! buffered head, probe the result cache ([`crate::cache::ShardedCache::
-//! get_if_ready`]), serialize the response head, and gather head + shared
-//! `Arc` body into one vectored write — no copy of cached bytes, no thread
-//! handoff, no per-request connection setup. Cold `/estimate`s and
-//! `/stream` responses stay off the loop on the bounded [`WorkerPool`]
-//! exactly as before (429 when the queue refuses, per-request deadline
-//! 503s); a finished cold job pushes its response onto a completion queue
-//! and rings the [`Waker`], and the loop splices the response back into
-//! that connection's pipeline slot so pipelined responses never reorder.
+//! The actual per-connection machinery lives in [`crate::event_loop`]; this
+//! module owns what is *shared* across the `loops` event loops it starts:
+//! the listener group, the [`WorkerPool`] executing cold estimations, the
+//! shutdown latch, and the drain barrier the loops rendezvous on at the
+//! end. With `loops == 1` (the default, and the only sensible setting on a
+//! one-core host) the loop runs inline on the caller's thread and the
+//! server behaves exactly like its single-threaded predecessor.
 //!
-//! Connections are kept alive across requests (bounded parser state rides
-//! in the per-connection buffer), pipelined requests are parsed while
-//! earlier responses are still being written, and a coarse
-//! [`TimerWheel`] closes idle or stalled connections. Graceful shutdown
-//! (the `POST /shutdown` latch or [`Server::shutdown_handle`]) stops
-//! accepting, drains the pool, flushes every pending response, and writes
-//! the final metrics snapshot — unchanged contracts from the thread-per-
-//! connection predecessor, observable in the same tests.
+//! Accept sharding prefers `SO_REUSEPORT`: each loop binds its own
+//! listener on the same address and the kernel hashes flows across the
+//! group — no locks, no hand-off, no thundering herd. Where reuseport is
+//! unavailable the loops fall back to nonblocking `try_clone` dups of one
+//! shared listener; accept races then resolve via `WouldBlock`, which the
+//! bounded accept burst already tolerates.
+//!
+//! Everything request-visible survives sharding unchanged: graceful drain
+//! (latch → barrier → one pool drain → per-loop flush), inline 429/503
+//! admission, keep-alive/pipelining in-order replies, and the served-bytes
+//! byte-identity contract — the result cache, single-flight dedup, and
+//! tile store are process-wide, so the same `(exp, trials, seed)` point
+//! renders the same bytes no matter which loop answers it.
 
-use std::collections::VecDeque;
-use std::io::{IoSlice, Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::os::fd::AsFd;
+use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
-use std::time::{Duration, Instant};
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
+use std::time::Duration;
 
-use fair_aio::{Event, Interest, Poller, TimerWheel, Token, Waker};
-use fair_simlab::{SubmitError, WorkerPool};
+use fair_simlab::WorkerPool;
 
-use crate::http::{self, Body, ParseError, Request, Response};
-use crate::service::{Backend, Service, ServiceConfig, Verdict};
-use crate::stats::ServerStats;
+use crate::event_loop::{DrainBarrier, EventLoop, LoopSpec};
+use crate::service::{Backend, Service, ServiceConfig};
 
-/// Tunables for the event loop and worker pool.
+/// Tunables for the event loops and worker pool.
 #[derive(Clone, Debug)]
 pub struct ServerConfig {
     /// Bind address; use port 0 for an ephemeral port.
     pub addr: String,
-    /// Worker threads executing cold estimations and streams.
+    /// Event loops to run (accept-sharded). Clamped to at least 1; the
+    /// default of 1 keeps the single-threaded behavior.
+    pub loops: usize,
+    /// Worker threads executing cold estimations and streams (one pool,
+    /// shared across all loops).
     pub workers: usize,
     /// Bounded job-queue capacity; beyond it cold requests get `429`.
     pub queue_cap: usize,
@@ -75,6 +74,7 @@ impl Default for ServerConfig {
     fn default() -> ServerConfig {
         ServerConfig {
             addr: "127.0.0.1:0".to_string(),
+            loops: 1,
             workers: 4,
             queue_cap: 64,
             deadline: Duration::from_secs(30),
@@ -88,18 +88,43 @@ impl Default for ServerConfig {
     }
 }
 
+/// How the listener group was built.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AcceptSharding {
+    /// One loop, one plain listener.
+    Single,
+    /// One `SO_REUSEPORT` listener per loop; the kernel shards accepts.
+    Reuseport,
+    /// Reuseport unavailable: nonblocking dups of one shared listener,
+    /// with accept races resolved via `WouldBlock`.
+    SharedDup,
+}
+
+impl AcceptSharding {
+    /// Stable lowercase name (logged by `fair-serve`).
+    pub fn name(self) -> &'static str {
+        match self {
+            AcceptSharding::Single => "single",
+            AcceptSharding::Reuseport => "reuseport",
+            AcceptSharding::SharedDup => "shared-dup",
+        }
+    }
+}
+
 /// A bound-but-not-yet-running server.
 pub struct Server {
-    listener: TcpListener,
+    listeners: Vec<TcpListener>,
     service: Arc<Service>,
     config: ServerConfig,
     shutdown: Arc<AtomicBool>,
     local_addr: SocketAddr,
+    sharding: AcceptSharding,
 }
 
 impl Server {
-    /// Binds the listener and builds the service. The socket is
-    /// nonblocking — the event loop owns it from here on.
+    /// Binds the listener group (one listener per loop) and builds the
+    /// service. The sockets are nonblocking — the loops own them from
+    /// here on.
     pub fn bind(config: ServerConfig, backend: Arc<dyn Backend>) -> std::io::Result<Server> {
         if let Some(dir) = &config.tiles_dir {
             // Install-and-warm before the first request: every tile the
@@ -108,17 +133,24 @@ impl Server {
             store.load();
             fair_tiles::cache::install(Arc::new(store));
         }
-        let listener = TcpListener::bind(&config.addr)?;
-        listener.set_nonblocking(true)?;
-        let local_addr = listener.local_addr()?;
+        let loops = config.loops.max(1);
+        let (listeners, sharding) = bind_listeners(&config.addr, loops)?;
+        for listener in &listeners {
+            listener.set_nonblocking(true)?;
+        }
+        let local_addr = listeners
+            .first()
+            .ok_or_else(|| std::io::Error::other("no listener bound"))?
+            .local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
         let service = Arc::new(Service::new(backend, config.service, Arc::clone(&shutdown)));
         Ok(Server {
-            listener,
+            listeners,
             service,
             config,
             shutdown,
             local_addr,
+            sharding,
         })
     }
 
@@ -138,788 +170,127 @@ impl Server {
         Arc::clone(&self.shutdown)
     }
 
-    /// Serves until shutdown is requested, then drains and returns.
+    /// Number of event loops this server will run.
+    pub fn loops(&self) -> usize {
+        self.listeners.len()
+    }
+
+    /// How accepts are sharded across the loops.
+    pub fn sharding(&self) -> AcceptSharding {
+        self.sharding
+    }
+
+    /// Serves until shutdown is requested, then drains and returns. Loop 0
+    /// runs on the calling thread; loops 1..N on named threads. The final
+    /// metrics snapshot and tile flush happen once, after every loop has
+    /// drained.
     pub fn run(self) -> std::io::Result<()> {
-        let mut el = EventLoop::new(self)?;
-        el.run()
-    }
-}
-
-/// How often the loop wakes to poll the shutdown latch and the wheel.
-const LOOP_TICK: Duration = Duration::from_millis(10);
-/// Timer wheel resolution — coarse on purpose; timeouts are seconds.
-const WHEEL_TICK: Duration = Duration::from_millis(100);
-const WHEEL_SLOTS: usize = 128;
-/// Listener and waker get the two reserved tokens below this base.
-const CONN_BASE: u64 = 2;
-const LISTENER: Token = Token(0);
-const WAKER: Token = Token(1);
-/// Per-call read chunk; also bounds one event's read before yielding.
-const READ_CHUNK: usize = 16 * 1024;
-/// Reads per readiness event before yielding to other connections.
-const READ_BURSTS: usize = 4;
-/// Response buffers gathered into one vectored write.
-const WRITEV_BATCH: usize = 32;
-/// How long the drain phase will block flushing one connection's tail.
-const DRAIN_WRITE_TIMEOUT: Duration = Duration::from_secs(2);
-
-fn token_for(idx: usize, gen: u64) -> Token {
-    Token((gen << 32) | (idx as u64 + CONN_BASE))
-}
-
-fn split_token(token: Token) -> Option<(usize, u64)> {
-    let low = token.0 & 0xffff_ffff;
-    if low < CONN_BASE {
-        return None;
-    }
-    Some(((low - CONN_BASE) as usize, token.0 >> 32))
-}
-
-/// One response in flight on the wire: serialized head plus the body
-/// (owned or cache-shared), each with a write cursor.
-struct OutBuf {
-    head: Vec<u8>,
-    head_pos: usize,
-    body: Body,
-    body_pos: usize,
-}
-
-impl OutBuf {
-    fn done(&self) -> bool {
-        self.head_pos >= self.head.len() && self.body_pos >= self.body.len()
-    }
-}
-
-/// One request's slot in a connection's response pipeline. Slots serialize
-/// in FIFO order; a `Busy` slot (cold job on the pool) blocks later ready
-/// responses from flushing, which is exactly HTTP pipelining's ordering
-/// contract.
-enum Pending {
-    Ready(Response, bool),
-    Busy { job: u64, keep_alive: bool },
-}
-
-/// What routing decided for one parsed request.
-enum Routed {
-    Reply(Response),
-    Offloaded { job: u64 },
-    Stream(Box<Request>),
-}
-
-struct Conn {
-    stream: TcpStream,
-    /// Unparsed request bytes (bounded: heads are capped and parsing
-    /// drains every complete head the pipeline cap admits).
-    buf: Vec<u8>,
-    pending: VecDeque<Pending>,
-    out: VecDeque<OutBuf>,
-    /// Requests successfully parsed on this connection.
-    parsed: u64,
-    /// Peer sent FIN, a close-disposition request, or a parse error:
-    /// stop reading and parsing; flush what is queued, then close.
-    no_more_reads: bool,
-    close_after_drain: bool,
-    /// Interest currently registered with the poller.
-    registered: Interest,
-    last_activity: Instant,
-    /// A `/stream` request parked until earlier pipelined responses
-    /// drain, at which point the connection detaches to a worker.
-    deferred_stream: Option<Box<Request>>,
-}
-
-struct Completion {
-    token: Token,
-    job: u64,
-    resp: Response,
-}
-
-struct EventLoop {
-    poller: Poller,
-    waker: Waker,
-    wheel: TimerWheel,
-    listener: TcpListener,
-    /// `None` only once `drain` has consumed it for shutdown.
-    pool: Option<WorkerPool>,
-    service: Arc<Service>,
-    config: ServerConfig,
-    shutdown: Arc<AtomicBool>,
-    metrics_path: Option<PathBuf>,
-    conns: Vec<Option<Conn>>,
-    gens: Vec<u64>,
-    free: Vec<usize>,
-    completions: Arc<Mutex<Vec<Completion>>>,
-    events: Vec<Event>,
-    next_job: u64,
-}
-
-impl EventLoop {
-    fn new(server: Server) -> std::io::Result<EventLoop> {
-        let poller = Poller::new()?;
-        let waker = Waker::new()?;
-        poller.register(server.listener.as_fd(), LISTENER, Interest::READ)?;
-        poller.register(waker.as_fd(), WAKER, Interest::READ.edge_triggered())?;
-        let now = Instant::now();
-        Ok(EventLoop {
-            poller,
-            waker,
-            wheel: TimerWheel::new(now, WHEEL_TICK, WHEEL_SLOTS),
-            listener: server.listener,
-            pool: Some(WorkerPool::new(
-                server.config.workers,
-                server.config.queue_cap,
-            )),
-            service: server.service,
-            metrics_path: server.config.metrics_path.clone(),
-            config: server.config,
-            shutdown: server.shutdown,
-            conns: Vec::new(),
-            gens: Vec::new(),
-            free: Vec::new(),
-            completions: Arc::new(Mutex::new(Vec::new())),
-            events: Vec::new(),
-            next_job: 0,
-        })
-    }
-
-    fn run(&mut self) -> std::io::Result<()> {
-        while !self.shutdown.load(Ordering::SeqCst) {
-            let mut events = std::mem::take(&mut self.events);
-            self.poller.wait(Some(LOOP_TICK), &mut events)?;
-            for i in 0..events.len() {
-                let Some(ev) = events.get(i).copied() else {
-                    break;
-                };
-                match ev.token {
-                    LISTENER => self.accept_burst(),
-                    WAKER => {
-                        self.waker.drain();
-                        self.apply_completions();
-                    }
-                    token => {
-                        if let Some((idx, gen)) = split_token(token) {
-                            self.conn_event(idx, gen, ev);
-                        }
+        let Server {
+            listeners,
+            service,
+            config,
+            shutdown,
+            ..
+        } = self;
+        let pool = Arc::new(WorkerPool::new(config.workers, config.queue_cap));
+        let barrier = Arc::new(DrainBarrier::new(listeners.len()));
+        // Build every loop before starting any: construction registers
+        // descriptors with fresh pollers, so errors surface here instead
+        // of killing a half-started group.
+        let mut loops = Vec::with_capacity(listeners.len());
+        for listener in listeners {
+            loops.push(EventLoop::new(LoopSpec {
+                listener,
+                service: Arc::clone(&service),
+                config: config.clone(),
+                shutdown: Arc::clone(&shutdown),
+                pool: Arc::clone(&pool),
+                barrier: Arc::clone(&barrier),
+            })?);
+        }
+        let mut loops = loops.into_iter();
+        let Some(mut first) = loops.next() else {
+            return Ok(());
+        };
+        let result = std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for (i, mut el) in loops.enumerate() {
+                let spawned = std::thread::Builder::new()
+                    .name(format!("fair-loop-{}", i + 1))
+                    .spawn_scoped(scope, move || el.run());
+                match spawned {
+                    Ok(handle) => handles.push(handle),
+                    Err(e) => {
+                        // This loop will never arrive at the drain
+                        // barrier; withdraw it so the others still drain,
+                        // and stop the group — a half-capacity server was
+                        // not what was asked for.
+                        barrier.leave();
+                        shutdown.store(true, std::sync::atomic::Ordering::SeqCst);
+                        let _ = e;
                     }
                 }
             }
-            self.events = events;
-            // Completions can also land while the loop is mid-iteration;
-            // a cheap lock probe per tick keeps cold latency at one tick
-            // even if a wake edge coalesced into an already-drained batch.
-            self.apply_completions();
-            self.fire_timers();
-        }
-        self.drain();
-        self.flush_metrics();
-        fair_tiles::cache::flush();
-        Ok(())
-    }
-
-    fn try_submit(&self, job: impl FnOnce() + Send + 'static) -> Result<(), SubmitError> {
-        match &self.pool {
-            Some(pool) => pool.try_submit(job),
-            None => Err(SubmitError::ShuttingDown),
-        }
-    }
-
-    // ---- accept -------------------------------------------------------
-
-    fn accept_burst(&mut self) {
-        // Bounded burst so one accept storm cannot starve live conns.
-        for _ in 0..256 {
-            match self.listener.accept() {
-                Ok((stream, _peer)) => self.install_conn(stream),
-                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
-                Err(_) => break,
-            }
-        }
-    }
-
-    fn install_conn(&mut self, stream: TcpStream) {
-        ServerStats::bump(&self.service.stats.accepted);
-        if stream.set_nonblocking(true).is_err() {
-            return;
-        }
-        let _ = stream.set_nodelay(true);
-        let now = Instant::now();
-        let idx = match self.free.pop() {
-            Some(idx) => idx,
-            None => {
-                self.conns.push(None);
-                self.gens.push(0);
-                self.conns.len() - 1
-            }
-        };
-        let gen = self.gens.get(idx).copied().unwrap_or(0);
-        let token = token_for(idx, gen);
-        if self
-            .poller
-            .register(stream.as_fd(), token, Interest::READ)
-            .is_err()
-        {
-            return;
-        }
-        let conn = Conn {
-            stream,
-            buf: Vec::new(),
-            pending: VecDeque::new(),
-            out: VecDeque::new(),
-            parsed: 0,
-            no_more_reads: false,
-            close_after_drain: false,
-            registered: Interest::READ,
-            last_activity: now,
-            deferred_stream: None,
-        };
-        if let Some(slot) = self.conns.get_mut(idx) {
-            *slot = Some(conn);
-        }
-        self.wheel.arm(now, self.config.read_timeout, token, gen);
-    }
-
-    // ---- per-connection event handling --------------------------------
-
-    fn conn_event(&mut self, idx: usize, gen: u64, ev: Event) {
-        if self.gens.get(idx).copied() != Some(gen) {
-            return; // stale event for a recycled slot
-        }
-        if ev.writable {
-            self.conn_write(idx);
-        }
-        if ev.readable || ev.closed {
-            self.conn_read(idx);
-        }
-        self.conn_pump(idx);
-    }
-
-    /// Reads whatever the socket has (bounded per event), appending to the
-    /// connection's parse buffer.
-    fn conn_read(&mut self, idx: usize) {
-        let max_buffered = http::MAX_HEAD_BYTES.saturating_mul(2);
-        let mut dead = false;
-        if let Some(conn) = self.conns.get_mut(idx).and_then(Option::as_mut) {
-            if conn.no_more_reads {
-                return;
-            }
-            let mut chunk = [0u8; READ_CHUNK];
-            for _ in 0..READ_BURSTS {
-                if conn.pending.len() >= self.config.max_pipeline || conn.buf.len() >= max_buffered
-                {
-                    break; // backpressure: stop pulling bytes
-                }
-                match conn.stream.read(&mut chunk) {
-                    Ok(0) => {
-                        conn.no_more_reads = true;
-                        break;
-                    }
-                    Ok(n) => {
-                        conn.buf
-                            .extend_from_slice(chunk.get(..n).unwrap_or_default());
-                        conn.last_activity = Instant::now();
-                    }
-                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
-                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            let mut result = first.run();
+            for handle in handles {
+                match handle.join() {
+                    Ok(r) => result = result.and(r),
                     Err(_) => {
-                        dead = true;
-                        break;
+                        result = result.and(Err(std::io::Error::other("event loop panicked")))
                     }
                 }
             }
-        }
-        if dead {
-            self.close_conn(idx);
-        }
-    }
-
-    /// Parses every complete buffered head the pipeline cap admits, routes
-    /// each, flushes ready responses to the write queue, writes, and
-    /// re-syncs poller interest. The workhorse — called after reads, after
-    /// completions, and after anything else that changes conn state.
-    fn conn_pump(&mut self, idx: usize) {
-        let arrival = Instant::now();
-        loop {
-            // Stage 1: pull one parsed request (or a parse failure) out of
-            // the buffer under a short borrow.
-            let parsed = {
-                let Some(conn) = self.conns.get_mut(idx).and_then(Option::as_mut) else {
-                    return;
-                };
-                if conn.close_after_drain
-                    || conn.deferred_stream.is_some()
-                    || conn.pending.len() >= self.config.max_pipeline
-                {
-                    None
-                } else {
-                    match http::split_head(&conn.buf) {
-                        Some((head_len, consumed)) => {
-                            let head: Vec<u8> =
-                                conn.buf.get(..head_len).unwrap_or_default().to_vec();
-                            conn.buf.drain(..consumed.min(conn.buf.len()));
-                            conn.last_activity = arrival;
-                            let result = http::parse_request(&head);
-                            if result.is_ok() {
-                                if conn.parsed >= 1 {
-                                    ServerStats::bump(&self.service.stats.keepalive_reuses);
-                                }
-                                if !conn.pending.is_empty() || !conn.out.is_empty() {
-                                    ServerStats::bump(&self.service.stats.pipelined_requests);
-                                }
-                                conn.parsed += 1;
-                            }
-                            Some(result)
-                        }
-                        None if conn.buf.len() >= http::MAX_HEAD_BYTES => {
-                            conn.buf.clear();
-                            Some(Err(ParseError::HeadTooLarge))
-                        }
-                        None => None,
-                    }
-                }
-            };
-            let Some(parsed) = parsed else {
-                break;
-            };
-            // Stage 2: route without holding the connection borrow.
-            match parsed {
-                Ok(req) => {
-                    let keep_alive = req.wants_keep_alive() && !req.has_body();
-                    let gen = self.gens.get(idx).copied().unwrap_or(0);
-                    let routed = self.route(idx, gen, req, arrival);
-                    let Some(conn) = self.conns.get_mut(idx).and_then(Option::as_mut) else {
-                        return;
-                    };
-                    match routed {
-                        Routed::Reply(resp) => {
-                            conn.pending.push_back(Pending::Ready(resp, keep_alive));
-                        }
-                        Routed::Offloaded { job } => {
-                            conn.pending.push_back(Pending::Busy { job, keep_alive });
-                        }
-                        Routed::Stream(req) => {
-                            // Park until earlier pipelined output drains,
-                            // then the connection detaches to a worker.
-                            conn.deferred_stream = Some(req);
-                            conn.no_more_reads = true;
-                        }
-                    }
-                    if !keep_alive {
-                        let Some(conn) = self.conns.get_mut(idx).and_then(Option::as_mut) else {
-                            return;
-                        };
-                        conn.close_after_drain = true;
-                        conn.no_more_reads = true;
-                    }
-                }
-                Err(err) => {
-                    let status = match err {
-                        ParseError::HeadTooLarge => 431,
-                        _ => 400,
-                    };
-                    self.service.stats.count_status(status);
-                    let resp = Response::error(status, &err.to_string());
-                    let Some(conn) = self.conns.get_mut(idx).and_then(Option::as_mut) else {
-                        return;
-                    };
-                    conn.pending.push_back(Pending::Ready(resp, false));
-                    conn.close_after_drain = true;
-                    conn.no_more_reads = true;
-                }
-            }
-        }
-        self.flush_ready(idx);
-        self.conn_write(idx);
-        self.conn_maintain(idx);
-    }
-
-    /// Routes one request: deadline guard, `/stream` detach, warm-or-cold
-    /// service verdict, pool submission with inline 429/503 on refusal.
-    fn route(&mut self, idx: usize, gen: u64, req: Request, arrival: Instant) -> Routed {
-        let deadline = self.config.deadline;
-        if arrival.elapsed() > deadline {
-            ServerStats::bump(&self.service.stats.deadline_expired);
-            let resp = Response::error(503, "deadline expired before service")
-                .with_header("Retry-After", "1");
-            self.service.stats.count_status(resp.status);
-            return Routed::Reply(resp);
-        }
-        if req.path == "/stream" {
-            return Routed::Stream(Box::new(req));
-        }
-        match self.service.begin(&req) {
-            Verdict::Reply(resp) => Routed::Reply(resp),
-            Verdict::Offload(ticket) => {
-                let job = self.next_job;
-                self.next_job += 1;
-                let token = token_for(idx, gen);
-                let service = Arc::clone(&self.service);
-                let completions = Arc::clone(&self.completions);
-                let waker = self.waker.clone();
-                let submitted = self.try_submit(move || {
-                    let resp = if arrival.elapsed() > deadline {
-                        // The job sat in the queue past its deadline:
-                        // answer a bounded 503 instead of serving late.
-                        ServerStats::bump(&service.stats.deadline_expired);
-                        let resp = Response::error(503, "deadline expired before service")
-                            .with_header("Retry-After", "1");
-                        service.stats.count_status(resp.status);
-                        resp
-                    } else {
-                        service.estimate_finish(ticket)
-                    };
-                    {
-                        let mut queue = completions.lock().unwrap_or_else(|e| e.into_inner());
-                        queue.push(Completion { token, job, resp });
-                    }
-                    // Guard dropped before ringing the loop.
-                    waker.wake();
-                });
-                match submitted {
-                    Ok(()) => Routed::Offloaded { job },
-                    Err(SubmitError::QueueFull) => {
-                        ServerStats::bump(&self.service.stats.rejected_queue_full);
-                        let resp = Response::error(429, "server overloaded, retry later")
-                            .with_header("Retry-After", "1");
-                        self.service.stats.count_status(resp.status);
-                        Routed::Reply(resp)
-                    }
-                    Err(SubmitError::ShuttingDown) => {
-                        ServerStats::bump(&self.service.stats.rejected_shutdown);
-                        let resp = Response::error(503, "server is shutting down");
-                        self.service.stats.count_status(resp.status);
-                        Routed::Reply(resp)
-                    }
-                }
-            }
-        }
-    }
-
-    /// Serializes the contiguous ready prefix of the pipeline into the
-    /// write queue (head bytes built here; bodies ride as-is, shared
-    /// cache bodies without a copy).
-    fn flush_ready(&mut self, idx: usize) {
-        let Some(conn) = self.conns.get_mut(idx).and_then(Option::as_mut) else {
-            return;
-        };
-        while matches!(conn.pending.front(), Some(Pending::Ready(..))) {
-            let Some(Pending::Ready(resp, keep_alive)) = conn.pending.pop_front() else {
-                break;
-            };
-            let head = resp.head_bytes(keep_alive);
-            conn.out.push_back(OutBuf {
-                head,
-                head_pos: 0,
-                body: resp.body,
-                body_pos: 0,
-            });
-        }
-    }
-
-    /// Writes as much queued output as the socket accepts, gathering up to
-    /// [`WRITEV_BATCH`] responses per vectored write.
-    fn conn_write(&mut self, idx: usize) {
-        let mut dead = false;
-        if let Some(conn) = self.conns.get_mut(idx).and_then(Option::as_mut) {
-            while !conn.out.is_empty() {
-                let mut slices: Vec<IoSlice<'_>> = Vec::with_capacity(2 * WRITEV_BATCH);
-                for ob in conn.out.iter().take(WRITEV_BATCH) {
-                    let head_rest = ob.head.get(ob.head_pos..).unwrap_or_default();
-                    if !head_rest.is_empty() {
-                        slices.push(IoSlice::new(head_rest));
-                    }
-                    let body_rest = ob.body.as_slice().get(ob.body_pos..).unwrap_or_default();
-                    if !body_rest.is_empty() {
-                        slices.push(IoSlice::new(body_rest));
-                    }
-                }
-                if slices.is_empty() {
-                    conn.out.clear();
-                    break;
-                }
-                match conn.stream.write_vectored(&slices) {
-                    Ok(0) => break,
-                    Ok(n) => {
-                        advance_out(&mut conn.out, n);
-                        conn.last_activity = Instant::now();
-                    }
-                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
-                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
-                    Err(_) => {
-                        dead = true;
-                        break;
-                    }
-                }
-            }
-        }
-        if dead {
-            self.close_conn(idx);
-        }
-    }
-
-    /// Post-pump maintenance: detach a parked `/stream` once its turn
-    /// comes, close fully-drained connections, and re-sync poller
-    /// interest (read backpressure, write interest only while output is
-    /// queued).
-    fn conn_maintain(&mut self, idx: usize) {
-        let (detach, close, desired) = {
-            let Some(conn) = self.conns.get_mut(idx).and_then(Option::as_mut) else {
-                return;
-            };
-            let drained = conn.pending.is_empty() && conn.out.is_empty();
-            let detach = drained && conn.deferred_stream.is_some();
-            let close = drained
-                && !detach
-                && (conn.close_after_drain || (conn.no_more_reads && conn.buf.is_empty()));
-            let desired = Interest {
-                readable: !conn.no_more_reads
-                    && conn.pending.len() < self.config.max_pipeline
-                    && conn.buf.len() < http::MAX_HEAD_BYTES.saturating_mul(2),
-                writable: !conn.out.is_empty(),
-                edge: false,
-            };
-            (detach, close, desired)
-        };
-        if detach {
-            self.detach_stream(idx);
-            return;
-        }
-        if close {
-            self.close_conn(idx);
-            return;
-        }
-        if let Some(conn) = self.conns.get_mut(idx).and_then(Option::as_mut) {
-            if desired != conn.registered {
-                let token = token_for(idx, self.gens.get(idx).copied().unwrap_or(0));
-                if self
-                    .poller
-                    .reregister(conn.stream.as_fd(), token, desired)
-                    .is_ok()
-                {
-                    conn.registered = desired;
-                }
-            }
-        }
-    }
-
-    /// Hands a `/stream` connection to the worker pool: the streaming
-    /// handler writes chunked frames live while the estimation runs, which
-    /// must not happen on the loop. The socket reverts to blocking mode
-    /// and leaves the poller entirely; the worker closes it when done.
-    fn detach_stream(&mut self, idx: usize) {
-        let Some(mut conn) = self.conns.get_mut(idx).and_then(Option::take) else {
-            return;
-        };
-        if let Some(g) = self.gens.get_mut(idx) {
-            *g += 1;
-        }
-        self.free.push(idx);
-        let _ = self.poller.deregister(conn.stream.as_fd());
-        let Some(req) = conn.deferred_stream.take() else {
-            return;
-        };
-        let _ = conn.stream.set_nonblocking(false);
-        let _ = conn.stream.set_read_timeout(Some(self.config.read_timeout));
-        let service = Arc::clone(&self.service);
-        // `try_submit` consumes its closure even on failure, so the stream
-        // rides in a shared slot the loop can take back to answer the
-        // rejection itself.
-        let slot = Arc::new(Mutex::new(Some(conn.stream)));
-        let job_slot = Arc::clone(&slot);
-        let submitted = self.try_submit(move || {
-            let taken = job_slot.lock().unwrap_or_else(|e| e.into_inner()).take();
-            if let Some(mut stream) = taken {
-                crate::streaming::handle(&service, &mut stream, &req);
-            }
+            result
         });
-        if let Err(err) = submitted {
-            let taken = slot.lock().unwrap_or_else(|e| e.into_inner()).take();
-            let Some(mut stream) = taken else { return };
-            let resp = match err {
-                SubmitError::QueueFull => {
-                    ServerStats::bump(&self.service.stats.rejected_queue_full);
-                    Response::error(429, "server overloaded, retry later")
-                        .with_header("Retry-After", "1")
-                }
-                SubmitError::ShuttingDown => {
-                    ServerStats::bump(&self.service.stats.rejected_shutdown);
-                    Response::error(503, "server is shutting down")
-                }
-            };
-            self.service.stats.count_status(resp.status);
-            // Head already parsed (no unread bytes to RST the reply away);
-            // the socket is blocking again, so a plain write suffices.
-            let _ = stream.write_all(&resp.to_bytes());
+        // All loops have drained; the pool Arcs they held are gone.
+        // Dropping ours joins the (already drained) workers.
+        drop(pool);
+        if let Some(path) = &config.metrics_path {
+            let body = service.metrics_document().render_pretty() + "\n";
+            let _ = fair_tiles::atomic_write(path, body.as_bytes());
         }
-    }
-
-    // ---- completions and timers ---------------------------------------
-
-    /// Splices finished cold responses back into their connections'
-    /// pipeline slots and pumps those connections.
-    fn apply_completions(&mut self) {
-        let done = {
-            let mut queue = self.completions.lock().unwrap_or_else(|e| e.into_inner());
-            std::mem::take(&mut *queue)
-        };
-        if done.is_empty() {
-            return;
-        }
-        let mut touched: Vec<usize> = Vec::with_capacity(done.len());
-        for completion in done {
-            let Some((idx, gen)) = split_token(completion.token) else {
-                continue;
-            };
-            if self.gens.get(idx).copied() != Some(gen) {
-                continue; // connection died while the job ran
-            }
-            let Some(conn) = self.conns.get_mut(idx).and_then(Option::as_mut) else {
-                continue;
-            };
-            for slot in conn.pending.iter_mut() {
-                if let Pending::Busy { job, keep_alive } = slot {
-                    if *job == completion.job {
-                        *slot = Pending::Ready(completion.resp, *keep_alive);
-                        conn.last_activity = Instant::now();
-                        break;
-                    }
-                }
-            }
-            if !touched.contains(&idx) {
-                touched.push(idx);
-            }
-        }
-        for idx in touched {
-            self.conn_pump(idx);
-        }
-    }
-
-    /// Advances the wheel; fires close idle/stalled connections and
-    /// re-arm live ones.
-    fn fire_timers(&mut self) {
-        let now = Instant::now();
-        let mut fired: Vec<(Token, u64)> = Vec::new();
-        self.wheel
-            .advance(now, |token, gen| fired.push((token, gen)));
-        for (token, gen) in fired {
-            let Some((idx, token_gen)) = split_token(token) else {
-                continue;
-            };
-            if self.gens.get(idx).copied() != Some(gen) || token_gen != gen {
-                continue; // stale entry for a recycled slot
-            }
-            let (close, rearm) = {
-                let Some(conn) = self.conns.get_mut(idx).and_then(Option::as_mut) else {
-                    continue;
-                };
-                if !conn.pending.is_empty() {
-                    // A cold job is in flight; its deadline bounds it.
-                    // Stay patient and check again next period.
-                    (false, self.config.keepalive_timeout)
-                } else {
-                    let idle = now.saturating_duration_since(conn.last_activity);
-                    let limit = if !conn.out.is_empty() {
-                        // Unread output: the client stopped draining.
-                        self.config.keepalive_timeout
-                    } else if conn.parsed == 0 || !conn.buf.is_empty() {
-                        self.config.read_timeout
-                    } else {
-                        self.config.keepalive_timeout
-                    };
-                    if idle >= limit {
-                        (true, limit)
-                    } else {
-                        (false, limit.saturating_sub(idle))
-                    }
-                }
-            };
-            if close {
-                ServerStats::bump(&self.service.stats.conn_timeouts);
-                self.close_conn(idx);
-            } else {
-                self.wheel.arm(now, rearm, token, gen);
-            }
-        }
-    }
-
-    fn close_conn(&mut self, idx: usize) {
-        let Some(conn) = self.conns.get_mut(idx).and_then(Option::take) else {
-            return;
-        };
-        let _ = self.poller.deregister(conn.stream.as_fd());
-        if let Some(g) = self.gens.get_mut(idx) {
-            *g += 1;
-        }
-        self.free.push(idx);
-        // `conn.stream` drops here, closing the socket.
-    }
-
-    // ---- shutdown -----------------------------------------------------
-
-    /// Graceful drain: stop accepting (the loop has exited), run every
-    /// admitted job to completion, splice the responses, then flush each
-    /// connection's queued output with bounded blocking writes.
-    fn drain(&mut self) {
-        if let Some(pool) = self.pool.take() {
-            pool.shutdown();
-        }
-        self.apply_completions();
-        for idx in 0..self.conns.len() {
-            self.flush_ready(idx);
-            let Some(conn) = self.conns.get_mut(idx).and_then(Option::as_mut) else {
-                continue;
-            };
-            if !conn.out.is_empty() {
-                let _ = conn.stream.set_nonblocking(false);
-                let _ = conn.stream.set_write_timeout(Some(DRAIN_WRITE_TIMEOUT));
-                for ob in conn.out.iter() {
-                    let head_rest = ob.head.get(ob.head_pos..).unwrap_or_default();
-                    if conn.stream.write_all(head_rest).is_err() {
-                        break;
-                    }
-                    let body_rest = ob.body.as_slice().get(ob.body_pos..).unwrap_or_default();
-                    if conn.stream.write_all(body_rest).is_err() {
-                        break;
-                    }
-                }
-                let _ = conn.stream.flush();
-            }
-            self.close_conn(idx);
-        }
-    }
-
-    fn flush_metrics(&self) {
-        let Some(path) = &self.metrics_path else {
-            return;
-        };
-        let body = self.service.metrics_document().render_pretty() + "\n";
-        let _ = fair_tiles::atomic_write(path, body.as_bytes());
+        fair_tiles::cache::flush();
+        result
     }
 }
 
-/// Consumes `n` written bytes from the front of the write queue.
-fn advance_out(out: &mut VecDeque<OutBuf>, mut n: usize) {
-    while n > 0 {
-        let Some(front) = out.front_mut() else {
-            return;
-        };
-        let head_rest = front.head.len().saturating_sub(front.head_pos);
-        let take = head_rest.min(n);
-        front.head_pos += take;
-        n -= take;
-        if n > 0 {
-            let body_rest = front.body.len().saturating_sub(front.body_pos);
-            let take = body_rest.min(n);
-            front.body_pos += take;
-            n -= take;
-        }
-        if front.done() {
-            out.pop_front();
-        } else {
-            return;
+/// Builds one listener per loop. A single loop gets a plain std listener;
+/// multiple loops prefer a reuseport group (kernel accept sharding) and
+/// fall back to `try_clone` dups of one shared listener where reuseport is
+/// unavailable.
+fn bind_listeners(addr: &str, loops: usize) -> std::io::Result<(Vec<TcpListener>, AcceptSharding)> {
+    if loops <= 1 {
+        return Ok((vec![TcpListener::bind(addr)?], AcceptSharding::Single));
+    }
+    match bind_reuseport_group(addr, loops) {
+        Ok(listeners) => Ok((listeners, AcceptSharding::Reuseport)),
+        Err(_) => {
+            let first = TcpListener::bind(addr)?;
+            let mut listeners = Vec::with_capacity(loops);
+            for _ in 1..loops {
+                listeners.push(first.try_clone()?);
+            }
+            listeners.insert(0, first);
+            Ok((listeners, AcceptSharding::SharedDup))
         }
     }
-    while matches!(out.front(), Some(front) if front.done()) {
-        out.pop_front();
+}
+
+/// Binds `loops` reuseport listeners on `addr`. The first bind resolves an
+/// ephemeral port; the rest join the group on the resolved address.
+fn bind_reuseport_group(addr: &str, loops: usize) -> std::io::Result<Vec<TcpListener>> {
+    let sock_addr = addr
+        .to_socket_addrs()?
+        .next()
+        .ok_or_else(|| std::io::Error::other(format!("address {addr:?} did not resolve")))?;
+    let first = fair_aio::net::reuseport_listener(sock_addr)?;
+    let resolved = first.local_addr()?;
+    let mut listeners = Vec::with_capacity(loops);
+    listeners.push(first);
+    for _ in 1..loops {
+        listeners.push(fair_aio::net::reuseport_listener(resolved)?);
     }
+    Ok(listeners)
 }
 
 #[cfg(test)]
@@ -927,35 +298,31 @@ mod tests {
     use super::*;
 
     #[test]
-    fn tokens_round_trip_index_and_generation() {
-        for (idx, gen) in [(0usize, 0u64), (1, 1), (4096, 77), (0xfffffff, 0xffff_ffff)] {
-            let token = token_for(idx, gen);
-            assert_eq!(split_token(token), Some((idx, gen)));
-        }
-        assert_eq!(split_token(LISTENER), None);
-        assert_eq!(split_token(WAKER), None);
+    fn sharding_names_are_stable() {
+        assert_eq!(AcceptSharding::Single.name(), "single");
+        assert_eq!(AcceptSharding::Reuseport.name(), "reuseport");
+        assert_eq!(AcceptSharding::SharedDup.name(), "shared-dup");
     }
 
     #[test]
-    fn advance_out_walks_heads_bodies_and_buffer_boundaries() {
-        let buf = |head: &[u8], body: &[u8]| OutBuf {
-            head: head.to_vec(),
-            head_pos: 0,
-            body: Body::Bytes(body.to_vec()),
-            body_pos: 0,
-        };
-        let mut out: VecDeque<OutBuf> = [buf(b"HEAD1", b"body1"), buf(b"HEAD2", b"b2")]
-            .into_iter()
-            .collect();
-        advance_out(&mut out, 3); // part of head 1
-        assert_eq!(out.front().map(|f| f.head_pos), Some(3));
-        advance_out(&mut out, 4); // rest of head 1 + 2 body bytes
-        assert_eq!(out.front().map(|f| f.body_pos), Some(2));
-        advance_out(&mut out, 3 + 5); // finish 1, head 2 spill
-        assert_eq!(out.len(), 1);
-        assert_eq!(out.front().map(|f| f.head_pos), Some(5));
-        advance_out(&mut out, 2); // finish everything
-        assert!(out.is_empty());
-        advance_out(&mut out, 10); // over-advance on empty: no panic
+    fn bind_listeners_shards_by_loop_count() {
+        let (single, mode) = bind_listeners("127.0.0.1:0", 1).expect("bind 1");
+        assert_eq!(single.len(), 1);
+        assert_eq!(mode, AcceptSharding::Single);
+
+        let (group, mode) = bind_listeners("127.0.0.1:0", 3).expect("bind 3");
+        assert_eq!(group.len(), 3);
+        assert!(
+            matches!(mode, AcceptSharding::Reuseport | AcceptSharding::SharedDup),
+            "multi-loop bind uses a sharded mode, got {mode:?}"
+        );
+        let port = group
+            .first()
+            .map(|l| l.local_addr().expect("addr").port())
+            .expect("first listener");
+        assert_ne!(port, 0);
+        for listener in &group {
+            assert_eq!(listener.local_addr().expect("addr").port(), port);
+        }
     }
 }

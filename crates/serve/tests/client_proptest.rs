@@ -1,0 +1,132 @@
+//! Property tests for the client's incremental chunked-transfer decoder.
+//!
+//! The `Dechunker` faces server bytes chopped arbitrarily by the kernel,
+//! so the properties that matter are *totality* (never panics, any input),
+//! and *split-invariance*: feeding a wire in any number of pieces at any
+//! boundaries — mid size line, mid chunk extension, mid payload, mid CRLF
+//! — must decode byte-identically to feeding it whole. That is exactly the
+//! case the old one-shot decoder could never hit (`read_to_end` glued the
+//! stream back together) and the incremental one exists to handle.
+
+use fair_serve::client::Dechunker;
+use proptest::collection;
+use proptest::prelude::*;
+
+/// Decodes `wire` in one feed; the reference for split-invariance.
+fn one_shot(wire: &[u8]) -> (Vec<u8>, bool, usize) {
+    let mut decoder = Dechunker::new();
+    let mut out = Vec::new();
+    let consumed = decoder.push(wire, &mut out);
+    (out, decoder.done(), consumed)
+}
+
+/// Encodes payloads as a chunked body: size line (hex, optional chunk
+/// extension), CRLF, payload, CRLF — then the terminal chunk and the
+/// blank trailer line.
+fn encode_chunked(payloads: &[Vec<u8>], with_extensions: bool) -> Vec<u8> {
+    let mut wire = Vec::new();
+    for (i, payload) in payloads.iter().enumerate() {
+        if with_extensions && i % 2 == 0 {
+            wire.extend_from_slice(format!("{:x};seq={i}\r\n", payload.len()).as_bytes());
+        } else {
+            wire.extend_from_slice(format!("{:x}\r\n", payload.len()).as_bytes());
+        }
+        wire.extend_from_slice(payload);
+        wire.extend_from_slice(b"\r\n");
+    }
+    wire.extend_from_slice(b"0\r\n\r\n");
+    wire
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Totality: arbitrary byte soup decodes without panicking, consumes
+    /// no more than it was given, and splitting it anywhere changes
+    /// nothing — the state machine is deterministic and streaming even on
+    /// garbage.
+    #[test]
+    fn arbitrary_bytes_decode_identically_however_split(
+        wire in collection::vec(any::<u8>(), 0..2048),
+        split in any::<usize>(),
+    ) {
+        let (whole, whole_done, _) = one_shot(&wire);
+        let cut = split % (wire.len() + 1);
+        let mut decoder = Dechunker::new();
+        let mut out = Vec::new();
+        decoder.push(&wire[..cut], &mut out);
+        decoder.push(&wire[cut..], &mut out);
+        prop_assert_eq!(out, whole);
+        prop_assert_eq!(decoder.done(), whole_done);
+    }
+
+    /// A well-formed chunked wire (chunk extensions included) decodes to
+    /// the concatenated payloads and consumes exactly the whole message,
+    /// leaving a keep-alive socket positioned at the next reply.
+    #[test]
+    fn well_formed_wires_decode_to_their_payloads(
+        payloads in collection::vec(collection::vec(any::<u8>(), 1..64), 0..8),
+        with_extensions in any::<bool>(),
+    ) {
+        let wire = encode_chunked(&payloads, with_extensions);
+        let expected: Vec<u8> = payloads.concat();
+        let (out, done, consumed) = one_shot(&wire);
+        prop_assert_eq!(out, expected);
+        prop_assert!(done);
+        prop_assert_eq!(consumed, wire.len());
+    }
+
+    /// Split-invariance on valid wires: feeding through arbitrary read
+    /// boundaries — any number of them, anywhere — equals the one-shot
+    /// decode. Size lines and extensions torn across feeds must reassemble.
+    #[test]
+    fn incremental_feeds_match_one_shot_on_valid_wires(
+        payloads in collection::vec(collection::vec(any::<u8>(), 1..48), 1..6),
+        with_extensions in any::<bool>(),
+        cuts in collection::vec(any::<usize>(), 1..12),
+    ) {
+        let wire = encode_chunked(&payloads, with_extensions);
+        let (whole, _, _) = one_shot(&wire);
+
+        let mut bounds: Vec<usize> = cuts.iter().map(|c| c % (wire.len() + 1)).collect();
+        bounds.push(0);
+        bounds.push(wire.len());
+        bounds.sort_unstable();
+        bounds.dedup();
+
+        let mut decoder = Dechunker::new();
+        let mut out = Vec::new();
+        for pair in bounds.windows(2) {
+            let (start, end) = (pair[0], pair[1]);
+            let consumed = decoder.push(&wire[start..end], &mut out);
+            prop_assert_eq!(consumed, end - start, "valid wire is consumed in full");
+        }
+        prop_assert_eq!(out, whole);
+        prop_assert!(decoder.done());
+    }
+
+    /// Truncation leniency survives splitting: cut a valid wire anywhere
+    /// and the decoder yields exactly the chunks that completed before the
+    /// cut — never a torn frame, never a panic.
+    #[test]
+    fn truncated_wires_keep_only_complete_frames(
+        payloads in collection::vec(collection::vec(any::<u8>(), 1..48), 1..6),
+        cut in any::<usize>(),
+    ) {
+        let wire = encode_chunked(&payloads, true);
+        let cut = cut % (wire.len() + 1);
+        let (out, _, _) = one_shot(&wire[..cut]);
+        // The output is a prefix of the full payload sequence made of
+        // whole chunks only.
+        let mut remaining: &[u8] = &out;
+        for payload in &payloads {
+            if remaining.is_empty() {
+                break;
+            }
+            prop_assert!(remaining.len() >= payload.len(), "no partial frame leaks");
+            prop_assert_eq!(&remaining[..payload.len()], payload.as_slice());
+            remaining = &remaining[payload.len()..];
+        }
+        prop_assert!(remaining.is_empty(), "output holds only whole generated chunks");
+    }
+}

@@ -116,10 +116,15 @@ impl WorkerPool {
         self.shared.lock().completed
     }
 
-    /// Graceful shutdown: refuses new submissions, waits for the queue to
-    /// drain and every in-flight job to finish, then joins the workers.
-    /// Returns the total number of jobs the pool executed.
-    pub fn shutdown(mut self) -> u64 {
+    /// Graceful drain without consuming the pool: refuses new submissions,
+    /// then blocks until the queue is empty and every in-flight job has
+    /// finished. Returns the total number of jobs executed so far.
+    ///
+    /// Worker threads are *not* joined here — that happens when the pool is
+    /// dropped — so N event loops can share one pool behind an `Arc`, have
+    /// any one of them drain it at shutdown (behind their drain barrier),
+    /// and let the last `Arc` drop do the join.
+    pub fn drain(&self) -> u64 {
         let mut state = self.shared.lock();
         state.shutting_down = true;
         while !state.queue.is_empty() || state.in_flight > 0 {
@@ -132,9 +137,15 @@ impl WorkerPool {
         let completed = state.completed;
         drop(state);
         self.shared.wake.notify_all();
-        for handle in self.workers.drain(..) {
-            let _ = handle.join();
-        }
+        completed
+    }
+
+    /// Graceful shutdown: [`drain`](WorkerPool::drain), then join the
+    /// workers. Returns the total number of jobs the pool executed.
+    pub fn shutdown(self) -> u64 {
+        let completed = self.drain();
+        // Dropping `self` joins the workers (the drop path re-checks the
+        // already-set shutdown flag and finds the queue empty).
         completed
     }
 }
@@ -239,6 +250,32 @@ mod tests {
         // Graceful: every queued job ran before shutdown returned.
         assert_eq!(pool.shutdown(), 20);
         assert_eq!(done.load(Ordering::SeqCst), 20);
+    }
+
+    #[test]
+    fn shared_pool_drains_from_one_handle_and_joins_on_last_drop() {
+        let pool = Arc::new(WorkerPool::new(2, 64));
+        let done = Arc::new(AtomicUsize::new(0));
+        for _ in 0..12 {
+            let done = Arc::clone(&done);
+            pool.try_submit(move || {
+                std::thread::sleep(Duration::from_millis(1));
+                done.fetch_add(1, Ordering::SeqCst);
+            })
+            .expect("admitted");
+        }
+        // Several owners (event loops); any one can drain.
+        let other_owner = Arc::clone(&pool);
+        assert_eq!(pool.drain(), 12);
+        assert_eq!(done.load(Ordering::SeqCst), 12);
+        // After drain, submissions are refused from every handle.
+        assert_eq!(
+            other_owner.try_submit(|| {}),
+            Err(SubmitError::ShuttingDown)
+        );
+        drop(other_owner);
+        drop(pool); // last Arc: joins the workers
+        assert_eq!(done.load(Ordering::SeqCst), 12);
     }
 
     #[test]
