@@ -40,8 +40,23 @@ echo "== fair-trace selfcheck (record + replay + diff)"
 ./target/release/fair-trace diff "$(head -1 /tmp/fair_trace_recorded.txt)" "$(head -1 /tmp/fair_trace_recorded.txt)"
 ./target/release/fair-trace top exp_coin_toss --trials 80 --sample 5 --by msgs
 
+echo "== fair-scenario check (declarative scenario layer)"
+# Every checked-in scenario file must compile; the listing must expose
+# all three shipped families through the registry.
+./target/release/fair-scenario check scenarios
+./target/release/fair-scenario list scenarios | grep -q '^s_deposit_coin '
+./target/release/fair-scenario expand scenarios | grep -q 'deposit=0.25'
+# Malformed input is rejected with a span-carrying error and nonzero exit.
+BAD_DIR="$(mktemp -d)"
+printf '[scenario]\nid = "s_broken"\n' > "$BAD_DIR/broken.toml"
+if ./target/release/fair-scenario check "$BAD_DIR" 2> "$BAD_DIR/err.txt"; then
+  echo "fair-scenario accepted a malformed scenario"; exit 1
+fi
+grep -q 'broken.toml:1: error:' "$BAD_DIR/err.txt"
+rm -rf "$BAD_DIR"
+
 echo "== reproduce smoke run (parallel, JSON records)"
-FAIR_TRIALS=100 ./target/release/reproduce --jobs 2 --trace --json BENCH_reproduce.json e1 e4 e13
+FAIR_TRIALS=100 ./target/release/reproduce --jobs 2 --trace --json BENCH_reproduce.json e1 e4 e13 s_deposit_coin
 
 echo "== fair-serve smoke (ephemeral boot, fair-load --check, graceful shutdown)"
 # Perf gate pinned to --loops 1: the 5k rps floor below measures the

@@ -30,7 +30,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: reproduce [--jobs N] [--json PATH] [--epsilon F] [--tiles] [--markdown]\n\
          \x20                [--trace] [--list] [EXPERIMENT ...]\n\
-         experiment ids: e1 .. e17 (default: all); see --list"
+         experiment ids: e1 .. e17 plus scenario-derived s_* entries\n\
+         (default: all); see --list"
     );
     std::process::exit(2);
 }
@@ -104,10 +105,7 @@ fn main() {
         }
     }
     if ids.is_empty() {
-        ids = fair_bench::ALL_EXPERIMENTS
-            .iter()
-            .map(|s| s.to_string())
-            .collect();
+        ids = fair_bench::all_experiment_ids();
     }
     if tiles {
         // Warm from whatever previous runs (or a serve instance sharing

@@ -8,6 +8,7 @@
 pub mod experiments;
 pub mod partial_exp;
 pub mod runner;
+pub mod scenario_exp;
 pub mod servecli;
 pub mod table;
 pub mod tracecli;
@@ -42,7 +43,9 @@ pub fn run_experiment(id: &str, trials: usize, seed: u64) -> Option<Vec<Report>>
         "e15" => vec![experiments::e15(trials, seed)],
         "e16" => vec![experiments::e16(trials, seed)],
         "e17" => vec![partial_exp::e17(trials, seed)],
-        _ => return None,
+        // Not a static id: fall through to the scenario-derived leg of
+        // the registry (compiled from scenarios/*.toml).
+        _ => return scenario_exp::run(id, trials, seed),
     };
     Some(reports)
 }
@@ -53,17 +56,31 @@ pub const ALL_EXPERIMENTS: [&str; 17] = [
     "e16", "e17",
 ];
 
-/// The experiment registry as `(id, title)` pairs in [`ALL_EXPERIMENTS`]
-/// order — the single listing behind `reproduce --list` and
-/// `fair-trace list`, so the two tools name experiments identically.
-pub fn experiment_listing() -> Vec<(&'static str, &'static str)> {
-    // Total: an id missing a title (rule R1 keeps the registry and the
-    // titles in lockstep) lists as untitled rather than panicking in
-    // the serve path that calls this on every /experiments request.
-    ALL_EXPERIMENTS
+/// The experiment registry as `(id, title)` pairs: the static entries in
+/// [`ALL_EXPERIMENTS`] order, then the scenario-derived entries in
+/// file-name order — the single listing behind `reproduce --list`,
+/// `fair-trace list`, and `fair-serve`, so every tool names experiments
+/// identically.
+pub fn experiment_listing() -> Vec<(String, String)> {
+    // Every id has a title by construction: rule R1 keeps the static
+    // registry and the titles in lockstep (the expect below is the
+    // compile-adjacent backstop — there is no "(untitled)" fallback),
+    // and the scenario compiler rejects files without a title.
+    let mut listing: Vec<(String, String)> = ALL_EXPERIMENTS
         .iter()
-        .map(|id| (*id, experiment_title(id).unwrap_or("(untitled)")))
-        .collect()
+        .map(|id| {
+            let title = experiment_title(id).expect("registered id has a title");
+            (id.to_string(), title.to_string())
+        })
+        .collect();
+    listing.extend(scenario_exp::listing());
+    listing
+}
+
+/// Every runnable experiment id: static registry order, then the
+/// scenario-derived ids (what `reproduce` runs when invoked bare).
+pub fn all_experiment_ids() -> Vec<String> {
+    experiment_listing().into_iter().map(|(id, _)| id).collect()
 }
 
 /// One-line description of each experiment (for `reproduce --list`).
@@ -92,4 +109,23 @@ pub fn experiment_title(id: &str) -> Option<&'static str> {
         }
         _ => return None,
     })
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn every_static_id_is_titled_and_listed() {
+        for id in crate::ALL_EXPERIMENTS {
+            assert!(
+                crate::experiment_title(id).is_some(),
+                "{id} has no title — the listing has no untitled fallback"
+            );
+        }
+        let listing = crate::experiment_listing();
+        assert_eq!(
+            listing.len(),
+            crate::ALL_EXPERIMENTS.len() + crate::scenario_exp::specs().len()
+        );
+        assert!(listing.iter().all(|(_, title)| !title.trim().is_empty()));
+    }
 }

@@ -29,9 +29,6 @@ pub struct ExperimentBackend;
 impl Backend for ExperimentBackend {
     fn experiments(&self) -> Vec<(String, String)> {
         crate::experiment_listing()
-            .into_iter()
-            .map(|(id, title)| (id.to_string(), title.to_string()))
-            .collect()
     }
 
     fn estimate(&self, exp: &str, trials: usize, seed: u64) -> Option<String> {
@@ -75,7 +72,7 @@ pub fn progressive_result(
     epsilon: f64,
     emit: &mut dyn FnMut(ProgressUpdate),
 ) -> Option<String> {
-    if !crate::experiment_listing().iter().any(|(id, _)| *id == exp) {
+    if !crate::experiment_listing().iter().any(|(id, _)| id == exp) {
         return None;
     }
     let (tx, rx) = mpsc::channel();
@@ -541,7 +538,10 @@ mod tests {
     #[test]
     fn backend_serves_the_registry_listing() {
         let listing = ExperimentBackend.experiments();
-        assert_eq!(listing.len(), crate::ALL_EXPERIMENTS.len());
+        assert_eq!(
+            listing.len(),
+            crate::ALL_EXPERIMENTS.len() + crate::scenario_exp::specs().len()
+        );
         assert_eq!(listing[0].0, "e1");
         assert!(ExperimentBackend.estimate("e99", 10, 1).is_none());
     }

@@ -47,7 +47,9 @@ pub const PROTOCOL_TARGETS: [(&str, &str); 2] = [
 
 /// Whether `id` names a runnable trace target.
 pub fn is_target(id: &str) -> bool {
-    crate::ALL_EXPERIMENTS.contains(&id) || PROTOCOL_TARGETS.iter().any(|(t, _)| *t == id)
+    crate::ALL_EXPERIMENTS.contains(&id)
+        || PROTOCOL_TARGETS.iter().any(|(t, _)| *t == id)
+        || crate::scenario_exp::specs().iter().any(|s| s.id == id)
 }
 
 /// Runs a target for its side effects on the armed trace collectors,
@@ -375,7 +377,7 @@ mod tests {
     #[test]
     fn every_registry_experiment_is_a_target() {
         for (id, _) in crate::experiment_listing() {
-            assert!(is_target(id), "{id}");
+            assert!(is_target(&id), "{id}");
         }
         for (id, _) in PROTOCOL_TARGETS {
             assert!(is_target(id), "{id}");

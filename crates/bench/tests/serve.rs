@@ -57,6 +57,42 @@ fn served_bytes_equal_batch_record_bytes_cold_and_cached() {
 }
 
 #[test]
+fn scenario_derived_experiments_serve_byte_identical_to_batch() {
+    // The scenario leg of the registry honors the same contract as the
+    // static entries: listed on /experiments, served cold and cached,
+    // byte-identical to the batch runner's result document.
+    let (addr, handle) = boot();
+    let (exp, trials, seed) = ("s_deposit_coin", 25, 7u64);
+
+    let listing = client::get(addr, "/experiments").expect("listing");
+    assert_eq!(listing.status, 200);
+    assert!(
+        String::from_utf8_lossy(&listing.body).contains(exp),
+        "scenario id listed on /experiments"
+    );
+
+    let (_, record) =
+        fair_bench::runner::run_recorded(exp, trials, seed).expect("compiled scenario");
+    let batch = record.result_json().render_pretty() + "\n";
+    assert_eq!(rendered_result(exp, trials, seed).expect("known"), batch);
+
+    let target = format!("/estimate?exp={exp}&trials={trials}&seed={seed}");
+    let cold = client::get(addr, &target).expect("cold");
+    assert_eq!(cold.status, 200);
+    assert_eq!(cold.header("x-cache"), Some("miss"));
+    assert_eq!(
+        String::from_utf8_lossy(&cold.body),
+        batch,
+        "cold served scenario bytes == batch record bytes"
+    );
+
+    let warm = client::get(addr, &target).expect("warm");
+    assert_eq!(warm.header("x-cache"), Some("hit"));
+    assert_eq!(warm.body, cold.body, "cached scenario bytes == cold bytes");
+    stop(addr, handle);
+}
+
+#[test]
 fn load_generator_measures_a_live_server() {
     let (addr, handle) = boot();
     let opts = LoadOptions {

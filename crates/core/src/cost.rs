@@ -45,6 +45,26 @@ impl CostFn {
         }
     }
 
+    /// A linear corruption price: `c(t) = t · price` for `t = 0..=n` —
+    /// the scenario-file shape where a single per-party price spans the
+    /// whole coalition range (c(0) = 0 by construction).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use fair_core::cost::CostFn;
+    ///
+    /// let c = CostFn::linear(3, 0.4);
+    /// assert_eq!(c.cost(0), 0.0);
+    /// assert_eq!(c.cost(2), 0.8);
+    /// assert_eq!(c.max_t(), 3);
+    /// ```
+    pub fn linear(n: usize, price: f64) -> CostFn {
+        CostFn {
+            costs: (0..=n).map(|t| t as f64 * price).collect(),
+        }
+    }
+
     /// c(t).
     ///
     /// # Panics

@@ -149,6 +149,38 @@ impl Payoff {
         self.check_gamma_fair().is_ok() && self.g00 <= self.g11
     }
 
+    /// The deposit-model payoff behind the penalty scenario families
+    /// (financial fairness à la Friolo–Massacci–Ngo): each party escrows
+    /// `deposit` before the protocol starts and forfeits it by aborting.
+    /// The forfeit lands exactly on the abort events — E₀₀ and E₁₀ are
+    /// the outcomes the adversary can only provoke by denying the honest
+    /// parties their output — so γ₀₀ and γ₁₀ each drop by `deposit`.
+    ///
+    /// The result deliberately *leaves* Γ_fair once `deposit > 0` (γ₀₁
+    /// stays 0 but need no longer be the minimum): that is the point of a
+    /// penalty — it reshapes the adversary's preferences until the abort
+    /// is no longer the optimum.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use fair_core::Payoff;
+    ///
+    /// // A deposit covering γ00 makes aborting no better than honesty.
+    /// let g = Payoff::standard().with_abort_penalty(0.25);
+    /// assert_eq!(g.g00, 0.0);
+    /// assert_eq!(g.g10, 0.75);
+    /// assert_eq!(g.g11, 0.5); // completing forfeits nothing
+    /// ```
+    pub fn with_abort_penalty(&self, deposit: f64) -> Payoff {
+        Payoff {
+            g00: self.g00 - deposit,
+            g01: self.g01,
+            g10: self.g10 - deposit,
+            g11: self.g11,
+        }
+    }
+
     /// The payoff of an event.
     pub fn value(&self, e: Event) -> f64 {
         match e {

@@ -1,11 +1,14 @@
 //! `fairlint.toml` — checked-in, path-scoped configuration.
 //!
-//! The parser handles the small TOML subset the config actually uses
-//! (`[section]` headers, string / string-array / bool values, `#`
-//! comments) with no external dependency; unknown keys are ignored so
-//! the format can grow.
+//! Parsing rides the workspace's shared TOML-subset parser
+//! ([`fair_simlab::tomlish`]) in lenient mode: unknown keys and
+//! constructs are ignored so the format can grow. This module narrows
+//! the shared [`tomlish::Value`](fair_simlab::tomlish::Value) to the
+//! string-centric [`TomlValue`] shape the config schema actually uses.
 
 use std::path::Path;
+
+use fair_simlab::tomlish;
 
 /// One parsed `key = value` under its section.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -21,79 +24,32 @@ pub enum TomlValue {
 }
 
 /// Flat `section.key → value` view of the file (sections joined with
-/// dots). Order-preserving and deterministic.
+/// dots). Order-preserving and deterministic. Values the config schema
+/// has no use for (floats, non-string array elements) are dropped, like
+/// any other construct lenient parsing does not understand.
 pub fn parse_toml_subset(src: &str) -> Vec<(String, TomlValue)> {
-    let mut out = Vec::new();
-    let mut section = String::new();
-    let mut lines = src.lines();
-    while let Some(raw_line) = lines.next() {
-        let line = strip_comment(raw_line).trim();
-        if line.is_empty() {
-            continue;
-        }
-        if let Some(h) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
-            section = h.trim().to_string();
-            continue;
-        }
-        let Some((k, v)) = line.split_once('=') else {
-            continue;
-        };
-        let key = if section.is_empty() {
-            k.trim().to_string()
-        } else {
-            format!("{section}.{}", k.trim())
-        };
-        // A `[` with no closing `]` on the same line opens a multi-line
-        // array: keep consuming (comment-stripped) lines until it closes.
-        let mut value = v.trim().to_string();
-        while value.starts_with('[') && !value.ends_with(']') {
-            let Some(next) = lines.next() else { break };
-            value.push_str(strip_comment(next).trim());
-        }
-        if let Some(val) = parse_value(&value) {
-            out.push((key, val));
-        }
-    }
-    out
+    tomlish::parse_lenient(src)
+        .into_iter()
+        .filter_map(|item| Some((item.key, narrow(item.value)?)))
+        .collect()
 }
 
-fn strip_comment(line: &str) -> &str {
-    // A `#` outside quotes starts a comment.
-    let mut in_str = false;
-    for (i, c) in line.char_indices() {
-        match c {
-            '"' => in_str = !in_str,
-            '#' if !in_str => return &line[..i],
-            _ => {}
-        }
+fn narrow(value: tomlish::Value) -> Option<TomlValue> {
+    match value {
+        tomlish::Value::Str(s) => Some(TomlValue::Str(s)),
+        tomlish::Value::Bool(b) => Some(TomlValue::Bool(b)),
+        tomlish::Value::Int(n) => Some(TomlValue::Int(n)),
+        tomlish::Value::Float(_) => None,
+        tomlish::Value::List(items) => Some(TomlValue::List(
+            items
+                .into_iter()
+                .filter_map(|v| match v {
+                    tomlish::Value::Str(s) => Some(s),
+                    _ => None,
+                })
+                .collect(),
+        )),
     }
-    line
-}
-
-fn parse_value(v: &str) -> Option<TomlValue> {
-    if v == "true" {
-        return Some(TomlValue::Bool(true));
-    }
-    if v == "false" {
-        return Some(TomlValue::Bool(false));
-    }
-    if let Ok(n) = v.parse::<i64>() {
-        return Some(TomlValue::Int(n));
-    }
-    if let Some(inner) = v.strip_prefix('[').and_then(|x| x.strip_suffix(']')) {
-        let items = inner
-            .split(',')
-            .map(str::trim)
-            .filter(|s| !s.is_empty())
-            .filter_map(unquote)
-            .collect();
-        return Some(TomlValue::List(items));
-    }
-    unquote(v).map(TomlValue::Str)
-}
-
-fn unquote(s: &str) -> Option<String> {
-    s.strip_prefix('"')?.strip_suffix('"').map(str::to_string)
 }
 
 /// Effective rule configuration: built-in defaults overridden by any

@@ -1,5 +1,6 @@
 //! Diagnostics: what a rule reports and how it renders (human text and
-//! line-oriented JSON, both hand-rolled — the crate has no dependencies).
+//! line-oriented JSON, both hand-rolled — the crate has no external
+//! dependencies).
 
 /// How bad a finding is. Everything fairlint enforces today is an
 /// error under `--strict`; the distinction is kept for output.

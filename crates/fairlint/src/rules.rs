@@ -484,6 +484,98 @@ fn check_r1(ws: &Workspace, out: &mut Vec<Diagnostic>) {
             ));
         }
     }
+
+    // Scenario-dir leg: every scenarios/*.toml id must appear in the
+    // EXPERIMENTS.md scenario table (and vice versa), stay inside the
+    // `s_` namespace, and never collide with a static registry id.
+    let raw_diag = |rel: &str, line: usize, message: String| Diagnostic {
+        rule: "R1",
+        severity: Severity::Error,
+        rel: rel.to_string(),
+        line,
+        message,
+    };
+    let md_scenario_ids = ws
+        .experiments_md
+        .as_deref()
+        .map(experiments_md_scenario_ids)
+        .unwrap_or_default();
+    let mut scenario_ids: Vec<String> = Vec::new();
+    for (rel, raw) in &ws.scenario_files {
+        let Some((id, line)) = scenario_file_id(raw) else {
+            out.push(raw_diag(
+                rel,
+                1,
+                "scenario file has no parseable `scenario.id` (string under [scenario])"
+                    .to_string(),
+            ));
+            continue;
+        };
+        if registered.contains(&id) {
+            out.push(raw_diag(
+                rel,
+                line,
+                format!("scenario id `{id}` collides with a static ALL_EXPERIMENTS entry"),
+            ));
+        }
+        if ws.experiments_md.is_some() && !md_scenario_ids.iter().any(|(m, _)| *m == id) {
+            out.push(raw_diag(
+                rel,
+                line,
+                format!(
+                    "scenario `{id}` is missing from the EXPERIMENTS.md scenario table \
+                     (`| {id} | … |` row)"
+                ),
+            ));
+        }
+        scenario_ids.push(id);
+    }
+    for (id, line) in &md_scenario_ids {
+        if !scenario_ids.contains(id) {
+            out.push(raw_diag(
+                "EXPERIMENTS.md",
+                *line,
+                format!("EXPERIMENTS.md lists scenario `{id}` but no scenarios/*.toml declares it"),
+            ));
+        }
+    }
+}
+
+/// Extracts `scenario.id` (and its line) from a scenario file, using the
+/// same lenient TOML-subset reader the config loader uses — R1 anchors
+/// lockstep diagnostics on the declaration even when the rest of the
+/// file would not compile.
+fn scenario_file_id(raw: &str) -> Option<(String, usize)> {
+    fair_simlab::tomlish::parse_lenient(raw)
+        .into_iter()
+        .find_map(|item| match (item.key.as_str(), item.value) {
+            ("scenario.id", fair_simlab::tomlish::Value::Str(s)) => Some((s, item.line)),
+            _ => None,
+        })
+}
+
+/// Scenario ids (and their 1-based lines) from `| s_… |` summary-table
+/// rows in EXPERIMENTS.md. The `s_` prefix keeps these rows disjoint
+/// from the `| E<k> |` rows [`experiments_md_ids`] reads.
+fn experiments_md_scenario_ids(md: &str) -> Vec<(String, usize)> {
+    let mut ids = Vec::new();
+    for (i, line) in md.lines().enumerate() {
+        let Some(rest) = line.strip_prefix("| s_") else {
+            continue;
+        };
+        let tail: String = rest
+            .chars()
+            .take_while(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || *c == '_')
+            .collect();
+        if tail.is_empty() {
+            continue;
+        }
+        let id = format!("s_{tail}");
+        if !ids.iter().any(|(m, _)| *m == id) {
+            ids.push((id, i + 1));
+        }
+    }
+    ids
 }
 
 /// Extracts `ALL_EXPERIMENTS` entries (and the declaration line) from

@@ -140,6 +140,40 @@ fn ws_bad_registry_violations_cover_all_three_directions() {
 }
 
 #[test]
+fn ws_bad_scenario_lockstep_violations_fire() {
+    let diags = analyze("ws_bad");
+    let has = |rel: &str, line: usize, needle: &str| {
+        diags
+            .iter()
+            .any(|d| d.rule == "R1" && d.rel == rel && d.line == line && d.message.contains(needle))
+    };
+    // A valid id with no EXPERIMENTS.md row, anchored on the id line.
+    assert!(
+        has(
+            "scenarios/orphan.toml",
+            3,
+            "missing from the EXPERIMENTS.md"
+        ),
+        "{diags:#?}"
+    );
+    // A file with no parseable id.
+    assert!(
+        has("scenarios/noid.toml", 1, "no parseable `scenario.id`"),
+        "{diags:#?}"
+    );
+    // An id colliding with the static registry.
+    assert!(
+        has("scenarios/collide.toml", 3, "collides with a static"),
+        "{diags:#?}"
+    );
+    // An md row no file declares, anchored on the row.
+    assert!(
+        has("EXPERIMENTS.md", 7, "no scenarios/*.toml declares it"),
+        "{diags:#?}"
+    );
+}
+
+#[test]
 fn ws_bad_does_not_flag_test_code_or_debug_assert() {
     let diags = analyze("ws_bad");
     // The #[cfg(test)] mod in core/src/lib.rs repeats every sin.

@@ -1,0 +1,518 @@
+//! The scenario compiler: strict TOML-subset parse → schema validation
+//! (every failure a span-carrying [`ScenarioError`]) → a validated
+//! [`ScenarioSpec`] ready for the registry.
+//!
+//! Validation is *total*: any byte sequence yields either a spec or a
+//! non-empty error list, never a panic (pinned by the proptest totality
+//! suite in `tests/totality.rs`).
+
+use std::path::Path;
+
+use fair_core::Payoff;
+use fair_simlab::tomlish::{self, Value};
+
+use crate::schema::{Family, ScenarioError, ScenarioSpec};
+
+/// Most points a sweep grid may expand to — a checked-in family is a
+/// bounded amount of registry work, not an accidental fleet.
+pub const MAX_GRID_POINTS: usize = 64;
+
+/// Most elements a single sweep list may hold.
+pub const MAX_LIST: usize = 16;
+
+/// Abort-round sweeps are capped here (each round is a full estimate).
+pub const MAX_ROUNDS: usize = 16;
+
+/// The family names `scenario.family` accepts.
+pub const FAMILIES: [&str; 3] = ["deposit-coin-toss", "abort-heatmap", "partial-fairness"];
+
+/// Compiles one scenario file. `file` is only used to label errors.
+///
+/// # Errors
+///
+/// Returns every schema violation found (parse failures short-circuit,
+/// carrying the offending line).
+pub fn compile_str(file: &str, src: &str) -> Result<ScenarioSpec, Vec<ScenarioError>> {
+    let items = match tomlish::parse(src) {
+        Ok(items) => items,
+        Err(e) => {
+            return Err(vec![ScenarioError {
+                file: file.to_string(),
+                line: e.line,
+                msg: e.msg,
+            }])
+        }
+    };
+    let mut doc = Doc::new(file, items);
+
+    let id = doc.require_str("scenario.id");
+    let title = doc.require_str("scenario.title");
+    let family_name = doc.require_str("scenario.family");
+
+    let (id, id_line) = match id {
+        Some((id, line)) => {
+            if !valid_id(&id) {
+                doc.err(
+                    line,
+                    format!(
+                        "invalid id `{id}`: scenario ids match `s_[a-z0-9_]+` \
+                         (the `s_` namespace keeps them disjoint from the static e1..e17 registry)"
+                    ),
+                );
+            }
+            (id, line)
+        }
+        None => (String::new(), 1),
+    };
+    if let Some((t, line)) = &title {
+        if t.trim().is_empty() {
+            doc.err(
+                *line,
+                "empty `title`: every registry entry lists with a real title \
+                 (there is no \"(untitled)\" fallback)"
+                    .to_string(),
+            );
+        }
+    }
+
+    let mut family_known = true;
+    let family = match family_name {
+        Some((name, line)) => match name.as_str() {
+            "deposit-coin-toss" => deposit_coin_toss(&mut doc),
+            "abort-heatmap" => abort_heatmap(&mut doc),
+            "partial-fairness" => partial_fairness(&mut doc),
+            other => {
+                doc.err(
+                    line,
+                    format!(
+                        "unknown family `{other}` (known families: {})",
+                        FAMILIES.join(", ")
+                    ),
+                );
+                family_known = false;
+                None
+            }
+        },
+        None => {
+            family_known = false;
+            None
+        }
+    };
+
+    // Without a recognized family nothing consumed the family-specific
+    // keys; flagging each as unknown would just bury the real error.
+    if family_known {
+        doc.reject_unknown_keys();
+    }
+
+    match (family, title, doc.errors.is_empty()) {
+        (Some(family), Some((title, _)), true) => Ok(ScenarioSpec {
+            id,
+            title,
+            file: file.to_string(),
+            id_line,
+            family,
+        }),
+        _ => Err(doc.errors),
+    }
+}
+
+/// `s_` followed by at least one of `[a-z0-9_]`.
+fn valid_id(id: &str) -> bool {
+    id.strip_prefix("s_").is_some_and(|rest| {
+        !rest.is_empty()
+            && rest
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+    })
+}
+
+fn deposit_coin_toss(doc: &mut Doc) -> Option<Family> {
+    let g00 = doc.require_f64("payoff.g00");
+    let g10 = doc.require_f64("payoff.g10");
+    let g11 = doc.require_f64("payoff.g11");
+    let deposits = doc.require_f64_list("sweep.deposits", MAX_LIST);
+
+    let ((g00, g00_line), (g10, _), (g11, _)) = (g00?, g10?, g11?);
+    if let Err(e) = Payoff::gamma_fair_plus(g00, g10, g11) {
+        doc.err(g00_line, format!("payoff is not in Γ+fair: {e}"));
+        return None;
+    }
+    let (deposits, dep_line) = deposits?;
+    let mut ok = true;
+    for d in &deposits {
+        if !d.is_finite() || *d < 0.0 {
+            doc.err(dep_line, format!("deposit {d} must be finite and ≥ 0"));
+            ok = false;
+        }
+    }
+    if ok && !deposits.iter().any(|d| *d >= g00) {
+        doc.err(
+            dep_line,
+            format!(
+                "deposits never reach γ00 = {g00}: the sweep must include at least one \
+                 deterring deposit (d ≥ γ00) so the family exhibits its threshold"
+            ),
+        );
+        ok = false;
+    }
+    ok.then_some(Family::DepositCoinToss {
+        g00,
+        g10,
+        g11,
+        deposits,
+    })
+}
+
+fn abort_heatmap(doc: &mut Doc) -> Option<Family> {
+    let g00 = doc.require_f64("payoff.g00");
+    let g11 = doc.require_f64("payoff.g11");
+    let g10s = doc.require_f64_list("sweep.g10", MAX_LIST);
+    let costs = doc.require_f64_list("sweep.costs", MAX_LIST);
+    let rounds = doc.require_int("sweep.rounds");
+
+    let ((g00, _), (g11, _)) = (g00?, g11?);
+    let (g10s, g10_line) = g10s?;
+    let (costs, cost_line) = costs?;
+    let (rounds, rounds_line) = rounds?;
+
+    let mut ok = true;
+    for g10 in &g10s {
+        if let Err(e) = Payoff::gamma_fair_plus(g00, *g10, g11) {
+            doc.err(
+                g10_line,
+                format!("γ10 = {g10} leaves Γ+fair (with γ00 = {g00}, γ11 = {g11}): {e}"),
+            );
+            ok = false;
+        }
+    }
+    for c in &costs {
+        if !c.is_finite() || *c < 0.0 {
+            doc.err(
+                cost_line,
+                format!("corruption cost {c} must be finite and ≥ 0"),
+            );
+            ok = false;
+        }
+    }
+    if !(1..=MAX_ROUNDS as i64).contains(&rounds) {
+        doc.err(
+            rounds_line,
+            format!("rounds = {rounds} out of range (1..={MAX_ROUNDS})"),
+        );
+        ok = false;
+    }
+    if g10s.len() * costs.len() > MAX_GRID_POINTS {
+        doc.err(
+            g10_line,
+            format!(
+                "grid of {}×{} = {} cells exceeds the {MAX_GRID_POINTS}-point cap",
+                g10s.len(),
+                costs.len(),
+                g10s.len() * costs.len()
+            ),
+        );
+        ok = false;
+    }
+    ok.then_some(Family::AbortHeatmap {
+        g00,
+        g11,
+        g10: g10s,
+        costs,
+        rounds: rounds as usize,
+    })
+}
+
+fn partial_fairness(doc: &mut Doc) -> Option<Family> {
+    let ps = doc.require_int_list("sweep.p", 8);
+    let abort_rounds = doc.require_int("sweep.abort_rounds");
+
+    let (ps, p_line) = ps?;
+    let (abort_rounds, ar_line) = abort_rounds?;
+
+    let mut ok = true;
+    let mut out = Vec::new();
+    for p in &ps {
+        if !(2..=8).contains(p) {
+            doc.err(
+                p_line,
+                format!("p = {p} out of range (2..=8: p = 1 is full fairness, larger p makes the round count m = 8·p·|Y| explode)"),
+            );
+            ok = false;
+        } else {
+            out.push(*p as u64);
+        }
+    }
+    if !(1..=MAX_ROUNDS as i64).contains(&abort_rounds) {
+        doc.err(
+            ar_line,
+            format!("abort_rounds = {abort_rounds} out of range (1..={MAX_ROUNDS})"),
+        );
+        ok = false;
+    }
+    ok.then_some(Family::PartialFairness {
+        p: out,
+        abort_rounds: abort_rounds as usize,
+    })
+}
+
+/// The working state of one file's validation: items, which were
+/// consumed, and the errors so far.
+struct Doc<'a> {
+    file: &'a str,
+    items: Vec<tomlish::Item>,
+    used: Vec<bool>,
+    errors: Vec<ScenarioError>,
+}
+
+impl<'a> Doc<'a> {
+    fn new(file: &'a str, items: Vec<tomlish::Item>) -> Doc<'a> {
+        let used = vec![false; items.len()];
+        let mut doc = Doc {
+            file,
+            items,
+            used,
+            errors: Vec::new(),
+        };
+        doc.reject_duplicates();
+        doc
+    }
+
+    fn err(&mut self, line: usize, msg: String) {
+        self.errors.push(ScenarioError {
+            file: self.file.to_string(),
+            line,
+            msg,
+        });
+    }
+
+    fn reject_duplicates(&mut self) {
+        let mut dups = Vec::new();
+        for (i, item) in self.items.iter().enumerate() {
+            if self.items.iter().take(i).any(|prev| prev.key == item.key) {
+                dups.push((item.line, format!("duplicate key `{}`", item.key)));
+            }
+        }
+        for (line, msg) in dups {
+            self.err(line, msg);
+        }
+    }
+
+    /// Marks `key` consumed and returns its value and line.
+    fn take(&mut self, key: &str) -> Option<(Value, usize)> {
+        let at = self.items.iter().position(|i| i.key == key)?;
+        if let Some(slot) = self.used.get_mut(at) {
+            *slot = true;
+        }
+        self.items
+            .get(at)
+            .map(|item| (item.value.clone(), item.line))
+    }
+
+    fn missing(&mut self, key: &str, want: &str) {
+        self.err(1, format!("missing required key `{key}` ({want})"));
+    }
+
+    fn require_str(&mut self, key: &str) -> Option<(String, usize)> {
+        match self.take(key) {
+            Some((Value::Str(s), line)) => Some((s, line)),
+            Some((other, line)) => {
+                self.err(
+                    line,
+                    format!("`{key}` must be a string, found {}", other.type_name()),
+                );
+                None
+            }
+            None => {
+                self.missing(key, "a quoted string");
+                None
+            }
+        }
+    }
+
+    fn require_f64(&mut self, key: &str) -> Option<(f64, usize)> {
+        match self.take(key) {
+            Some((v, line)) => match v.as_f64() {
+                Some(x) if x.is_finite() => Some((x, line)),
+                Some(x) => {
+                    self.err(line, format!("`{key}` must be finite, found {x}"));
+                    None
+                }
+                None => {
+                    self.err(
+                        line,
+                        format!("`{key}` must be a number, found {}", v.type_name()),
+                    );
+                    None
+                }
+            },
+            None => {
+                self.missing(key, "a number");
+                None
+            }
+        }
+    }
+
+    fn require_int(&mut self, key: &str) -> Option<(i64, usize)> {
+        match self.take(key) {
+            Some((Value::Int(n), line)) => Some((n, line)),
+            Some((other, line)) => {
+                self.err(
+                    line,
+                    format!("`{key}` must be an integer, found {}", other.type_name()),
+                );
+                None
+            }
+            None => {
+                self.missing(key, "an integer");
+                None
+            }
+        }
+    }
+
+    fn require_f64_list(&mut self, key: &str, max: usize) -> Option<(Vec<f64>, usize)> {
+        let (items, line) = self.require_list(key, max)?;
+        let mut out = Vec::with_capacity(items.len());
+        for v in &items {
+            match v.as_f64() {
+                Some(x) => out.push(x),
+                None => {
+                    self.err(
+                        line,
+                        format!("`{key}` elements must be numbers, found {}", v.type_name()),
+                    );
+                    return None;
+                }
+            }
+        }
+        Some((out, line))
+    }
+
+    fn require_int_list(&mut self, key: &str, max: usize) -> Option<(Vec<i64>, usize)> {
+        let (items, line) = self.require_list(key, max)?;
+        let mut out = Vec::with_capacity(items.len());
+        for v in &items {
+            match v {
+                Value::Int(n) => out.push(*n),
+                other => {
+                    self.err(
+                        line,
+                        format!(
+                            "`{key}` elements must be integers, found {}",
+                            other.type_name()
+                        ),
+                    );
+                    return None;
+                }
+            }
+        }
+        Some((out, line))
+    }
+
+    fn require_list(&mut self, key: &str, max: usize) -> Option<(Vec<Value>, usize)> {
+        match self.take(key) {
+            Some((Value::List(items), line)) => {
+                if items.is_empty() {
+                    self.err(line, format!("`{key}` must not be empty"));
+                    return None;
+                }
+                if items.len() > max {
+                    self.err(
+                        line,
+                        format!("`{key}` holds {} elements (cap: {max})", items.len()),
+                    );
+                    return None;
+                }
+                Some((items, line))
+            }
+            Some((other, line)) => {
+                self.err(
+                    line,
+                    format!("`{key}` must be an array, found {}", other.type_name()),
+                );
+                None
+            }
+            None => {
+                self.missing(key, "an array");
+                None
+            }
+        }
+    }
+
+    /// Every key the family did not consume is a typo or an unsupported
+    /// construct — reject it so `check` catches drift early.
+    fn reject_unknown_keys(&mut self) {
+        let unknown: Vec<(usize, String)> = self
+            .items
+            .iter()
+            .zip(&self.used)
+            .filter(|(_, used)| !**used)
+            .map(|(item, _)| (item.line, format!("unknown key `{}`", item.key)))
+            .collect();
+        for (line, msg) in unknown {
+            self.err(line, msg);
+        }
+    }
+}
+
+/// The result of loading a scenario directory: every spec that compiled
+/// plus every error found. Callers pick their strictness — the CLI
+/// `check` fails on any error, the registry keeps the valid specs and
+/// reports the rest.
+#[derive(Clone, Debug, Default)]
+pub struct DirLoad {
+    /// Valid scenarios, in file-name order.
+    pub specs: Vec<ScenarioSpec>,
+    /// Every parse/validation failure across the directory.
+    pub errors: Vec<ScenarioError>,
+}
+
+/// Loads and compiles every `*.toml` under `dir` (sorted by file name,
+/// so registry order is deterministic). A missing directory is an empty
+/// load, not an error — a process running outside the repo root simply
+/// has no scenario-derived entries. Duplicate ids across files are
+/// errors on the later file.
+pub fn load_dir(dir: &Path) -> DirLoad {
+    let mut load = DirLoad::default();
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return load;
+    };
+    let mut paths: Vec<std::path::PathBuf> = entries
+        .flatten()
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|ext| ext == "toml"))
+        .collect();
+    paths.sort();
+    for path in paths {
+        let name = path.display().to_string();
+        let src = match std::fs::read_to_string(&path) {
+            Ok(src) => src,
+            Err(e) => {
+                load.errors.push(ScenarioError {
+                    file: name,
+                    line: 1,
+                    msg: format!("unreadable: {e}"),
+                });
+                continue;
+            }
+        };
+        match compile_str(&name, &src) {
+            Ok(spec) => {
+                if let Some(prev) = load.specs.iter().find(|s| s.id == spec.id) {
+                    load.errors.push(ScenarioError {
+                        file: name,
+                        line: spec.id_line,
+                        msg: format!(
+                            "duplicate scenario id `{}` (also in {})",
+                            spec.id, prev.file
+                        ),
+                    });
+                } else {
+                    load.specs.push(spec);
+                }
+            }
+            Err(mut errors) => load.errors.append(&mut errors),
+        }
+    }
+    load
+}

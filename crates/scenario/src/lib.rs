@@ -1,0 +1,41 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+//! `fair-scenario` — the declarative scenario layer.
+//!
+//! New utility surfaces are **data, not code**: a checked-in
+//! `scenarios/*.toml` file declares a scenario family — its payoff
+//! matrix, corruption-cost vector, adversary family, and sweep grid —
+//! and this crate's validating compiler lowers it into a
+//! [`ScenarioSpec`] the experiment registry (`fair-bench`) merges next
+//! to the static E1–E17 entries. `reproduce --list`, `fair-trace list`,
+//! and `fair-serve` then expose the family automatically, with no new
+//! binaries and under the same byte-identity serving contract.
+//!
+//! The pipeline is deliberately strict: files parse through the shared
+//! [`fair_simlab::tomlish`] strict mode, every schema violation is a
+//! span-carrying [`ScenarioError`] (`file:line: message`), an id without
+//! a title is a *compile error* (the registry never lists an untitled
+//! experiment), and sweep grids are bounded so a checked-in family stays
+//! a bounded amount of work.
+//!
+//! Three families ship with the repo (see `scenarios/`):
+//!
+//! * `deposit-coin-toss` — financial fairness: escrowed deposits are
+//!   forfeited on abort and feed the payoff matrix via
+//!   [`Payoff::with_abort_penalty`](fair_core::Payoff::with_abort_penalty);
+//! * `abort-heatmap` — a (γ₁₀, corruption-cost) grid of optimal abort
+//!   rounds against Π^Opt_2SFE, netted against a linear
+//!   [`CostFn`](fair_core::cost::CostFn);
+//! * `partial-fairness` — the Gordon–Katz 1/p trade-off curve swept over
+//!   `p`.
+//!
+//! This crate is the *data* layer only (parse, validate, expand). It
+//! depends on `fair-core` solely to validate payoff vectors with the same
+//! class checks the estimator uses; running a compiled scenario is
+//! `fair-bench`'s job.
+
+pub mod compile;
+pub mod schema;
+
+pub use compile::{compile_str, load_dir, DirLoad};
+pub use schema::{Family, GridPoint, ScenarioError, ScenarioSpec};

@@ -1,0 +1,189 @@
+//! The compiled scenario model: what a validated `scenarios/*.toml`
+//! file lowers to, plus the span-carrying error type every stage of the
+//! compiler reports through.
+
+/// One validation (or parse) failure, anchored to its file and line —
+/// `fair-scenario check` prints these verbatim and exits nonzero.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ScenarioError {
+    /// The scenario file (as given to the compiler, e.g.
+    /// `scenarios/deposit_coin_toss.toml`).
+    pub file: String,
+    /// 1-based line the failure anchors to.
+    pub line: usize,
+    /// What went wrong.
+    pub msg: String,
+}
+
+impl core::fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{}:{}: error: {}", self.file, self.line, self.msg)
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+/// A validated scenario: one experiment-registry entry.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ScenarioSpec {
+    /// Registry id — always `s_…`, a namespace disjoint from the static
+    /// `e<k>` entries by construction.
+    pub id: String,
+    /// Mandatory one-line title (an untitled scenario does not compile;
+    /// the listing has no fallback to reach for).
+    pub title: String,
+    /// The file the scenario came from (diagnostics and provenance).
+    pub file: String,
+    /// 1-based line of the `id = …` declaration (lockstep diagnostics
+    /// anchor here).
+    pub id_line: usize,
+    /// The family with its validated parameters.
+    pub family: Family,
+}
+
+/// A scenario family: which protocol/adversary machinery runs and the
+/// validated sweep parameters feeding it.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Family {
+    /// Penalty-deposit Blum coin toss: each deposit `d` is forfeited on
+    /// abort, penalizing the payoff entries the abort events carry.
+    DepositCoinToss {
+        /// γ₀₀ of the base (pre-penalty) payoff vector.
+        g00: f64,
+        /// γ₁₀ of the base payoff vector.
+        g10: f64,
+        /// γ₁₁ of the base payoff vector.
+        g11: f64,
+        /// Escrowed deposits to sweep (at least one ≥ γ₀₀, so the family
+        /// always exhibits the deterrence threshold).
+        deposits: Vec<f64>,
+    },
+    /// (γ₁₀, corruption-cost) heatmap of optimal abort rounds against
+    /// Π^Opt_2SFE: per cell, the best abort strategy's utility netted
+    /// against a linear per-party corruption price.
+    AbortHeatmap {
+        /// γ₀₀ shared by every grid row.
+        g00: f64,
+        /// γ₁₁ shared by every grid row.
+        g11: f64,
+        /// Breach payoffs γ₁₀ to sweep (each must keep the vector in
+        /// Γ⁺_fair).
+        g10: Vec<f64>,
+        /// Per-party corruption prices to sweep.
+        costs: Vec<f64>,
+        /// Abort rounds 0..rounds swept per cell.
+        rounds: usize,
+    },
+    /// Gordon–Katz 1/p partial-fairness trade-off: sweep `p`, pin the
+    /// best abort attack under γ = (0,0,1,0) below 1/p.
+    PartialFairness {
+        /// The 1/p parameters to sweep (each 2..=8).
+        p: Vec<u64>,
+        /// Abort rounds 1..=abort_rounds tried per p.
+        abort_rounds: usize,
+    },
+}
+
+impl Family {
+    /// The family name as written in scenario files.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Family::DepositCoinToss { .. } => "deposit-coin-toss",
+            Family::AbortHeatmap { .. } => "abort-heatmap",
+            Family::PartialFairness { .. } => "partial-fairness",
+        }
+    }
+
+    /// Expands the sweep grid into its concrete points, in deterministic
+    /// (row-major) order — what `fair-scenario expand` prints and the
+    /// runner iterates.
+    pub fn points(&self) -> Vec<GridPoint> {
+        match self {
+            Family::DepositCoinToss { deposits, .. } => deposits
+                .iter()
+                .map(|d| GridPoint::Deposit { deposit: *d })
+                .collect(),
+            Family::AbortHeatmap { g10, costs, .. } => g10
+                .iter()
+                .flat_map(|g| {
+                    costs
+                        .iter()
+                        .map(move |c| GridPoint::Cell { g10: *g, cost: *c })
+                })
+                .collect(),
+            Family::PartialFairness { p, .. } => {
+                p.iter().map(|p| GridPoint::Inverse { p: *p }).collect()
+            }
+        }
+    }
+}
+
+/// One concrete point of an expanded sweep grid.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum GridPoint {
+    /// A deposit value of a `deposit-coin-toss` sweep.
+    Deposit {
+        /// The escrowed deposit d.
+        deposit: f64,
+    },
+    /// One (γ₁₀, cost) cell of an `abort-heatmap` grid.
+    Cell {
+        /// The breach payoff γ₁₀ of this row.
+        g10: f64,
+        /// The per-party corruption price of this column.
+        cost: f64,
+    },
+    /// One `p` of a `partial-fairness` sweep.
+    Inverse {
+        /// The 1/p parameter.
+        p: u64,
+    },
+}
+
+impl GridPoint {
+    /// Deterministic label for listings and report rows.
+    pub fn label(&self) -> String {
+        match self {
+            GridPoint::Deposit { deposit } => format!("deposit={deposit:.2}"),
+            GridPoint::Cell { g10, cost } => format!("g10={g10:.2} cost={cost:.2}"),
+            GridPoint::Inverse { p } => format!("p={p}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_expansion_is_row_major_and_labeled() {
+        let fam = Family::AbortHeatmap {
+            g00: 0.25,
+            g11: 0.5,
+            g10: vec![0.8, 1.0],
+            costs: vec![0.0, 0.4],
+            rounds: 6,
+        };
+        let labels: Vec<String> = fam.points().iter().map(GridPoint::label).collect();
+        assert_eq!(
+            labels,
+            vec![
+                "g10=0.80 cost=0.00",
+                "g10=0.80 cost=0.40",
+                "g10=1.00 cost=0.00",
+                "g10=1.00 cost=0.40",
+            ]
+        );
+        assert_eq!(fam.name(), "abort-heatmap");
+    }
+
+    #[test]
+    fn errors_render_as_file_line_message() {
+        let e = ScenarioError {
+            file: "scenarios/x.toml".into(),
+            line: 7,
+            msg: "missing `title`".into(),
+        };
+        assert_eq!(e.to_string(), "scenarios/x.toml:7: error: missing `title`");
+    }
+}

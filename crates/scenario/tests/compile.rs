@@ -1,0 +1,208 @@
+//! Compiler acceptance tests: the three shipped families compile, and
+//! every class of malformed file is rejected with an error anchored to
+//! the offending line.
+
+use fair_scenario::{compile_str, Family, ScenarioError};
+
+const GOOD_DEPOSIT: &str = "\
+[scenario]
+id = \"s_dep\"
+title = \"deposit sweep\"
+family = \"deposit-coin-toss\"
+
+[payoff]
+g00 = 0.25
+g10 = 1.0
+g11 = 0.5
+
+[sweep]
+deposits = [0.0, 0.1, 0.25]
+";
+
+fn lines_of(errors: &[ScenarioError]) -> Vec<usize> {
+    errors.iter().map(|e| e.line).collect()
+}
+
+#[test]
+fn deposit_family_compiles() {
+    let spec = compile_str("t.toml", GOOD_DEPOSIT).expect("valid scenario");
+    assert_eq!(spec.id, "s_dep");
+    assert_eq!(spec.title, "deposit sweep");
+    assert_eq!(spec.id_line, 2);
+    match &spec.family {
+        Family::DepositCoinToss { g00, deposits, .. } => {
+            assert_eq!(*g00, 0.25);
+            assert_eq!(deposits.len(), 3);
+        }
+        other => panic!("wrong family: {other:?}"),
+    }
+    assert_eq!(spec.family.points().len(), 3);
+}
+
+#[test]
+fn heatmap_family_compiles_and_expands_row_major() {
+    let src = "\
+[scenario]
+id = \"s_heat\"
+title = \"heatmap\"
+family = \"abort-heatmap\"
+
+[payoff]
+g00 = 0.25
+g11 = 0.5
+
+[sweep]
+g10 = [0.8, 1.0]
+costs = [0.0, 0.25, 1.4]
+rounds = 6
+";
+    let spec = compile_str("t.toml", src).expect("valid scenario");
+    assert_eq!(spec.family.points().len(), 6);
+}
+
+#[test]
+fn partial_fairness_family_compiles() {
+    let src = "\
+[scenario]
+id = \"s_gk\"
+title = \"gk curve\"
+family = \"partial-fairness\"
+
+[sweep]
+p = [2, 3]
+abort_rounds = 8
+";
+    let spec = compile_str("t.toml", src).expect("valid scenario");
+    match spec.family {
+        Family::PartialFairness {
+            ref p,
+            abort_rounds,
+        } => {
+            assert_eq!(p, &[2, 3]);
+            assert_eq!(abort_rounds, 8);
+        }
+        ref other => panic!("wrong family: {other:?}"),
+    }
+}
+
+#[test]
+fn missing_title_is_a_compile_error() {
+    let src = GOOD_DEPOSIT.replace("title = \"deposit sweep\"\n", "");
+    let errors = compile_str("t.toml", &src).expect_err("must fail");
+    assert!(
+        errors.iter().any(|e| e.msg.contains("scenario.title")),
+        "{errors:?}"
+    );
+}
+
+#[test]
+fn empty_title_is_a_compile_error() {
+    let src = GOOD_DEPOSIT.replace("\"deposit sweep\"", "\"  \"");
+    let errors = compile_str("t.toml", &src).expect_err("must fail");
+    assert_eq!(lines_of(&errors), vec![3], "{errors:?}");
+    assert!(errors[0].msg.contains("empty `title`"));
+}
+
+#[test]
+fn bad_id_is_anchored_to_its_line() {
+    let src = GOOD_DEPOSIT.replace("\"s_dep\"", "\"e99\"");
+    let errors = compile_str("t.toml", &src).expect_err("must fail");
+    assert_eq!(lines_of(&errors), vec![2], "{errors:?}");
+    assert!(errors[0].msg.contains("s_[a-z0-9_]+"));
+}
+
+#[test]
+fn unknown_family_is_rejected() {
+    let src = GOOD_DEPOSIT.replace("deposit-coin-toss", "coin-flip");
+    let errors = compile_str("t.toml", &src).expect_err("must fail");
+    assert_eq!(lines_of(&errors), vec![4], "{errors:?}");
+    assert!(errors[0].msg.contains("unknown family"));
+}
+
+#[test]
+fn unknown_keys_are_rejected_with_their_line() {
+    let src = format!("{GOOD_DEPOSIT}\n[sweep]\nbogus = 3\n");
+    let errors = compile_str("t.toml", &src).expect_err("must fail");
+    // The repeated [sweep] section makes `sweep.bogus` the only unknown.
+    assert!(
+        errors
+            .iter()
+            .any(|e| e.msg.contains("unknown key `sweep.bogus`")),
+        "{errors:?}"
+    );
+}
+
+#[test]
+fn duplicate_keys_are_rejected_at_the_second_site() {
+    let src = format!("{GOOD_DEPOSIT}g00 = 0.3\n");
+    let errors = compile_str("t.toml", &src).expect_err("must fail");
+    assert!(
+        errors
+            .iter()
+            .any(|e| e.msg.contains("duplicate key `sweep.g00`")
+                || e.msg.contains("unknown key `sweep.g00`")),
+        "{errors:?}"
+    );
+}
+
+#[test]
+fn payoff_outside_gamma_fair_plus_is_rejected() {
+    // γ10 ≤ γ11 breaks max{γ00, γ11} < γ10.
+    let src = GOOD_DEPOSIT.replace("g10 = 1.0", "g10 = 0.4");
+    let errors = compile_str("t.toml", &src).expect_err("must fail");
+    assert!(
+        errors.iter().any(|e| e.msg.contains("Γ+fair")),
+        "{errors:?}"
+    );
+}
+
+#[test]
+fn deposits_must_reach_the_deterrence_threshold() {
+    let src = GOOD_DEPOSIT.replace("[0.0, 0.1, 0.25]", "[0.0, 0.1]");
+    let errors = compile_str("t.toml", &src).expect_err("must fail");
+    assert_eq!(lines_of(&errors), vec![12], "{errors:?}");
+    assert!(errors[0].msg.contains("deterring deposit"));
+}
+
+#[test]
+fn parse_errors_carry_the_offending_line() {
+    let errors = compile_str("t.toml", "[scenario]\nid \"s_x\"\n").expect_err("must fail");
+    assert_eq!(lines_of(&errors), vec![2], "{errors:?}");
+}
+
+#[test]
+fn multiple_errors_are_all_reported() {
+    let src = "\
+[scenario]
+id = \"nope\"
+title = \"\"
+family = \"deposit-coin-toss\"
+
+[payoff]
+g00 = 0.25
+g10 = 1.0
+g11 = 0.5
+
+[sweep]
+deposits = [0.0, 0.3]
+";
+    let errors = compile_str("t.toml", src).expect_err("must fail");
+    assert!(errors.len() >= 2, "{errors:?}");
+    assert_eq!(errors[0].file, "t.toml");
+}
+
+#[test]
+fn rounds_out_of_range_is_rejected() {
+    let src = "\
+[scenario]
+id = \"s_gk\"
+title = \"gk\"
+family = \"partial-fairness\"
+
+[sweep]
+p = [2, 99]
+abort_rounds = 0
+";
+    let errors = compile_str("t.toml", src).expect_err("must fail");
+    assert_eq!(lines_of(&errors), vec![7, 8], "{errors:?}");
+}

@@ -1,0 +1,54 @@
+//! Totality of the scenario compiler: scenario files are operator-authored
+//! text, so the compiler must never panic — any byte soup yields either a
+//! spec or a non-empty error list with usable spans.
+
+use fair_scenario::compile_str;
+use proptest::collection;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Arbitrary bytes (lossily decoded, as a file read would) never panic
+    /// the parser/validator, and a rejection always carries ≥1 error with
+    /// a 1-based line.
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in collection::vec(any::<u8>(), 0..2048)) {
+        let src = String::from_utf8_lossy(&bytes);
+        if let Err(errors) = compile_str("fuzz.toml", &src) {
+            prop_assert!(!errors.is_empty());
+            prop_assert!(errors.iter().all(|e| e.line >= 1));
+        }
+    }
+
+    /// Structured fuzz: TOML-shaped lines with random keys and values —
+    /// deeper into the validator than raw byte soup reaches. Keys draw
+    /// from `[a-z.]`, values from a numeric/array/keyword alphabet, so a
+    /// useful fraction of cases survives parsing into family validation.
+    #[test]
+    fn fuzzed_toml_shapes_never_panic(
+        family in 0usize..4,
+        keys in collection::vec(collection::vec(0u8..27, 1..12), 0..8),
+        values in collection::vec(collection::vec(0u8..18, 0..16), 0..8),
+    ) {
+        const FAMILIES: [&str; 4] =
+            ["deposit-coin-toss", "abort-heatmap", "partial-fairness", "junk"];
+        const VALUE_ALPHABET: &[u8; 18] = b"-0123456789eE.[], ";
+        let mut src = format!(
+            "[scenario]\nid = \"s_fuzz\"\ntitle = \"f\"\nfamily = \"{}\"\n",
+            FAMILIES[family]
+        );
+        for (k, v) in keys.iter().zip(values.iter()) {
+            let key: String = k
+                .iter()
+                .map(|d| if *d < 26 { char::from(b'a' + d) } else { '.' })
+                .collect();
+            let value: String = v
+                .iter()
+                .map(|d| char::from(VALUE_ALPHABET[*d as usize]))
+                .collect();
+            src.push_str(&format!("{key} = {value}\n"));
+        }
+        let _ = compile_str("fuzz.toml", &src);
+    }
+}

@@ -20,9 +20,10 @@ use crate::http::{Request, Response};
 use crate::stats::ServerStats;
 
 /// What the service needs from the experiment registry. Implemented by
-/// `fair-bench` (which owns the E1–E17 registry); kept as a trait so this
-/// crate stays below the bench crate in the dependency order and tests can
-/// substitute deterministic mock backends.
+/// `fair-bench` (which owns the static E1–E17 registry plus the
+/// scenario-derived `s_*` entries compiled from `scenarios/*.toml`);
+/// kept as a trait so this crate stays below the bench crate in the
+/// dependency order and tests can substitute deterministic mock backends.
 pub trait Backend: Send + Sync + 'static {
     /// The runnable experiments as `(id, title)` pairs.
     fn experiments(&self) -> Vec<(String, String)>;
@@ -125,8 +126,10 @@ pub struct Service {
     config: ServiceConfig,
     cache: ShardedCache,
     /// Registered experiment ids, snapshotted at construction — the
-    /// registry is static, and the warm path must not rebuild the full
-    /// `(id, title)` listing per request just to validate `exp`.
+    /// registry (static core plus the scenario-derived entries, both
+    /// fixed for the process lifetime) never changes after startup, and
+    /// the warm path must not rebuild the full `(id, title)` listing per
+    /// request just to validate `exp`.
     known: Vec<String>,
     /// Shared server tallies: everything counted on this service's own
     /// paths (requests, statuses, cache flavors) plus worker-side bumps.

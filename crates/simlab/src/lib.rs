@@ -29,6 +29,7 @@ pub mod pool;
 pub mod record;
 pub mod scheduler;
 pub mod seed;
+pub mod tomlish;
 
 pub use metrics::{BatchTimer, LatencySummary, Progress};
 pub use pool::{SubmitError, WorkerPool};
